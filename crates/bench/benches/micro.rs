@@ -1,0 +1,165 @@
+//! Microbenchmarks of the core data structures and protocol building
+//! blocks. These are the operations on every request's critical path; the
+//! cost model of the simulator charges them explicitly, and these benches
+//! document what they cost natively.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+fn bench_hlc(c: &mut Criterion) {
+    let mut g = c.benchmark_group("hlc");
+    g.bench_function("tick", |b| {
+        let mut h = contrarian_clock::Hlc::new();
+        let mut pt = 0u64;
+        b.iter(|| {
+            pt += 1;
+            black_box(h.tick(pt))
+        });
+    });
+    g.bench_function("update", |b| {
+        let mut h = contrarian_clock::Hlc::new();
+        let mut pt = 0u64;
+        b.iter(|| {
+            pt += 1;
+            black_box(h.update(pt, contrarian_clock::hlc::encode(pt + 5, 3)))
+        });
+    });
+    g.bench_function("advance_to", |b| {
+        let mut h = contrarian_clock::Hlc::new();
+        let mut t = 0u64;
+        b.iter(|| {
+            t += 1 << 16;
+            h.advance_to(t);
+            black_box(h.peek(0))
+        });
+    });
+    g.finish();
+}
+
+fn bench_vectors(c: &mut Criterion) {
+    use contrarian_types::DepVector;
+    let mut g = c.benchmark_group("dep_vector");
+    for m in [1usize, 2, 4, 8] {
+        g.bench_with_input(BenchmarkId::new("join", m), &m, |b, &m| {
+            let mut a = DepVector::zero(m);
+            let other = DepVector::from_vec((0..m as u64).collect());
+            b.iter(|| {
+                a.join(black_box(&other));
+                black_box(&a);
+            });
+        });
+        g.bench_with_input(BenchmarkId::new("leq", m), &m, |b, &m| {
+            let a = DepVector::zero(m);
+            let other = DepVector::from_vec(vec![u64::MAX; m]);
+            b.iter(|| black_box(a.leq(&other)));
+        });
+    }
+    g.finish();
+}
+
+fn bench_chain(c: &mut Criterion) {
+    use contrarian_storage::{Chain, Version};
+    use contrarian_types::{DcId, Value, VersionId};
+    let mut g = c.benchmark_group("version_chain");
+    for len in [1usize, 8, 64] {
+        let mut chain: Chain<u64> = Chain::new();
+        for i in 0..len as u64 {
+            chain.insert(Version::new(
+                VersionId::new(i + 1, DcId(0)),
+                Value::from_static(b"v"),
+                i,
+            ));
+        }
+        g.bench_with_input(BenchmarkId::new("newest_visible_head", len), &len, |b, _| {
+            b.iter(|| black_box(chain.newest_visible(|_| true).0.is_some()));
+        });
+        g.bench_with_input(BenchmarkId::new("newest_visible_scan_all", len), &len, |b, _| {
+            b.iter(|| black_box(chain.newest_visible(|v| v.meta == 0).0.is_some()));
+        });
+    }
+    g.bench_function("insert_append", |b| {
+        let mut chain: Chain<u64> = Chain::new();
+        let mut ts = 0u64;
+        b.iter(|| {
+            ts += 1;
+            chain.insert(Version::new(VersionId::new(ts, DcId(0)), Value::from_static(b"v"), ts));
+            if chain.len() > 1024 {
+                chain.gc(ts - 8, 1);
+            }
+        });
+    });
+    g.finish();
+}
+
+fn bench_zipf(c: &mut Criterion) {
+    let mut g = c.benchmark_group("zipf");
+    for (n, theta) in [(1_000_000u64, 0.99), (1_000_000, 0.8), (1_000_000, 0.0)] {
+        let z = contrarian_workload::Zipf::new(n, theta);
+        let mut rng = SmallRng::seed_from_u64(1);
+        g.bench_with_input(
+            BenchmarkId::new("sample", format!("n{n}_z{theta}")),
+            &z,
+            |b, z| b.iter(|| black_box(z.sample(&mut rng))),
+        );
+    }
+    g.finish();
+}
+
+fn bench_reader_records(c: &mut Criterion) {
+    use contrarian_cclo::records::{BlockRecord, ReaderEntry, ReaderSet};
+    use contrarian_types::{ClientId, DcId, TxId};
+    let mut g = c.benchmark_group("reader_records");
+    for n in [16usize, 256, 1024] {
+        let mut set = ReaderSet::new();
+        for i in 0..n {
+            set.insert(ReaderEntry {
+                tx: TxId::new(ClientId::new(DcId(0), (i % 64) as u16), i as u32),
+                read_time: i as u64,
+                read_version_ts: i as u64,
+                inserted_at: 0,
+            });
+        }
+        g.bench_with_input(BenchmarkId::new("query", n), &set, |b, set| {
+            b.iter(|| black_box(set.query(u64::MAX, 0, u64::MAX).len()));
+        });
+        let pairs = set.query(u64::MAX, 0, u64::MAX);
+        g.bench_with_input(BenchmarkId::new("block_merge", n), &pairs, |b, pairs| {
+            b.iter(|| {
+                let mut blk = BlockRecord::new();
+                blk.merge_pairs(black_box(pairs));
+                black_box(blk.len())
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_checker(c: &mut Criterion) {
+    // End-to-end functional run + causal check of the full history.
+    use contrarian_harness::experiment::{run_experiment, ExperimentConfig, Protocol};
+    let mut g = c.benchmark_group("checker");
+    g.sample_size(10);
+    g.warm_up_time(std::time::Duration::from_millis(500));
+    g.measurement_time(std::time::Duration::from_secs(2));
+    let history = run_experiment(&ExperimentConfig::functional(Protocol::Contrarian)).history;
+    g.bench_function("check_causal", |b| {
+        b.iter(|| {
+            let r = contrarian_harness::check_causal(black_box(&history));
+            assert!(r.ok());
+            black_box(r.rots_checked)
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(
+    micro,
+    bench_hlc,
+    bench_vectors,
+    bench_chain,
+    bench_zipf,
+    bench_reader_records,
+    bench_checker
+);
+criterion_main!(micro);

@@ -1,0 +1,332 @@
+//! The CC-LO client: COPS-style explicit dependency tracking.
+
+use crate::msg::{Dep, Msg};
+use crate::timers;
+use contrarian_sim::actor::{ActorCtx, TimerKind};
+use contrarian_types::{
+    Addr, ClientId, ClusterConfig, HistoryEvent, Key, Op, PartitionId, TxId, Value, VersionId,
+};
+use contrarian_workload::OpSource;
+use rand::RngExt;
+use std::collections::{BTreeMap, HashMap, VecDeque};
+
+/// Per-client session state.
+///
+/// `deps` is the COPS dependency list: one entry per key read since the
+/// client's previous PUT, plus that PUT itself. After a PUT completes, the
+/// new version subsumes the accumulated dependencies (its readers check
+/// covered them), so the list collapses to the single new version — this is
+/// why the paper's default workload yields ~20 dependency keys per PUT
+/// (~4.75 ROTs × 4 keys + 1).
+pub struct Client {
+    addr: Addr,
+    id: ClientId,
+    cfg: ClusterConfig,
+    source: OpSource,
+    backlog: VecDeque<Op>,
+    lamport: u64,
+    deps: HashMap<Key, VersionId>,
+    next_tx: u32,
+    next_put: u32,
+    pending: Option<Pending>,
+    last_put_key: Key,
+}
+
+enum Pending {
+    Rot {
+        tx: TxId,
+        t0: u64,
+        expect: usize,
+        pairs: Vec<(Key, Option<(VersionId, Value)>)>,
+    },
+    Put { seq: u32, t0: u64 },
+}
+
+impl Client {
+    pub fn new(addr: Addr, cfg: ClusterConfig, source: OpSource) -> Self {
+        Client {
+            addr,
+            id: addr.client_id(),
+            cfg,
+            source,
+            backlog: VecDeque::new(),
+            lamport: 0,
+            deps: HashMap::new(),
+            next_tx: 0,
+            next_put: 0,
+            pending: None,
+            last_put_key: Key(0),
+        }
+    }
+
+    /// Current dependency-list size (diagnostics: this is what drives the
+    /// readers-check fan-out).
+    pub fn deps_len(&self) -> usize {
+        self.deps.len()
+    }
+
+    pub fn on_start(&mut self, ctx: &mut dyn ActorCtx<Msg>) {
+        let jitter = ctx.rng().random_range(0..200_000u64);
+        ctx.set_timer(jitter, TimerKind::new(timers::CLIENT_START));
+    }
+
+    pub fn on_timer(&mut self, ctx: &mut dyn ActorCtx<Msg>, kind: TimerKind) {
+        debug_assert_eq!(kind.kind, timers::CLIENT_START);
+        if self.pending.is_none() {
+            self.issue_next(ctx);
+        }
+    }
+
+    pub fn on_message(&mut self, ctx: &mut dyn ActorCtx<Msg>, _from: Addr, msg: Msg) {
+        match msg {
+            Msg::Inject(op) => {
+                self.backlog.push_back(op);
+                if self.pending.is_none() {
+                    self.issue_next(ctx);
+                }
+            }
+            Msg::RotSlice { tx, pairs, lamport } => self.on_slice(ctx, tx, pairs, lamport),
+            Msg::PutResp { key, vid, lamport } => self.on_put_resp(ctx, key, vid, lamport),
+            other => unreachable!("server-bound message at client: {other:?}"),
+        }
+    }
+
+    fn issue_next(&mut self, ctx: &mut dyn ActorCtx<Msg>) {
+        let op = if let Some(op) = self.backlog.pop_front() {
+            Some(op)
+        } else if self.source.is_closed_loop() && ctx.stopped() {
+            None
+        } else {
+            self.source.next(ctx.rng())
+        };
+        match op {
+            None => {}
+            Some(Op::Put(key, value)) => self.issue_put(ctx, key, value),
+            Some(Op::Rot(keys)) => self.issue_rot(ctx, keys),
+        }
+    }
+
+    /// One round: a read request straight to every involved partition.
+    fn issue_rot(&mut self, ctx: &mut dyn ActorCtx<Msg>, keys: Vec<Key>) {
+        let tx = TxId::new(self.id, self.next_tx);
+        self.next_tx += 1;
+        let n = self.cfg.n_partitions;
+        let mut groups: BTreeMap<u16, Vec<Key>> = BTreeMap::new();
+        for k in &keys {
+            groups.entry(k.partition(n).0).or_default().push(*k);
+        }
+        self.pending = Some(Pending::Rot {
+            tx,
+            t0: ctx.now(),
+            expect: groups.len(),
+            pairs: Vec::with_capacity(keys.len()),
+        });
+        for (p, ks) in groups {
+            let target = Addr::server(self.addr.dc, PartitionId(p));
+            ctx.send(target, Msg::RotRead { tx, keys: ks, lamport: self.lamport });
+        }
+    }
+
+    fn issue_put(&mut self, ctx: &mut dyn ActorCtx<Msg>, key: Key, value: Value) {
+        let seq = self.next_put;
+        self.next_put += 1;
+        let target = Addr::server(self.addr.dc, key.partition(self.cfg.n_partitions));
+        // Explicit dependencies: everything read since the last PUT (sorted
+        // for deterministic bytes).
+        let mut deps: Vec<Dep> = self.deps.iter().map(|(k, v)| (*k, *v)).collect();
+        deps.sort_unstable_by_key(|(k, _)| *k);
+        self.pending = Some(Pending::Put { seq, t0: ctx.now() });
+        self.last_put_key = key;
+        ctx.send(target, Msg::PutReq { key, value, deps, lamport: self.lamport });
+    }
+
+    fn on_slice(
+        &mut self,
+        ctx: &mut dyn ActorCtx<Msg>,
+        tx: TxId,
+        mut new_pairs: Vec<(Key, Option<(VersionId, Value)>)>,
+        lamport: u64,
+    ) {
+        let Some(Pending::Rot { tx: want, t0, expect, mut pairs }) = self.pending.take() else {
+            return;
+        };
+        if want != tx {
+            return;
+        }
+        self.lamport = self.lamport.max(lamport);
+        pairs.append(&mut new_pairs);
+        let expect = expect - 1;
+        if expect > 0 {
+            self.pending = Some(Pending::Rot { tx, t0, expect, pairs });
+            return;
+        }
+        // The ROT observed these versions: they become dependencies of the
+        // client's next PUT.
+        for (k, v) in &pairs {
+            if let Some((vid, _)) = v {
+                match self.deps.get_mut(k) {
+                    Some(cur) => {
+                        if *vid > *cur {
+                            *cur = *vid;
+                        }
+                    }
+                    None => {
+                        self.deps.insert(*k, *vid);
+                    }
+                }
+            }
+        }
+        let latency = ctx.now() - t0;
+        ctx.metrics().rot_done(latency);
+        if ctx.recording() {
+            let values = pairs.iter().map(|(_, v)| v.as_ref().map(|(_, b)| b.clone())).collect();
+            ctx.record(HistoryEvent::RotDone {
+                client: self.id,
+                tx,
+                t_start: t0,
+                t_end: ctx.now(),
+                pairs: pairs.iter().map(|(k, v)| (*k, v.as_ref().map(|(vid, _)| *vid))).collect(),
+                values,
+            });
+        }
+        self.pending = None;
+        self.issue_next(ctx);
+    }
+
+    fn on_put_resp(&mut self, ctx: &mut dyn ActorCtx<Msg>, key: Key, vid: VersionId, lamport: u64) {
+        let Some(Pending::Put { seq, t0 }) = self.pending.take() else {
+            return;
+        };
+        self.lamport = self.lamport.max(lamport);
+        // The new version subsumes every dependency it was checked against.
+        self.deps.clear();
+        self.deps.insert(key, vid);
+        let latency = ctx.now() - t0;
+        ctx.metrics().put_done(latency);
+        if ctx.recording() {
+            ctx.record(HistoryEvent::PutDone {
+                client: self.id,
+                seq,
+                t_start: t0,
+                t_end: ctx.now(),
+                key: self.last_put_key,
+                vid,
+            });
+        }
+        self.pending = None;
+        self.issue_next(ctx);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use contrarian_sim::testkit::ScriptCtx;
+    use contrarian_types::DcId;
+
+    fn client() -> (Client, ScriptCtx<Msg>) {
+        let cfg = ClusterConfig::small();
+        let addr = Addr::client(DcId(0), 0);
+        let (source, _q) = OpSource::queue();
+        (Client::new(addr, cfg, source), ScriptCtx::new(addr))
+    }
+
+    fn slice(tx: TxId, key: Key, ts: u64, lamport: u64) -> Msg {
+        Msg::RotSlice {
+            tx,
+            pairs: vec![(key, Some((VersionId::new(ts, DcId(0)), Value::from_static(b"v"))))],
+            lamport,
+        }
+    }
+
+    #[test]
+    fn rot_goes_directly_to_every_partition_in_one_round() {
+        let (mut c, mut ctx) = client();
+        let a = ctx.addr;
+        c.on_message(&mut ctx, a, Msg::Inject(Op::Rot(vec![Key(0), Key(1), Key(2)])));
+        let sent = ctx.drain_sent();
+        assert_eq!(sent.len(), 3, "one message per partition, no coordinator");
+        for (to, m) in &sent {
+            assert!(to.is_server());
+            assert!(matches!(m, Msg::RotRead { .. }));
+        }
+    }
+
+    #[test]
+    fn reads_accumulate_dependencies_and_put_carries_them() {
+        let (mut c, mut ctx) = client();
+        let a = ctx.addr;
+        c.on_message(&mut ctx, a, Msg::Inject(Op::Rot(vec![Key(0), Key(1)])));
+        ctx.drain_sent();
+        let tx0 = TxId::new(c.id, 0);
+        let s0 = Addr::server(DcId(0), PartitionId(0));
+        c.on_message(&mut ctx, s0, slice(tx0, Key(0), 10, 1));
+        c.on_message(&mut ctx, s0, slice(tx0, Key(1), 11, 2));
+        assert_eq!(c.deps_len(), 2);
+        // The following PUT ships both dependencies.
+        c.on_message(&mut ctx, a, Msg::Inject(Op::Put(Key(2), Value::from_static(b"w"))));
+        let sent = ctx.drain_sent();
+        match &sent[0].1 {
+            Msg::PutReq { deps, lamport, .. } => {
+                assert_eq!(deps.len(), 2);
+                assert_eq!(*lamport, 2, "client lamport is the max observed");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn put_completion_collapses_dependency_list() {
+        let (mut c, mut ctx) = client();
+        let a = ctx.addr;
+        c.on_message(&mut ctx, a, Msg::Inject(Op::Rot(vec![Key(0), Key(1)])));
+        ctx.drain_sent();
+        let tx0 = TxId::new(c.id, 0);
+        let s0 = Addr::server(DcId(0), PartitionId(0));
+        c.on_message(&mut ctx, s0, slice(tx0, Key(0), 10, 1));
+        c.on_message(&mut ctx, s0, slice(tx0, Key(1), 11, 2));
+        c.on_message(&mut ctx, a, Msg::Inject(Op::Put(Key(2), Value::from_static(b"w"))));
+        ctx.drain_sent();
+        c.on_message(
+            &mut ctx,
+            Addr::server(DcId(0), PartitionId(2)),
+            Msg::PutResp { key: Key(2), vid: VersionId::new(30, DcId(0)), lamport: 30 },
+        );
+        assert_eq!(c.deps_len(), 1, "deps collapse to the PUT itself");
+    }
+
+    #[test]
+    fn bottom_reads_add_no_dependency() {
+        let (mut c, mut ctx) = client();
+        let a = ctx.addr;
+        c.on_message(&mut ctx, a, Msg::Inject(Op::Rot(vec![Key(0)])));
+        ctx.drain_sent();
+        let tx0 = TxId::new(c.id, 0);
+        c.on_message(
+            &mut ctx,
+            Addr::server(DcId(0), PartitionId(0)),
+            Msg::RotSlice { tx: tx0, pairs: vec![(Key(0), None)], lamport: 1 },
+        );
+        assert_eq!(c.deps_len(), 0);
+    }
+
+    #[test]
+    fn dependency_keeps_newest_version_per_key() {
+        let (mut c, mut ctx) = client();
+        let a = ctx.addr;
+        let s0 = Addr::server(DcId(0), PartitionId(0));
+        c.on_message(&mut ctx, a, Msg::Inject(Op::Rot(vec![Key(0)])));
+        ctx.drain_sent();
+        c.on_message(&mut ctx, s0, slice(TxId::new(c.id, 0), Key(0), 10, 1));
+        c.on_message(&mut ctx, a, Msg::Inject(Op::Rot(vec![Key(0)])));
+        ctx.drain_sent();
+        c.on_message(&mut ctx, s0, slice(TxId::new(c.id, 1), Key(0), 25, 2));
+        assert_eq!(c.deps_len(), 1);
+        // And the following PUT carries ts 25.
+        c.on_message(&mut ctx, a, Msg::Inject(Op::Put(Key(1), Value::new())));
+        match &ctx.drain_sent()[0].1 {
+            Msg::PutReq { deps, .. } => assert_eq!(deps[0].1.ts, 25),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+}

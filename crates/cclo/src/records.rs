@@ -1,0 +1,235 @@
+//! Reader records, old-reader records and per-version block records — the
+//! bookkeeping that COPS-SNOW's latency-optimal ROTs hang on.
+
+use contrarian_types::TxId;
+use std::collections::HashMap;
+
+/// One recorded read: which transaction read, at what logical time, and how
+/// fresh the version it read was.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ReaderEntry {
+    pub tx: TxId,
+    /// Logical (Lamport) time of the read at this partition.
+    pub read_time: u64,
+    /// Timestamp of the version that was read (0 for ⊥).
+    pub read_version_ts: u64,
+    /// True time of insertion, for the 500 ms garbage collection.
+    pub inserted_at: u64,
+}
+
+/// Readers of a key — either the *current* readers (of the head version) or
+/// the accumulated *old* readers (of superseded versions).
+#[derive(Clone, Debug, Default)]
+pub struct ReaderSet {
+    entries: HashMap<TxId, ReaderEntry>,
+}
+
+impl ReaderSet {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Records a read. A ROT reads a key at most once, so a duplicate tx id
+    /// simply refreshes the entry.
+    pub fn insert(&mut self, e: ReaderEntry) {
+        self.entries.insert(e.tx, e);
+    }
+
+    /// Moves every entry of `other` into `self` (current readers become old
+    /// readers when the head version is superseded).
+    pub fn absorb(&mut self, other: &mut ReaderSet) {
+        for (tx, e) in other.entries.drain() {
+            self.entries.insert(tx, e);
+        }
+    }
+
+    /// The old readers *relative to a dependency version*: transactions that
+    /// read something older than `dep_ts`, still within the GC window, with
+    /// at most one entry per client (its most recent ROT — clients issue one
+    /// operation at a time, so older ROTs of a client can have no in-flight
+    /// reads). Returns `(tx, read_time)` pairs.
+    pub fn query(&self, dep_ts: u64, now: u64, gc_ns: u64) -> Vec<(TxId, u64)> {
+        let mut per_client: HashMap<contrarian_types::ClientId, (TxId, u64)> = HashMap::new();
+        for e in self.entries.values() {
+            if e.read_version_ts >= dep_ts {
+                continue; // read the dependency or newer: not old for it
+            }
+            if now.saturating_sub(e.inserted_at) > gc_ns {
+                continue; // expired
+            }
+            match per_client.get_mut(&e.tx.client) {
+                Some(best) => {
+                    if e.tx.seq > best.0.seq {
+                        *best = (e.tx, e.read_time);
+                    }
+                }
+                None => {
+                    per_client.insert(e.tx.client, (e.tx, e.read_time));
+                }
+            }
+        }
+        let mut out: Vec<(TxId, u64)> = per_client.into_values().collect();
+        out.sort_unstable(); // deterministic message contents
+        out
+    }
+
+    /// Drops entries older than the GC window. Returns how many were kept
+    /// and dropped (for CPU accounting).
+    pub fn gc(&mut self, now: u64, gc_ns: u64) -> (usize, usize) {
+        let before = self.entries.len();
+        self.entries.retain(|_, e| now.saturating_sub(e.inserted_at) <= gc_ns);
+        (self.entries.len(), before - self.entries.len())
+    }
+
+    pub fn contains(&self, tx: TxId) -> bool {
+        self.entries.contains_key(&tx)
+    }
+}
+
+/// The per-version old-reader record: ROT ids that must *not* observe this
+/// version, each with the logical time bound of its stale read.
+#[derive(Clone, Debug, Default)]
+pub struct BlockRecord {
+    entries: HashMap<TxId, u64>,
+}
+
+impl BlockRecord {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Merges one `(tx, read_time)` pair, keeping the *smallest* read time
+    /// (the most restrictive bound) if the tx is already present.
+    pub fn add(&mut self, tx: TxId, read_time: u64) {
+        self.entries
+            .entry(tx)
+            .and_modify(|rt| {
+                if read_time < *rt {
+                    *rt = read_time;
+                }
+            })
+            .or_insert(read_time);
+    }
+
+    pub fn merge_pairs(&mut self, pairs: &[(TxId, u64)]) {
+        for &(tx, rt) in pairs {
+            self.add(tx, rt);
+        }
+    }
+
+    /// The read-time bound for `tx`, if it is blocked.
+    pub fn bound(&self, tx: TxId) -> Option<u64> {
+        self.entries.get(&tx).copied()
+    }
+
+    /// All `(tx, read_time)` pairs, sorted (deterministic message bytes).
+    pub fn pairs(&self) -> Vec<(TxId, u64)> {
+        let mut out: Vec<(TxId, u64)> = self.entries.iter().map(|(t, rt)| (*t, *rt)).collect();
+        out.sort_unstable();
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use contrarian_types::{ClientId, DcId};
+
+    fn tx(c: u16, seq: u32) -> TxId {
+        TxId::new(ClientId::new(DcId(0), c), seq)
+    }
+
+    fn entry(t: TxId, rt: u64, rvts: u64, at: u64) -> ReaderEntry {
+        ReaderEntry { tx: t, read_time: rt, read_version_ts: rvts, inserted_at: at }
+    }
+
+    #[test]
+    fn absorb_moves_entries() {
+        let mut cur = ReaderSet::new();
+        let mut old = ReaderSet::new();
+        cur.insert(entry(tx(0, 0), 5, 1, 0));
+        cur.insert(entry(tx(1, 0), 6, 1, 0));
+        old.absorb(&mut cur);
+        assert!(cur.is_empty());
+        assert_eq!(old.len(), 2);
+        assert!(old.contains(tx(0, 0)));
+    }
+
+    #[test]
+    fn query_filters_by_dependency_version() {
+        let mut old = ReaderSet::new();
+        old.insert(entry(tx(0, 0), 5, 10, 0)); // read version 10
+        old.insert(entry(tx(1, 0), 6, 20, 0)); // read version 20
+        // Dependency at ts 15: only the reader of version 10 is old.
+        let q = old.query(15, 0, 1_000_000);
+        assert_eq!(q, vec![(tx(0, 0), 5)]);
+        // Dependency at ts 25: both are old.
+        assert_eq!(old.query(25, 0, 1_000_000).len(), 2);
+        // Dependency at ts 10: nobody read older than 10.
+        assert!(old.query(10, 0, 1_000_000).is_empty());
+    }
+
+    #[test]
+    fn query_keeps_most_recent_rot_per_client() {
+        // The paper's optimization: at most one ROT id per client.
+        let mut old = ReaderSet::new();
+        old.insert(entry(tx(0, 1), 5, 0, 0));
+        old.insert(entry(tx(0, 7), 9, 0, 0)); // same client, later ROT
+        old.insert(entry(tx(1, 2), 6, 0, 0));
+        let q = old.query(100, 0, 1_000_000);
+        assert_eq!(q.len(), 2);
+        assert!(q.contains(&(tx(0, 7), 9)), "later ROT wins");
+        assert!(q.contains(&(tx(1, 2), 6)));
+    }
+
+    #[test]
+    fn query_skips_expired_entries() {
+        let mut old = ReaderSet::new();
+        old.insert(entry(tx(0, 0), 5, 0, 0));
+        old.insert(entry(tx(1, 0), 6, 0, 900));
+        // At now=1000 with a 500ns window, only the second survives.
+        let q = old.query(100, 1000, 500);
+        assert_eq!(q, vec![(tx(1, 0), 6)]);
+    }
+
+    #[test]
+    fn gc_drops_expired() {
+        let mut s = ReaderSet::new();
+        s.insert(entry(tx(0, 0), 1, 0, 0));
+        s.insert(entry(tx(1, 0), 2, 0, 800));
+        let (kept, dropped) = s.gc(1000, 500);
+        assert_eq!((kept, dropped), (1, 1));
+        assert!(s.contains(tx(1, 0)));
+    }
+
+    #[test]
+    fn block_record_keeps_most_restrictive_bound() {
+        let mut b = BlockRecord::new();
+        b.add(tx(0, 0), 50);
+        b.add(tx(0, 0), 30);
+        b.add(tx(0, 0), 70);
+        assert_eq!(b.bound(tx(0, 0)), Some(30));
+        assert_eq!(b.bound(tx(1, 0)), None);
+        assert_eq!(b.len(), 1);
+    }
+
+    #[test]
+    fn merge_pairs_accumulates() {
+        let mut b = BlockRecord::new();
+        b.merge_pairs(&[(tx(0, 0), 5), (tx(1, 0), 9)]);
+        b.merge_pairs(&[(tx(2, 0), 1)]);
+        assert_eq!(b.len(), 3);
+    }
+}

@@ -1,0 +1,118 @@
+//! Assembling simulated Contrarian clusters.
+
+use crate::client::Client;
+use crate::node::Node;
+use crate::server::Server;
+use contrarian_clock::PhysicalClockModel;
+use contrarian_sim::cost::CostModel;
+use contrarian_sim::sim::Sim;
+use contrarian_types::{Addr, ClusterConfig, DcId, PartitionId};
+use contrarian_workload::{ClientDriver, OpSource, WorkloadSpec, Zipf};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use std::sync::Arc;
+
+/// Everything needed to stand up one simulated cluster.
+pub struct ClusterParams {
+    pub cfg: ClusterConfig,
+    pub cost: CostModel,
+    pub workload: WorkloadSpec,
+    pub clients_per_dc: u16,
+    pub seed: u64,
+}
+
+/// Builds a full cluster with closed-loop clients. The caller decides when
+/// to `start()` and how long to run.
+pub fn build_cluster(p: &ClusterParams) -> Sim<Node> {
+    let mut sim = Sim::new(p.cost.clone(), p.seed);
+    let mut init_rng = SmallRng::seed_from_u64(p.seed ^ 0x5EED_0FF5);
+    let zipf = Arc::new(Zipf::new(p.cfg.keys_per_partition, p.workload.zipf_theta));
+
+    for dc in 0..p.cfg.n_dcs {
+        for part in 0..p.cfg.n_partitions {
+            let addr = Addr::server(DcId(dc), PartitionId(part));
+            let phys = PhysicalClockModel::random(&mut init_rng, p.cfg.clock_skew_us);
+            let server = Server::new(addr, p.cfg.clone(), phys);
+            sim.add_server(addr, Node::Server(server), p.cfg.workers_per_server as u32);
+        }
+    }
+    for dc in 0..p.cfg.n_dcs {
+        for c in 0..p.clients_per_dc {
+            let addr = Addr::client(DcId(dc), c);
+            let driver = ClientDriver::new(p.workload.clone(), zipf.clone(), p.cfg.n_partitions);
+            let client = Client::new(addr, p.cfg.clone(), OpSource::closed(driver));
+            sim.add_client(addr, Node::Client(client));
+        }
+    }
+    sim
+}
+
+/// Builds a single-client interactive cluster (used by the embedded store
+/// facade): recording on, already started.
+pub fn build_interactive_cluster(cfg: &ClusterConfig, seed: u64) -> (Sim<Node>, Addr) {
+    let mut sim = Sim::new(CostModel::functional(), seed);
+    let mut init_rng = SmallRng::seed_from_u64(seed ^ 0x5EED_0FF5);
+    for dc in 0..cfg.n_dcs {
+        for part in 0..cfg.n_partitions {
+            let addr = Addr::server(DcId(dc), PartitionId(part));
+            let phys = PhysicalClockModel::random(&mut init_rng, cfg.clock_skew_us);
+            sim.add_server(
+                addr,
+                Node::Server(Server::new(addr, cfg.clone(), phys)),
+                cfg.workers_per_server as u32,
+            );
+        }
+    }
+    let client_addr = Addr::client(DcId(0), 0);
+    let (source, _handle) = OpSource::queue();
+    sim.add_client(client_addr, Node::Client(Client::new(client_addr, cfg.clone(), source)));
+    sim.set_recording(true);
+    sim.start();
+    (sim, client_addr)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use contrarian_types::Op;
+
+    #[test]
+    fn cluster_has_all_nodes() {
+        let p = ClusterParams {
+            cfg: ClusterConfig::small().with_dcs(2),
+            cost: CostModel::functional(),
+            workload: WorkloadSpec::paper_default().with_rot_size(2),
+            clients_per_dc: 3,
+            seed: 1,
+        };
+        let sim = build_cluster(&p);
+        // 2 DCs × 4 partitions + 2 DCs × 3 clients.
+        assert_eq!(sim.addrs().len(), 8 + 6);
+    }
+
+    #[test]
+    fn closed_loop_cluster_makes_progress() {
+        let p = ClusterParams {
+            cfg: ClusterConfig::small(),
+            cost: CostModel::functional(),
+            workload: WorkloadSpec::paper_default().with_rot_size(2),
+            clients_per_dc: 4,
+            seed: 7,
+        };
+        let mut sim = build_cluster(&p);
+        sim.start();
+        sim.metrics_mut().enabled = true;
+        sim.run_until(50_000_000); // 50 virtual ms
+        assert!(sim.metrics().ops_done() > 100, "ops: {}", sim.metrics().ops_done());
+        assert!(sim.metrics().rots_done > 0);
+        assert!(sim.metrics().puts_done > 0);
+    }
+
+    #[test]
+    fn interactive_cluster_serves_injected_ops() {
+        let (mut sim, client) = build_interactive_cluster(&ClusterConfig::small(), 3);
+        sim.inject_op(client, Op::Put(contrarian_types::Key(5), bytes::Bytes::from_static(b"x")));
+        sim.run_until(sim.now() + 10_000_000);
+        assert_eq!(sim.history().len(), 1);
+    }
+}

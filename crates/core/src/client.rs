@@ -1,0 +1,407 @@
+//! The Contrarian client: closed-loop or interactive session.
+
+use crate::msg::Msg;
+use crate::timers;
+use contrarian_sim::actor::{ActorCtx, TimerKind};
+use contrarian_types::{
+    Addr, ClientId, ClusterConfig, DepVector, HistoryEvent, Key, Op, PartitionId, RotMode, TxId,
+    Value, VersionId,
+};
+use contrarian_workload::OpSource;
+use rand::RngExt;
+use std::collections::{BTreeMap, VecDeque};
+
+/// Per-client session state: the highest *local* timestamp observed (`lts`)
+/// and the highest GSS observed (`gss`), piggybacked on every request so the
+/// client observes monotonically increasing snapshots (Figure 3 caption).
+pub struct Client {
+    addr: Addr,
+    id: ClientId,
+    cfg: ClusterConfig,
+    source: OpSource,
+    backlog: VecDeque<Op>,
+    lts: u64,
+    gss: DepVector,
+    next_tx: u32,
+    next_put: u32,
+    pending: Option<Pending>,
+    /// Key of the PUT in flight (for history recording).
+    last_put_key: Key,
+}
+
+enum Pending {
+    /// Waiting for the snapshot vector (2-round mode, first round).
+    Snap { tx: TxId, t0: u64, keys: Vec<Key> },
+    /// Waiting for slices.
+    Rot {
+        tx: TxId,
+        t0: u64,
+        expect: usize,
+        pairs: Vec<(Key, Option<(VersionId, Value)>)>,
+    },
+    /// Waiting for a PUT acknowledgment.
+    Put { seq: u32, t0: u64 },
+}
+
+impl Client {
+    pub fn new(addr: Addr, cfg: ClusterConfig, source: OpSource) -> Self {
+        let m = cfg.n_dcs as usize;
+        Client {
+            addr,
+            id: addr.client_id(),
+            cfg,
+            source,
+            backlog: VecDeque::new(),
+            lts: 0,
+            gss: DepVector::zero(m),
+            next_tx: 0,
+            next_put: 0,
+            pending: None,
+            last_put_key: Key(0),
+        }
+    }
+
+    pub fn on_start(&mut self, ctx: &mut dyn ActorCtx<Msg>) {
+        // Stagger client start-up a little to avoid a synchronized burst.
+        let jitter = ctx.rng().random_range(0..200_000u64);
+        ctx.set_timer(jitter, TimerKind::new(timers::CLIENT_START));
+    }
+
+    pub fn on_timer(&mut self, ctx: &mut dyn ActorCtx<Msg>, kind: TimerKind) {
+        debug_assert_eq!(kind.kind, timers::CLIENT_START);
+        // An injected op may already be in flight before the start timer
+        // fires (interactive clusters).
+        if self.pending.is_none() {
+            self.issue_next(ctx);
+        }
+    }
+
+    pub fn on_message(&mut self, ctx: &mut dyn ActorCtx<Msg>, _from: Addr, msg: Msg) {
+        match msg {
+            Msg::Inject(op) => {
+                self.backlog.push_back(op);
+                if self.pending.is_none() {
+                    self.issue_next(ctx);
+                }
+            }
+            Msg::RotSnap { tx, sv } => self.on_snap(ctx, tx, sv),
+            Msg::RotSlice { tx, pairs, sv } => self.on_slice(ctx, tx, pairs, sv),
+            Msg::PutResp { vid, gss, .. } => self.on_put_resp(ctx, vid, gss),
+            other => unreachable!("server-bound message at client: {other:?}"),
+        }
+    }
+
+    fn issue_next(&mut self, ctx: &mut dyn ActorCtx<Msg>) {
+        debug_assert!(self.pending.is_none());
+        // Closed-loop sources stop issuing when the harness says so;
+        // interactive backlogs always drain.
+        let op = if let Some(op) = self.backlog.pop_front() {
+            Some(op)
+        } else if self.source.is_closed_loop() && ctx.stopped() {
+            None
+        } else {
+            self.source.next(ctx.rng())
+        };
+        match op {
+            None => {} // idle; an Inject will wake us up
+            Some(Op::Put(key, value)) => self.issue_put(ctx, key, value),
+            Some(Op::Rot(keys)) => self.issue_rot(ctx, keys),
+        }
+    }
+
+    fn issue_put(&mut self, ctx: &mut dyn ActorCtx<Msg>, key: Key, value: Value) {
+        let seq = self.next_put;
+        self.next_put += 1;
+        let target = Addr::server(self.addr.dc, key.partition(self.cfg.n_partitions));
+        self.pending = Some(Pending::Put { seq, t0: ctx.now() });
+        ctx.send(target, Msg::PutReq { key, value, lts: self.lts, gss: self.gss.clone() });
+        // Remember the key for history recording.
+        self.last_put_key = key;
+    }
+
+    fn issue_rot(&mut self, ctx: &mut dyn ActorCtx<Msg>, keys: Vec<Key>) {
+        let tx = TxId::new(self.id, self.next_tx);
+        self.next_tx += 1;
+        let parts = self.partitions_of(&keys);
+        // Any involved partition can coordinate; pick one at random.
+        let coord_p = parts[ctx.rng().random_range(0..parts.len())];
+        let coord = Addr::server(self.addr.dc, coord_p);
+        let t0 = ctx.now();
+        match self.cfg.rot_mode.for_rot(parts.len()) {
+            RotMode::OneHalfRound => {
+                self.pending = Some(Pending::Rot {
+                    tx,
+                    t0,
+                    expect: parts.len(),
+                    pairs: Vec::with_capacity(keys.len()),
+                });
+                ctx.send(coord, Msg::RotReq { tx, keys, lts: self.lts, gss: self.gss.clone() });
+            }
+            RotMode::TwoRound => {
+                self.pending = Some(Pending::Snap { tx, t0, keys });
+                ctx.send(coord, Msg::RotSnapReq { tx, lts: self.lts, gss: self.gss.clone() });
+            }
+            RotMode::Adaptive { .. } => unreachable!("for_rot resolves Adaptive"),
+        }
+    }
+
+    fn on_snap(&mut self, ctx: &mut dyn ActorCtx<Msg>, tx: TxId, sv: DepVector) {
+        let Some(Pending::Snap { tx: want, t0, keys }) = self.pending.take() else {
+            return; // stale
+        };
+        if want != tx {
+            return;
+        }
+        let n = self.cfg.n_partitions;
+        let mut groups: BTreeMap<u16, Vec<Key>> = BTreeMap::new();
+        for k in &keys {
+            groups.entry(k.partition(n).0).or_default().push(*k);
+        }
+        let expect = groups.len();
+        for (p, ks) in groups {
+            let target = Addr::server(self.addr.dc, PartitionId(p));
+            ctx.send(target, Msg::RotRead { tx, keys: ks, sv: sv.clone() });
+        }
+        self.pending = Some(Pending::Rot { tx, t0, expect, pairs: Vec::with_capacity(keys.len()) });
+        let _ = sv;
+    }
+
+    fn on_slice(
+        &mut self,
+        ctx: &mut dyn ActorCtx<Msg>,
+        tx: TxId,
+        mut new_pairs: Vec<(Key, Option<(VersionId, Value)>)>,
+        slice_sv: DepVector,
+    ) {
+        let Some(Pending::Rot { tx: want, t0, expect, mut pairs }) = self.pending.take()
+        else {
+            return;
+        };
+        if want != tx {
+            return;
+        }
+        pairs.append(&mut new_pairs);
+        let expect = expect - 1;
+        if expect > 0 {
+            self.pending = Some(Pending::Rot { tx, t0, expect, pairs });
+            return;
+        }
+        // ROT complete: absorb the snapshot (monotonic sessions).
+        self.lts = self.lts.max(slice_sv[self.addr.dc.index()]);
+        self.gss.join(&slice_sv);
+        let latency = ctx.now() - t0;
+        ctx.metrics().rot_done(latency);
+        if ctx.recording() {
+            let values = pairs.iter().map(|(_, v)| v.as_ref().map(|(_, b)| b.clone())).collect();
+            ctx.record(HistoryEvent::RotDone {
+                client: self.id,
+                tx,
+                t_start: t0,
+                t_end: ctx.now(),
+                pairs: pairs.iter().map(|(k, v)| (*k, v.as_ref().map(|(vid, _)| *vid))).collect(),
+                values,
+            });
+        }
+        self.pending = None;
+        self.issue_next(ctx);
+    }
+
+    fn on_put_resp(&mut self, ctx: &mut dyn ActorCtx<Msg>, vid: VersionId, gss: DepVector) {
+        let Some(Pending::Put { seq, t0 }) = self.pending.take() else {
+            return;
+        };
+        self.lts = self.lts.max(vid.ts);
+        self.gss.join(&gss);
+        let latency = ctx.now() - t0;
+        ctx.metrics().put_done(latency);
+        if ctx.recording() {
+            ctx.record(HistoryEvent::PutDone {
+                client: self.id,
+                seq,
+                t_start: t0,
+                t_end: ctx.now(),
+                key: self.last_put_key,
+                vid,
+            });
+        }
+        self.pending = None;
+        self.issue_next(ctx);
+    }
+
+    fn partitions_of(&self, keys: &[Key]) -> Vec<PartitionId> {
+        let n = self.cfg.n_partitions;
+        let mut parts: Vec<PartitionId> = keys.iter().map(|k| k.partition(n)).collect();
+        parts.sort_unstable();
+        parts.dedup();
+        parts
+    }
+
+    /// Observed session timestamp (test access).
+    pub fn lts(&self) -> u64 {
+        self.lts
+    }
+
+    /// Observed GSS (test access).
+    pub fn gss(&self) -> &DepVector {
+        &self.gss
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use contrarian_sim::testkit::ScriptCtx;
+    use contrarian_types::DcId;
+    use contrarian_workload::{ClientDriver, WorkloadSpec, Zipf};
+    use std::sync::Arc;
+
+    fn client(mode: RotMode) -> (Client, ScriptCtx<Msg>) {
+        let cfg = ClusterConfig::small().with_rot_mode(mode);
+        let addr = Addr::client(DcId(0), 0);
+        let (source, _q) = OpSource::queue();
+        (Client::new(addr, cfg, source), ScriptCtx::new(addr))
+    }
+
+    fn slice_for(
+        tx: TxId,
+        key: Key,
+        ts: u64,
+        sv_local: u64,
+    ) -> Msg {
+        let mut sv = DepVector::zero(1);
+        sv.set(0, sv_local);
+        Msg::RotSlice {
+            tx,
+            pairs: vec![(key, Some((VersionId::new(ts, DcId(0)), Value::from_static(b"v"))))],
+            sv,
+        }
+    }
+
+    #[test]
+    fn one_half_round_sends_single_request_to_coordinator() {
+        let (mut c, mut ctx) = client(RotMode::OneHalfRound);
+        let a = ctx.addr; c.on_message(&mut ctx, a, Msg::Inject(Op::Rot(vec![Key(0), Key(1), Key(2)])));
+        let sent = ctx.drain_sent();
+        assert_eq!(sent.len(), 1);
+        let (to, m) = &sent[0];
+        assert!(to.is_server());
+        match m {
+            Msg::RotReq { keys, .. } => assert_eq!(keys.len(), 3),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn two_round_snap_then_reads() {
+        let (mut c, mut ctx) = client(RotMode::TwoRound);
+        let a = ctx.addr; c.on_message(&mut ctx, a, Msg::Inject(Op::Rot(vec![Key(0), Key(1)])));
+        let sent = ctx.drain_sent();
+        let tx = match &sent[0].1 {
+            Msg::RotSnapReq { tx, .. } => *tx,
+            other => panic!("unexpected {other:?}"),
+        };
+        // Deliver the snapshot: client fans out reads itself.
+        let mut sv = DepVector::zero(1);
+        sv.set(0, 77);
+        c.on_message(&mut ctx, sent[0].0, Msg::RotSnap { tx, sv });
+        let reads = ctx.drain_sent();
+        assert_eq!(reads.len(), 2, "one RotRead per involved partition");
+        for (_, m) in &reads {
+            match m {
+                Msg::RotRead { sv, .. } => assert_eq!(sv[0], 77),
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn rot_completes_after_all_slices_and_session_advances() {
+        let (mut c, mut ctx) = client(RotMode::OneHalfRound);
+        ctx.metrics.enabled = true;
+        let a = ctx.addr; c.on_message(&mut ctx, a, Msg::Inject(Op::Rot(vec![Key(0), Key(1)])));
+        let tx = TxId::new(c.id, 0);
+        let from = Addr::server(DcId(0), PartitionId(0));
+        c.on_message(&mut ctx, from, slice_for(tx, Key(0), 10, 99));
+        assert_eq!(ctx.metrics.rots_done, 0, "still waiting for partition 1");
+        c.on_message(&mut ctx, from, slice_for(tx, Key(1), 11, 99));
+        assert_eq!(ctx.metrics.rots_done, 1);
+        assert_eq!(c.lts(), 99, "session lts absorbed the snapshot");
+        assert_eq!(ctx.history.len(), 1);
+        match &ctx.history[0] {
+            HistoryEvent::RotDone { pairs, .. } => assert_eq!(pairs.len(), 2),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn put_carries_session_and_updates_it() {
+        let (mut c, mut ctx) = client(RotMode::OneHalfRound);
+        ctx.metrics.enabled = true;
+        c.lts = 55;
+        let a = ctx.addr; c.on_message(&mut ctx, a, Msg::Inject(Op::Put(Key(3), Value::from_static(b"x"))));
+        let sent = ctx.drain_sent();
+        match &sent[0].1 {
+            Msg::PutReq { lts, .. } => assert_eq!(*lts, 55),
+            other => panic!("unexpected {other:?}"),
+        }
+        // Partition of Key(3) with N=4 is 3.
+        assert_eq!(sent[0].0, Addr::server(DcId(0), PartitionId(3)));
+        c.on_message(
+            &mut ctx,
+            sent[0].0,
+            Msg::PutResp { key: Key(3), vid: VersionId::new(200, DcId(0)), gss: DepVector::zero(1) },
+        );
+        assert_eq!(c.lts(), 200);
+        assert_eq!(ctx.metrics.puts_done, 1);
+    }
+
+    #[test]
+    fn closed_loop_reissues_after_completion() {
+        let cfg = ClusterConfig::small();
+        let addr = Addr::client(DcId(0), 0);
+        let driver = ClientDriver::new(
+            WorkloadSpec::paper_default().with_rot_size(2),
+            Arc::new(Zipf::new(64, 0.99)),
+            cfg.n_partitions,
+        );
+        let mut c = Client::new(addr, cfg, OpSource::closed(driver));
+        let mut ctx = ScriptCtx::new(addr);
+        c.on_timer(&mut ctx, TimerKind::new(timers::CLIENT_START));
+        let first = ctx.drain_sent();
+        assert!(!first.is_empty(), "closed loop issues immediately");
+    }
+
+    #[test]
+    fn stopped_closed_loop_goes_idle() {
+        let cfg = ClusterConfig::small();
+        let addr = Addr::client(DcId(0), 0);
+        let driver = ClientDriver::new(
+            WorkloadSpec::paper_default().with_rot_size(2),
+            Arc::new(Zipf::new(64, 0.99)),
+            cfg.n_partitions,
+        );
+        let mut c = Client::new(addr, cfg, OpSource::closed(driver));
+        let mut ctx = ScriptCtx::new(addr);
+        ctx.stopped = true;
+        c.on_timer(&mut ctx, TimerKind::new(timers::CLIENT_START));
+        assert!(ctx.drain_sent().is_empty());
+    }
+
+    #[test]
+    fn monotonic_snapshots_across_rots() {
+        let (mut c, mut ctx) = client(RotMode::OneHalfRound);
+        let a = ctx.addr; c.on_message(&mut ctx, a, Msg::Inject(Op::Rot(vec![Key(0)])));
+        ctx.drain_sent();
+        let tx0 = TxId::new(c.id, 0);
+        let from = Addr::server(DcId(0), PartitionId(0));
+        c.on_message(&mut ctx, from, slice_for(tx0, Key(0), 10, 100));
+        // Next ROT must carry lts = 100.
+        let a = ctx.addr; c.on_message(&mut ctx, a, Msg::Inject(Op::Rot(vec![Key(0)])));
+        let sent = ctx.drain_sent();
+        let req = sent.iter().find_map(|(_, m)| match m {
+            Msg::RotReq { lts, .. } => Some(*lts),
+            _ => None,
+        });
+        assert_eq!(req, Some(100));
+    }
+}

@@ -1,0 +1,50 @@
+//! **Contrarian** — the paper's contribution (Section 4).
+//!
+//! A causally consistent, partitioned, multi-master geo-replicated key-value
+//! store whose read-only transactions are *almost* latency-optimal:
+//!
+//! * **nonblocking** — partitions use [Hybrid Logical Clocks]; a partition
+//!   simply moves its clock forward to the snapshot timestamp of an incoming
+//!   ROT instead of waiting for physical time (Cure) and never waits for
+//!   remote updates (the snapshot's remote entries come from the Global
+//!   Stable Snapshot, which only covers installed updates);
+//! * **one-version** — partitions return exactly the freshest version inside
+//!   the snapshot proposed by the coordinator;
+//! * **1½ rounds** — three communication steps (client → coordinator →
+//!   partitions → client, Figure 3a) instead of the classical four; a
+//!   2-round mode (Figure 3b) trades latency for fewer messages and ~8%
+//!   higher peak throughput. The half round given up relative to COPS-SNOW
+//!   is the whole point: it buys PUTs that carry only an M-entry vector and
+//!   trigger **no readers check**.
+//!
+//! Causality is tracked with per-DC dependency vectors (`DV`); each DC runs
+//! a stabilization protocol every few milliseconds that aggregates partition
+//! version vectors into the Global Stable Snapshot (`GSS`), the vector of
+//! remote prefixes fully installed in the DC. A remote version becomes
+//! visible once `DV ≤ GSS`.
+//!
+//! [Hybrid Logical Clocks]: contrarian_clock::Hlc
+
+pub mod build;
+pub mod client;
+pub mod msg;
+pub mod node;
+pub mod server;
+
+pub use build::{build_cluster, build_interactive_cluster, ClusterParams};
+pub use client::Client;
+pub use msg::Msg;
+pub use node::Node;
+pub use server::Server;
+
+/// Timer kinds used by Contrarian nodes.
+pub mod timers {
+    /// Periodic stabilization (GSS computation).
+    pub const STABILIZE: u16 = 1;
+    /// Idle replication heartbeat.
+    pub const HEARTBEAT: u16 = 2;
+    /// Version-chain garbage collection.
+    pub const GC: u16 = 3;
+    /// Client start (staggered).
+    pub const CLIENT_START: u16 = 4;
+}

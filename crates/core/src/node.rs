@@ -1,0 +1,58 @@
+//! The Contrarian node: a server or a client behind one [`Actor`] type.
+
+use crate::client::Client;
+use crate::msg::Msg;
+use crate::server::Server;
+use contrarian_sim::actor::{Actor, ActorCtx, TimerKind};
+use contrarian_types::{Addr, Op};
+
+/// One Contrarian node (the `Actor` the runtimes drive).
+pub enum Node {
+    Server(Server),
+    Client(Client),
+}
+
+impl Node {
+    pub fn as_server(&self) -> Option<&Server> {
+        match self {
+            Node::Server(s) => Some(s),
+            Node::Client(_) => None,
+        }
+    }
+
+    pub fn as_client(&self) -> Option<&Client> {
+        match self {
+            Node::Client(c) => Some(c),
+            Node::Server(_) => None,
+        }
+    }
+}
+
+impl Actor for Node {
+    type Msg = Msg;
+
+    fn on_start(&mut self, ctx: &mut dyn ActorCtx<Msg>) {
+        match self {
+            Node::Server(s) => s.on_start(ctx),
+            Node::Client(c) => c.on_start(ctx),
+        }
+    }
+
+    fn on_message(&mut self, ctx: &mut dyn ActorCtx<Msg>, from: Addr, msg: Msg) {
+        match self {
+            Node::Server(s) => s.on_message(ctx, from, msg),
+            Node::Client(c) => c.on_message(ctx, from, msg),
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut dyn ActorCtx<Msg>, kind: TimerKind) {
+        match self {
+            Node::Server(s) => s.on_timer(ctx, kind),
+            Node::Client(c) => c.on_timer(ctx, kind),
+        }
+    }
+
+    fn inject(op: Op) -> Msg {
+        Msg::Inject(op)
+    }
+}

@@ -1,0 +1,672 @@
+//! The Contrarian storage server (one per partition per DC).
+
+use crate::msg::Msg;
+use crate::timers;
+use contrarian_clock::{Hlc, PhysicalClockModel};
+use contrarian_sim::actor::{ActorCtx, TimerKind};
+use contrarian_storage::{MvStore, Version};
+use contrarian_types::{
+    Addr, ClusterConfig, DepVector, Key, StabilizationTopology, TxId, VersionId,
+};
+
+/// Per-partition server state.
+///
+/// * `hlc` — the hybrid logical clock that timestamps local versions and can
+///   be *advanced* to an incoming snapshot's local entry (nonblocking ROTs);
+/// * `vv` — version vector: `vv[local]` is the newest local timestamp,
+///   `vv[i]` the newest timestamp received from the replica in DC `i`;
+/// * `gss` — the DC-wide Global Stable Snapshot, refreshed by the
+///   stabilization protocol; remote versions are visible iff `DV ≤ GSS`.
+pub struct Server {
+    addr: Addr,
+    cfg: ClusterConfig,
+    my_dc: usize,
+    hlc: Hlc,
+    phys: PhysicalClockModel,
+    store: MvStore<DepVector>,
+    vv: DepVector,
+    gss: DepVector,
+    /// Stabilization: last version vector reported by each partition
+    /// (aggregator role under `Star`; every server under `AllToAll`).
+    vv_table: Vec<DepVector>,
+    /// True time of the last replication send (suppresses heartbeats).
+    last_replicate_ns: u64,
+}
+
+impl Server {
+    pub fn new(addr: Addr, cfg: ClusterConfig, phys: PhysicalClockModel) -> Self {
+        let m = cfg.n_dcs as usize;
+        let n = cfg.n_partitions as usize;
+        Server {
+            addr,
+            my_dc: addr.dc.index(),
+            hlc: Hlc::new(),
+            phys,
+            store: MvStore::new(),
+            vv: DepVector::zero(m),
+            gss: DepVector::zero(m),
+            vv_table: vec![DepVector::zero(m); n],
+            last_replicate_ns: 0,
+            cfg,
+        }
+    }
+
+    pub fn store(&self) -> &MvStore<DepVector> {
+        &self.store
+    }
+
+    pub fn gss(&self) -> &DepVector {
+        &self.gss
+    }
+
+    pub fn vv(&self) -> &DepVector {
+        &self.vv
+    }
+
+    fn pt(&self, ctx: &dyn ActorCtx<Msg>) -> u64 {
+        self.phys.now_us(ctx.now())
+    }
+
+    fn is_aggregator(&self) -> bool {
+        self.addr.idx == 0
+    }
+
+    fn aggregator_addr(&self) -> Addr {
+        Addr::server(self.addr.dc, contrarian_types::PartitionId(0))
+    }
+
+    fn replicated(&self) -> bool {
+        self.cfg.n_dcs > 1
+    }
+
+    pub fn on_start(&mut self, ctx: &mut dyn ActorCtx<Msg>) {
+        if self.replicated() {
+            // Stagger stabilization deterministically by partition index to
+            // avoid lock-step message storms.
+            let jitter = (self.addr.idx as u64 * 37_129) % self.cfg.stabilization_interval_us;
+            ctx.set_timer(
+                (self.cfg.stabilization_interval_us + jitter) * 1000,
+                TimerKind::new(timers::STABILIZE),
+            );
+            ctx.set_timer(
+                self.cfg.heartbeat_interval_us * 1000,
+                TimerKind::new(timers::HEARTBEAT),
+            );
+        }
+        ctx.set_timer(self.cfg.version_gc_retention_us * 1000, TimerKind::new(timers::GC));
+    }
+
+    pub fn on_message(&mut self, ctx: &mut dyn ActorCtx<Msg>, from: Addr, msg: Msg) {
+        match msg {
+            Msg::PutReq { key, value, lts, gss } => self.handle_put(ctx, from, key, value, lts, gss),
+            Msg::RotReq { tx, keys, lts, gss } => self.handle_rot_req(ctx, from, tx, keys, lts, gss),
+            Msg::RotSnapReq { tx, lts, gss } => self.handle_snap_req(ctx, from, tx, lts, gss),
+            Msg::RotRead { tx, keys, sv } => self.handle_read(ctx, from, tx, keys, sv),
+            Msg::RotFwd { tx, client, keys, sv } => self.handle_read(ctx, client, tx, keys, sv),
+            Msg::Replicate { key, value, dv, origin } => {
+                let ts = dv[origin.index()];
+                self.vv.raise(origin.index(), ts);
+                self.store.put(key, Version::new(VersionId::new(ts, origin), value, dv));
+            }
+            Msg::Heartbeat { origin, ts } => self.vv.raise(origin.index(), ts),
+            Msg::VvReport { partition, vv } => {
+                self.vv_table[partition.index()] = vv;
+            }
+            Msg::GssBcast { gss } => self.gss.join(&gss),
+            Msg::RotSnap { .. } | Msg::RotSlice { .. } | Msg::PutResp { .. } | Msg::Inject(_) => {
+                unreachable!("client-bound message delivered to server")
+            }
+        }
+    }
+
+    pub fn on_timer(&mut self, ctx: &mut dyn ActorCtx<Msg>, kind: TimerKind) {
+        match kind.kind {
+            timers::STABILIZE => {
+                self.stabilize(ctx);
+                if !ctx.stopped() {
+                    ctx.set_timer(
+                        self.cfg.stabilization_interval_us * 1000,
+                        TimerKind::new(timers::STABILIZE),
+                    );
+                }
+            }
+            timers::HEARTBEAT => {
+                self.heartbeat(ctx);
+                if !ctx.stopped() {
+                    ctx.set_timer(
+                        self.cfg.heartbeat_interval_us * 1000,
+                        TimerKind::new(timers::HEARTBEAT),
+                    );
+                }
+            }
+            timers::GC => {
+                self.gc(ctx);
+                if !ctx.stopped() {
+                    ctx.set_timer(
+                        self.cfg.version_gc_retention_us * 1000,
+                        TimerKind::new(timers::GC),
+                    );
+                }
+            }
+            other => unreachable!("unknown server timer {other}"),
+        }
+    }
+
+    /// PUT: timestamp with the HLC (strictly past the client's causal past),
+    /// build the dependency vector, install, reply, replicate.
+    fn handle_put(
+        &mut self,
+        ctx: &mut dyn ActorCtx<Msg>,
+        client: Addr,
+        key: Key,
+        value: contrarian_types::Value,
+        lts: u64,
+        client_gss: DepVector,
+    ) {
+        // DV's remote entries: the freshest causally complete remote
+        // snapshot either side has seen.
+        let mut dv = self.gss.joined(&client_gss);
+        // The version's timestamp must dominate the client's causal past:
+        // both its last observed local timestamp and every remote entry
+        // (DV[s] is "enforced to be higher than any other entry", §4).
+        let pt = self.pt(ctx);
+        let floor = lts.max(dv.max_entry());
+        let ts = self.hlc.update(pt, floor);
+        dv.set(self.my_dc, ts);
+        self.vv.raise(self.my_dc, ts);
+        let vid = VersionId::new(ts, self.addr.dc);
+        self.store.put(key, Version::new(vid, value.clone(), dv.clone()));
+
+        ctx.send(client, Msg::PutResp { key, vid, gss: self.gss.clone() });
+
+        if self.replicated() {
+            self.last_replicate_ns = ctx.now();
+            for dc in 0..self.cfg.n_dcs {
+                if dc as usize != self.my_dc {
+                    let peer = Addr::server(contrarian_types::DcId(dc), self.addr.partition());
+                    ctx.send(
+                        peer,
+                        Msg::Replicate {
+                            key,
+                            value: value.clone(),
+                            dv: dv.clone(),
+                            origin: self.addr.dc,
+                        },
+                    );
+                }
+            }
+        }
+    }
+
+    /// Computes the snapshot vector for a ROT (coordinator role): local
+    /// entry from the HLC ∨ client timestamp, remote entries from GSS ∨ the
+    /// client's GSS view.
+    fn snapshot_vector(&mut self, ctx: &mut dyn ActorCtx<Msg>, lts: u64, client_gss: &DepVector) -> DepVector {
+        let pt = self.pt(ctx);
+        let ts = self.hlc.update(pt, lts);
+        let mut sv = self.gss.joined(client_gss);
+        sv.set(self.my_dc, ts);
+        sv
+    }
+
+    /// 1½-round ROT: pick the snapshot, serve own keys, forward the rest;
+    /// the other partitions answer the client directly (3 steps total).
+    fn handle_rot_req(
+        &mut self,
+        ctx: &mut dyn ActorCtx<Msg>,
+        client: Addr,
+        tx: TxId,
+        keys: Vec<Key>,
+        lts: u64,
+        client_gss: DepVector,
+    ) {
+        let sv = self.snapshot_vector(ctx, lts, &client_gss);
+        let n = self.cfg.n_partitions;
+        // Group keys by partition, preserving deterministic order.
+        let mut groups: std::collections::BTreeMap<u16, Vec<Key>> = Default::default();
+        for k in keys {
+            groups.entry(k.partition(n).0).or_default().push(k);
+        }
+        let mut own: Vec<Key> = Vec::new();
+        for (p, ks) in groups {
+            if p == self.addr.idx {
+                own = ks;
+            } else {
+                let peer = Addr::server(self.addr.dc, contrarian_types::PartitionId(p));
+                ctx.send(peer, Msg::RotFwd { tx, client, keys: ks, sv: sv.clone() });
+            }
+        }
+        if !own.is_empty() {
+            ctx.charge(ctx_read_cost(own.len()));
+            let pairs = self.read_snapshot(ctx, &own, &sv);
+            ctx.send(client, Msg::RotSlice { tx, pairs, sv });
+        }
+    }
+
+    /// 2-round ROT, first round: just the snapshot vector.
+    fn handle_snap_req(
+        &mut self,
+        ctx: &mut dyn ActorCtx<Msg>,
+        client: Addr,
+        tx: TxId,
+        lts: u64,
+        client_gss: DepVector,
+    ) {
+        let sv = self.snapshot_vector(ctx, lts, &client_gss);
+        ctx.send(client, Msg::RotSnap { tx, sv });
+    }
+
+    /// Serves a read under a snapshot (2-round second phase, or a 1½-round
+    /// forward). Nonblocking: the HLC jumps to the snapshot's local entry.
+    fn handle_read(
+        &mut self,
+        ctx: &mut dyn ActorCtx<Msg>,
+        client: Addr,
+        tx: TxId,
+        keys: Vec<Key>,
+        sv: DepVector,
+    ) {
+        self.hlc.advance_to(sv[self.my_dc]);
+        let pairs = self.read_snapshot(ctx, &keys, &sv);
+        ctx.send(client, Msg::RotSlice { tx, pairs, sv });
+    }
+
+    /// One-version reads: for each key, the freshest version with `DV ≤ SV`.
+    /// On a prepopulated platform a key with no matching version serves the
+    /// genesis version (in every snapshot by construction).
+    fn read_snapshot(
+        &self,
+        ctx: &mut dyn ActorCtx<Msg>,
+        keys: &[Key],
+        sv: &DepVector,
+    ) -> Vec<(Key, Option<(VersionId, contrarian_types::Value)>)> {
+        let mut out = Vec::with_capacity(keys.len());
+        let mut scanned_total = 0;
+        for &k in keys {
+            let (v, scanned) = self.store.read_visible(k, |ver| ver.meta.leq(sv));
+            scanned_total += scanned;
+            let pair = match v {
+                Some(ver) => Some((ver.vid, ver.value.clone())),
+                None if self.cfg.prepopulated => {
+                    Some((VersionId::GENESIS, contrarian_types::genesis_value()))
+                }
+                None => None,
+            };
+            out.push((k, pair));
+        }
+        ctx.charge(scanned_total as u64 * 500);
+        out
+    }
+
+    /// Stabilization tick: report the version vector (freshened by the HLC,
+    /// so idle partitions do not hold the GSS back) and, on the aggregator,
+    /// install and broadcast the entrywise minimum.
+    fn stabilize(&mut self, ctx: &mut dyn ActorCtx<Msg>) {
+        let pt = self.pt(ctx);
+        // An idle partition's local entry advances with its clock: everything
+        // it will ever create is timestamped past peek().
+        self.vv.raise(self.my_dc, self.hlc.peek(pt));
+        match self.cfg.stab_topology {
+            StabilizationTopology::Star => {
+                if self.is_aggregator() {
+                    self.vv_table[0] = self.vv.clone();
+                    let gss = self.compute_min();
+                    self.gss.join(&gss);
+                    for p in 1..self.cfg.n_partitions {
+                        let peer = Addr::server(self.addr.dc, contrarian_types::PartitionId(p));
+                        ctx.send(peer, Msg::GssBcast { gss: self.gss.clone() });
+                    }
+                } else {
+                    ctx.send(
+                        self.aggregator_addr(),
+                        Msg::VvReport { partition: self.addr.partition(), vv: self.vv.clone() },
+                    );
+                }
+            }
+            StabilizationTopology::AllToAll => {
+                self.vv_table[self.addr.idx as usize] = self.vv.clone();
+                for p in 0..self.cfg.n_partitions {
+                    if p != self.addr.idx {
+                        let peer = Addr::server(self.addr.dc, contrarian_types::PartitionId(p));
+                        ctx.send(
+                            peer,
+                            Msg::VvReport { partition: self.addr.partition(), vv: self.vv.clone() },
+                        );
+                    }
+                }
+                let gss = self.compute_min();
+                self.gss.join(&gss);
+            }
+        }
+    }
+
+    fn compute_min(&self) -> DepVector {
+        let mut min = self.vv_table[0].clone();
+        for vv in &self.vv_table[1..] {
+            min.meet(vv);
+        }
+        min
+    }
+
+    /// Heartbeat tick: if no replication traffic went out recently, tell the
+    /// replicas how far our clock has advanced so their VVs (and hence the
+    /// remote GSS entries) keep moving.
+    fn heartbeat(&mut self, ctx: &mut dyn ActorCtx<Msg>) {
+        let idle_ns = ctx.now().saturating_sub(self.last_replicate_ns);
+        if idle_ns < self.cfg.heartbeat_interval_us * 1000 {
+            return;
+        }
+        let pt = self.pt(ctx);
+        let ts = self.hlc.peek(pt);
+        self.vv.raise(self.my_dc, ts);
+        for dc in 0..self.cfg.n_dcs {
+            if dc as usize != self.my_dc {
+                let peer = Addr::server(contrarian_types::DcId(dc), self.addr.partition());
+                ctx.send(peer, Msg::Heartbeat { origin: self.addr.dc, ts });
+            }
+        }
+    }
+
+    fn gc(&mut self, ctx: &mut dyn ActorCtx<Msg>) {
+        let now_us = ctx.now() / 1000;
+        let horizon_us = now_us.saturating_sub(self.cfg.version_gc_retention_us);
+        let horizon = contrarian_clock::hlc::encode(horizon_us, 0);
+        let dropped = self.store.gc_all(horizon, 1);
+        ctx.charge(dropped as u64 * 200);
+    }
+}
+
+fn ctx_read_cost(keys: usize) -> u64 {
+    // The coordinator's own reads are not part of its rx_extra (which only
+    // covers snapshot computation), so charge them here.
+    keys as u64 * 10_000
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use contrarian_sim::testkit::ScriptCtx;
+    use contrarian_types::{ClientId, DcId, PartitionId, Value};
+
+    fn server(dc: u8, p: u16, n_dcs: u8) -> Server {
+        let cfg = ClusterConfig::small().with_dcs(n_dcs);
+        Server::new(Addr::server(DcId(dc), PartitionId(p)), cfg, PhysicalClockModel::perfect())
+    }
+
+    fn put(
+        s: &mut Server,
+        ctx: &mut ScriptCtx<Msg>,
+        key: Key,
+        lts: u64,
+        gss_len: usize,
+    ) -> (VersionId, DepVector) {
+        let client = Addr::client(DcId(0), 0);
+        s.on_message(
+            ctx,
+            client,
+            Msg::PutReq {
+                key,
+                value: Value::from_static(b"v"),
+                lts,
+                gss: DepVector::zero(gss_len),
+            },
+        );
+        let resp = ctx.drain_to(client);
+        match &resp[0] {
+            Msg::PutResp { vid, .. } => {
+                let dv = s.store().latest(key).unwrap().meta.clone();
+                (*vid, dv)
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn put_timestamp_dominates_client_past() {
+        let mut s = server(0, 0, 1);
+        let mut ctx = ScriptCtx::new(Addr::server(DcId(0), PartitionId(0)));
+        let (vid, dv) = put(&mut s, &mut ctx, Key(0), 12345, 1);
+        assert!(vid.ts > 12345);
+        assert_eq!(dv[0], vid.ts);
+    }
+
+    #[test]
+    fn put_dv_local_entry_dominates_remote_entries() {
+        let mut s = server(0, 0, 2);
+        let mut ctx = ScriptCtx::new(Addr::server(DcId(0), PartitionId(0)));
+        // Pretend the client saw a remote snapshot far in the future.
+        let client = Addr::client(DcId(0), 0);
+        let mut cgss = DepVector::zero(2);
+        cgss.set(1, 1 << 30);
+        s.on_message(
+            &mut ctx,
+            client,
+            Msg::PutReq { key: Key(0), value: Value::new(), lts: 0, gss: cgss },
+        );
+        let dv = s.store().latest(Key(0)).unwrap().meta.clone();
+        assert!(dv[0] > dv[1], "local entry must dominate: {dv}");
+    }
+
+    #[test]
+    fn put_replicates_to_every_other_dc() {
+        let mut s = server(0, 2, 3);
+        let mut ctx = ScriptCtx::new(Addr::server(DcId(0), PartitionId(2)));
+        put(&mut s, &mut ctx, Key(2), 0, 3);
+        let sent = ctx.drain_sent();
+        let repl: Vec<_> = sent
+            .iter()
+            .filter_map(|(to, m)| matches!(m, Msg::Replicate { .. }).then_some(*to))
+            .collect();
+        assert_eq!(
+            repl,
+            vec![
+                Addr::server(DcId(1), PartitionId(2)),
+                Addr::server(DcId(2), PartitionId(2))
+            ]
+        );
+    }
+
+    #[test]
+    fn successive_puts_get_increasing_timestamps() {
+        let mut s = server(0, 0, 1);
+        let mut ctx = ScriptCtx::new(Addr::server(DcId(0), PartitionId(0)));
+        let (v1, _) = put(&mut s, &mut ctx, Key(0), 0, 1);
+        let (v2, _) = put(&mut s, &mut ctx, Key(0), 0, 1);
+        assert!(v2.ts > v1.ts);
+    }
+
+    #[test]
+    fn read_is_one_version_within_snapshot() {
+        let mut s = server(0, 0, 1);
+        let mut ctx = ScriptCtx::new(Addr::server(DcId(0), PartitionId(0)));
+        let (v1, _) = put(&mut s, &mut ctx, Key(0), 0, 1);
+        let (v2, _) = put(&mut s, &mut ctx, Key(0), 0, 1);
+        ctx.drain_sent();
+        // Snapshot that includes only v1.
+        let client = Addr::client(DcId(0), 0);
+        let tx = TxId::new(ClientId::new(DcId(0), 0), 0);
+        let mut sv = DepVector::zero(1);
+        sv.set(0, v1.ts);
+        s.on_message(&mut ctx, client, Msg::RotRead { tx, keys: vec![Key(0)], sv });
+        match &ctx.drain_to(client)[0] {
+            Msg::RotSlice { pairs, .. } => {
+                assert_eq!(pairs.len(), 1);
+                assert_eq!(pairs[0].1.as_ref().unwrap().0, v1);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        // Snapshot that includes v2 returns v2 (freshest within snapshot).
+        let mut sv2 = DepVector::zero(1);
+        sv2.set(0, v2.ts);
+        s.on_message(&mut ctx, client, Msg::RotRead { tx, keys: vec![Key(0)], sv: sv2 });
+        match &ctx.drain_to(client)[0] {
+            Msg::RotSlice { pairs, .. } => assert_eq!(pairs[0].1.as_ref().unwrap().0, v2),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn read_in_the_future_is_nonblocking_and_advances_clock() {
+        let mut s = server(0, 0, 1);
+        let mut ctx = ScriptCtx::new(Addr::server(DcId(0), PartitionId(0)));
+        let client = Addr::client(DcId(0), 0);
+        let tx = TxId::new(ClientId::new(DcId(0), 0), 0);
+        let future = contrarian_clock::hlc::encode(1 << 30, 0);
+        let mut sv = DepVector::zero(1);
+        sv.set(0, future);
+        s.on_message(&mut ctx, client, Msg::RotRead { tx, keys: vec![Key(0)], sv });
+        // Reply produced immediately (nonblocking), key absent → ⊥.
+        match &ctx.drain_to(client)[0] {
+            Msg::RotSlice { pairs, .. } => assert!(pairs[0].1.is_none()),
+            other => panic!("unexpected {other:?}"),
+        }
+        // A later PUT is timestamped past the advanced clock: no version can
+        // ever be created below an already-served snapshot.
+        let (vid, _) = put(&mut s, &mut ctx, Key(0), 0, 1);
+        assert!(vid.ts > future);
+    }
+
+    #[test]
+    fn remote_version_invisible_until_gss_covers_it() {
+        let mut s = server(0, 0, 2);
+        let mut ctx = ScriptCtx::new(Addr::server(DcId(0), PartitionId(0)));
+        // A remote version from DC1 with dv = [0, 100<<16].
+        let ts = contrarian_clock::hlc::encode(100, 0);
+        let mut dv = DepVector::zero(2);
+        dv.set(1, ts);
+        s.on_message(
+            &mut ctx,
+            Addr::server(DcId(1), PartitionId(0)),
+            Msg::Replicate { key: Key(0), value: Value::from_static(b"r"), dv, origin: DcId(1) },
+        );
+        assert_eq!(s.vv()[1], ts, "vv tracks received replication");
+        // Snapshot whose remote entry predates the version: invisible.
+        let client = Addr::client(DcId(0), 0);
+        let tx = TxId::new(ClientId::new(DcId(0), 0), 0);
+        let mut sv = DepVector::zero(2);
+        sv.set(0, u64::MAX);
+        sv.set(1, ts - 1);
+        s.on_message(&mut ctx, client, Msg::RotRead { tx, keys: vec![Key(0)], sv });
+        match &ctx.drain_to(client)[0] {
+            Msg::RotSlice { pairs, .. } => assert!(pairs[0].1.is_none()),
+            other => panic!("unexpected {other:?}"),
+        }
+        // Snapshot covering it: visible.
+        let mut sv2 = DepVector::zero(2);
+        sv2.set(0, u64::MAX);
+        sv2.set(1, ts);
+        s.on_message(&mut ctx, client, Msg::RotRead { tx, keys: vec![Key(0)], sv: sv2 });
+        match &ctx.drain_to(client)[0] {
+            Msg::RotSlice { pairs, .. } => {
+                assert_eq!(pairs[0].1.as_ref().unwrap().0, VersionId::new(ts, DcId(1)))
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rot_req_fans_out_and_serves_own_keys() {
+        let mut s = server(0, 0, 1);
+        let mut ctx = ScriptCtx::new(Addr::server(DcId(0), PartitionId(0)));
+        let client = Addr::client(DcId(0), 0);
+        let tx = TxId::new(ClientId::new(DcId(0), 0), 0);
+        // Keys on partitions 0, 1, 2 (of 4).
+        let keys = vec![Key(0), Key(1), Key(2)];
+        s.on_message(
+            &mut ctx,
+            client,
+            Msg::RotReq { tx, keys, lts: 0, gss: DepVector::zero(1) },
+        );
+        let sent = ctx.drain_sent();
+        let fwds: Vec<_> = sent.iter().filter(|(_, m)| matches!(m, Msg::RotFwd { .. })).collect();
+        let slices: Vec<_> =
+            sent.iter().filter(|(_, m)| matches!(m, Msg::RotSlice { .. })).collect();
+        assert_eq!(fwds.len(), 2, "two foreign partitions");
+        assert_eq!(slices.len(), 1, "own slice straight to the client");
+        assert_eq!(slices[0].0, client);
+        // All forwards carry the same snapshot vector.
+        if let (Msg::RotFwd { sv: a, .. }, Msg::RotFwd { sv: b, .. }) = (&fwds[0].1, &fwds[1].1) {
+            assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn snapshot_vector_uses_max_of_clock_and_client() {
+        let mut s = server(0, 0, 1);
+        let mut ctx = ScriptCtx::new(Addr::server(DcId(0), PartitionId(0)));
+        let client = Addr::client(DcId(0), 0);
+        let tx = TxId::new(ClientId::new(DcId(0), 0), 0);
+        let lts = contrarian_clock::hlc::encode(1 << 25, 3);
+        s.on_message(&mut ctx, client, Msg::RotSnapReq { tx, lts, gss: DepVector::zero(1) });
+        match &ctx.drain_to(client)[0] {
+            Msg::RotSnap { sv, .. } => assert!(sv[0] > lts),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn stabilization_star_round_trip() {
+        // Three partitions report; aggregator computes the min and
+        // broadcasts; GSS is monotone.
+        let cfg = ClusterConfig::small().with_dcs(2).with_partitions(3);
+        let agg_addr = Addr::server(DcId(0), PartitionId(0));
+        let mut agg = Server::new(agg_addr, cfg.clone(), PhysicalClockModel::perfect());
+        let mut ctx = ScriptCtx::new(agg_addr);
+
+        let report = |p: u16, remote: u64| Msg::VvReport {
+            partition: PartitionId(p),
+            vv: DepVector::from_vec(vec![0, remote]),
+        };
+        agg.on_message(&mut ctx, Addr::server(DcId(0), PartitionId(1)), report(1, 50));
+        agg.on_message(&mut ctx, Addr::server(DcId(0), PartitionId(2)), report(2, 80));
+        ctx.now = (cfg.stabilization_interval_us + 1) * 1000;
+        agg.vv.raise(1, 60); // the aggregator's own remote entry
+        agg.on_timer(&mut ctx, TimerKind::new(timers::STABILIZE));
+        // GSS remote entry = min(50, 80, 60) = 50.
+        assert_eq!(agg.gss()[1], 50);
+        let sent = ctx.drain_sent();
+        let bcasts: Vec<_> =
+            sent.iter().filter(|(_, m)| matches!(m, Msg::GssBcast { .. })).collect();
+        assert_eq!(bcasts.len(), 2);
+    }
+
+    #[test]
+    fn gss_never_regresses() {
+        let mut s = server(0, 1, 2);
+        let mut ctx = ScriptCtx::new(Addr::server(DcId(0), PartitionId(1)));
+        let agg = Addr::server(DcId(0), PartitionId(0));
+        s.on_message(&mut ctx, agg, Msg::GssBcast { gss: DepVector::from_vec(vec![10, 90]) });
+        s.on_message(&mut ctx, agg, Msg::GssBcast { gss: DepVector::from_vec(vec![5, 100]) });
+        assert_eq!(s.gss().as_slice(), &[10, 100]);
+    }
+
+    #[test]
+    fn heartbeat_suppressed_by_recent_replication() {
+        let mut s = server(0, 0, 2);
+        let mut ctx = ScriptCtx::new(Addr::server(DcId(0), PartitionId(0)));
+        put(&mut s, &mut ctx, Key(0), 0, 2); // sends Replicate, stamps last_replicate_ns
+        ctx.drain_sent();
+        ctx.now = 100; // still within the heartbeat interval
+        s.on_timer(&mut ctx, TimerKind::new(timers::HEARTBEAT));
+        assert!(ctx.drain_sent().iter().all(|(_, m)| !matches!(m, Msg::Heartbeat { .. })));
+        // After a long idle period the heartbeat flows.
+        ctx.now = 10_000_000_000;
+        s.on_timer(&mut ctx, TimerKind::new(timers::HEARTBEAT));
+        let hbs = ctx.drain_sent();
+        assert_eq!(hbs.iter().filter(|(_, m)| matches!(m, Msg::Heartbeat { .. })).count(), 1);
+    }
+
+    #[test]
+    fn gc_prunes_old_versions_but_keeps_head() {
+        let mut s = server(0, 0, 1);
+        let mut ctx = ScriptCtx::new(Addr::server(DcId(0), PartitionId(0)));
+        for _ in 0..5 {
+            put(&mut s, &mut ctx, Key(0), 0, 1);
+        }
+        assert_eq!(s.store().chain(Key(0)).unwrap().len(), 5);
+        // Far in the future, everything but the head is past retention.
+        ctx.now = 3_600_000_000_000;
+        s.on_timer(&mut ctx, TimerKind::new(timers::GC));
+        assert_eq!(s.store().chain(Key(0)).unwrap().len(), 1);
+    }
+}

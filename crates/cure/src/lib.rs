@@ -1,0 +1,84 @@
+//! **Cure** (Akkoorath et al., ICDCS 2016) — the classical coordinator-based
+//! causally consistent design on **physical clocks**, adapted to the paper's
+//! API (Section 5.2 modifies Cure the same way).
+//!
+//! Cure is the baseline Contrarian improves on in Figure 4. It shares the
+//! whole vector machinery (dependency vectors, GSS stabilization,
+//! multi-master replication) and even this workspace's client implementation
+//! (`contrarian-core`'s client in 2-round mode); what differs is the server:
+//!
+//! * snapshot and version timestamps come from a *physical* clock, which
+//!   cannot be moved forward on demand;
+//! * a partition asked to read at snapshot time `t` while its clock is
+//!   behind `t` must **block** until its clock catches up — this is how NTP
+//!   skew turns into ROT latency (≈3× at low load in the paper);
+//! * a PUT whose client has observed a timestamp ahead of the partition's
+//!   clock blocks the same way;
+//! * ROTs always take 2 rounds (4 communication steps).
+
+pub mod build;
+pub mod server;
+
+pub use build::{build_cluster, ClusterParams};
+pub use server::Server;
+
+/// Cure reuses Contrarian's wire protocol (the paper implements all systems
+/// in one code base); only the server-side behaviour differs.
+pub use contrarian_core::msg::Msg;
+
+use contrarian_core::client::Client;
+use contrarian_sim::actor::{Actor, ActorCtx, TimerKind};
+use contrarian_types::{Addr, Op};
+
+/// Timer kinds specific to Cure (Contrarian's are reused for the shared
+/// machinery).
+pub mod timers {
+    pub use contrarian_core::timers::*;
+    /// Wake-up for operations blocked on the physical clock.
+    pub const RESUME: u16 = 5;
+}
+
+/// One Cure node: a blocking physical-clock server, or the standard client
+/// pinned to 2-round ROTs.
+pub enum Node {
+    Server(Server),
+    Client(Client),
+}
+
+impl Node {
+    pub fn as_server(&self) -> Option<&Server> {
+        match self {
+            Node::Server(s) => Some(s),
+            Node::Client(_) => None,
+        }
+    }
+}
+
+impl Actor for Node {
+    type Msg = Msg;
+
+    fn on_start(&mut self, ctx: &mut dyn ActorCtx<Msg>) {
+        match self {
+            Node::Server(s) => s.on_start(ctx),
+            Node::Client(c) => c.on_start(ctx),
+        }
+    }
+
+    fn on_message(&mut self, ctx: &mut dyn ActorCtx<Msg>, from: Addr, msg: Msg) {
+        match self {
+            Node::Server(s) => s.on_message(ctx, from, msg),
+            Node::Client(c) => c.on_message(ctx, from, msg),
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut dyn ActorCtx<Msg>, kind: TimerKind) {
+        match self {
+            Node::Server(s) => s.on_timer(ctx, kind),
+            Node::Client(c) => c.on_timer(ctx, kind),
+        }
+    }
+
+    fn inject(op: Op) -> Msg {
+        Msg::Inject(op)
+    }
+}

@@ -1,0 +1,514 @@
+//! The Cure storage server: physical clocks, blocking reads and writes.
+
+use crate::timers;
+use contrarian_clock::{hlc, PhysicalClockModel};
+use contrarian_core::msg::Msg;
+use contrarian_sim::actor::{ActorCtx, TimerKind};
+use contrarian_storage::{MvStore, Version};
+use contrarian_types::{
+    Addr, ClusterConfig, DepVector, Key, StabilizationTopology, TxId, Value, VersionId,
+};
+use std::collections::VecDeque;
+
+/// An operation parked until the local physical clock catches up.
+enum Deferred {
+    /// A snapshot request whose client timestamp is ahead of our clock.
+    Snap { client: Addr, tx: TxId, lts: u64, client_gss: DepVector },
+    /// A read whose snapshot is ahead of our clock.
+    Read { client: Addr, tx: TxId, keys: Vec<Key>, sv: DepVector },
+    /// A PUT whose causal floor is ahead of our clock.
+    Put { client: Addr, key: Key, value: Value, client_gss: DepVector },
+}
+
+pub struct Server {
+    addr: Addr,
+    cfg: ClusterConfig,
+    my_dc: usize,
+    phys: PhysicalClockModel,
+    /// Last issued timestamp (physical clocks are not guaranteed to tick
+    /// between two PUTs; the low counter bits disambiguate).
+    last_ts: u64,
+    store: MvStore<DepVector>,
+    vv: DepVector,
+    gss: DepVector,
+    vv_table: Vec<DepVector>,
+    last_replicate_ns: u64,
+    parked: VecDeque<(u64, Deferred)>,
+    /// Blocking-time diagnostics.
+    pub blocked_ops: u64,
+    pub blocked_ns_total: u64,
+}
+
+impl Server {
+    pub fn new(addr: Addr, cfg: ClusterConfig, phys: PhysicalClockModel) -> Self {
+        let m = cfg.n_dcs as usize;
+        let n = cfg.n_partitions as usize;
+        Server {
+            addr,
+            my_dc: addr.dc.index(),
+            phys,
+            last_ts: 0,
+            store: MvStore::new(),
+            vv: DepVector::zero(m),
+            gss: DepVector::zero(m),
+            vv_table: vec![DepVector::zero(m); n],
+            last_replicate_ns: 0,
+            parked: VecDeque::new(),
+            blocked_ops: 0,
+            blocked_ns_total: 0,
+            cfg,
+        }
+    }
+
+    pub fn store(&self) -> &MvStore<DepVector> {
+        &self.store
+    }
+
+    pub fn gss(&self) -> &DepVector {
+        &self.gss
+    }
+
+    /// The clock's current reading, encoded in the shared (µs, counter)
+    /// timestamp space.
+    fn clock_ts(&self, ctx: &dyn ActorCtx<Msg>) -> u64 {
+        hlc::encode(self.phys.now_us(ctx.now()), 0)
+    }
+
+    /// Nanoseconds until the local clock reads strictly past `ts`.
+    fn wait_ns(&self, ctx: &dyn ActorCtx<Msg>, ts: u64) -> u64 {
+        let (target_us, _) = hlc::decode(ts);
+        self.phys.ns_until(ctx.now(), target_us)
+    }
+
+    fn park(&mut self, ctx: &mut dyn ActorCtx<Msg>, wait: u64, d: Deferred) {
+        self.blocked_ops += 1;
+        self.blocked_ns_total += wait;
+        self.parked.push_back((ctx.now() + wait, d));
+        ctx.set_timer(wait, TimerKind::new(timers::RESUME));
+    }
+
+    pub fn on_start(&mut self, ctx: &mut dyn ActorCtx<Msg>) {
+        if self.cfg.n_dcs > 1 {
+            let jitter = (self.addr.idx as u64 * 37_129) % self.cfg.stabilization_interval_us;
+            ctx.set_timer(
+                (self.cfg.stabilization_interval_us + jitter) * 1000,
+                TimerKind::new(timers::STABILIZE),
+            );
+            ctx.set_timer(self.cfg.heartbeat_interval_us * 1000, TimerKind::new(timers::HEARTBEAT));
+        }
+        ctx.set_timer(self.cfg.version_gc_retention_us * 1000, TimerKind::new(timers::GC));
+    }
+
+    pub fn on_message(&mut self, ctx: &mut dyn ActorCtx<Msg>, from: Addr, msg: Msg) {
+        match msg {
+            Msg::PutReq { key, value, lts, gss } => {
+                self.handle_put(ctx, from, key, value, lts, gss)
+            }
+            Msg::RotSnapReq { tx, lts, gss } => self.handle_snap_req(ctx, from, tx, lts, gss),
+            Msg::RotRead { tx, keys, sv } => self.handle_read(ctx, from, tx, keys, sv),
+            Msg::Replicate { key, value, dv, origin } => {
+                let ts = dv[origin.index()];
+                self.vv.raise(origin.index(), ts);
+                self.store.put(key, Version::new(VersionId::new(ts, origin), value, dv));
+            }
+            Msg::Heartbeat { origin, ts } => self.vv.raise(origin.index(), ts),
+            Msg::VvReport { partition, vv } => self.vv_table[partition.index()] = vv,
+            Msg::GssBcast { gss } => self.gss.join(&gss),
+            Msg::RotReq { .. } => unreachable!("Cure clients always run 2-round ROTs"),
+            other => unreachable!("client-bound message at Cure server: {other:?}"),
+        }
+    }
+
+    pub fn on_timer(&mut self, ctx: &mut dyn ActorCtx<Msg>, kind: TimerKind) {
+        match kind.kind {
+            timers::RESUME => self.drain_parked(ctx),
+            timers::STABILIZE => {
+                self.stabilize(ctx);
+                if !ctx.stopped() {
+                    ctx.set_timer(
+                        self.cfg.stabilization_interval_us * 1000,
+                        TimerKind::new(timers::STABILIZE),
+                    );
+                }
+            }
+            timers::HEARTBEAT => {
+                self.heartbeat(ctx);
+                if !ctx.stopped() {
+                    ctx.set_timer(
+                        self.cfg.heartbeat_interval_us * 1000,
+                        TimerKind::new(timers::HEARTBEAT),
+                    );
+                }
+            }
+            timers::GC => {
+                let now_us = ctx.now() / 1000;
+                let horizon = hlc::encode(now_us.saturating_sub(self.cfg.version_gc_retention_us), 0);
+                self.store.gc_all(horizon, 1);
+                if !ctx.stopped() {
+                    ctx.set_timer(
+                        self.cfg.version_gc_retention_us * 1000,
+                        TimerKind::new(timers::GC),
+                    );
+                }
+            }
+            other => unreachable!("unknown Cure timer {other}"),
+        }
+    }
+
+    /// PUT: the version timestamp is the physical clock; if the client's
+    /// causal floor is ahead of our clock, *wait* (physical clocks cannot be
+    /// pushed forward).
+    fn handle_put(
+        &mut self,
+        ctx: &mut dyn ActorCtx<Msg>,
+        client: Addr,
+        key: Key,
+        value: Value,
+        lts: u64,
+        client_gss: DepVector,
+    ) {
+        let dv0 = self.gss.joined(&client_gss);
+        let floor = lts.max(dv0.max_entry());
+        let clock = self.clock_ts(ctx);
+        if clock <= floor {
+            let wait = self.wait_ns(ctx, floor).max(1);
+            self.park(ctx, wait, Deferred::Put { client, key, value, client_gss });
+            return;
+        }
+        self.commit_put(ctx, client, key, value, client_gss);
+    }
+
+    fn commit_put(
+        &mut self,
+        ctx: &mut dyn ActorCtx<Msg>,
+        client: Addr,
+        key: Key,
+        value: Value,
+        client_gss: DepVector,
+    ) {
+        let clock = self.clock_ts(ctx);
+        let ts = clock.max(self.last_ts + 1);
+        self.last_ts = ts;
+        let mut dv = self.gss.joined(&client_gss);
+        dv.set(self.my_dc, ts);
+        self.vv.raise(self.my_dc, ts);
+        let vid = VersionId::new(ts, self.addr.dc);
+        self.store.put(key, Version::new(vid, value.clone(), dv.clone()));
+        ctx.send(client, Msg::PutResp { key, vid, gss: self.gss.clone() });
+        if self.cfg.n_dcs > 1 {
+            self.last_replicate_ns = ctx.now();
+            for dc in 0..self.cfg.n_dcs {
+                if dc as usize != self.my_dc {
+                    let peer = Addr::server(contrarian_types::DcId(dc), self.addr.partition());
+                    ctx.send(
+                        peer,
+                        Msg::Replicate {
+                            key,
+                            value: value.clone(),
+                            dv: dv.clone(),
+                            origin: self.addr.dc,
+                        },
+                    );
+                }
+            }
+        }
+    }
+
+    /// Snapshot request (2-round, first round): snapshot = coordinator's
+    /// physical clock; blocks while the client has seen a later local
+    /// timestamp.
+    fn handle_snap_req(
+        &mut self,
+        ctx: &mut dyn ActorCtx<Msg>,
+        client: Addr,
+        tx: TxId,
+        lts: u64,
+        client_gss: DepVector,
+    ) {
+        let clock = self.clock_ts(ctx);
+        if clock <= lts {
+            let wait = self.wait_ns(ctx, lts).max(1);
+            self.park(ctx, wait, Deferred::Snap { client, tx, lts, client_gss });
+            return;
+        }
+        let mut sv = self.gss.joined(&client_gss);
+        sv.set(self.my_dc, clock);
+        ctx.send(client, Msg::RotSnap { tx, sv });
+    }
+
+    /// Read under a snapshot: blocks until the local physical clock passes
+    /// the snapshot's local entry (the skew-induced wait of Section 3),
+    /// then returns the freshest version within the snapshot.
+    fn handle_read(
+        &mut self,
+        ctx: &mut dyn ActorCtx<Msg>,
+        client: Addr,
+        tx: TxId,
+        keys: Vec<Key>,
+        sv: DepVector,
+    ) {
+        let clock = self.clock_ts(ctx);
+        if clock < sv[self.my_dc] {
+            let wait = self.wait_ns(ctx, sv[self.my_dc]).max(1);
+            self.park(ctx, wait, Deferred::Read { client, tx, keys, sv });
+            return;
+        }
+        self.serve_read(ctx, client, tx, keys, sv);
+    }
+
+    fn serve_read(
+        &mut self,
+        ctx: &mut dyn ActorCtx<Msg>,
+        client: Addr,
+        tx: TxId,
+        keys: Vec<Key>,
+        sv: DepVector,
+    ) {
+        let mut pairs = Vec::with_capacity(keys.len());
+        let mut scanned = 0;
+        for &k in &keys {
+            let (v, walked) = self.store.read_visible(k, |ver| ver.meta.leq(&sv));
+            scanned += walked;
+            let pair = match v {
+                Some(ver) => Some((ver.vid, ver.value.clone())),
+                None if self.cfg.prepopulated => {
+                    Some((VersionId::GENESIS, contrarian_types::genesis_value()))
+                }
+                None => None,
+            };
+            pairs.push((k, pair));
+        }
+        ctx.charge(scanned as u64 * 500);
+        ctx.send(client, Msg::RotSlice { tx, pairs, sv });
+    }
+
+    fn drain_parked(&mut self, ctx: &mut dyn ActorCtx<Msg>) {
+        let now = ctx.now();
+        let mut remaining = VecDeque::new();
+        while let Some((wake, d)) = self.parked.pop_front() {
+            if wake > now {
+                remaining.push_back((wake, d));
+                continue;
+            }
+            match d {
+                Deferred::Snap { client, tx, lts, client_gss } => {
+                    self.handle_snap_req(ctx, client, tx, lts, client_gss)
+                }
+                Deferred::Read { client, tx, keys, sv } => {
+                    self.handle_read(ctx, client, tx, keys, sv)
+                }
+                Deferred::Put { client, key, value, client_gss } => {
+                    self.handle_put(ctx, client, key, value, 0, client_gss)
+                }
+            }
+        }
+        self.parked = remaining;
+    }
+
+    fn stabilize(&mut self, ctx: &mut dyn ActorCtx<Msg>) {
+        let clock = self.clock_ts(ctx);
+        self.vv.raise(self.my_dc, clock.max(self.last_ts));
+        match self.cfg.stab_topology {
+            StabilizationTopology::Star => {
+                if self.addr.idx == 0 {
+                    self.vv_table[0] = self.vv.clone();
+                    let mut min = self.vv_table[0].clone();
+                    for vv in &self.vv_table[1..] {
+                        min.meet(vv);
+                    }
+                    self.gss.join(&min);
+                    for p in 1..self.cfg.n_partitions {
+                        let peer = Addr::server(self.addr.dc, contrarian_types::PartitionId(p));
+                        ctx.send(peer, Msg::GssBcast { gss: self.gss.clone() });
+                    }
+                } else {
+                    let agg = Addr::server(self.addr.dc, contrarian_types::PartitionId(0));
+                    ctx.send(
+                        agg,
+                        Msg::VvReport { partition: self.addr.partition(), vv: self.vv.clone() },
+                    );
+                }
+            }
+            StabilizationTopology::AllToAll => {
+                self.vv_table[self.addr.idx as usize] = self.vv.clone();
+                for p in 0..self.cfg.n_partitions {
+                    if p != self.addr.idx {
+                        let peer = Addr::server(self.addr.dc, contrarian_types::PartitionId(p));
+                        ctx.send(
+                            peer,
+                            Msg::VvReport { partition: self.addr.partition(), vv: self.vv.clone() },
+                        );
+                    }
+                }
+                let mut min = self.vv_table[0].clone();
+                for vv in &self.vv_table[1..] {
+                    min.meet(vv);
+                }
+                self.gss.join(&min);
+            }
+        }
+    }
+
+    fn heartbeat(&mut self, ctx: &mut dyn ActorCtx<Msg>) {
+        let idle_ns = ctx.now().saturating_sub(self.last_replicate_ns);
+        if idle_ns < self.cfg.heartbeat_interval_us * 1000 {
+            return;
+        }
+        let ts = self.clock_ts(ctx).max(self.last_ts);
+        self.vv.raise(self.my_dc, ts);
+        for dc in 0..self.cfg.n_dcs {
+            if dc as usize != self.my_dc {
+                let peer = Addr::server(contrarian_types::DcId(dc), self.addr.partition());
+                ctx.send(peer, Msg::Heartbeat { origin: self.addr.dc, ts });
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use contrarian_sim::testkit::ScriptCtx;
+    use contrarian_types::{ClientId, DcId, PartitionId};
+
+    fn addr() -> Addr {
+        Addr::server(DcId(0), PartitionId(0))
+    }
+
+    fn tx() -> TxId {
+        TxId::new(ClientId::new(DcId(0), 0), 0)
+    }
+
+    fn client() -> Addr {
+        Addr::client(DcId(0), 0)
+    }
+
+    #[test]
+    fn lagging_clock_blocks_read_until_caught_up() {
+        // Server clock is 3ms behind true time.
+        let cfg = ClusterConfig::small();
+        let mut s = Server::new(addr(), cfg, PhysicalClockModel::with_offset_ns(-3_000_000));
+        let mut ctx = ScriptCtx::new(addr());
+        ctx.now = 5_000_000; // true 5ms, local clock 2ms
+        let mut sv = DepVector::zero(1);
+        sv.set(0, hlc::encode(4_000, 0)); // snapshot at 4ms
+        s.on_message(&mut ctx, client(), Msg::RotRead { tx: tx(), keys: vec![Key(0)], sv });
+        assert!(ctx.drain_sent().is_empty(), "read must block");
+        assert_eq!(s.blocked_ops, 1);
+        let (wake, _) = ctx.timers[0];
+        // Local clock reaches 4ms+ at true 7ms+.
+        assert!(wake > 7_000_000 && wake < 7_100_000, "wake at {wake}");
+        // Fire the resume: the read completes.
+        ctx.now = wake;
+        s.on_timer(&mut ctx, TimerKind::new(timers::RESUME));
+        assert_eq!(ctx.drain_to(client()).len(), 1);
+    }
+
+    #[test]
+    fn ahead_clock_serves_immediately() {
+        let cfg = ClusterConfig::small();
+        let mut s = Server::new(addr(), cfg, PhysicalClockModel::with_offset_ns(2_000_000));
+        let mut ctx = ScriptCtx::new(addr());
+        ctx.now = 5_000_000;
+        let mut sv = DepVector::zero(1);
+        sv.set(0, hlc::encode(4_000, 0));
+        s.on_message(&mut ctx, client(), Msg::RotRead { tx: tx(), keys: vec![Key(0)], sv });
+        assert_eq!(ctx.drain_to(client()).len(), 1, "no blocking when clock is ahead");
+        assert_eq!(s.blocked_ops, 0);
+    }
+
+    #[test]
+    fn snapshot_request_blocks_on_future_client_timestamp() {
+        let cfg = ClusterConfig::small();
+        let mut s = Server::new(addr(), cfg, PhysicalClockModel::perfect());
+        let mut ctx = ScriptCtx::new(addr());
+        ctx.now = 1_000_000; // clock at 1ms
+        let lts = hlc::encode(2_000, 0); // client saw 2ms
+        s.on_message(&mut ctx, client(), Msg::RotSnapReq { tx: tx(), lts, gss: DepVector::zero(1) });
+        assert!(ctx.drain_sent().is_empty());
+        ctx.now = 2_100_000;
+        s.on_timer(&mut ctx, TimerKind::new(timers::RESUME));
+        match ctx.drain_to(client()).pop() {
+            Some(Msg::RotSnap { sv, .. }) => assert!(sv[0] > lts),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn put_blocks_until_clock_passes_dependency() {
+        let cfg = ClusterConfig::small();
+        let mut s = Server::new(addr(), cfg, PhysicalClockModel::perfect());
+        let mut ctx = ScriptCtx::new(addr());
+        ctx.now = 1_000_000;
+        let lts = hlc::encode(5_000, 0);
+        s.on_message(
+            &mut ctx,
+            client(),
+            Msg::PutReq { key: Key(0), value: Value::from_static(b"v"), lts, gss: DepVector::zero(1) },
+        );
+        assert!(ctx.drain_sent().is_empty(), "PUT must wait for the clock");
+        ctx.now = 5_200_000;
+        s.on_timer(&mut ctx, TimerKind::new(timers::RESUME));
+        match ctx.drain_to(client()).pop() {
+            Some(Msg::PutResp { vid, .. }) => assert!(vid.ts > lts),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn put_timestamps_strictly_increase_even_with_stalled_clock() {
+        let cfg = ClusterConfig::small();
+        let mut s = Server::new(addr(), cfg, PhysicalClockModel::perfect());
+        let mut ctx = ScriptCtx::new(addr());
+        ctx.now = 1_000_000;
+        let mut last = 0;
+        for _ in 0..5 {
+            s.on_message(
+                &mut ctx,
+                client(),
+                Msg::PutReq { key: Key(0), value: Value::new(), lts: 0, gss: DepVector::zero(1) },
+            );
+            match ctx.drain_to(client()).pop() {
+                Some(Msg::PutResp { vid, .. }) => {
+                    assert!(vid.ts > last);
+                    last = vid.ts;
+                }
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn read_returns_version_within_snapshot() {
+        let cfg = ClusterConfig::small();
+        let mut s = Server::new(addr(), cfg, PhysicalClockModel::perfect());
+        let mut ctx = ScriptCtx::new(addr());
+        ctx.now = 1_000_000;
+        s.on_message(
+            &mut ctx,
+            client(),
+            Msg::PutReq { key: Key(0), value: Value::from_static(b"a"), lts: 0, gss: DepVector::zero(1) },
+        );
+        let v1 = match ctx.drain_to(client()).pop() {
+            Some(Msg::PutResp { vid, .. }) => vid,
+            other => panic!("unexpected {other:?}"),
+        };
+        ctx.now = 2_000_000;
+        s.on_message(
+            &mut ctx,
+            client(),
+            Msg::PutReq { key: Key(0), value: Value::from_static(b"b"), lts: 0, gss: DepVector::zero(1) },
+        );
+        ctx.drain_sent();
+        // Snapshot at v1: reads must see "a".
+        let mut sv = DepVector::zero(1);
+        sv.set(0, v1.ts);
+        s.on_message(&mut ctx, client(), Msg::RotRead { tx: tx(), keys: vec![Key(0)], sv });
+        match ctx.drain_to(client()).pop() {
+            Some(Msg::RotSlice { pairs, .. }) => {
+                assert_eq!(pairs[0].1.as_ref().unwrap().0, v1);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,23 @@
+//! Runs every experiment of the paper in sequence (Tables 1–2, Figures 4–9,
+//! the Section 5.8 value-size study, and the Section 6 theory harness).
+//!
+//! Scale with `CONTRARIAN_SCALE=smoke|quick|paper`.
+
+use std::process::Command;
+
+fn main() {
+    let bins = [
+        "table1", "table2", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "value_size",
+        "theory",
+    ];
+    let exe = std::env::current_exe().expect("own path");
+    let dir = exe.parent().expect("bin dir");
+    for bin in bins {
+        println!("\n################ running {bin} ################");
+        let status = Command::new(dir.join(bin))
+            .status()
+            .unwrap_or_else(|e| panic!("failed to launch {bin}: {e}"));
+        assert!(status.success(), "{bin} failed");
+    }
+    println!("\nall experiments completed; CSVs are under results/");
+}

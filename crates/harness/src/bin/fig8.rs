@@ -1,0 +1,59 @@
+//! Figure 8: effect of the skew in data popularity `z ∈ {0, 0.8, 0.99}`
+//! (single DC, default workload otherwise).
+//!
+//! Paper's findings (Section 5.6): skew barely moves Contrarian, but
+//! hampers CC-LO: hot keys are written frequently, so reader records stay
+//! fresh (less GC relief), dependency chains grow, and readers checks carry
+//! more ids. At any skew the ids exchanged grow linearly with clients.
+
+use contrarian_harness::experiment::{sweep_series, Protocol, Scale};
+use contrarian_harness::figures::{emit_figure, peak_ratio};
+use contrarian_types::ClusterConfig;
+use contrarian_workload::WorkloadSpec;
+
+fn main() {
+    let scale = Scale::from_env();
+    let cluster = ClusterConfig::paper_default();
+    let mut series = Vec::new();
+    for z in [0.99, 0.8, 0.0] {
+        let wl = WorkloadSpec::paper_default().with_zipf(z);
+        series.push(sweep_series(
+            &format!("Contrarian z={z}"),
+            Protocol::Contrarian,
+            cluster.clone(),
+            wl.clone(),
+            &scale,
+            42,
+        ));
+        series.push(sweep_series(
+            &format!("CC-LO z={z}"),
+            Protocol::CcLo,
+            cluster.clone(),
+            wl,
+            &scale,
+            42,
+        ));
+    }
+    emit_figure("fig8", "skew sweep (single DC)", &series);
+
+    let contr_z99 = &series[0];
+    let cclo_z99 = &series[1];
+    let contr_z0 = &series[4];
+    let cclo_z0 = &series[5];
+    println!("paper vs measured:");
+    println!(
+        "  Contrarian peak z=0.99 vs z=0: {:.1} vs {:.1} Kops/s (skew ~irrelevant)",
+        contr_z99.peak_throughput(),
+        contr_z0.peak_throughput()
+    );
+    println!(
+        "  CC-LO peak z=0.99 vs z=0: {:.1} vs {:.1} Kops/s (skew hurts)",
+        cclo_z99.peak_throughput(),
+        cclo_z0.peak_throughput()
+    );
+    println!(
+        "  Contrarian/CC-LO peak ratio at z=0.99: {:.2}x, at z=0: {:.2}x",
+        peak_ratio(contr_z99, cclo_z99),
+        peak_ratio(contr_z0, cclo_z0)
+    );
+}

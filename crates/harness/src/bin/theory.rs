@@ -1,0 +1,72 @@
+//! Section 6, executably: Theorem 1 (the cost of latency-optimal ROTs) and
+//! its lemmas demonstrated on real protocol state machines.
+
+use contrarian_harness::table;
+use contrarian_harness::theory::{distinguishability, run_cclo_scenario, run_strawman_scenario};
+
+fn main() {
+    println!("\n=== Section 6: the inherent cost of latency-optimal ROTs ===");
+
+    // Part 1: the straw-man refutation.
+    println!("\n--- straw-man LO protocol (Lamport clocks only, no readers communicated) ---");
+    let s = run_strawman_scenario(&[0, 1, 2]);
+    let report = s.check();
+    println!(
+        "E* schedule: readers read x before X1, y after Y1 became visible.\n\
+         returned snapshots: {:?}",
+        s.reads
+            .iter()
+            .map(|(tx, vx, vy)| format!("{tx}: (x={vx:?}, y={vy:?})"))
+            .collect::<Vec<_>>()
+    );
+    println!(
+        "causal checker: {} violation(s) — {}",
+        report.violations.len(),
+        report.violations.first().map(String::as_str).unwrap_or("none")
+    );
+    assert!(!report.ok(), "the straw-man must violate causal consistency");
+
+    // Part 2: CC-LO under the same adversarial schedule.
+    println!("\n--- CC-LO (COPS-SNOW) under the same schedule ---");
+    let c = run_cclo_scenario(&[0, 1, 2]);
+    let report = c.check();
+    println!(
+        "returned snapshots: {:?}",
+        c.reads
+            .iter()
+            .map(|(tx, vx, vy)| format!("{tx}: (x={vx:?}, y={vy:?})"))
+            .collect::<Vec<_>>()
+    );
+    println!(
+        "causal checker: {} violation(s); readers check carried {} ROT id(s) from px to py",
+        report.violations.len(),
+        c.transcript.len()
+    );
+    assert!(report.ok());
+
+    // Part 3: Lemma 1 / Lemma 2 — distinguishability over all reader
+    // subsets, communication ≥ |D| bits.
+    println!("\n--- Lemma 1/2: distinct reader subsets force distinct communication ---\n");
+    let headers = ["|D| clients", "executions (2^|D|)", "distinct transcripts", "min bits", "max ids in transcript"];
+    let mut rows = Vec::new();
+    for n in 1..=8u16 {
+        let d = distinguishability(n);
+        rows.push(vec![
+            d.n_clients.to_string(),
+            d.executions.to_string(),
+            d.distinct_transcripts.to_string(),
+            d.min_bits.to_string(),
+            d.max_transcript_ids.to_string(),
+        ]);
+    }
+    println!("{}", table::render(&headers, &rows));
+    match table::write_csv("theory.csv", &headers, &rows) {
+        Ok(p) => println!("wrote {p}"),
+        Err(e) => eprintln!("could not write CSV: {e}"),
+    }
+    println!(
+        "every subset of readers produced a different px→py transcript, so the\n\
+         worst-case readers-check communication is at least |D| bits — linear in\n\
+         the number of clients, before every dangerous PUT completes (Theorem 1)."
+    );
+}

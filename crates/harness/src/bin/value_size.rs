@@ -1,0 +1,46 @@
+//! Section 5.8 (no figure in the paper): effect of the value size
+//! `b ∈ {8, 128, 2048}` bytes (single DC).
+//!
+//! Paper's findings: larger values raise per-byte marshalling and
+//! transmission costs for both systems, shrinking the relative gap; even at
+//! b=2048 Contrarian keeps lower-or-comparable ROT latency and ≈43% higher
+//! peak throughput.
+
+use contrarian_harness::experiment::{sweep_series, Protocol, Scale};
+use contrarian_harness::figures::{emit_figure, peak_ratio};
+use contrarian_types::ClusterConfig;
+use contrarian_workload::WorkloadSpec;
+
+fn main() {
+    let scale = Scale::from_env();
+    let cluster = ClusterConfig::paper_default();
+    let mut series = Vec::new();
+    for b in [8usize, 128, 2048] {
+        let wl = WorkloadSpec::paper_default().with_value_size(b);
+        series.push(sweep_series(
+            &format!("Contrarian b={b}"),
+            Protocol::Contrarian,
+            cluster.clone(),
+            wl.clone(),
+            &scale,
+            42,
+        ));
+        series.push(sweep_series(
+            &format!("CC-LO b={b}"),
+            Protocol::CcLo,
+            cluster.clone(),
+            wl,
+            &scale,
+            42,
+        ));
+    }
+    emit_figure("value_size", "value-size sweep (single DC, Section 5.8)", &series);
+
+    println!("paper vs measured (ratio should shrink with b; ~1.43x at b=2048):");
+    for (i, b) in [8, 128, 2048].iter().enumerate() {
+        println!(
+            "  b={b}: Contrarian/CC-LO peak ratio {:.2}x",
+            peak_ratio(&series[2 * i], &series[2 * i + 1])
+        );
+    }
+}

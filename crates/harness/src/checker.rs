@@ -1,0 +1,323 @@
+//! The causal-consistency checker.
+//!
+//! Replays a recorded execution history and verifies, for every ROT, the
+//! causal snapshot property of Section 2.2: if a ROT returns `X` for key
+//! `x` and `Y` for key `y`, there must be no `X'` on `x` with
+//! `X ; X' ; Y`. It also verifies per-client session guarantees (monotonic
+//! reads, read-your-writes).
+//!
+//! Ground-truth causality is reconstructed from client sessions: a version
+//! causally depends on everything its writer had observed (read or written)
+//! when the PUT was issued; the relation is closed transitively through the
+//! version dependency graph.
+
+use contrarian_types::{HistoryEvent, Key, VersionId};
+use std::collections::HashMap;
+use std::rc::Rc;
+
+type Node = (Key, VersionId);
+
+/// The verdict of a history check.
+#[derive(Debug, Default)]
+pub struct CheckReport {
+    pub violations: Vec<String>,
+    pub rots_checked: usize,
+    pub versions: usize,
+}
+
+impl CheckReport {
+    pub fn ok(&self) -> bool {
+        self.violations.is_empty()
+    }
+}
+
+/// Per-key maximum versions in a version's causal past (including itself).
+type Past = Rc<HashMap<Key, VersionId>>;
+
+struct Graph {
+    /// version → its direct dependencies (the writer's observed frontier).
+    deps: HashMap<Node, Vec<Node>>,
+    past: HashMap<Node, Past>,
+}
+
+impl Graph {
+    fn new() -> Self {
+        Graph { deps: HashMap::new(), past: HashMap::new() }
+    }
+
+    /// The causal past of `node` as a per-key max-version map, memoized,
+    /// computed iteratively (dependency chains grow with the execution).
+    fn past_of(&mut self, node: Node) -> Past {
+        if let Some(p) = self.past.get(&node) {
+            return p.clone();
+        }
+        let mut stack = vec![node];
+        while let Some(&n) = stack.last() {
+            if self.past.contains_key(&n) {
+                stack.pop();
+                continue;
+            }
+            let deps = self.deps.get(&n).cloned().unwrap_or_default();
+            let unresolved: Vec<Node> =
+                deps.iter().copied().filter(|d| !self.past.contains_key(d)).collect();
+            if !unresolved.is_empty() {
+                stack.extend(unresolved);
+                continue;
+            }
+            stack.pop();
+            let mut merged: HashMap<Key, VersionId> = HashMap::new();
+            for d in &deps {
+                raise(&mut merged, d.0, d.1);
+                let dp = self.past[d].clone();
+                for (k, v) in dp.iter() {
+                    raise(&mut merged, *k, *v);
+                }
+            }
+            raise(&mut merged, n.0, n.1);
+            self.past.insert(n, Rc::new(merged));
+        }
+        self.past[&node].clone()
+    }
+}
+
+fn raise(m: &mut HashMap<Key, VersionId>, k: Key, v: VersionId) {
+    match m.get_mut(&k) {
+        Some(cur) => {
+            if v > *cur {
+                *cur = v;
+            }
+        }
+        None => {
+            m.insert(k, v);
+        }
+    }
+}
+
+/// Checks a recorded history. Events must be in recording order (which the
+/// deterministic runtimes guarantee is each client's session order).
+pub fn check_causal(history: &[HistoryEvent]) -> CheckReport {
+    let mut report = CheckReport::default();
+    let mut graph = Graph::new();
+    // Per-client observed frontier: key → max version observed.
+    let mut frontier: HashMap<contrarian_types::ClientId, HashMap<Key, VersionId>> =
+        HashMap::new();
+
+    // Pass 1: build the dependency graph from client sessions, and run the
+    // session checks along the way.
+    for ev in history {
+        match ev {
+            HistoryEvent::PutDone { client, key, vid, .. } => {
+                let f = frontier.entry(*client).or_default();
+                let deps: Vec<Node> = f.iter().map(|(k, v)| (*k, *v)).collect();
+                graph.deps.insert((*key, *vid), deps);
+                raise(f, *key, *vid);
+                report.versions += 1;
+            }
+            HistoryEvent::RotDone { client, tx, pairs, .. } => {
+                let f = frontier.entry(*client).or_default();
+                for (k, v) in pairs {
+                    match (f.get(k), v) {
+                        (Some(seen), Some(got)) if got < seen => {
+                            report.violations.push(format!(
+                                "session violation: {tx} read {k}@{got} after observing {k}@{seen}"
+                            ));
+                        }
+                        (Some(seen), None) => {
+                            report.violations.push(format!(
+                                "session violation: {tx} read {k}=⊥ after observing {k}@{seen}"
+                            ));
+                        }
+                        _ => {}
+                    }
+                }
+                for (k, v) in pairs {
+                    if let Some(v) = v {
+                        raise(f, *k, *v);
+                    }
+                }
+            }
+        }
+    }
+
+    // Pass 2: the causal snapshot property for every ROT.
+    for ev in history {
+        let HistoryEvent::RotDone { tx, pairs, .. } = ev else { continue };
+        report.rots_checked += 1;
+        for (kj, vj) in pairs {
+            let Some(vj) = vj else { continue };
+            let past = graph.past_of((*kj, *vj));
+            for (ki, vi) in pairs {
+                if ki == kj {
+                    continue;
+                }
+                if let Some(w) = past.get(ki) {
+                    let stale = match vi {
+                        None => true,            // read ⊥ but the past has a version
+                        Some(vi) => *w > *vi,    // read something older than the past requires
+                    };
+                    if stale {
+                        report.violations.push(format!(
+                            "causal snapshot violation: {tx} returned {ki}@{vi:?} and {kj}@{vj}, \
+                             but {kj}@{vj} causally depends on {ki}@{w}"
+                        ));
+                    }
+                }
+            }
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use contrarian_types::{ClientId, DcId, TxId};
+
+    fn client(i: u16) -> ClientId {
+        ClientId::new(DcId(0), i)
+    }
+
+    fn put(c: u16, seq: u32, key: u64, ts: u64) -> HistoryEvent {
+        HistoryEvent::PutDone {
+            client: client(c),
+            seq,
+            t_start: ts,
+            t_end: ts,
+            key: Key(key),
+            vid: VersionId::new(ts, DcId(0)),
+        }
+    }
+
+    fn rot(c: u16, seq: u32, pairs: Vec<(u64, Option<u64>)>) -> HistoryEvent {
+        HistoryEvent::RotDone {
+            client: client(c),
+            tx: TxId::new(client(c), seq),
+            t_start: 0,
+            t_end: 0,
+            pairs: pairs
+                .iter()
+                .map(|(k, v)| (Key(*k), v.map(|ts| VersionId::new(ts, DcId(0)))))
+                .collect(),
+            values: vec![None; pairs.len()],
+        }
+    }
+
+    #[test]
+    fn empty_history_is_consistent() {
+        assert!(check_causal(&[]).ok());
+    }
+
+    #[test]
+    fn consistent_snapshot_passes() {
+        // Writer: X0, Y0, X1, Y1 (the Figure 1 chain). Reading (X0, Y0) or
+        // (X1, Y1) or (X1, Y0) is fine.
+        let h = vec![
+            put(0, 0, 0, 10), // X0
+            put(0, 1, 1, 20), // Y0 (depends on X0)
+            put(0, 2, 0, 30), // X1
+            put(0, 3, 1, 40), // Y1 (depends on X1)
+            rot(1, 0, vec![(0, Some(10)), (1, Some(20))]),
+            rot(1, 1, vec![(0, Some(30)), (1, Some(40))]),
+            rot(2, 0, vec![(0, Some(30)), (1, Some(20))]),
+        ];
+        let r = check_causal(&h);
+        assert!(r.ok(), "violations: {:?}", r.violations);
+        assert_eq!(r.rots_checked, 3);
+        assert_eq!(r.versions, 4);
+    }
+
+    #[test]
+    fn figure1_anomaly_is_detected() {
+        // The paper's canonical anomaly: ROT returns (X0, Y1) although
+        // X0 ; X1 ; Y1.
+        let h = vec![
+            put(0, 0, 0, 10), // X0
+            put(0, 1, 0, 30), // X1
+            put(0, 2, 1, 40), // Y1 depends on X1
+            rot(1, 0, vec![(0, Some(10)), (1, Some(40))]),
+        ];
+        let r = check_causal(&h);
+        assert_eq!(r.violations.len(), 1);
+        assert!(r.violations[0].contains("causal snapshot violation"));
+    }
+
+    #[test]
+    fn bottom_read_with_causal_past_is_detected() {
+        // Y1 depends on X1; a ROT seeing Y1 but ⊥ for x is inconsistent.
+        let h = vec![
+            put(0, 0, 0, 30), // X1
+            put(0, 1, 1, 40), // Y1
+            rot(1, 0, vec![(0, None), (1, Some(40))]),
+        ];
+        assert!(!check_causal(&h).ok());
+    }
+
+    #[test]
+    fn cross_client_causality_via_reads() {
+        // c0 writes X1. c1 reads X1 then writes Y1 (so X1 ; Y1 through
+        // c1's session). A ROT returning (X0, Y1) violates.
+        let h = vec![
+            put(0, 0, 0, 10), // X0
+            put(0, 1, 0, 30), // X1
+            rot(1, 0, vec![(0, Some(30))]),
+            put(1, 0, 1, 50), // Y1: deps include X1 via c1's read
+            rot(2, 0, vec![(0, Some(10)), (1, Some(50))]),
+        ];
+        let r = check_causal(&h);
+        assert_eq!(r.violations.len(), 1);
+    }
+
+    #[test]
+    fn transitive_chain_is_closed() {
+        // X1 ; Y1 ; Z1 through two different clients; reading (X0, Z1)
+        // must still be flagged.
+        let h = vec![
+            put(0, 0, 0, 10), // X0
+            put(0, 1, 0, 20), // X1
+            rot(1, 0, vec![(0, Some(20))]),
+            put(1, 0, 1, 30), // Y1 (dep X1)
+            rot(2, 0, vec![(1, Some(30))]),
+            put(2, 0, 2, 40), // Z1 (dep Y1 → X1)
+            rot(3, 0, vec![(0, Some(10)), (2, Some(40))]),
+        ];
+        let r = check_causal(&h);
+        assert_eq!(r.violations.len(), 1, "{:?}", r.violations);
+    }
+
+    #[test]
+    fn monotonic_read_violation_is_detected() {
+        let h = vec![
+            put(0, 0, 0, 10),
+            put(0, 1, 0, 20),
+            rot(1, 0, vec![(0, Some(20))]),
+            rot(1, 1, vec![(0, Some(10))]), // goes backwards
+        ];
+        let r = check_causal(&h);
+        assert_eq!(r.violations.len(), 1);
+        assert!(r.violations[0].contains("session violation"));
+    }
+
+    #[test]
+    fn read_your_writes_violation_is_detected() {
+        let h = vec![
+            put(0, 0, 0, 10),
+            rot(0, 0, vec![(0, None)]), // own write vanished
+        ];
+        assert!(!check_causal(&h).ok());
+    }
+
+    #[test]
+    fn concurrent_versions_do_not_false_positive() {
+        // Two clients write x concurrently (no causal relation); a third
+        // reads either version with unrelated y — consistent.
+        let h = vec![
+            put(0, 0, 0, 10),
+            put(1, 0, 0, 11),
+            put(2, 0, 1, 5),
+            rot(3, 0, vec![(0, Some(10)), (1, Some(5))]),
+            rot(4, 0, vec![(0, Some(11)), (1, Some(5))]),
+        ];
+        let r = check_causal(&h);
+        assert!(r.ok(), "{:?}", r.violations);
+    }
+}

@@ -1,0 +1,337 @@
+//! Running one measured experiment (one protocol, one cluster, one load).
+
+use contrarian_sim::cost::CostModel;
+use contrarian_sim::metrics::Metrics;
+use contrarian_types::{ClusterConfig, HistoryEvent, RotMode};
+use contrarian_workload::WorkloadSpec;
+use std::collections::BTreeMap;
+
+/// Which of the three systems to run (Contrarian in either ROT mode).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Protocol {
+    /// Contrarian, 1½-round ROTs (the default configuration).
+    Contrarian,
+    /// Contrarian, 2-round ROTs (Figure 4's throughput-oriented variant).
+    ContrarianTwoRound,
+    /// CC-LO: the COPS-SNOW latency-optimal design.
+    CcLo,
+    /// Cure: blocking two-round design on physical clocks.
+    Cure,
+}
+
+impl Protocol {
+    pub fn label(self) -> &'static str {
+        match self {
+            Protocol::Contrarian => "Contrarian",
+            Protocol::ContrarianTwoRound => "Contrarian-2R",
+            Protocol::CcLo => "CC-LO",
+            Protocol::Cure => "Cure",
+        }
+    }
+}
+
+/// Experiment scale knobs (see crate docs).
+#[derive(Clone, Debug)]
+pub struct Scale {
+    pub warmup_ns: u64,
+    pub measure_ns: u64,
+    /// Client counts per DC for load sweeps.
+    pub load_points: Vec<u16>,
+    /// Client counts for the Figure 6 sweep.
+    pub fig6_points: Vec<u16>,
+}
+
+impl Scale {
+    pub fn smoke() -> Self {
+        Scale {
+            warmup_ns: 60_000_000,
+            measure_ns: 150_000_000,
+            load_points: vec![8, 64, 192],
+            fig6_points: vec![10, 60],
+        }
+    }
+
+    pub fn quick() -> Self {
+        Scale {
+            warmup_ns: 200_000_000,
+            measure_ns: 600_000_000,
+            load_points: vec![4, 16, 48, 96, 160, 256, 384],
+            fig6_points: vec![10, 120, 360, 560],
+        }
+    }
+
+    pub fn paper() -> Self {
+        Scale {
+            warmup_ns: 500_000_000,
+            measure_ns: 2_000_000_000,
+            load_points: vec![4, 16, 48, 96, 160, 224, 288, 384, 512],
+            fig6_points: vec![10, 60, 120, 240, 360, 480, 560],
+        }
+    }
+
+    pub fn from_env() -> Self {
+        match std::env::var("CONTRARIAN_SCALE").as_deref() {
+            Ok("smoke") => Scale::smoke(),
+            Ok("paper") => Scale::paper(),
+            _ => Scale::quick(),
+        }
+    }
+}
+
+/// Full description of one run.
+#[derive(Clone, Debug)]
+pub struct ExperimentConfig {
+    pub protocol: Protocol,
+    pub cluster: ClusterConfig,
+    pub workload: WorkloadSpec,
+    pub clients_per_dc: u16,
+    pub warmup_ns: u64,
+    pub measure_ns: u64,
+    pub seed: u64,
+    pub cost: CostModel,
+    /// Record history for the causal checker (functional runs only: it
+    /// keeps every operation in memory).
+    pub record: bool,
+}
+
+impl ExperimentConfig {
+    /// The paper's default workload on the paper's default platform.
+    pub fn paper_default(protocol: Protocol) -> Self {
+        ExperimentConfig {
+            protocol,
+            cluster: ClusterConfig::paper_default(),
+            workload: WorkloadSpec::paper_default(),
+            clients_per_dc: 64,
+            warmup_ns: 200_000_000,
+            measure_ns: 600_000_000,
+            seed: 42,
+            cost: CostModel::calibrated(),
+            record: false,
+        }
+    }
+
+    /// A tiny functional configuration for checker-driven tests.
+    pub fn functional(protocol: Protocol) -> Self {
+        ExperimentConfig {
+            protocol,
+            cluster: ClusterConfig::small(),
+            workload: WorkloadSpec::paper_default().with_rot_size(2),
+            clients_per_dc: 4,
+            warmup_ns: 0,
+            measure_ns: 30_000_000,
+            seed: 7,
+            cost: CostModel::functional(),
+            record: true,
+        }
+    }
+}
+
+/// The measured outcome of one run.
+#[derive(Clone, Debug)]
+pub struct RunResult {
+    pub protocol: Protocol,
+    pub clients_per_dc: u16,
+    pub throughput_kops: f64,
+    pub avg_rot_ms: f64,
+    pub p99_rot_ms: f64,
+    pub avg_put_ms: f64,
+    pub p99_put_ms: f64,
+    pub counters: BTreeMap<&'static str, u64>,
+    pub history: Vec<HistoryEvent>,
+}
+
+impl RunResult {
+    fn from_metrics(
+        protocol: Protocol,
+        clients_per_dc: u16,
+        m: &Metrics,
+        measure_ns: u64,
+        history: Vec<HistoryEvent>,
+    ) -> Self {
+        let secs = measure_ns as f64 / 1e9;
+        RunResult {
+            protocol,
+            clients_per_dc,
+            throughput_kops: m.ops_done() as f64 / secs / 1e3,
+            avg_rot_ms: m.rot_latency.mean() / 1e6,
+            p99_rot_ms: m.rot_latency.percentile(99.0) as f64 / 1e6,
+            avg_put_ms: m.put_latency.mean() / 1e6,
+            p99_put_ms: m.put_latency.percentile(99.0) as f64 / 1e6,
+            counters: m.counters.clone(),
+            history,
+        }
+    }
+
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+}
+
+/// Runs one experiment to completion: warmup, measurement window, result
+/// extraction. Fully deterministic given the seed.
+pub fn run_experiment(cfg: &ExperimentConfig) -> RunResult {
+    macro_rules! drive {
+        ($sim:expr) => {{
+            let mut sim = $sim;
+            sim.set_recording(cfg.record);
+            sim.start();
+            sim.run_until(cfg.warmup_ns);
+            sim.metrics_mut().enabled = true;
+            sim.run_until(cfg.warmup_ns + cfg.measure_ns);
+            sim.metrics_mut().enabled = false;
+            // Let in-flight operations finish so histories are complete.
+            sim.set_stopped(true);
+            sim.run_to_quiescence(cfg.warmup_ns + cfg.measure_ns + 5_000_000_000);
+            let history = sim.take_history();
+            RunResult::from_metrics(
+                cfg.protocol,
+                cfg.clients_per_dc,
+                sim.metrics(),
+                cfg.measure_ns,
+                history,
+            )
+        }};
+    }
+
+    match cfg.protocol {
+        Protocol::Contrarian | Protocol::ContrarianTwoRound => {
+            let mode = if cfg.protocol == Protocol::Contrarian {
+                RotMode::OneHalfRound
+            } else {
+                RotMode::TwoRound
+            };
+            let p = contrarian_core::build::ClusterParams {
+                cfg: cfg.cluster.clone().with_rot_mode(mode),
+                cost: cfg.cost.clone(),
+                workload: cfg.workload.clone(),
+                clients_per_dc: cfg.clients_per_dc,
+                seed: cfg.seed,
+            };
+            drive!(contrarian_core::build::build_cluster(&p))
+        }
+        Protocol::CcLo => {
+            let p = contrarian_cclo::build::ClusterParams {
+                cfg: cfg.cluster.clone(),
+                cost: cfg.cost.clone(),
+                workload: cfg.workload.clone(),
+                clients_per_dc: cfg.clients_per_dc,
+                seed: cfg.seed,
+            };
+            drive!(contrarian_cclo::build::build_cluster(&p))
+        }
+        Protocol::Cure => {
+            let p = contrarian_cure::build::ClusterParams {
+                cfg: cfg.cluster.clone(),
+                cost: cfg.cost.clone(),
+                workload: cfg.workload.clone(),
+                clients_per_dc: cfg.clients_per_dc,
+                seed: cfg.seed,
+            };
+            drive!(contrarian_cure::build::build_cluster(&p))
+        }
+    }
+}
+
+/// One named throughput/latency curve (one line of a figure).
+#[derive(Clone, Debug)]
+pub struct Series {
+    pub name: String,
+    pub points: Vec<RunResult>,
+}
+
+impl Series {
+    pub fn peak_throughput(&self) -> f64 {
+        self.points.iter().map(|r| r.throughput_kops).fold(0.0, f64::max)
+    }
+
+    /// Latency at the lowest load point.
+    pub fn low_load_rot_ms(&self) -> f64 {
+        self.points.first().map(|r| r.avg_rot_ms).unwrap_or(0.0)
+    }
+}
+
+/// Runs a load sweep (one run per client count) for one protocol.
+pub fn sweep_series(
+    name: &str,
+    protocol: Protocol,
+    cluster: ClusterConfig,
+    workload: WorkloadSpec,
+    scale: &Scale,
+    seed: u64,
+) -> Series {
+    let mut points = Vec::with_capacity(scale.load_points.len());
+    for &clients in &scale.load_points {
+        let cfg = ExperimentConfig {
+            protocol,
+            cluster: cluster.clone(),
+            workload: workload.clone(),
+            clients_per_dc: clients,
+            warmup_ns: scale.warmup_ns,
+            measure_ns: scale.measure_ns,
+            seed,
+            cost: CostModel::calibrated(),
+            record: false,
+        };
+        let r = run_experiment(&cfg);
+        eprintln!(
+            "  [{name}] clients/DC={clients:<4} tput={:8.1} Kops/s  rot avg={:.3} ms p99={:.3} ms  put avg={:.3} ms",
+            r.throughput_kops, r.avg_rot_ms, r.p99_rot_ms, r.avg_put_ms
+        );
+        points.push(r);
+    }
+    Series { name: name.to_string(), points }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scale_from_env_defaults_to_quick() {
+        // (Environment is not set in tests.)
+        let s = Scale::from_env();
+        assert_eq!(s.load_points, Scale::quick().load_points);
+    }
+
+    #[test]
+    fn functional_run_produces_history_and_metrics() {
+        let cfg = ExperimentConfig::functional(Protocol::Contrarian);
+        let r = run_experiment(&cfg);
+        assert!(r.throughput_kops > 0.0);
+        assert!(!r.history.is_empty());
+        assert!(r.avg_rot_ms > 0.0);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let cfg = ExperimentConfig::functional(Protocol::CcLo);
+        let a = run_experiment(&cfg);
+        let b = run_experiment(&cfg);
+        assert_eq!(a.throughput_kops, b.throughput_kops);
+        assert_eq!(a.history.len(), b.history.len());
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut cfg = ExperimentConfig::functional(Protocol::Contrarian);
+        let a = run_experiment(&cfg);
+        cfg.seed = 8;
+        let b = run_experiment(&cfg);
+        // Same scale, but not bit-identical histories.
+        assert_ne!(a.history.len(), 0);
+        assert!(a.history.len() != b.history.len() || a.throughput_kops != b.throughput_kops);
+    }
+
+    #[test]
+    fn all_protocols_run() {
+        for p in [
+            Protocol::Contrarian,
+            Protocol::ContrarianTwoRound,
+            Protocol::CcLo,
+            Protocol::Cure,
+        ] {
+            let r = run_experiment(&ExperimentConfig::functional(p));
+            assert!(r.throughput_kops > 0.0, "{} made no progress", p.label());
+        }
+    }
+}

@@ -1,0 +1,89 @@
+//! Shared printing/CSV plumbing for the per-figure binaries.
+
+use crate::experiment::Series;
+use crate::table;
+
+/// Prints a figure's series as aligned tables and writes one CSV under
+/// `results/` with every point of every series.
+pub fn emit_figure(fig_id: &str, caption: &str, series: &[Series]) {
+    println!("\n=== {fig_id}: {caption} ===\n");
+    let headers =
+        ["series", "clients/DC", "tput Kops/s", "ROT avg ms", "ROT p99 ms", "PUT avg ms", "PUT p99 ms"];
+    let mut all_rows: Vec<Vec<String>> = Vec::new();
+    for s in series {
+        for r in &s.points {
+            all_rows.push(vec![
+                s.name.clone(),
+                r.clients_per_dc.to_string(),
+                table::f1(r.throughput_kops),
+                table::f3(r.avg_rot_ms),
+                table::f3(r.p99_rot_ms),
+                table::f3(r.avg_put_ms),
+                table::f3(r.p99_put_ms),
+            ]);
+        }
+    }
+    println!("{}", table::render(&headers, &all_rows));
+    match table::write_csv(&format!("{fig_id}.csv"), &headers, &all_rows) {
+        Ok(path) => println!("wrote {path}"),
+        Err(e) => eprintln!("could not write CSV: {e}"),
+    }
+    summary(series);
+}
+
+/// Prints the headline comparisons (peak throughput, low-load latency).
+pub fn summary(series: &[Series]) {
+    println!("\nsummary:");
+    for s in series {
+        println!(
+            "  {:<28} peak throughput {:>8.1} Kops/s   low-load ROT {:>6.3} ms",
+            s.name,
+            s.peak_throughput(),
+            s.low_load_rot_ms()
+        );
+    }
+    println!();
+}
+
+/// Ratio of two series' peak throughputs, for paper-vs-measured remarks.
+pub fn peak_ratio(a: &Series, b: &Series) -> f64 {
+    a.peak_throughput() / b.peak_throughput()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiment::{Protocol, RunResult};
+    use std::collections::BTreeMap;
+
+    fn point(clients: u16, tput: f64, rot: f64) -> RunResult {
+        RunResult {
+            protocol: Protocol::Contrarian,
+            clients_per_dc: clients,
+            throughput_kops: tput,
+            avg_rot_ms: rot,
+            p99_rot_ms: rot * 2.0,
+            avg_put_ms: rot / 2.0,
+            p99_put_ms: rot,
+            counters: BTreeMap::new(),
+            history: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn peak_and_low_load_are_extracted() {
+        let s = Series {
+            name: "test".into(),
+            points: vec![point(8, 50.0, 0.3), point(64, 200.0, 0.5), point(128, 180.0, 1.2)],
+        };
+        assert_eq!(s.peak_throughput(), 200.0);
+        assert_eq!(s.low_load_rot_ms(), 0.3);
+    }
+
+    #[test]
+    fn peak_ratio_compares_series() {
+        let a = Series { name: "a".into(), points: vec![point(8, 300.0, 0.3)] };
+        let b = Series { name: "b".into(), points: vec![point(8, 200.0, 0.3)] };
+        assert!((peak_ratio(&a, &b) - 1.5).abs() < 1e-9);
+    }
+}

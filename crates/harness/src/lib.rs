@@ -1,0 +1,23 @@
+//! The experiment harness: everything needed to regenerate the paper's
+//! tables and figures, plus the causal-consistency checker and the
+//! Section-6 theory harness.
+//!
+//! One binary per experiment lives in `src/bin/` (`fig4` … `fig9`,
+//! `table1`, `table2`, `value_size`, `theory`, `all`); each prints the
+//! series the paper reports and writes CSVs under `results/`.
+//!
+//! Experiment scale is controlled by the `CONTRARIAN_SCALE` environment
+//! variable: `smoke` (seconds, for CI), `quick` (the default, a few
+//! minutes), `paper` (longest, closest to the paper's methodology).
+
+pub mod checker;
+pub mod experiment;
+pub mod figures;
+pub mod table;
+pub mod table2;
+pub mod theory;
+
+pub use checker::{check_causal, CheckReport};
+pub use experiment::{
+    run_experiment, sweep_series, ExperimentConfig, Protocol, RunResult, Scale, Series,
+};

@@ -1,0 +1,118 @@
+//! Table 2 of the paper: characterization of CC systems with ROT support in
+//! a geo-replicated setting, encoded as structured data so the comparison
+//! can be regenerated (and extended) programmatically.
+
+/// One row of Table 2. `N`, `M`, `K` denote the number of partitions, DCs
+/// and clients per DC; `|deps|` is an explicit dependency list.
+#[derive(Clone, Debug)]
+pub struct SystemRow {
+    pub name: &'static str,
+    pub nonblocking: bool,
+    /// Client-visible communication rounds of a ROT.
+    pub rounds: &'static str,
+    /// Versions of a key a ROT may transfer.
+    pub versions: &'static str,
+    /// Write cost: client↔server communication.
+    pub write_comm_cs: &'static str,
+    /// Write cost: inter-server communication.
+    pub write_comm_ss: &'static str,
+    /// Write cost: client↔server metadata.
+    pub write_meta_cs: &'static str,
+    /// Write cost: inter-server metadata.
+    pub write_meta_ss: &'static str,
+    pub clock: &'static str,
+}
+
+/// The full Table 2.
+pub fn table2() -> Vec<SystemRow> {
+    vec![
+        SystemRow { name: "COPS", nonblocking: true, rounds: "<=2", versions: "<=2", write_comm_cs: "1", write_comm_ss: "-", write_meta_cs: "|deps|", write_meta_ss: "-", clock: "Logical" },
+        SystemRow { name: "Eiger", nonblocking: true, rounds: "<=2", versions: "<=2", write_comm_cs: "1", write_comm_ss: "-", write_meta_cs: "|deps|", write_meta_ss: "-", clock: "Logical" },
+        SystemRow { name: "ChainReaction", nonblocking: false, rounds: ">=2", versions: "1", write_comm_cs: "1", write_comm_ss: ">=1", write_meta_cs: "|deps|", write_meta_ss: "M", clock: "Logical" },
+        SystemRow { name: "Orbe", nonblocking: false, rounds: "2", versions: "1", write_comm_cs: "1", write_comm_ss: "-", write_meta_cs: "NxM", write_meta_ss: "-", clock: "Logical" },
+        SystemRow { name: "GentleRain", nonblocking: false, rounds: "2", versions: "1", write_comm_cs: "1", write_comm_ss: "-", write_meta_cs: "1", write_meta_ss: "-", clock: "Physical" },
+        SystemRow { name: "Cure", nonblocking: false, rounds: "2", versions: "1", write_comm_cs: "1", write_comm_ss: "-", write_meta_cs: "M", write_meta_ss: "-", clock: "Physical" },
+        SystemRow { name: "OCCULT", nonblocking: true, rounds: ">=1", versions: ">=1", write_comm_cs: "1", write_comm_ss: "-", write_meta_cs: "O(P)", write_meta_ss: "-", clock: "Hybrid" },
+        SystemRow { name: "POCC", nonblocking: false, rounds: "2", versions: "1", write_comm_cs: "1", write_comm_ss: "-", write_meta_cs: "M", write_meta_ss: "-", clock: "Physical" },
+        SystemRow { name: "COPS-SNOW", nonblocking: true, rounds: "1", versions: "1", write_comm_cs: "1", write_comm_ss: "O(N)", write_meta_cs: "|deps|", write_meta_ss: "O(K)", clock: "Logical" },
+        SystemRow { name: "Contrarian", nonblocking: true, rounds: "1 1/2 (or 2)", versions: "1", write_comm_cs: "1", write_comm_ss: "-", write_meta_cs: "M", write_meta_ss: "-", clock: "Hybrid" },
+    ]
+}
+
+/// Renders Table 2 as text.
+pub fn render_table2() -> String {
+    let rows: Vec<Vec<String>> = table2()
+        .iter()
+        .map(|r| {
+            vec![
+                r.name.to_string(),
+                if r.nonblocking { "yes" } else { "no" }.to_string(),
+                r.rounds.to_string(),
+                r.versions.to_string(),
+                r.write_comm_cs.to_string(),
+                r.write_comm_ss.to_string(),
+                r.write_meta_cs.to_string(),
+                r.write_meta_ss.to_string(),
+                r.clock.to_string(),
+            ]
+        })
+        .collect();
+    crate::table::render(
+        &[
+            "System",
+            "Nonblocking",
+            "#Rounds",
+            "#Versions",
+            "W comm c<->s",
+            "W comm s<->s",
+            "W meta c<->s",
+            "W meta s<->s",
+            "Clock",
+        ],
+        &rows,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn only_two_latency_optimal_candidates_are_single_round() {
+        // COPS-SNOW is the only 1-round system; Contrarian gives up exactly
+        // half a round.
+        let t = table2();
+        let one_round: Vec<&str> =
+            t.iter().filter(|r| r.rounds == "1").map(|r| r.name).collect();
+        assert_eq!(one_round, vec!["COPS-SNOW"]);
+    }
+
+    #[test]
+    fn only_cops_snow_pays_on_writes_between_servers() {
+        let t = table2();
+        for r in &t {
+            if r.name == "COPS-SNOW" {
+                assert_eq!(r.write_comm_ss, "O(N)");
+                assert_eq!(r.write_meta_ss, "O(K)", "the Theorem-1 linear-in-clients cost");
+            } else if r.name != "ChainReaction" {
+                assert_eq!(r.write_comm_ss, "-", "{}", r.name);
+            }
+        }
+    }
+
+    #[test]
+    fn contrarian_is_nonblocking_one_version_hybrid() {
+        let t = table2();
+        let c = t.iter().find(|r| r.name == "Contrarian").unwrap();
+        assert!(c.nonblocking);
+        assert_eq!(c.versions, "1");
+        assert_eq!(c.clock, "Hybrid");
+        assert_eq!(c.write_meta_cs, "M");
+    }
+
+    #[test]
+    fn renders_all_ten_systems() {
+        let s = render_table2();
+        assert_eq!(s.lines().count(), 12); // header + rule + 10 systems
+    }
+}

@@ -1,0 +1,370 @@
+//! The Section-6 theory harness: Theorem 1 ("the cost of latency-optimal
+//! ROTs is inherent and grows linearly with the number of clients") made
+//! executable.
+//!
+//! Three artifacts:
+//!
+//! 1. **The straw-man refutation** (end of Section 6): a protocol that
+//!    serves one-round, one-version, nonblocking ROTs using only Lamport
+//!    timestamps — *without* communicating readers — violates causal
+//!    consistency under the paper's E* schedule ([`run_strawman_scenario`];
+//!    the checker catches the `(X0, Y1)` snapshot).
+//! 2. **The same adversarial schedule against CC-LO**
+//!    ([`run_cclo_scenario`]): the readers check blocks the old readers from
+//!    `Y1`, so the execution stays causally consistent.
+//! 3. **Lemma 1, executably** ([`distinguishability`]): running the
+//!    schedule for every subset `R ⊆ D` of readers yields pairwise distinct
+//!    `px → py` readers-check transcripts — `2^|D|` distinguishable
+//!    behaviours need at least `|D|` bits, Lemma 2's counting argument.
+
+use crate::checker::{check_causal, CheckReport};
+use contrarian_cclo::msg::Msg as CMsg;
+use contrarian_cclo::server::Server as CcloServer;
+use contrarian_sim::testkit::ScriptCtx;
+use contrarian_types::{
+    Addr, ClientId, ClusterConfig, DcId, HistoryEvent, Key, PartitionId, TxId, Value, VersionId,
+};
+use std::collections::{BTreeSet, HashMap};
+
+fn px() -> Addr {
+    Addr::server(DcId(0), PartitionId(0))
+}
+
+fn py() -> Addr {
+    Addr::server(DcId(0), PartitionId(1))
+}
+
+fn x() -> Key {
+    Key(0) // partition 0 of 4
+}
+
+fn y() -> Key {
+    Key(1) // partition 1 of 4
+}
+
+fn cw() -> ClientId {
+    ClientId::new(DcId(0), 1000)
+}
+
+fn reader(i: u16) -> TxId {
+    TxId::new(ClientId::new(DcId(0), i), 0)
+}
+
+/// What a scripted execution produced.
+pub struct ScenarioResult {
+    /// The full client-observable history (feed to the checker).
+    pub history: Vec<HistoryEvent>,
+    /// The readers-check transcript px sent to py while `PUT(y, Y1)` was
+    /// completing: the (ROT id, read time) pairs (empty for the straw-man,
+    /// which never communicates readers).
+    pub transcript: Vec<(TxId, u64)>,
+    /// What each reader's ROT returned for (x, y).
+    pub reads: Vec<(TxId, Option<VersionId>, Option<VersionId>)>,
+    pub x0: VersionId,
+    pub y0: VersionId,
+    pub x1: VersionId,
+    pub y1: VersionId,
+}
+
+impl ScenarioResult {
+    pub fn check(&self) -> CheckReport {
+        check_causal(&self.history)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The straw-man: one-round ROTs on bare Lamport clocks, no reader tracking.
+// ---------------------------------------------------------------------------
+
+/// A "latency-optimal" server with no readers check: reads return the
+/// newest version immediately, writes install immediately. Lamport
+/// timestamps are tracked faithfully — the point of the paper's remark is
+/// that logical time *alone* cannot replace communicating readers.
+struct StrawmanServer {
+    lamport: u64,
+    heads: HashMap<Key, (VersionId, u64 /*create time*/)>,
+}
+
+impl StrawmanServer {
+    fn new() -> Self {
+        StrawmanServer { lamport: 0, heads: HashMap::new() }
+    }
+
+    fn put(&mut self, key: Key, client_lamport: u64) -> (VersionId, u64) {
+        self.lamport = self.lamport.max(client_lamport) + 1;
+        let vid = VersionId::new(self.lamport, DcId(0));
+        self.heads.insert(key, (vid, self.lamport));
+        (vid, self.lamport)
+    }
+
+    fn read(&mut self, key: Key, client_lamport: u64) -> (Option<VersionId>, u64) {
+        self.lamport = self.lamport.max(client_lamport) + 1;
+        (self.heads.get(&key).map(|(v, _)| *v), self.lamport)
+    }
+}
+
+/// Runs the E* schedule of Figure 10 against the straw-man: readers' x-reads
+/// arrive before `X1`, their y-reads after `Y1`. Returns the (violating)
+/// history.
+pub fn run_strawman_scenario(readers: &[u16]) -> ScenarioResult {
+    let mut sx = StrawmanServer::new();
+    let mut sy = StrawmanServer::new();
+    let mut history = Vec::new();
+    let mut wl = 0u64; // cw's lamport view
+
+    let mut put = |s: &mut StrawmanServer, key: Key, seq: u32, wl: &mut u64| {
+        let (vid, l) = s.put(key, *wl);
+        *wl = l;
+        history_put(&mut history, cw(), seq, key, vid);
+        vid
+    };
+
+    let x0 = put(&mut sx, x(), 0, &mut wl);
+    let y0 = put(&mut sy, y(), 1, &mut wl);
+
+    // t1: every reader's x-read arrives at px (before X1).
+    let mut x_reads = Vec::new();
+    for &r in readers {
+        let (vx, _) = sx.read(x(), 0);
+        x_reads.push((reader(r), vx));
+    }
+
+    let x1 = put(&mut sx, x(), 2, &mut wl);
+    let y1 = put(&mut sy, y(), 3, &mut wl);
+
+    // After τ(Y1): the y-reads arrive. No reader tracking → they see Y1.
+    let mut reads = Vec::new();
+    for (tx, vx) in x_reads {
+        let (vy, _) = sy.read(y(), 0);
+        history.push(rot_event(tx, vx, vy));
+        reads.push((tx, vx, vy));
+    }
+
+    ScenarioResult { history, transcript: Vec::new(), reads, x0, y0, x1, y1 }
+}
+
+// ---------------------------------------------------------------------------
+// The same schedule against the real CC-LO servers.
+// ---------------------------------------------------------------------------
+
+/// Drives a CC-LO PUT at `server`, pumping its readers-check messages to
+/// `peer` synchronously. Returns the new version and the transcript `peer`
+/// answered with.
+fn pump_put(
+    server: &mut CcloServer,
+    server_addr: Addr,
+    peer: &mut CcloServer,
+    peer_addr: Addr,
+    ctx: &mut ScriptCtx<CMsg>,
+    client: Addr,
+    key: Key,
+    deps: Vec<(Key, VersionId)>,
+    lamport: u64,
+) -> (VersionId, u64, Vec<(TxId, u64)>) {
+    ctx.at(server_addr, ctx.now);
+    server.on_message(ctx, client, CMsg::PutReq { key, value: Value::from_static(b"v"), deps, lamport });
+    let mut transcript = Vec::new();
+    // Deliver any readers-check queries to the peer and return the replies.
+    let queries = ctx.drain_to(peer_addr);
+    for q in queries {
+        ctx.at(peer_addr, ctx.now);
+        peer.on_message(ctx, server_addr, q);
+        let replies = ctx.drain_to(server_addr);
+        for r in replies {
+            if let CMsg::OldReadersReply { entries, .. } = &r {
+                transcript.extend(entries.iter().copied());
+            }
+            ctx.at(server_addr, ctx.now);
+            server.on_message(ctx, peer_addr, r);
+        }
+    }
+    match ctx.drain_to(client).pop() {
+        Some(CMsg::PutResp { vid, lamport, .. }) => (vid, lamport, transcript),
+        other => panic!("PUT did not complete: {other:?}"),
+    }
+}
+
+/// Runs the E* schedule against CC-LO. `readers` lists the client indices of
+/// the subset `R ⊆ D` issuing `ROT(x, y)` at `t1`.
+pub fn run_cclo_scenario(readers: &[u16]) -> ScenarioResult {
+    let cfg = ClusterConfig::small();
+    let mut sx = CcloServer::new(px(), cfg.clone());
+    let mut sy = CcloServer::new(py(), cfg);
+    let mut ctx: ScriptCtx<CMsg> = ScriptCtx::new(px());
+    let client = Addr::client(DcId(0), 1000);
+    let mut history = Vec::new();
+
+    // Warm px's clock so read times are comfortably above Y0's timestamp
+    // (purely cosmetic — the protocol is safe either way, just staler: a
+    // blocked reader with a too-low read-time bound gets ⊥ instead of Y0).
+    // An empty control query observes the lamport value without registering
+    // any reader.
+    ctx.at(px(), 0);
+    sx.on_message(&mut ctx, py(), CMsg::OldReadersQuery { token: u64::MAX, deps: vec![], lamport: 50 });
+    ctx.drain_sent();
+
+    // cw's causal chain X0 ; Y0 ; X1 ; Y1, each PUT issued after the
+    // previous completed.
+    let (x0, l0, _) = pump_put(&mut sx, px(), &mut sy, py(), &mut ctx, client, x(), vec![], 0);
+    history_put(&mut history, cw(), 0, x(), x0);
+    let (y0, l1, _) =
+        pump_put(&mut sy, py(), &mut sx, px(), &mut ctx, client, y(), vec![(x(), x0)], l0);
+    history_put(&mut history, cw(), 1, y(), y0);
+
+    // t1: the readers' x-reads reach px before X1.
+    let mut x_reads = Vec::new();
+    for &r in readers {
+        ctx.at(px(), ctx.now);
+        sx.on_message(&mut ctx, reader(r).client.into(), CMsg::RotRead {
+            tx: reader(r),
+            keys: vec![x()],
+            lamport: 0,
+        });
+        let vx = match ctx.drain_to(reader(r).client.into()).pop() {
+            Some(CMsg::RotSlice { pairs, .. }) => pairs[0].1.as_ref().map(|(v, _)| *v),
+            other => panic!("unexpected {other:?}"),
+        };
+        x_reads.push((reader(r), vx));
+    }
+
+    let (x1, l2, _) =
+        pump_put(&mut sx, px(), &mut sy, py(), &mut ctx, client, x(), vec![(y(), y0)], l1);
+    history_put(&mut history, cw(), 2, x(), x1);
+    // The dangerous PUT: Y1 depends on X1; py must interrogate px for old
+    // readers of x — the communication Theorem 1 proves unavoidable.
+    let (y1, _l3, transcript) =
+        pump_put(&mut sy, py(), &mut sx, px(), &mut ctx, client, y(), vec![(x(), x1)], l2);
+    history_put(&mut history, cw(), 3, y(), y1);
+
+    // After Y1 completes, the y-reads arrive.
+    let mut reads = Vec::new();
+    for (tx, vx) in x_reads {
+        ctx.at(py(), ctx.now);
+        sy.on_message(&mut ctx, tx.client.into(), CMsg::RotRead { tx, keys: vec![y()], lamport: 0 });
+        let vy = match ctx.drain_to(tx.client.into()).pop() {
+            Some(CMsg::RotSlice { pairs, .. }) => pairs[0].1.as_ref().map(|(v, _)| *v),
+            other => panic!("unexpected {other:?}"),
+        };
+        history.push(rot_event(tx, vx, vy));
+        reads.push((tx, vx, vy));
+    }
+
+    ScenarioResult { history, transcript, reads, x0, y0, x1, y1 }
+}
+
+fn history_put(history: &mut Vec<HistoryEvent>, client: ClientId, seq: u32, key: Key, vid: VersionId) {
+    history.push(HistoryEvent::PutDone {
+        client,
+        seq,
+        t_start: 0,
+        t_end: 0,
+        key,
+        vid,
+    });
+}
+
+fn rot_event(tx: TxId, vx: Option<VersionId>, vy: Option<VersionId>) -> HistoryEvent {
+    HistoryEvent::RotDone {
+        client: tx.client,
+        tx,
+        t_start: 0,
+        t_end: 0,
+        pairs: vec![(x(), vx), (y(), vy)],
+        values: vec![None, None],
+    }
+}
+
+/// Lemma 1 made executable: runs the schedule for **every** subset of `n`
+/// potential readers and reports how many distinct px→py transcripts the
+/// executions produced. If all `2^n` differ, the worst-case readers-check
+/// communication carries at least `n` bits (Lemma 2).
+pub struct DistinguishResult {
+    pub n_clients: u16,
+    pub executions: usize,
+    pub distinct_transcripts: usize,
+    pub min_bits: u32,
+    pub max_transcript_ids: usize,
+}
+
+pub fn distinguishability(n_clients: u16) -> DistinguishResult {
+    assert!(n_clients <= 12, "2^n executions — keep n small");
+    let mut transcripts: BTreeSet<Vec<(TxId, u64)>> = BTreeSet::new();
+    let mut max_ids = 0;
+    let total = 1usize << n_clients;
+    for mask in 0..total {
+        let readers: Vec<u16> =
+            (0..n_clients).filter(|i| mask & (1usize << i) != 0).collect();
+        let res = run_cclo_scenario(&readers);
+        // Every execution must also be causally consistent.
+        let report = res.check();
+        assert!(report.ok(), "CC-LO violated causality for R={readers:?}: {:?}", report.violations);
+        max_ids = max_ids.max(res.transcript.len());
+        transcripts.insert(res.transcript);
+    }
+    DistinguishResult {
+        n_clients,
+        executions: total,
+        distinct_transcripts: transcripts.len(),
+        min_bits: (transcripts.len() as f64).log2().ceil() as u32,
+        max_transcript_ids: max_ids,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strawman_violates_causal_consistency() {
+        let res = run_strawman_scenario(&[0, 1, 2]);
+        // Every reader saw (X0, Y1): the forbidden snapshot.
+        for (_, vx, vy) in &res.reads {
+            assert_eq!(*vx, Some(res.x0));
+            assert_eq!(*vy, Some(res.y1));
+        }
+        let report = res.check();
+        assert!(!report.ok(), "the straw-man must violate causality");
+        assert!(report.violations[0].contains("causal snapshot violation"));
+    }
+
+    #[test]
+    fn cclo_survives_the_same_schedule() {
+        let res = run_cclo_scenario(&[0, 1, 2]);
+        for (tx, vx, vy) in &res.reads {
+            assert_eq!(*vx, Some(res.x0), "{tx} read x before X1");
+            assert_ne!(*vy, Some(res.y1), "{tx} must not see Y1");
+            assert_eq!(*vy, Some(res.y0), "{tx} gets the version before its read time");
+        }
+        let report = res.check();
+        assert!(report.ok(), "{:?}", report.violations);
+        // And the protection was paid for in communication: px told py
+        // about all three readers.
+        assert_eq!(res.transcript.len(), 3);
+    }
+
+    #[test]
+    fn fresh_rots_still_see_y1() {
+        // Eventual visibility: a reader that was NOT an old reader of x
+        // observes the newest y.
+        let res = run_cclo_scenario(&[]);
+        assert!(res.transcript.is_empty());
+        assert!(res.check().ok());
+    }
+
+    #[test]
+    fn transcripts_distinguish_every_reader_subset() {
+        let r = distinguishability(5);
+        assert_eq!(r.executions, 32);
+        assert_eq!(r.distinct_transcripts, 32, "Lemma 1: different readers, different messages");
+        assert_eq!(r.min_bits, 5, "Lemma 2: at least |D| bits in the worst case");
+        assert_eq!(r.max_transcript_ids, 5, "worst case carries every client");
+    }
+
+    #[test]
+    fn communication_grows_linearly_with_readers() {
+        for n in [1u16, 3, 6] {
+            let res = run_cclo_scenario(&(0..n).collect::<Vec<_>>());
+            assert_eq!(res.transcript.len(), n as usize);
+        }
+    }
+}

@@ -1,0 +1,42 @@
+//! A deterministic discrete-event cluster simulator with a queueing cost
+//! model.
+//!
+//! ## Why a simulator
+//!
+//! The paper's evaluation ran on a 64-machine cluster; its headline result is
+//! a *resource contention* effect: the readers check that buys CC-LO its
+//! latency-"optimal" ROTs inflates the CPU demand of PUTs, driving up server
+//! utilization, queueing delays and ultimately ROT latency — even in
+//! read-heavy workloads. Reproducing that requires a substrate in which
+//! servers have finite processing capacity and messages queue. This crate
+//! provides exactly that:
+//!
+//! * every **server** is a queueing station with a configurable number of
+//!   worker threads; each message has a service time derived from an
+//!   explicit, calibrated [`cost::CostModel`] (per-message RX/TX CPU,
+//!   per-byte marshalling, per-ROT-id readers-check work, …);
+//! * every **link** has a per-hop latency plus per-byte wire time and
+//!   delivers FIFO;
+//! * **clients** are closed-loop and effectively infinitely parallel (client
+//!   machines were not the bottleneck in the paper either).
+//!
+//! The protocols themselves are *not* simulated — they are the real state
+//! machines from `contrarian-core`/`-cclo`/`-cure`, exchanging real messages
+//! with real bookkeeping (reader records, dependency vectors, garbage
+//! collection). Only CPU time and the network are modeled. The same state
+//! machines also run on a live multi-threaded transport
+//! (`contrarian-transport`).
+//!
+//! Runs are fully deterministic given a seed: events are ordered by
+//! `(time, sequence)` and all randomness flows from one PRNG.
+
+pub mod actor;
+pub mod cost;
+pub mod metrics;
+pub mod sim;
+pub mod testkit;
+
+pub use actor::{Actor, ActorCtx, TimerKind};
+pub use cost::{CostModel, SimMessage};
+pub use metrics::{Histogram, Metrics};
+pub use sim::Sim;

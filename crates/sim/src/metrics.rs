@@ -1,0 +1,281 @@
+//! Latency histograms and run-wide counters.
+
+use std::collections::BTreeMap;
+
+const SUB_BITS: u32 = 5;
+const SUB: usize = 1 << SUB_BITS;
+const N_BUCKETS: usize = (64 - SUB_BITS as usize + 1) * SUB + SUB;
+
+/// A log-bucketed histogram (~3% relative resolution, HdrHistogram-style):
+/// 32 linear buckets below 32, then 32 sub-buckets per power of two.
+#[derive(Clone, Debug)]
+pub struct Histogram {
+    buckets: Vec<u64>,
+    count: u64,
+    sum: u128,
+    max: u64,
+    min: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Histogram {
+    pub fn new() -> Self {
+        Histogram { buckets: vec![0; N_BUCKETS], count: 0, sum: 0, max: 0, min: u64::MAX }
+    }
+
+    #[inline]
+    fn bucket_of(v: u64) -> usize {
+        if v < SUB as u64 {
+            v as usize
+        } else {
+            let msb = 63 - v.leading_zeros();
+            let shift = msb - SUB_BITS;
+            let sub = ((v >> shift) & (SUB as u64 - 1)) as usize;
+            ((msb - SUB_BITS + 1) as usize) * SUB + sub
+        }
+    }
+
+    /// Lower bound of a bucket (inverse of `bucket_of`).
+    fn bucket_low(idx: usize) -> u64 {
+        if idx < SUB {
+            idx as u64
+        } else {
+            let exp = (idx / SUB - 1) as u32 + SUB_BITS;
+            let sub = (idx % SUB) as u64;
+            (1u64 << exp) + (sub << (exp - SUB_BITS))
+        }
+    }
+
+    pub fn record(&mut self, v: u64) {
+        self.buckets[Self::bucket_of(v)] += 1;
+        self.count += 1;
+        self.sum += v as u128;
+        self.max = self.max.max(v);
+        self.min = self.min.min(v);
+    }
+
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    pub fn min(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Approximate `p`-th percentile (`0 < p ≤ 100`).
+    pub fn percentile(&self, p: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let target = ((p / 100.0) * self.count as f64).ceil() as u64;
+        let mut acc = 0;
+        for (i, n) in self.buckets.iter().enumerate() {
+            acc += n;
+            if acc >= target.max(1) {
+                return Self::bucket_low(i);
+            }
+        }
+        self.max
+    }
+
+    pub fn clear(&mut self) {
+        self.buckets.iter_mut().for_each(|b| *b = 0);
+        self.count = 0;
+        self.sum = 0;
+        self.max = 0;
+        self.min = u64::MAX;
+    }
+
+    pub fn merge(&mut self, other: &Histogram) {
+        for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.max = self.max.max(other.max);
+        self.min = self.min.min(other.min);
+    }
+}
+
+/// Run-wide measurement state. `enabled` is flipped on after warmup.
+#[derive(Clone, Debug, Default)]
+pub struct Metrics {
+    pub enabled: bool,
+    /// End-to-end ROT latency, ns.
+    pub rot_latency: Histogram,
+    /// End-to-end PUT latency, ns.
+    pub put_latency: Histogram,
+    pub rots_done: u64,
+    pub puts_done: u64,
+    /// Messages delivered / bytes moved while enabled.
+    pub msgs: u64,
+    pub bytes: u64,
+    /// Aggregate server busy time, ns (utilization diagnostics).
+    pub busy_ns: u64,
+    /// Free-form protocol counters (e.g. readers-check statistics).
+    pub counters: BTreeMap<&'static str, u64>,
+}
+
+impl Metrics {
+    pub fn new() -> Self {
+        Metrics { enabled: false, ..Default::default() }
+    }
+
+    #[inline]
+    pub fn add(&mut self, name: &'static str, delta: u64) {
+        if self.enabled {
+            *self.counters.entry(name).or_insert(0) += delta;
+        }
+    }
+
+    #[inline]
+    pub fn rot_done(&mut self, latency_ns: u64) {
+        if self.enabled {
+            self.rots_done += 1;
+            self.rot_latency.record(latency_ns);
+        }
+    }
+
+    #[inline]
+    pub fn put_done(&mut self, latency_ns: u64) {
+        if self.enabled {
+            self.puts_done += 1;
+            self.put_latency.record(latency_ns);
+        }
+    }
+
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    pub fn ops_done(&self) -> u64 {
+        self.rots_done + self.puts_done
+    }
+
+    /// Folds another metrics object into this one (used by the live
+    /// transport, where every handler writes into a local scratch that is
+    /// merged under a lock afterwards).
+    pub fn absorb(&mut self, other: &Metrics) {
+        self.rot_latency.merge(&other.rot_latency);
+        self.put_latency.merge(&other.put_latency);
+        self.rots_done += other.rots_done;
+        self.puts_done += other.puts_done;
+        self.msgs += other.msgs;
+        self.bytes += other.bytes;
+        self.busy_ns += other.busy_ns;
+        for (k, v) in &other.counters {
+            *self.counters.entry(k).or_insert(0) += v;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_round_trip_low_values() {
+        for v in 0..32u64 {
+            let b = Histogram::bucket_of(v);
+            assert_eq!(Histogram::bucket_low(b), v);
+        }
+    }
+
+    #[test]
+    fn bucket_low_is_monotone_and_tight() {
+        let mut prev = 0;
+        for idx in 1..600 {
+            let low = Histogram::bucket_low(idx);
+            assert!(low > prev, "bucket lows must increase");
+            prev = low;
+        }
+        // Every value lands in a bucket whose low bound is ≤ the value and
+        // within ~3.2% of it.
+        for v in [100u64, 999, 5_000, 123_456, 9_999_999, u64::from(u32::MAX)] {
+            let low = Histogram::bucket_low(Histogram::bucket_of(v));
+            assert!(low <= v);
+            assert!(((v - low) as f64) / (v as f64) < 0.04);
+        }
+    }
+
+    #[test]
+    fn mean_and_count() {
+        let mut h = Histogram::new();
+        for v in [10, 20, 30] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 3);
+        assert!((h.mean() - 20.0).abs() < 1e-9);
+        assert_eq!(h.max(), 30);
+        assert_eq!(h.min(), 10);
+    }
+
+    #[test]
+    fn percentiles_are_ordered() {
+        let mut h = Histogram::new();
+        for v in 1..=1000u64 {
+            h.record(v * 1000);
+        }
+        let p50 = h.percentile(50.0);
+        let p99 = h.percentile(99.0);
+        assert!(p50 < p99);
+        // p50 should be near 500_000 (within bucket resolution).
+        assert!((p50 as f64 - 500_000.0).abs() / 500_000.0 < 0.05);
+        assert!((p99 as f64 - 990_000.0).abs() / 990_000.0 < 0.05);
+    }
+
+    #[test]
+    fn merge_combines() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        a.record(5);
+        b.record(500);
+        a.merge(&b);
+        assert_eq!(a.count(), 2);
+        assert_eq!(a.max(), 500);
+        assert_eq!(a.min(), 5);
+    }
+
+    #[test]
+    fn metrics_disabled_records_nothing() {
+        let mut m = Metrics::new();
+        m.rot_done(100);
+        m.put_done(100);
+        m.add("x", 5);
+        assert_eq!(m.ops_done(), 0);
+        assert_eq!(m.counter("x"), 0);
+        m.enabled = true;
+        m.rot_done(100);
+        m.add("x", 5);
+        assert_eq!(m.ops_done(), 1);
+        assert_eq!(m.counter("x"), 5);
+    }
+
+    #[test]
+    fn empty_percentile_is_zero() {
+        let h = Histogram::new();
+        assert_eq!(h.percentile(99.0), 0);
+        assert_eq!(h.min(), 0);
+    }
+}

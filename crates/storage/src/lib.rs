@@ -1,0 +1,20 @@
+//! Multi-version key-value storage engine.
+//!
+//! Each partition owns one [`MvStore`]: a lazily materialized map from key
+//! to a [`Chain`] of versions, totally ordered by [`VersionId`] (timestamp,
+//! origin DC) — the last-writer-wins convergence order of Section 2.2.
+//!
+//! The per-version metadata type `M` is protocol specific:
+//! * Contrarian/Cure store a dependency vector `DV` per version;
+//! * CC-LO stores the *old-reader record* per version (the set of ROT ids
+//!   that must not observe the version).
+//!
+//! Superseded versions are retained for a configurable window so that
+//! slightly stale snapshot reads (and CC-LO's "most recent version before
+//! time t" rule) can still be served, then garbage collected.
+
+pub mod chain;
+pub mod store;
+
+pub use chain::{Chain, Version};
+pub use store::MvStore;

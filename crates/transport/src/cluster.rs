@@ -1,0 +1,292 @@
+//! Thread-per-node live cluster.
+
+use contrarian_sim::actor::{Actor, ActorCtx, TimerKind};
+use contrarian_sim::metrics::Metrics;
+use contrarian_types::{Addr, HistoryEvent, Op};
+use crossbeam::channel::{bounded, Receiver, Sender};
+use parking_lot::Mutex;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use std::collections::{BinaryHeap, HashMap};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+enum Input<M> {
+    Msg { from: Addr, msg: M },
+    Stop,
+}
+
+/// Shared run state: routing table, clock origin, metrics and history sinks.
+struct Shared<M> {
+    routes: HashMap<Addr, Sender<Input<M>>>,
+    start: Instant,
+    stopped: AtomicBool,
+    metrics: Mutex<Metrics>,
+    history: Mutex<Vec<HistoryEvent>>,
+    recording: bool,
+}
+
+/// A running cluster of actor threads.
+pub struct LiveCluster<A: Actor> {
+    shared: Arc<Shared<A::Msg>>,
+    threads: Vec<JoinHandle<A>>,
+    addrs: Vec<Addr>,
+}
+
+/// A handle for injecting messages from outside the cluster (facade role).
+pub struct LiveHandle<M> {
+    shared: Arc<Shared<M>>,
+}
+
+impl<M: Send + 'static> LiveHandle<M> {
+    pub fn send(&self, from: Addr, to: Addr, msg: M) {
+        if let Some(tx) = self.shared.routes.get(&to) {
+            let _ = tx.send(Input::Msg { from, msg });
+        }
+    }
+
+    /// Blocks until some history event satisfies `pred`, scanning from
+    /// `*cursor`; advances the cursor past the match.
+    pub fn wait_for_history<F>(
+        &self,
+        cursor: &mut usize,
+        timeout: Duration,
+        mut pred: F,
+    ) -> Option<HistoryEvent>
+    where
+        F: FnMut(&HistoryEvent) -> bool,
+    {
+        let deadline = Instant::now() + timeout;
+        loop {
+            {
+                let hist = self.shared.history.lock();
+                for i in *cursor..hist.len() {
+                    if pred(&hist[i]) {
+                        *cursor = i + 1;
+                        return Some(hist[i].clone());
+                    }
+                }
+            }
+            if Instant::now() >= deadline {
+                return None;
+            }
+            std::thread::sleep(Duration::from_micros(200));
+        }
+    }
+}
+
+impl<A: Actor + Send + 'static> LiveCluster<A> {
+    /// Spawns one thread per node and calls `on_start` on each.
+    pub fn start(nodes: Vec<(Addr, A)>, recording: bool, seed: u64) -> Self {
+        let mut routes = HashMap::new();
+        let mut rxs: Vec<(Addr, Receiver<Input<A::Msg>>)> = Vec::new();
+        for (addr, _) in &nodes {
+            let (tx, rx) = bounded::<Input<A::Msg>>(64 * 1024);
+            routes.insert(*addr, tx);
+            rxs.push((*addr, rx));
+        }
+        let shared = Arc::new(Shared {
+            routes,
+            start: Instant::now(),
+            stopped: AtomicBool::new(false),
+            metrics: Mutex::new(Metrics::new()),
+            history: Mutex::new(Vec::new()),
+            recording,
+        });
+
+        let mut threads = Vec::new();
+        let mut addrs = Vec::new();
+        for ((addr, actor), (_, rx)) in nodes.into_iter().zip(rxs.into_iter()) {
+            addrs.push(addr);
+            let shared = shared.clone();
+            let node_seed = seed ^ (addr.dc.0 as u64) << 32
+                ^ (addr.idx as u64) << 8
+                ^ matches!(addr.kind, contrarian_types::NodeKind::Client) as u64;
+            threads.push(std::thread::spawn(move || run_node(addr, actor, rx, shared, node_seed)));
+        }
+        LiveCluster { shared, threads, addrs }
+    }
+
+    pub fn handle(&self) -> LiveHandle<A::Msg> {
+        LiveHandle { shared: self.shared.clone() }
+    }
+
+    pub fn addrs(&self) -> &[Addr] {
+        &self.addrs
+    }
+
+    /// Sends an operation to a client node.
+    pub fn inject_op(&self, client: Addr, op: Op) {
+        if let Some(tx) = self.shared.routes.get(&client) {
+            let _ = tx.send(Input::Msg { from: client, msg: A::inject(op) });
+        }
+    }
+
+    /// Signals closed-loop clients to stop issuing new operations.
+    pub fn stop_issuing(&self) {
+        self.shared.stopped.store(true, Ordering::SeqCst);
+    }
+
+    /// Stops every node and returns the final actors, metrics and history.
+    pub fn shutdown(self) -> (Vec<(Addr, A)>, Metrics, Vec<HistoryEvent>) {
+        self.shared.stopped.store(true, Ordering::SeqCst);
+        for tx in self.shared.routes.values() {
+            let _ = tx.send(Input::Stop);
+        }
+        let mut actors = Vec::new();
+        for (t, addr) in self.threads.into_iter().zip(self.addrs.iter()) {
+            actors.push((*addr, t.join().expect("node thread panicked")));
+        }
+        let metrics = self.shared.metrics.lock().clone();
+        let history = std::mem::take(&mut *self.shared.history.lock());
+        (actors, metrics, history)
+    }
+}
+
+/// Per-node event loop: channel input + timer deadline queue.
+fn run_node<A: Actor>(
+    addr: Addr,
+    mut actor: A,
+    rx: Receiver<Input<A::Msg>>,
+    shared: Arc<Shared<A::Msg>>,
+    seed: u64,
+) -> A {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    // Timer queue: (deadline, seq, kind); BinaryHeap is a max-heap so store
+    // reversed deadlines.
+    let mut timers: BinaryHeap<std::cmp::Reverse<(Instant, u64, u16, u64)>> = BinaryHeap::new();
+    let mut timer_seq = 0u64;
+
+    let fire = |actor: &mut A,
+                    rng: &mut SmallRng,
+                    timers: &mut BinaryHeap<std::cmp::Reverse<(Instant, u64, u16, u64)>>,
+                    timer_seq: &mut u64,
+                    ev: Event<A::Msg>| {
+        let mut local = Metrics::new();
+        local.enabled = shared.metrics.lock().enabled;
+        let mut ctx = LiveCtx {
+            addr,
+            shared: &shared,
+            rng,
+            out: Vec::new(),
+            new_timers: Vec::new(),
+            local_metrics: local,
+        };
+        match ev {
+            Event::Start => actor.on_start(&mut ctx),
+            Event::Msg { from, msg } => actor.on_message(&mut ctx, from, msg),
+            Event::Timer(kind) => actor.on_timer(&mut ctx, kind),
+        }
+        let LiveCtx { out, new_timers, local_metrics, .. } = ctx;
+        if local_metrics.ops_done() > 0 || !local_metrics.counters.is_empty() {
+            shared.metrics.lock().absorb(&local_metrics);
+        }
+        for (to, msg) in out {
+            if let Some(tx) = shared.routes.get(&to) {
+                let _ = tx.send(Input::Msg { from: addr, msg });
+            }
+        }
+        for (delay_ns, kind) in new_timers {
+            *timer_seq += 1;
+            let deadline = Instant::now() + Duration::from_nanos(delay_ns);
+            timers.push(std::cmp::Reverse((deadline, *timer_seq, kind.kind, kind.a)));
+        }
+    };
+
+    fire(&mut actor, &mut rng, &mut timers, &mut timer_seq, Event::Start);
+
+    loop {
+        // Fire due timers.
+        let now = Instant::now();
+        while let Some(std::cmp::Reverse((deadline, _, kind, a))) = timers.peek().copied() {
+            if deadline > now {
+                break;
+            }
+            timers.pop();
+            fire(
+                &mut actor,
+                &mut rng,
+                &mut timers,
+                &mut timer_seq,
+                Event::Timer(TimerKind::with_arg(kind, a)),
+            );
+        }
+        // Wait for the next input or timer deadline.
+        let wait = timers
+            .peek()
+            .map(|std::cmp::Reverse((d, ..))| d.saturating_duration_since(Instant::now()))
+            .unwrap_or(Duration::from_millis(5));
+        match rx.recv_timeout(wait.min(Duration::from_millis(5))) {
+            Ok(Input::Msg { from, msg }) => {
+                fire(&mut actor, &mut rng, &mut timers, &mut timer_seq, Event::Msg { from, msg })
+            }
+            Ok(Input::Stop) => break,
+            Err(crossbeam::channel::RecvTimeoutError::Timeout) => {}
+            Err(crossbeam::channel::RecvTimeoutError::Disconnected) => break,
+        }
+    }
+    actor
+}
+
+enum Event<M> {
+    Start,
+    Msg { from: Addr, msg: M },
+    Timer(TimerKind),
+}
+
+struct LiveCtx<'a, M> {
+    addr: Addr,
+    shared: &'a Shared<M>,
+    rng: &'a mut SmallRng,
+    out: Vec<(Addr, M)>,
+    new_timers: Vec<(u64, TimerKind)>,
+    /// Per-handler metrics scratch, merged into the shared metrics after
+    /// the handler returns.
+    local_metrics: Metrics,
+}
+
+impl<'a, M> ActorCtx<M> for LiveCtx<'a, M> {
+    fn now(&self) -> u64 {
+        self.shared.start.elapsed().as_nanos() as u64
+    }
+
+    fn self_addr(&self) -> Addr {
+        self.addr
+    }
+
+    fn send(&mut self, to: Addr, msg: M) {
+        self.out.push((to, msg));
+    }
+
+    fn set_timer(&mut self, delay_ns: u64, kind: TimerKind) {
+        self.new_timers.push((delay_ns, kind));
+    }
+
+    fn charge(&mut self, _ns: u64) {
+        // Real time: CPU is charged by actually spending it.
+    }
+
+    fn rng(&mut self) -> &mut SmallRng {
+        self.rng
+    }
+
+    fn metrics(&mut self) -> &mut Metrics {
+        &mut self.local_metrics
+    }
+
+    fn record(&mut self, ev: HistoryEvent) {
+        if self.shared.recording {
+            self.shared.history.lock().push(ev);
+        }
+    }
+
+    fn recording(&self) -> bool {
+        self.shared.recording
+    }
+
+    fn stopped(&self) -> bool {
+        self.shared.stopped.load(Ordering::SeqCst)
+    }
+}

@@ -1,0 +1,17 @@
+//! A live, multi-threaded in-process transport for the protocol state
+//! machines.
+//!
+//! The discrete-event simulator (`contrarian-sim`) executes protocols
+//! deterministically under a cost model; this crate runs the *same*
+//! [`Actor`] implementations as a real concurrent system: every node gets
+//! an OS thread, links are crossbeam channels (FIFO, like TCP connections),
+//! time is the wall clock, and timers are per-thread deadline queues.
+//!
+//! It exists to demonstrate that the protocol crates are real implementations
+//! rather than simulation artifacts: integration tests run Contrarian and
+//! CC-LO clusters on threads and check the histories with the same causal
+//! checker used for simulated runs.
+
+pub mod cluster;
+
+pub use cluster::{LiveCluster, LiveHandle};

@@ -1,0 +1,178 @@
+//! Cluster-level configuration shared by all three protocols.
+
+/// How Contrarian runs its ROTs: 1½ rounds (3 communication steps: client →
+/// coordinator → partitions → client) or 2 rounds (4 steps: client →
+/// coordinator → client → partitions → client). The paper's Section 4 notes
+/// the choice can be made per ROT; `Adaptive` implements the optimization
+/// Section 5.7 describes as under test in the paper: fall back to 2 rounds
+/// when a ROT spans many partitions, where the coordinator fan-out stops
+/// paying off.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum RotMode {
+    /// 3 communication steps; lower latency, more messages (Figure 3a).
+    OneHalfRound,
+    /// 4 communication steps; fewer messages, ~8% higher peak throughput
+    /// (Figure 3b).
+    TwoRound,
+    /// Per-ROT choice: 1½ rounds for ROTs spanning fewer than
+    /// `two_round_at` partitions, 2 rounds otherwise.
+    Adaptive {
+        /// Partition-count threshold at which a ROT switches to 2 rounds.
+        two_round_at: u16,
+    },
+}
+
+impl RotMode {
+    /// Resolves the mode for a ROT spanning `parts` partitions.
+    pub fn for_rot(self, parts: usize) -> RotMode {
+        match self {
+            RotMode::Adaptive { two_round_at } => {
+                if parts >= two_round_at as usize {
+                    RotMode::TwoRound
+                } else {
+                    RotMode::OneHalfRound
+                }
+            }
+            fixed => fixed,
+        }
+    }
+}
+
+/// Topology of the intra-DC stabilization protocol that aggregates version
+/// vectors into the Global Stable Snapshot.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum StabilizationTopology {
+    /// Partition 0 of each DC aggregates and broadcasts (2·N messages per
+    /// round) — the default, analogous to GentleRain's tree aggregation.
+    Star,
+    /// Every partition broadcasts to every other (N² messages per round).
+    AllToAll,
+}
+
+/// Static description of the cluster and of protocol tuning knobs.
+///
+/// Defaults mirror the paper's platform (Section 5.2): 32 partitions, 1M
+/// keys per partition, stabilization every 5 ms, 500 ms garbage collection
+/// of ROT ids in CC-LO reader records.
+#[derive(Clone, Debug)]
+pub struct ClusterConfig {
+    /// Number of DCs (`M ≥ 1`).
+    pub n_dcs: u8,
+    /// Number of partitions per DC (`N > 1`).
+    pub n_partitions: u16,
+    /// Worker threads per storage server (models the 16-hw-thread machines).
+    pub workers_per_server: u16,
+    /// Keys per partition (storage is lazily materialized).
+    pub keys_per_partition: u64,
+    /// Stabilization (GSS computation) period, microseconds.
+    pub stabilization_interval_us: u64,
+    /// Idle heartbeat period for replication channels, microseconds.
+    pub heartbeat_interval_us: u64,
+    /// CC-LO: ROT ids are garbage-collected from reader records this long
+    /// after insertion (the paper's optimized implementation uses 500 ms).
+    pub old_reader_gc_us: u64,
+    /// Version chains retain superseded versions at least this long so that
+    /// slightly stale snapshots remain readable.
+    pub version_gc_retention_us: u64,
+    /// Bound on simulated physical clock offset from true time (±), in
+    /// microseconds. Only physical-clock protocols (Cure) block on it; HLC
+    /// and Lamport protocols stay nonblocking regardless.
+    pub clock_skew_us: u64,
+    /// Contrarian ROT mode.
+    pub rot_mode: RotMode,
+    /// Stabilization aggregation topology.
+    pub stab_topology: StabilizationTopology,
+    /// Whether the data set is preloaded: the paper's platform stores 1M
+    /// keys per partition *before* the run, so reads never return ⊥. When
+    /// set, reads of never-written keys serve the shared genesis version
+    /// (timestamp 0, no dependencies) instead of ⊥.
+    pub prepopulated: bool,
+    /// CC-LO ablation. COPS-SNOW answers a readers check with *all* old
+    /// readers of a key (anyone who read a superseded version — the paper's
+    /// footnote 3 calls this "an old reader of x in general"). Setting this
+    /// flag refines the response to readers that are old *relative to the
+    /// dependency version being checked*, a strictly smaller set. Default
+    /// `false` (faithful to CC-LO).
+    pub cclo_dep_precise_old_readers: bool,
+}
+
+impl ClusterConfig {
+    /// The paper's evaluation platform: 32 partitions, 1M keys each.
+    pub fn paper_default() -> Self {
+        ClusterConfig {
+            n_dcs: 1,
+            n_partitions: 32,
+            workers_per_server: 2,
+            keys_per_partition: 1_000_000,
+            stabilization_interval_us: 5_000,
+            heartbeat_interval_us: 1_000,
+            old_reader_gc_us: 500_000,
+            version_gc_retention_us: 1_000_000,
+            clock_skew_us: 1_000,
+            rot_mode: RotMode::OneHalfRound,
+            stab_topology: StabilizationTopology::Star,
+            prepopulated: true,
+            cclo_dep_precise_old_readers: false,
+        }
+    }
+
+    /// A small cluster for unit and integration tests.
+    pub fn small() -> Self {
+        ClusterConfig {
+            n_dcs: 1,
+            n_partitions: 4,
+            workers_per_server: 2,
+            keys_per_partition: 64,
+            stabilization_interval_us: 1_000,
+            heartbeat_interval_us: 500,
+            old_reader_gc_us: 100_000,
+            version_gc_retention_us: 200_000,
+            clock_skew_us: 500,
+            rot_mode: RotMode::OneHalfRound,
+            stab_topology: StabilizationTopology::Star,
+            prepopulated: false,
+            cclo_dep_precise_old_readers: false,
+        }
+    }
+
+    pub fn with_dcs(mut self, m: u8) -> Self {
+        self.n_dcs = m;
+        self
+    }
+
+    pub fn with_partitions(mut self, n: u16) -> Self {
+        self.n_partitions = n;
+        self
+    }
+
+    pub fn with_rot_mode(mut self, mode: RotMode) -> Self {
+        self.rot_mode = mode;
+        self
+    }
+
+    /// Number of storage servers in the whole cluster.
+    pub fn n_servers(&self) -> usize {
+        self.n_dcs as usize * self.n_partitions as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_default_matches_section_5_2() {
+        let c = ClusterConfig::paper_default();
+        assert_eq!(c.n_partitions, 32);
+        assert_eq!(c.keys_per_partition, 1_000_000);
+        assert_eq!(c.stabilization_interval_us, 5_000);
+        assert_eq!(c.old_reader_gc_us, 500_000);
+    }
+
+    #[test]
+    fn builders_compose() {
+        let c = ClusterConfig::small().with_dcs(2).with_partitions(8);
+        assert_eq!(c.n_dcs, 2);
+        assert_eq!(c.n_servers(), 16);
+    }
+}

@@ -1,0 +1,43 @@
+//! Common types shared by every crate in the Contrarian workspace.
+//!
+//! This crate defines the vocabulary of the system model of Didona et al.,
+//! *Causal Consistency and Latency Optimality: Friend or Foe?* (VLDB 2018):
+//! a multi-version key-value store sharded over `N` partitions, each
+//! replicated at `M` data centers (DCs) in a multi-master fashion, accessed
+//! by clients issuing `PUT`s and causally consistent read-only transactions
+//! (`ROT`s).
+//!
+//! Nothing in here is protocol specific; the three protocol crates
+//! (`contrarian-core`, `contrarian-cclo`, `contrarian-cure`) all build on
+//! these definitions.
+
+pub mod config;
+pub mod error;
+pub mod history;
+pub mod ids;
+pub mod key;
+pub mod op;
+pub mod vector;
+pub mod version;
+pub mod wire;
+
+pub use config::{ClusterConfig, RotMode, StabilizationTopology};
+pub use error::{Error, Result};
+pub use history::HistoryEvent;
+pub use ids::{Addr, ClientId, DcId, NodeKind, PartitionId, TxId};
+pub use key::Key;
+pub use op::Op;
+pub use vector::DepVector;
+pub use version::VersionId;
+pub use wire::WireSize;
+
+/// Values are opaque byte strings; [`bytes::Bytes`] makes cloning a value a
+/// cheap refcount bump, which matters because a single hot version may be
+/// returned by thousands of ROTs.
+pub type Value = bytes::Bytes;
+
+/// The value of the shared genesis version (see [`VersionId::GENESIS`]):
+/// the preloaded initial content of every key on a prepopulated platform.
+pub fn genesis_value() -> Value {
+    Value::from_static(b"genesis\0")
+}

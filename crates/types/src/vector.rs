@@ -1,0 +1,184 @@
+//! Dependency / snapshot vectors with one entry per data center.
+//!
+//! Contrarian (like Cure) encodes causality with per-DC vectors:
+//!
+//! * every item version `X` carries a dependency vector `X.DV`: if
+//!   `X.DV[i] = t` then `X` potentially causally depends on every item
+//!   originally written in DC `i` with timestamp up to `t`;
+//! * every ROT is assigned a snapshot vector `SV`; a version belongs to the
+//!   snapshot iff `DV ≤ SV` entrywise;
+//! * every partition computes a Global Stable Snapshot `GSS` as the
+//!   entrywise minimum of the version vectors of all partitions in its DC.
+//!
+//! The operations below form the usual vector-clock lattice: `join`
+//! (entrywise max), `meet` (entrywise min) and the partial order `leq`.
+
+use std::fmt;
+use std::ops::Index;
+
+/// A vector with one `u64` timestamp entry per DC.
+#[derive(Clone, PartialEq, Eq, Hash, Debug, Default)]
+pub struct DepVector(Vec<u64>);
+
+impl DepVector {
+    /// The all-zero vector for `m` DCs (bottom of the lattice).
+    pub fn zero(m: usize) -> Self {
+        DepVector(vec![0; m])
+    }
+
+    pub fn from_vec(v: Vec<u64>) -> Self {
+        DepVector(v)
+    }
+
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    #[inline]
+    pub fn get(&self, i: usize) -> u64 {
+        self.0[i]
+    }
+
+    #[inline]
+    pub fn set(&mut self, i: usize, v: u64) {
+        self.0[i] = v;
+    }
+
+    #[inline]
+    pub fn as_slice(&self) -> &[u64] {
+        &self.0
+    }
+
+    /// Entrywise maximum (lattice join), in place.
+    pub fn join(&mut self, other: &DepVector) {
+        debug_assert_eq!(self.len(), other.len());
+        for (a, b) in self.0.iter_mut().zip(other.0.iter()) {
+            if *b > *a {
+                *a = *b;
+            }
+        }
+    }
+
+    /// Entrywise minimum (lattice meet), in place.
+    pub fn meet(&mut self, other: &DepVector) {
+        debug_assert_eq!(self.len(), other.len());
+        for (a, b) in self.0.iter_mut().zip(other.0.iter()) {
+            if *b < *a {
+                *a = *b;
+            }
+        }
+    }
+
+    /// Returns the join of two vectors without mutating either.
+    pub fn joined(&self, other: &DepVector) -> DepVector {
+        let mut out = self.clone();
+        out.join(other);
+        out
+    }
+
+    /// The lattice partial order: `self ≤ other` iff every entry is ≤.
+    pub fn leq(&self, other: &DepVector) -> bool {
+        debug_assert_eq!(self.len(), other.len());
+        self.0.iter().zip(other.0.iter()).all(|(a, b)| a <= b)
+    }
+
+    /// Raises entry `i` to at least `v`.
+    #[inline]
+    pub fn raise(&mut self, i: usize, v: u64) {
+        if v > self.0[i] {
+            self.0[i] = v;
+        }
+    }
+
+    /// The maximum entry (used to enforce that the local entry of a new
+    /// version's DV dominates the remote entries).
+    pub fn max_entry(&self) -> u64 {
+        self.0.iter().copied().max().unwrap_or(0)
+    }
+}
+
+impl Index<usize> for DepVector {
+    type Output = u64;
+    fn index(&self, i: usize) -> &u64 {
+        &self.0[i]
+    }
+}
+
+impl fmt::Display for DepVector {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[")?;
+        for (i, v) in self.0.iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{v}")?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(s: &[u64]) -> DepVector {
+        DepVector::from_vec(s.to_vec())
+    }
+
+    #[test]
+    fn zero_is_bottom() {
+        let z = DepVector::zero(3);
+        assert!(z.leq(&v(&[0, 0, 0])));
+        assert!(z.leq(&v(&[5, 0, 9])));
+    }
+
+    #[test]
+    fn join_is_entrywise_max() {
+        let mut a = v(&[1, 7, 3]);
+        a.join(&v(&[4, 2, 3]));
+        assert_eq!(a, v(&[4, 7, 3]));
+    }
+
+    #[test]
+    fn meet_is_entrywise_min() {
+        let mut a = v(&[1, 7, 3]);
+        a.meet(&v(&[4, 2, 3]));
+        assert_eq!(a, v(&[1, 2, 3]));
+    }
+
+    #[test]
+    fn leq_is_partial() {
+        // Incomparable vectors: neither ≤ the other.
+        let a = v(&[1, 5]);
+        let b = v(&[2, 3]);
+        assert!(!a.leq(&b));
+        assert!(!b.leq(&a));
+        assert!(a.leq(&a));
+    }
+
+    #[test]
+    fn raise_only_increases() {
+        let mut a = v(&[5, 5]);
+        a.raise(0, 3);
+        assert_eq!(a[0], 5);
+        a.raise(0, 9);
+        assert_eq!(a[0], 9);
+    }
+
+    #[test]
+    fn max_entry() {
+        assert_eq!(v(&[3, 9, 1]).max_entry(), 9);
+        assert_eq!(DepVector::zero(0).max_entry(), 0);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(v(&[1, 2]).to_string(), "[1,2]");
+    }
+}

@@ -1,0 +1,24 @@
+//! YCSB-style workload generation (Table 1 of the paper).
+//!
+//! Workloads are parameterized by:
+//!
+//! * **w** — write/read ratio, `w = #PUT / (#PUT + #reads)`, where a ROT of
+//!   `k` keys counts as `k` reads (values 0.01 / 0.05 / 0.1);
+//! * **p** — ROT size: number of partitions spanned, one key read per
+//!   partition (4 / 8 / 24);
+//! * **b** — value size in bytes (8 / 128 / 2048); keys are 8 bytes;
+//! * **z** — zipfian skew of key popularity *within* a partition
+//!   (0 / 0.8 / 0.99).
+//!
+//! Clients are closed-loop: each issues its next operation as soon as the
+//! previous one completes; load is varied by the number of clients.
+
+pub mod driver;
+pub mod source;
+pub mod spec;
+pub mod zipf;
+
+pub use driver::ClientDriver;
+pub use source::OpSource;
+pub use spec::WorkloadSpec;
+pub use zipf::Zipf;

@@ -1,0 +1,83 @@
+//! Pluggable operation sources for protocol clients.
+
+use crate::driver::ClientDriver;
+use contrarian_types::Op;
+use parking_lot::Mutex;
+use rand::rngs::SmallRng;
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+/// Where a protocol client gets its next operation from.
+pub enum OpSource {
+    /// Closed-loop generation (performance experiments): `next` always
+    /// yields an operation.
+    Closed(ClientDriver),
+    /// An externally fed queue (interactive facade): `next` yields whatever
+    /// has been injected, if anything.
+    Queue(Arc<Mutex<VecDeque<Op>>>),
+}
+
+impl OpSource {
+    pub fn closed(driver: ClientDriver) -> Self {
+        OpSource::Closed(driver)
+    }
+
+    pub fn queue() -> (Self, Arc<Mutex<VecDeque<Op>>>) {
+        let q = Arc::new(Mutex::new(VecDeque::new()));
+        (OpSource::Queue(q.clone()), q)
+    }
+
+    /// The next operation to issue, or `None` if idle (queue sources only).
+    pub fn next(&mut self, rng: &mut SmallRng) -> Option<Op> {
+        match self {
+            OpSource::Closed(d) => Some(d.next_op(rng)),
+            OpSource::Queue(q) => q.lock().pop_front(),
+        }
+    }
+
+    pub fn is_closed_loop(&self) -> bool {
+        matches!(self, OpSource::Closed(_))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::WorkloadSpec;
+    use crate::zipf::Zipf;
+    use contrarian_types::Key;
+    use rand::SeedableRng;
+
+    #[test]
+    fn closed_source_always_yields() {
+        let d = ClientDriver::new(
+            WorkloadSpec::paper_default(),
+            Arc::new(Zipf::new(10, 0.99)),
+            8,
+        );
+        let mut s = OpSource::closed(d);
+        let mut rng = SmallRng::seed_from_u64(0);
+        assert!(s.is_closed_loop());
+        for _ in 0..10 {
+            assert!(s.next(&mut rng).is_some());
+        }
+    }
+
+    #[test]
+    fn queue_source_yields_injected_ops_in_order() {
+        let (mut s, q) = OpSource::queue();
+        let mut rng = SmallRng::seed_from_u64(0);
+        assert!(s.next(&mut rng).is_none());
+        q.lock().push_back(Op::Rot(vec![Key(1)]));
+        q.lock().push_back(Op::Rot(vec![Key(2)]));
+        match s.next(&mut rng) {
+            Some(Op::Rot(keys)) => assert_eq!(keys[0], Key(1)),
+            other => panic!("unexpected {other:?}"),
+        }
+        match s.next(&mut rng) {
+            Some(Op::Rot(keys)) => assert_eq!(keys[0], Key(2)),
+            other => panic!("unexpected {other:?}"),
+        }
+        assert!(s.next(&mut rng).is_none());
+    }
+}

@@ -1,0 +1,106 @@
+//! Workload parameterization (Table 1).
+
+/// The workload parameters of Table 1. Defaults (bold in the paper):
+/// `w = 0.05` (YCSB read-heavy), `p = 4`, `b = 8`, `z = 0.99`.
+#[derive(Clone, Debug)]
+pub struct WorkloadSpec {
+    /// Write/read ratio `w = #PUT / (#PUT + #reads)`; a ROT of `k` keys
+    /// counts as `k` reads.
+    pub write_ratio: f64,
+    /// Number of partitions spanned by a ROT (one key per partition).
+    pub rot_size: u16,
+    /// Value size in bytes.
+    pub value_size: usize,
+    /// Zipfian skew of key popularity within a partition.
+    pub zipf_theta: f64,
+}
+
+impl Default for WorkloadSpec {
+    fn default() -> Self {
+        Self::paper_default()
+    }
+}
+
+impl WorkloadSpec {
+    /// The paper's default workload.
+    pub fn paper_default() -> Self {
+        WorkloadSpec { write_ratio: 0.05, rot_size: 4, value_size: 8, zipf_theta: 0.99 }
+    }
+
+    pub fn with_write_ratio(mut self, w: f64) -> Self {
+        self.write_ratio = w;
+        self
+    }
+
+    pub fn with_rot_size(mut self, p: u16) -> Self {
+        self.rot_size = p;
+        self
+    }
+
+    pub fn with_value_size(mut self, b: usize) -> Self {
+        self.value_size = b;
+        self
+    }
+
+    pub fn with_zipf(mut self, z: f64) -> Self {
+        self.zipf_theta = z;
+        self
+    }
+
+    /// Probability that the next operation is a PUT.
+    ///
+    /// With PUT probability `q` per operation, a client produces `q` PUTs
+    /// and `(1-q)·p` reads per operation in expectation, so
+    /// `w = q / (q + (1-q)·p)`, which solves to `q = w·p / (1 - w + w·p)`.
+    pub fn put_probability(&self) -> f64 {
+        let w = self.write_ratio;
+        let p = self.rot_size as f64;
+        w * p / (1.0 - w + w * p)
+    }
+
+    /// The full Table 1 parameter grid (for documentation binaries).
+    pub fn table1_grid() -> (Vec<f64>, Vec<u16>, Vec<usize>, Vec<f64>) {
+        (vec![0.01, 0.05, 0.1], vec![4, 8, 24], vec![8, 128, 2048], vec![0.99, 0.8, 0.0])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_paper_default() {
+        let s = WorkloadSpec::default();
+        assert_eq!(s.write_ratio, 0.05);
+        assert_eq!(s.rot_size, 4);
+        assert_eq!(s.value_size, 8);
+        assert_eq!(s.zipf_theta, 0.99);
+    }
+
+    #[test]
+    fn put_probability_realizes_write_ratio() {
+        // For any (w, p): q/(q + (1-q)p) must equal w.
+        for w in [0.01, 0.05, 0.1, 0.5] {
+            for p in [1u16, 4, 8, 24] {
+                let s = WorkloadSpec::paper_default().with_write_ratio(w).with_rot_size(p);
+                let q = s.put_probability();
+                let realized = q / (q + (1.0 - q) * p as f64);
+                assert!((realized - w).abs() < 1e-12, "w={w} p={p}");
+            }
+        }
+    }
+
+    #[test]
+    fn put_probability_default_value() {
+        // w=0.05, p=4 → q = 0.2/1.15 ≈ 0.1739.
+        let q = WorkloadSpec::paper_default().put_probability();
+        assert!((q - 0.17391304).abs() < 1e-6);
+    }
+
+    #[test]
+    fn builders() {
+        let s = WorkloadSpec::paper_default().with_value_size(2048).with_zipf(0.8);
+        assert_eq!(s.value_size, 2048);
+        assert_eq!(s.zipf_theta, 0.8);
+    }
+}

@@ -1,0 +1,52 @@
+//! # Contrarian
+//!
+//! A from-scratch Rust reproduction of Didona, Guerraoui, Wang, Zwaenepoel:
+//! *Causal Consistency and Latency Optimality: Friend or Foe?* (VLDB 2018).
+//!
+//! The workspace implements three causally consistent, partitioned,
+//! multi-master geo-replicated key-value store protocols on one code base:
+//!
+//! * **Contrarian** ([`core`]) — the paper's contribution: nonblocking,
+//!   one-version ROTs in 1½ (or 2) rounds, built on hybrid logical clocks
+//!   and a stabilization protocol, with *no* extra overhead on PUTs.
+//! * **CC-LO** ([`cclo`]) — the COPS-SNOW "latency-optimal" design:
+//!   one-round, one-version, nonblocking ROTs paid for by a *readers check*
+//!   on every PUT.
+//! * **Cure** ([`cure`]) — the classic coordinator design on physical
+//!   clocks: two rounds and blocking reads.
+//!
+//! Protocols are deterministic state machines driven either by the
+//! discrete-event cluster simulator ([`sim`]) — used to regenerate every
+//! figure and table of the paper — or by a live multi-threaded transport
+//! ([`transport`]) for real concurrent execution.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use contrarian::api::CausalStore;
+//! use contrarian::types::{ClusterConfig, Key};
+//!
+//! let mut store = CausalStore::open(ClusterConfig::small());
+//! store.put(Key(1), "hello".into()).unwrap();
+//! store.put(Key(2), "world".into()).unwrap();
+//! let snap = store.rot(&[Key(1), Key(2)]).unwrap();
+//! assert_eq!(snap[0].as_deref(), Some(&b"hello"[..]));
+//! store.shutdown();
+//! ```
+
+pub use contrarian_cclo as cclo;
+pub use contrarian_clock as clock;
+pub use contrarian_core as core_protocol;
+pub use contrarian_cure as cure;
+pub use contrarian_harness as harness;
+pub use contrarian_sim as sim;
+pub use contrarian_storage as storage;
+pub use contrarian_transport as transport;
+pub use contrarian_types as types;
+pub use contrarian_workload as workload;
+
+pub mod api;
+
+/// Alias so `contrarian::core::...` works alongside the `core` built-in via
+/// explicit path.
+pub use contrarian_core;

@@ -1,0 +1,202 @@
+//! Property-based tests on the core invariants: whatever the seed, workload
+//! mix, or cluster shape, the protocols must produce causally consistent
+//! histories, HLCs must stay monotone under arbitrary interleavings, the
+//! lattice must behave, and the checker itself must catch injected bugs.
+
+use contrarian::clock::Hlc;
+use contrarian::harness::check_causal;
+use contrarian::harness::experiment::{run_experiment, ExperimentConfig, Protocol};
+use contrarian::sim::cost::CostModel;
+use contrarian::types::{ClusterConfig, DepVector, HistoryEvent, Key, VersionId};
+use proptest::prelude::*;
+
+fn functional_cfg(protocol: Protocol, seed: u64, dcs: u8, clients: u16, w: f64) -> ExperimentConfig {
+    let mut cfg = ExperimentConfig::functional(protocol);
+    cfg.cluster = ClusterConfig::small().with_dcs(dcs);
+    cfg.clients_per_dc = clients;
+    cfg.workload = cfg.workload.with_write_ratio(w);
+    cfg.seed = seed;
+    cfg.measure_ns = 15_000_000;
+    cfg.cost = CostModel::functional();
+    cfg
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Any seed/shape: Contrarian histories check out.
+    #[test]
+    fn contrarian_always_causal(
+        seed in 0u64..5000,
+        dcs in 1u8..=2,
+        clients in 2u16..6,
+        w in 0.05f64..0.5,
+    ) {
+        let r = run_experiment(&functional_cfg(Protocol::Contrarian, seed, dcs, clients, w));
+        let report = check_causal(&r.history);
+        prop_assert!(report.ok(), "{:?}", report.violations.first());
+    }
+
+    /// Any seed/shape: CC-LO histories check out (the readers check works).
+    #[test]
+    fn cclo_always_causal(
+        seed in 0u64..5000,
+        dcs in 1u8..=2,
+        clients in 2u16..6,
+        w in 0.05f64..0.5,
+    ) {
+        let r = run_experiment(&functional_cfg(Protocol::CcLo, seed, dcs, clients, w));
+        let report = check_causal(&r.history);
+        prop_assert!(report.ok(), "{:?}", report.violations.first());
+    }
+
+    /// HLC timestamps strictly increase under any local interleaving of
+    /// ticks and updates, and never run far ahead of physical time.
+    #[test]
+    fn hlc_monotone_under_interleavings(
+        events in prop::collection::vec((0u64..1000, prop::option::of(0u64..(1000u64 << 16))), 1..200)
+    ) {
+        let mut h = Hlc::new();
+        let mut last = 0u64;
+        for (pt, msg) in events {
+            let t = match msg {
+                Some(m) => h.update(pt, m),
+                None => h.tick(pt),
+            };
+            prop_assert!(t > last, "timestamp regressed: {t} after {last}");
+            last = t;
+        }
+    }
+
+    /// DepVector lattice laws: join is commutative/associative/idempotent
+    /// and dominates both operands.
+    #[test]
+    fn depvector_lattice_laws(
+        a in prop::collection::vec(0u64..100, 3),
+        b in prop::collection::vec(0u64..100, 3),
+        c in prop::collection::vec(0u64..100, 3),
+    ) {
+        let (va, vb, vc) = (
+            DepVector::from_vec(a),
+            DepVector::from_vec(b),
+            DepVector::from_vec(c),
+        );
+        // Commutative.
+        prop_assert_eq!(va.joined(&vb), vb.joined(&va));
+        // Associative.
+        prop_assert_eq!(va.joined(&vb).joined(&vc), va.joined(&vb.joined(&vc)));
+        // Idempotent.
+        prop_assert_eq!(va.joined(&va), va.clone());
+        // Dominates operands.
+        prop_assert!(va.leq(&va.joined(&vb)));
+        prop_assert!(vb.leq(&va.joined(&vb)));
+    }
+
+    /// The checker catches corrupted histories: take a valid Contrarian
+    /// run and downgrade a client's read of a key it had itself written —
+    /// a guaranteed read-your-writes violation.
+    #[test]
+    fn checker_catches_injected_staleness(seed in 0u64..300) {
+        let r = run_experiment(&functional_cfg(Protocol::Contrarian, seed, 1, 4, 0.4));
+        prop_assume!(check_causal(&r.history).ok());
+        let mut history = r.history.clone();
+        // Find a PUT followed (in the same client's session) by a ROT that
+        // read the written key; downgrade that read to the genesis version.
+        let mut injected = false;
+        'outer: for j in 0..history.len() {
+            let HistoryEvent::PutDone { client, key, vid, .. } = history[j].clone() else {
+                continue;
+            };
+            if vid.is_genesis() {
+                continue;
+            }
+            for i in j + 1..history.len() {
+                let HistoryEvent::RotDone { client: rc, pairs, .. } = &mut history[i] else {
+                    continue;
+                };
+                if *rc != client {
+                    continue;
+                }
+                if let Some(slot) = pairs.iter_mut().find(|(k, v)| *k == key && v.is_some()) {
+                    slot.1 = Some(VersionId::GENESIS);
+                    injected = true;
+                    break 'outer;
+                }
+            }
+        }
+        prop_assume!(injected);
+        let report = check_causal(&history);
+        prop_assert!(!report.ok(), "checker missed an injected stale read");
+    }
+
+    /// Version ids order correctly regardless of origin (LWW total order).
+    #[test]
+    fn version_order_total(ts1 in 0u64..1000, ts2 in 0u64..1000, o1 in 0u8..4, o2 in 0u8..4) {
+        let a = VersionId::new(ts1, contrarian::types::DcId(o1));
+        let b = VersionId::new(ts2, contrarian::types::DcId(o2));
+        // Total: exactly one of <, ==, > holds.
+        let rels = [a < b, a == b, a > b];
+        prop_assert_eq!(rels.iter().filter(|x| **x).count(), 1);
+    }
+}
+
+/// Zipf statistical sanity under proptest-chosen skews: top rank is always
+/// at least as likely as a mid rank.
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+    #[test]
+    fn zipf_rank_order(theta in 0.1f64..0.99, seed in 0u64..1000) {
+        use rand::SeedableRng;
+        let z = contrarian::workload::Zipf::new(1000, theta);
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(seed);
+        let mut hits0 = 0u32;
+        let mut hits500 = 0u32;
+        for _ in 0..20_000 {
+            match z.sample(&mut rng) {
+                0 => hits0 += 1,
+                500 => hits500 += 1,
+                _ => {}
+            }
+        }
+        prop_assert!(hits0 >= hits500);
+    }
+}
+
+/// Deterministic regression: a known-good seed must produce a bit-identical
+/// operation count (guards the simulator's determinism across refactors).
+#[test]
+fn simulation_is_reproducible() {
+    let cfg = functional_cfg(Protocol::Contrarian, 42, 1, 4, 0.2);
+    let a = run_experiment(&cfg);
+    let b = run_experiment(&cfg);
+    assert_eq!(a.history.len(), b.history.len());
+    assert_eq!(a.throughput_kops, b.throughput_kops);
+}
+
+/// The injected-bug test's sibling: reordering a client's session events
+/// (swapping a PUT before the ROT that depended on it) must be caught as a
+/// session violation when it creates a backwards read.
+#[test]
+fn checker_catches_backwards_session() {
+    use contrarian::types::{ClientId, DcId, TxId};
+    let c = ClientId::new(DcId(0), 0);
+    let history = vec![
+        HistoryEvent::PutDone {
+            client: c,
+            seq: 0,
+            t_start: 0,
+            t_end: 1,
+            key: Key(1),
+            vid: VersionId::new(10, DcId(0)),
+        },
+        HistoryEvent::RotDone {
+            client: c,
+            tx: TxId::new(c, 0),
+            t_start: 2,
+            t_end: 3,
+            pairs: vec![(Key(1), Some(VersionId::new(5, DcId(0))))],
+            values: vec![None],
+        },
+    ];
+    assert!(!check_causal(&history).ok());
+}
