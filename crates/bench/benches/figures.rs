@@ -39,7 +39,11 @@ fn bench_fig4(c: &mut Criterion) {
     g.warm_up_time(std::time::Duration::from_millis(500));
     g.measurement_time(std::time::Duration::from_secs(2));
     let wl = WorkloadSpec::paper_default();
-    for p in [Protocol::Contrarian, Protocol::ContrarianTwoRound, Protocol::Cure] {
+    for p in [
+        Protocol::Contrarian,
+        Protocol::ContrarianTwoRound,
+        Protocol::Cure,
+    ] {
         let cfg = mini_experiment(p, 2, wl.clone());
         g.bench_with_input(BenchmarkId::from_parameter(p.label()), &cfg, |b, cfg| {
             b.iter(|| black_box(run(cfg)))

@@ -71,19 +71,31 @@ fn bench_chain(c: &mut Criterion) {
                 i,
             ));
         }
-        g.bench_with_input(BenchmarkId::new("newest_visible_head", len), &len, |b, _| {
-            b.iter(|| black_box(chain.newest_visible(|_| true).0.is_some()));
-        });
-        g.bench_with_input(BenchmarkId::new("newest_visible_scan_all", len), &len, |b, _| {
-            b.iter(|| black_box(chain.newest_visible(|v| v.meta == 0).0.is_some()));
-        });
+        g.bench_with_input(
+            BenchmarkId::new("newest_visible_head", len),
+            &len,
+            |b, _| {
+                b.iter(|| black_box(chain.newest_visible(|_| true).0.is_some()));
+            },
+        );
+        g.bench_with_input(
+            BenchmarkId::new("newest_visible_scan_all", len),
+            &len,
+            |b, _| {
+                b.iter(|| black_box(chain.newest_visible(|v| v.meta == 0).0.is_some()));
+            },
+        );
     }
     g.bench_function("insert_append", |b| {
         let mut chain: Chain<u64> = Chain::new();
         let mut ts = 0u64;
         b.iter(|| {
             ts += 1;
-            chain.insert(Version::new(VersionId::new(ts, DcId(0)), Value::from_static(b"v"), ts));
+            chain.insert(Version::new(
+                VersionId::new(ts, DcId(0)),
+                Value::from_static(b"v"),
+                ts,
+            ));
             if chain.len() > 1024 {
                 chain.gc(ts - 8, 1);
             }

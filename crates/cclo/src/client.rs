@@ -1,13 +1,13 @@
 //! The CC-LO client: COPS-style explicit dependency tracking.
 
 use crate::msg::{Dep, Msg};
-use crate::timers;
+use contrarian_protocol::timers::{self, stagger_client_start};
+use contrarian_protocol::ProtocolClient;
 use contrarian_sim::actor::{ActorCtx, TimerKind};
 use contrarian_types::{
     Addr, ClientId, ClusterConfig, HistoryEvent, Key, Op, PartitionId, TxId, Value, VersionId,
 };
 use contrarian_workload::OpSource;
-use rand::RngExt;
 use std::collections::{BTreeMap, HashMap, VecDeque};
 
 /// Per-client session state.
@@ -39,7 +39,10 @@ enum Pending {
         expect: usize,
         pairs: Vec<(Key, Option<(VersionId, Value)>)>,
     },
-    Put { seq: u32, t0: u64 },
+    Put {
+        seq: u32,
+        t0: u64,
+    },
 }
 
 impl Client {
@@ -63,32 +66,6 @@ impl Client {
     /// readers-check fan-out).
     pub fn deps_len(&self) -> usize {
         self.deps.len()
-    }
-
-    pub fn on_start(&mut self, ctx: &mut dyn ActorCtx<Msg>) {
-        let jitter = ctx.rng().random_range(0..200_000u64);
-        ctx.set_timer(jitter, TimerKind::new(timers::CLIENT_START));
-    }
-
-    pub fn on_timer(&mut self, ctx: &mut dyn ActorCtx<Msg>, kind: TimerKind) {
-        debug_assert_eq!(kind.kind, timers::CLIENT_START);
-        if self.pending.is_none() {
-            self.issue_next(ctx);
-        }
-    }
-
-    pub fn on_message(&mut self, ctx: &mut dyn ActorCtx<Msg>, _from: Addr, msg: Msg) {
-        match msg {
-            Msg::Inject(op) => {
-                self.backlog.push_back(op);
-                if self.pending.is_none() {
-                    self.issue_next(ctx);
-                }
-            }
-            Msg::RotSlice { tx, pairs, lamport } => self.on_slice(ctx, tx, pairs, lamport),
-            Msg::PutResp { key, vid, lamport } => self.on_put_resp(ctx, key, vid, lamport),
-            other => unreachable!("server-bound message at client: {other:?}"),
-        }
     }
 
     fn issue_next(&mut self, ctx: &mut dyn ActorCtx<Msg>) {
@@ -123,7 +100,14 @@ impl Client {
         });
         for (p, ks) in groups {
             let target = Addr::server(self.addr.dc, PartitionId(p));
-            ctx.send(target, Msg::RotRead { tx, keys: ks, lamport: self.lamport });
+            ctx.send(
+                target,
+                Msg::RotRead {
+                    tx,
+                    keys: ks,
+                    lamport: self.lamport,
+                },
+            );
         }
     }
 
@@ -137,7 +121,15 @@ impl Client {
         deps.sort_unstable_by_key(|(k, _)| *k);
         self.pending = Some(Pending::Put { seq, t0: ctx.now() });
         self.last_put_key = key;
-        ctx.send(target, Msg::PutReq { key, value, deps, lamport: self.lamport });
+        ctx.send(
+            target,
+            Msg::PutReq {
+                key,
+                value,
+                deps,
+                lamport: self.lamport,
+            },
+        );
     }
 
     fn on_slice(
@@ -147,7 +139,13 @@ impl Client {
         mut new_pairs: Vec<(Key, Option<(VersionId, Value)>)>,
         lamport: u64,
     ) {
-        let Some(Pending::Rot { tx: want, t0, expect, mut pairs }) = self.pending.take() else {
+        let Some(Pending::Rot {
+            tx: want,
+            t0,
+            expect,
+            mut pairs,
+        }) = self.pending.take()
+        else {
             return;
         };
         if want != tx {
@@ -157,7 +155,12 @@ impl Client {
         pairs.append(&mut new_pairs);
         let expect = expect - 1;
         if expect > 0 {
-            self.pending = Some(Pending::Rot { tx, t0, expect, pairs });
+            self.pending = Some(Pending::Rot {
+                tx,
+                t0,
+                expect,
+                pairs,
+            });
             return;
         }
         // The ROT observed these versions: they become dependencies of the
@@ -179,13 +182,19 @@ impl Client {
         let latency = ctx.now() - t0;
         ctx.metrics().rot_done(latency);
         if ctx.recording() {
-            let values = pairs.iter().map(|(_, v)| v.as_ref().map(|(_, b)| b.clone())).collect();
+            let values = pairs
+                .iter()
+                .map(|(_, v)| v.as_ref().map(|(_, b)| b.clone()))
+                .collect();
             ctx.record(HistoryEvent::RotDone {
                 client: self.id,
                 tx,
                 t_start: t0,
                 t_end: ctx.now(),
-                pairs: pairs.iter().map(|(k, v)| (*k, v.as_ref().map(|(vid, _)| *vid))).collect(),
+                pairs: pairs
+                    .iter()
+                    .map(|(k, v)| (*k, v.as_ref().map(|(vid, _)| *vid)))
+                    .collect(),
                 values,
             });
         }
@@ -218,6 +227,35 @@ impl Client {
     }
 }
 
+impl ProtocolClient for Client {
+    type Msg = Msg;
+
+    fn on_start(&mut self, ctx: &mut dyn ActorCtx<Msg>) {
+        stagger_client_start(ctx);
+    }
+
+    fn on_timer(&mut self, ctx: &mut dyn ActorCtx<Msg>, kind: TimerKind) {
+        debug_assert_eq!(kind.kind, timers::CLIENT_START);
+        if self.pending.is_none() {
+            self.issue_next(ctx);
+        }
+    }
+
+    fn on_message(&mut self, ctx: &mut dyn ActorCtx<Msg>, _from: Addr, msg: Msg) {
+        match msg {
+            Msg::Inject(op) => {
+                self.backlog.push_back(op);
+                if self.pending.is_none() {
+                    self.issue_next(ctx);
+                }
+            }
+            Msg::RotSlice { tx, pairs, lamport } => self.on_slice(ctx, tx, pairs, lamport),
+            Msg::PutResp { key, vid, lamport } => self.on_put_resp(ctx, key, vid, lamport),
+            other => unreachable!("server-bound message at client: {other:?}"),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -234,7 +272,10 @@ mod tests {
     fn slice(tx: TxId, key: Key, ts: u64, lamport: u64) -> Msg {
         Msg::RotSlice {
             tx,
-            pairs: vec![(key, Some((VersionId::new(ts, DcId(0)), Value::from_static(b"v"))))],
+            pairs: vec![(
+                key,
+                Some((VersionId::new(ts, DcId(0)), Value::from_static(b"v"))),
+            )],
             lamport,
         }
     }
@@ -243,7 +284,11 @@ mod tests {
     fn rot_goes_directly_to_every_partition_in_one_round() {
         let (mut c, mut ctx) = client();
         let a = ctx.addr;
-        c.on_message(&mut ctx, a, Msg::Inject(Op::Rot(vec![Key(0), Key(1), Key(2)])));
+        c.on_message(
+            &mut ctx,
+            a,
+            Msg::Inject(Op::Rot(vec![Key(0), Key(1), Key(2)])),
+        );
         let sent = ctx.drain_sent();
         assert_eq!(sent.len(), 3, "one message per partition, no coordinator");
         for (to, m) in &sent {
@@ -264,7 +309,11 @@ mod tests {
         c.on_message(&mut ctx, s0, slice(tx0, Key(1), 11, 2));
         assert_eq!(c.deps_len(), 2);
         // The following PUT ships both dependencies.
-        c.on_message(&mut ctx, a, Msg::Inject(Op::Put(Key(2), Value::from_static(b"w"))));
+        c.on_message(
+            &mut ctx,
+            a,
+            Msg::Inject(Op::Put(Key(2), Value::from_static(b"w"))),
+        );
         let sent = ctx.drain_sent();
         match &sent[0].1 {
             Msg::PutReq { deps, lamport, .. } => {
@@ -285,12 +334,20 @@ mod tests {
         let s0 = Addr::server(DcId(0), PartitionId(0));
         c.on_message(&mut ctx, s0, slice(tx0, Key(0), 10, 1));
         c.on_message(&mut ctx, s0, slice(tx0, Key(1), 11, 2));
-        c.on_message(&mut ctx, a, Msg::Inject(Op::Put(Key(2), Value::from_static(b"w"))));
+        c.on_message(
+            &mut ctx,
+            a,
+            Msg::Inject(Op::Put(Key(2), Value::from_static(b"w"))),
+        );
         ctx.drain_sent();
         c.on_message(
             &mut ctx,
             Addr::server(DcId(0), PartitionId(2)),
-            Msg::PutResp { key: Key(2), vid: VersionId::new(30, DcId(0)), lamport: 30 },
+            Msg::PutResp {
+                key: Key(2),
+                vid: VersionId::new(30, DcId(0)),
+                lamport: 30,
+            },
         );
         assert_eq!(c.deps_len(), 1, "deps collapse to the PUT itself");
     }
@@ -305,7 +362,11 @@ mod tests {
         c.on_message(
             &mut ctx,
             Addr::server(DcId(0), PartitionId(0)),
-            Msg::RotSlice { tx: tx0, pairs: vec![(Key(0), None)], lamport: 1 },
+            Msg::RotSlice {
+                tx: tx0,
+                pairs: vec![(Key(0), None)],
+                lamport: 1,
+            },
         );
         assert_eq!(c.deps_len(), 0);
     }

@@ -25,28 +25,30 @@
 //! CC-LO (Section 5.2): ROT ids are garbage-collected 500 ms after insertion,
 //! and a readers-check response carries at most one ROT id per client (its
 //! most recent — safe because clients issue one operation at a time).
+//!
+//! This crate contains only the CC-LO state machines, messages and reader
+//! records; the node dispatcher, cluster builders and timer loop come from
+//! [`contrarian_protocol`] (see [`CcLo`], this backend's
+//! [`contrarian_protocol::ProtocolSpec`]).
 
-pub mod build;
 pub mod client;
 pub mod msg;
-pub mod node;
 pub mod records;
 pub mod server;
+pub mod spec;
 
-pub use build::{build_cluster, ClusterParams};
 pub use client::Client;
 pub use msg::Msg;
-pub use node::Node;
 pub use records::{BlockRecord, ReaderEntry, ReaderSet};
 pub use server::Server;
+pub use spec::CcLo;
 
-/// Timer kinds used by CC-LO nodes.
-pub mod timers {
-    /// Periodic reader-record + version garbage collection.
-    pub const GC: u16 = 1;
-    /// Client start (staggered).
-    pub const CLIENT_START: u16 = 4;
-}
+/// Shared timer kinds (re-exported from the protocol kernel).
+pub use contrarian_protocol::timers;
+
+/// One CC-LO node (the generic kernel actor instantiated with this
+/// backend's server and client).
+pub type Node = contrarian_protocol::Node<Server, Client>;
 
 /// Metrics counter names (readers-check statistics, Figure 6).
 pub mod stats {

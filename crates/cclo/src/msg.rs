@@ -1,5 +1,6 @@
 //! CC-LO protocol messages and their simulation cost accounting.
 
+use contrarian_protocol::ProtocolMsg;
 use contrarian_sim::cost::{CostModel, MsgClass, SimMessage};
 use contrarian_types::wire;
 use contrarian_types::{Key, Op, TxId, Value, VersionId};
@@ -12,26 +13,65 @@ pub type Dep = (Key, VersionId);
 #[derive(Clone, Debug)]
 pub enum Msg {
     /// Client → partition: the one and only ROT round.
-    RotRead { tx: TxId, keys: Vec<Key>, lamport: u64 },
+    RotRead {
+        tx: TxId,
+        keys: Vec<Key>,
+        lamport: u64,
+    },
     /// Partition → client.
-    RotSlice { tx: TxId, pairs: Vec<(Key, Option<(VersionId, Value)>)>, lamport: u64 },
+    RotSlice {
+        tx: TxId,
+        pairs: Vec<(Key, Option<(VersionId, Value)>)>,
+        lamport: u64,
+    },
     /// Client → partition: PUT with its explicit dependency list (every
     /// version read since the client's previous PUT, plus that PUT).
-    PutReq { key: Key, value: Value, deps: Vec<Dep>, lamport: u64 },
+    PutReq {
+        key: Key,
+        value: Value,
+        deps: Vec<Dep>,
+        lamport: u64,
+    },
     /// Partition → client: sent only after the readers check completed and
     /// the version became visible.
-    PutResp { key: Key, vid: VersionId, lamport: u64 },
+    PutResp {
+        key: Key,
+        vid: VersionId,
+        lamport: u64,
+    },
     /// Readers check: PUT partition → dependency partition.
-    OldReadersQuery { token: u64, deps: Vec<Dep>, lamport: u64 },
+    OldReadersQuery {
+        token: u64,
+        deps: Vec<Dep>,
+        lamport: u64,
+    },
     /// The old readers of those keys: at most one ROT id per client.
-    OldReadersReply { token: u64, entries: Vec<(TxId, u64)>, lamport: u64 },
+    OldReadersReply {
+        token: u64,
+        entries: Vec<(TxId, u64)>,
+        lamport: u64,
+    },
     /// Origin partition → replica partition (async, FIFO), dependencies
     /// attached for the remote dependency + readers check.
-    Replicate { key: Key, value: Value, vid: VersionId, deps: Vec<Dep>, lamport: u64 },
+    Replicate {
+        key: Key,
+        value: Value,
+        vid: VersionId,
+        deps: Vec<Dep>,
+        lamport: u64,
+    },
     /// Combined dependency check + readers check (remote DC): answered only
     /// once every dependency in `deps` is installed at the queried partition.
-    DepCheckQuery { token: u64, deps: Vec<Dep>, lamport: u64 },
-    DepCheckReply { token: u64, entries: Vec<(TxId, u64)>, lamport: u64 },
+    DepCheckQuery {
+        token: u64,
+        deps: Vec<Dep>,
+        lamport: u64,
+    },
+    DepCheckReply {
+        token: u64,
+        entries: Vec<(TxId, u64)>,
+        lamport: u64,
+    },
     /// Externally injected operation.
     Inject(Op),
 }
@@ -92,15 +132,9 @@ impl SimMessage for Msg {
     fn rx_extra(&self, m: &CostModel) -> u64 {
         match self {
             // Per-key lookup plus reader-record insertion.
-            Msg::RotRead { keys, .. } => {
-                (m.read_op_ns + m.reader_record_ns) * keys.len() as u64
-            }
-            Msg::PutReq { deps, .. } => {
-                m.write_op_ns + m.per_rot_id_ns * deps.len() as u64
-            }
-            Msg::Replicate { deps, .. } => {
-                m.write_op_ns + m.per_rot_id_ns * deps.len() as u64
-            }
+            Msg::RotRead { keys, .. } => (m.read_op_ns + m.reader_record_ns) * keys.len() as u64,
+            Msg::PutReq { deps, .. } => m.write_op_ns + m.per_rot_id_ns * deps.len() as u64,
+            Msg::Replicate { deps, .. } => m.write_op_ns + m.per_rot_id_ns * deps.len() as u64,
             // Record lookups on the query side…
             Msg::OldReadersQuery { deps, .. } | Msg::DepCheckQuery { deps, .. } => {
                 m.read_op_ns / 2 * deps.len() as u64
@@ -112,6 +146,12 @@ impl SimMessage for Msg {
             }
             _ => 0,
         }
+    }
+}
+
+impl ProtocolMsg for Msg {
+    fn inject(op: Op) -> Msg {
+        Msg::Inject(op)
     }
 }
 
@@ -127,25 +167,59 @@ mod tests {
     #[test]
     fn reply_cost_grows_linearly_with_rot_ids() {
         let m = CostModel::calibrated();
-        let small = Msg::OldReadersReply { token: 0, entries: vec![(tx(), 1); 10], lamport: 0 };
-        let large = Msg::OldReadersReply { token: 0, entries: vec![(tx(), 1); 500], lamport: 0 };
-        assert_eq!(large.rx_extra(&m) - small.rx_extra(&m), 490 * m.per_rot_id_ns);
+        let small = Msg::OldReadersReply {
+            token: 0,
+            entries: vec![(tx(), 1); 10],
+            lamport: 0,
+        };
+        let large = Msg::OldReadersReply {
+            token: 0,
+            entries: vec![(tx(), 1); 500],
+            lamport: 0,
+        };
+        assert_eq!(
+            large.rx_extra(&m) - small.rx_extra(&m),
+            490 * m.per_rot_id_ns
+        );
         assert!(large.wire_size() > small.wire_size());
     }
 
     #[test]
     fn put_carries_dependency_bytes() {
-        let deps: Vec<Dep> = (0..20).map(|i| (Key(i), VersionId::new(i, DcId(0)))).collect();
-        let with = Msg::PutReq { key: Key(0), value: Value::new(), deps, lamport: 0 };
-        let without = Msg::PutReq { key: Key(0), value: Value::new(), deps: vec![], lamport: 0 };
-        assert_eq!(with.wire_size() - without.wire_size(), 20 * (wire::KEY + wire::VERSION_ID));
+        let deps: Vec<Dep> = (0..20)
+            .map(|i| (Key(i), VersionId::new(i, DcId(0))))
+            .collect();
+        let with = Msg::PutReq {
+            key: Key(0),
+            value: Value::new(),
+            deps,
+            lamport: 0,
+        };
+        let without = Msg::PutReq {
+            key: Key(0),
+            value: Value::new(),
+            deps: vec![],
+            lamport: 0,
+        };
+        assert_eq!(
+            with.wire_size() - without.wire_size(),
+            20 * (wire::KEY + wire::VERSION_ID)
+        );
     }
 
     #[test]
     fn checks_travel_on_the_control_plane() {
-        let q = Msg::OldReadersQuery { token: 0, deps: vec![], lamport: 0 };
+        let q = Msg::OldReadersQuery {
+            token: 0,
+            deps: vec![],
+            lamport: 0,
+        };
         assert_eq!(q.class(), MsgClass::Control);
-        let r = Msg::RotRead { tx: tx(), keys: vec![Key(0)], lamport: 0 };
+        let r = Msg::RotRead {
+            tx: tx(),
+            keys: vec![Key(0)],
+            lamport: 0,
+        };
         assert_eq!(r.class(), MsgClass::Data);
     }
 
@@ -153,7 +227,11 @@ mod tests {
     fn seven_kb_for_855_ids_matches_paper_scale() {
         // The paper reports ≈855 cumulative ROT ids ≈ 7 KB per readers
         // check (8 bytes per id); with read times attached ours is 2×.
-        let msg = Msg::OldReadersReply { token: 0, entries: vec![(tx(), 1); 855], lamport: 0 };
+        let msg = Msg::OldReadersReply {
+            token: 0,
+            entries: vec![(tx(), 1); 855],
+            lamport: 0,
+        };
         assert!(msg.wire_size() >= 6840);
     }
 }

@@ -85,7 +85,8 @@ impl ReaderSet {
     /// and dropped (for CPU accounting).
     pub fn gc(&mut self, now: u64, gc_ns: u64) -> (usize, usize) {
         let before = self.entries.len();
-        self.entries.retain(|_, e| now.saturating_sub(e.inserted_at) <= gc_ns);
+        self.entries
+            .retain(|_, e| now.saturating_sub(e.inserted_at) <= gc_ns);
         (self.entries.len(), before - self.entries.len())
     }
 
@@ -108,6 +109,10 @@ impl BlockRecord {
 
     pub fn len(&self) -> usize {
         self.entries.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
     }
 
     /// Merges one `(tx, read_time)` pair, keeping the *smallest* read time
@@ -152,7 +157,12 @@ mod tests {
     }
 
     fn entry(t: TxId, rt: u64, rvts: u64, at: u64) -> ReaderEntry {
-        ReaderEntry { tx: t, read_time: rt, read_version_ts: rvts, inserted_at: at }
+        ReaderEntry {
+            tx: t,
+            read_time: rt,
+            read_version_ts: rvts,
+            inserted_at: at,
+        }
     }
 
     #[test]
@@ -172,7 +182,7 @@ mod tests {
         let mut old = ReaderSet::new();
         old.insert(entry(tx(0, 0), 5, 10, 0)); // read version 10
         old.insert(entry(tx(1, 0), 6, 20, 0)); // read version 20
-        // Dependency at ts 15: only the reader of version 10 is old.
+                                               // Dependency at ts 15: only the reader of version 10 is old.
         let q = old.query(15, 0, 1_000_000);
         assert_eq!(q, vec![(tx(0, 0), 5)]);
         // Dependency at ts 25: both are old.

@@ -2,8 +2,9 @@
 
 use crate::msg::{Dep, Msg};
 use crate::records::{BlockRecord, ReaderEntry, ReaderSet};
-use crate::{stats, timers};
+use crate::stats;
 use contrarian_clock::LogicalClock;
+use contrarian_protocol::{timers, Parked, ProtocolServer, Timers};
 use contrarian_sim::actor::{ActorCtx, TimerKind};
 use contrarian_storage::{MvStore, Version};
 use contrarian_types::{Addr, ClusterConfig, Key, PartitionId, TxId, Value, VersionId};
@@ -59,12 +60,18 @@ pub struct Server {
     old_readers: HashMap<Key, ReaderSet>,
     pending_puts: HashMap<u64, PendingPut>,
     pending_repls: HashMap<u64, PendingRepl>,
-    dep_waiters: Vec<DepWaiter>,
+    /// Dependency-check queries parked until their dependencies install
+    /// (released by `flush_dep_waiters` after every install).
+    dep_waiters: Parked<DepWaiter>,
     next_token: u64,
+    timers: Timers,
 }
 
 impl Server {
     pub fn new(addr: Addr, cfg: ClusterConfig) -> Self {
+        // Sweep reader records well inside the GC window so stale ids
+        // neither linger in memory nor get shipped around.
+        let sweep_ns = (cfg.old_reader_gc_us * 1000) / 4;
         Server {
             addr,
             cfg,
@@ -74,8 +81,9 @@ impl Server {
             old_readers: HashMap::new(),
             pending_puts: HashMap::new(),
             pending_repls: HashMap::new(),
-            dep_waiters: Vec::new(),
+            dep_waiters: Parked::new(),
             next_token: 0,
+            timers: Timers::new().with_periodic(timers::GC, sweep_ns),
         }
     }
 
@@ -89,16 +97,6 @@ impl Server {
             self.readers.values().map(|r| r.len()).sum(),
             self.old_readers.values().map(|r| r.len()).sum(),
         )
-    }
-
-    pub fn on_start(&mut self, ctx: &mut dyn ActorCtx<Msg>) {
-        // Sweep reader records well inside the GC window so stale ids
-        // neither linger in memory nor get shipped around.
-        ctx.set_timer(self.gc_sweep_ns(), TimerKind::new(timers::GC));
-    }
-
-    fn gc_sweep_ns(&self) -> u64 {
-        (self.cfg.old_reader_gc_us * 1000) / 4
     }
 
     fn gc_window_ns(&self) -> u64 {
@@ -117,8 +115,7 @@ impl Server {
         }
     }
 
-    pub fn on_timer(&mut self, ctx: &mut dyn ActorCtx<Msg>, kind: TimerKind) {
-        debug_assert_eq!(kind.kind, timers::GC);
+    fn gc(&mut self, ctx: &mut dyn ActorCtx<Msg>) {
         let now = ctx.now();
         let window = self.gc_window_ns();
         let mut touched = 0usize;
@@ -137,34 +134,56 @@ impl Server {
         let horizon = self.lamport.peek().saturating_sub(1_000_000);
         let dropped = self.store.gc_all(horizon.max(1), 1);
         ctx.charge((touched + dropped) as u64 * 100);
-        if !ctx.stopped() {
-            ctx.set_timer(self.gc_sweep_ns(), TimerKind::new(timers::GC));
-        }
     }
 
-    pub fn on_message(&mut self, ctx: &mut dyn ActorCtx<Msg>, from: Addr, msg: Msg) {
+    fn handle_message(&mut self, ctx: &mut dyn ActorCtx<Msg>, from: Addr, msg: Msg) {
         match msg {
             Msg::RotRead { tx, keys, lamport } => self.handle_rot(ctx, from, tx, keys, lamport),
-            Msg::PutReq { key, value, deps, lamport } => {
-                self.handle_put(ctx, from, key, value, deps, lamport)
-            }
-            Msg::OldReadersQuery { token, deps, lamport } => {
+            Msg::PutReq {
+                key,
+                value,
+                deps,
+                lamport,
+            } => self.handle_put(ctx, from, key, value, deps, lamport),
+            Msg::OldReadersQuery {
+                token,
+                deps,
+                lamport,
+            } => {
                 self.lamport.observe(lamport);
                 self.answer_check(ctx, from, token, deps, false)
             }
-            Msg::OldReadersReply { token, entries, lamport } => {
+            Msg::OldReadersReply {
+                token,
+                entries,
+                lamport,
+            } => {
                 self.lamport.observe(lamport);
                 self.on_check_reply(ctx, token, entries)
             }
-            Msg::Replicate { key, value, vid, deps, lamport } => {
+            Msg::Replicate {
+                key,
+                value,
+                vid,
+                deps,
+                lamport,
+            } => {
                 self.lamport.observe(lamport.max(vid.ts));
                 self.handle_replicate(ctx, key, value, vid, deps)
             }
-            Msg::DepCheckQuery { token, deps, lamport } => {
+            Msg::DepCheckQuery {
+                token,
+                deps,
+                lamport,
+            } => {
                 self.lamport.observe(lamport);
                 self.answer_check(ctx, from, token, deps, true)
             }
-            Msg::DepCheckReply { token, entries, lamport } => {
+            Msg::DepCheckReply {
+                token,
+                entries,
+                lamport,
+            } => {
                 self.lamport.observe(lamport);
                 self.on_dep_reply(ctx, token, entries)
             }
@@ -196,7 +215,12 @@ impl Server {
                 ver = Some((VersionId::GENESIS, contrarian_types::genesis_value()));
             }
             let read_version_ts = ver.as_ref().map(|(vid, _)| vid.ts).unwrap_or(0);
-            let entry = ReaderEntry { tx, read_time, read_version_ts, inserted_at: now };
+            let entry = ReaderEntry {
+                tx,
+                read_time,
+                read_version_ts,
+                inserted_at: now,
+            };
             if blocked {
                 // Reading a superseded version makes this ROT an old reader
                 // of the key immediately.
@@ -207,14 +231,23 @@ impl Server {
             pairs.push((key, ver));
         }
         ctx.charge(scanned as u64 * 500);
-        ctx.send(client, Msg::RotSlice { tx, pairs, lamport: self.lamport.peek() });
+        ctx.send(
+            client,
+            Msg::RotSlice {
+                tx,
+                pairs,
+                lamport: self.lamport.peek(),
+            },
+        );
     }
 
     /// Which version `tx` may observe: the newest whose old-reader record
     /// does not name `tx`; if named with read-time bound `rt`, the newest
     /// version created before `rt`. Returns (version, was_blocked, scanned).
     fn version_for(&self, key: Key, tx: TxId) -> (Option<(VersionId, Value)>, bool, usize) {
-        let Some(chain) = self.store.chain(key) else { return (None, false, 0) };
+        let Some(chain) = self.store.chain(key) else {
+            return (None, false, 0);
+        };
         let mut bound: Option<u64> = None;
         let mut scanned = 0;
         for v in chain.iter_desc() {
@@ -283,7 +316,11 @@ impl Server {
                 let peer = Addr::server(self.addr.dc, p);
                 ctx.send(
                     peer,
-                    Msg::OldReadersQuery { token, deps: part_deps, lamport: self.lamport.peek() },
+                    Msg::OldReadersQuery {
+                        token,
+                        deps: part_deps,
+                        lamport: self.lamport.peek(),
+                    },
                 );
             }
         }
@@ -298,7 +335,10 @@ impl Server {
     fn group_deps(&self, deps: &[Dep]) -> BTreeMap<PartitionId, Vec<Dep>> {
         let mut groups: BTreeMap<PartitionId, Vec<Dep>> = BTreeMap::new();
         for &(k, vid) in deps {
-            groups.entry(k.partition(self.cfg.n_partitions)).or_default().push((k, vid));
+            groups
+                .entry(k.partition(self.cfg.n_partitions))
+                .or_default()
+                .push((k, vid));
         }
         groups
     }
@@ -314,15 +354,27 @@ impl Server {
         dep_check: bool,
     ) {
         if dep_check && !self.deps_installed(&deps) {
-            self.dep_waiters.push(DepWaiter { reply_to: from, token, deps });
+            self.dep_waiters.park_until_ready(DepWaiter {
+                reply_to: from,
+                token,
+                deps,
+            });
             return;
         }
         let entries = self.collect_old_readers(ctx, &deps);
         let lamport = self.lamport.peek();
         let reply = if dep_check {
-            Msg::DepCheckReply { token, entries, lamport }
+            Msg::DepCheckReply {
+                token,
+                entries,
+                lamport,
+            }
         } else {
-            Msg::OldReadersReply { token, entries, lamport }
+            Msg::OldReadersReply {
+                token,
+                entries,
+                lamport,
+            }
         };
         ctx.send(from, reply);
     }
@@ -331,11 +383,19 @@ impl Server {
         deps.iter().all(|(k, vid)| {
             // Genesis dependencies are installed everywhere by construction.
             vid.is_genesis()
-                || self.store.chain(*k).and_then(|c| c.head()).map_or(false, |h| h.vid >= *vid)
+                || self
+                    .store
+                    .chain(*k)
+                    .and_then(|c| c.head())
+                    .is_some_and(|h| h.vid >= *vid)
         })
     }
 
-    fn collect_old_readers(&mut self, ctx: &mut dyn ActorCtx<Msg>, deps: &[Dep]) -> Vec<(TxId, u64)> {
+    fn collect_old_readers(
+        &mut self,
+        ctx: &mut dyn ActorCtx<Msg>,
+        deps: &[Dep],
+    ) -> Vec<(TxId, u64)> {
         let now = ctx.now();
         let window = self.gc_window_ns();
         // Per dependency key, at most one ROT id per client (its most
@@ -357,8 +417,15 @@ impl Server {
         out
     }
 
-    fn on_check_reply(&mut self, ctx: &mut dyn ActorCtx<Msg>, token: u64, entries: Vec<(TxId, u64)>) {
-        let Some(mut pending) = self.pending_puts.remove(&token) else { return };
+    fn on_check_reply(
+        &mut self,
+        ctx: &mut dyn ActorCtx<Msg>,
+        token: u64,
+        entries: Vec<(TxId, u64)>,
+    ) {
+        let Some(mut pending) = self.pending_puts.remove(&token) else {
+            return;
+        };
         pending.ids_cum += entries.len() as u64;
         pending.bytes += entries.len() as u64 * 16;
         for &(tx, _) in &entries {
@@ -394,7 +461,14 @@ impl Server {
         self.supersede_head(key);
         let vid = VersionId::new(ts, self.addr.dc);
         self.store.put(key, Version::new(vid, value.clone(), block));
-        ctx.send(client, Msg::PutResp { key, vid, lamport: self.lamport.peek() });
+        ctx.send(
+            client,
+            Msg::PutResp {
+                key,
+                vid,
+                lamport: self.lamport.peek(),
+            },
+        );
 
         let m = ctx.metrics();
         m.add(stats::CHECKS, 1);
@@ -452,8 +526,13 @@ impl Server {
     ) {
         let token = self.next_token;
         self.next_token += 1;
-        let mut pending =
-            PendingRepl { key, value, vid, block: BlockRecord::new(), awaiting: 0 };
+        let mut pending = PendingRepl {
+            key,
+            value,
+            vid,
+            block: BlockRecord::new(),
+            awaiting: 0,
+        };
 
         let groups = self.group_deps(&deps);
         let now = ctx.now();
@@ -471,10 +550,10 @@ impl Server {
                         pending.block.merge_pairs(&pairs);
                     }
                 } else {
-                    // Wait for our own install path to catch up: queue a
+                    // Wait for our own install path to catch up: park a
                     // self-addressed waiter resolved by `flush_dep_waiters`.
                     pending.awaiting += 1;
-                    self.dep_waiters.push(DepWaiter {
+                    self.dep_waiters.park_until_ready(DepWaiter {
                         reply_to: self.addr,
                         token,
                         deps: part_deps,
@@ -485,7 +564,11 @@ impl Server {
                 let peer = Addr::server(self.addr.dc, p);
                 ctx.send(
                     peer,
-                    Msg::DepCheckQuery { token, deps: part_deps, lamport: self.lamport.peek() },
+                    Msg::DepCheckQuery {
+                        token,
+                        deps: part_deps,
+                        lamport: self.lamport.peek(),
+                    },
                 );
             }
         }
@@ -498,7 +581,9 @@ impl Server {
     }
 
     fn on_dep_reply(&mut self, ctx: &mut dyn ActorCtx<Msg>, token: u64, entries: Vec<(TxId, u64)>) {
-        let Some(mut pending) = self.pending_repls.remove(&token) else { return };
+        let Some(mut pending) = self.pending_repls.remove(&token) else {
+            return;
+        };
         pending.block.merge_pairs(&entries);
         pending.awaiting -= 1;
         if pending.awaiting == 0 {
@@ -509,7 +594,13 @@ impl Server {
     }
 
     fn finalize_repl(&mut self, ctx: &mut dyn ActorCtx<Msg>, pending: PendingRepl) {
-        let PendingRepl { key, value, vid, block, .. } = pending;
+        let PendingRepl {
+            key,
+            value,
+            vid,
+            block,
+            ..
+        } = pending;
         self.lamport.merge(vid.ts);
         self.supersede_head(key);
         self.store.put(key, Version::new(vid, value, block));
@@ -519,21 +610,27 @@ impl Server {
 
     /// After any install, release dependency checks that were waiting.
     fn flush_dep_waiters(&mut self, ctx: &mut dyn ActorCtx<Msg>) {
-        let mut i = 0;
-        while i < self.dep_waiters.len() {
-            if self.deps_installed(&self.dep_waiters[i].deps) {
-                let w = self.dep_waiters.swap_remove(i);
-                if w.reply_to == self.addr {
-                    // Self-waiter of a pending replication on this server.
-                    let entries = self.collect_old_readers(ctx, &w.deps);
-                    self.on_dep_reply(ctx, w.token, entries);
-                } else {
-                    let entries = self.collect_old_readers(ctx, &w.deps);
-                    let lamport = self.lamport.peek();
-                    ctx.send(w.reply_to, Msg::DepCheckReply { token: w.token, entries, lamport });
-                }
+        // Take the queue so the readiness predicate can borrow the store;
+        // handlers below may park new waiters (and recurse through
+        // `finalize_repl`), which land in the restored queue.
+        let mut q = std::mem::take(&mut self.dep_waiters);
+        let ready = q.take_ready(|w| self.deps_installed(&w.deps));
+        self.dep_waiters = q;
+        for w in ready {
+            let entries = self.collect_old_readers(ctx, &w.deps);
+            if w.reply_to == self.addr {
+                // Self-waiter of a pending replication on this server.
+                self.on_dep_reply(ctx, w.token, entries);
             } else {
-                i += 1;
+                let lamport = self.lamport.peek();
+                ctx.send(
+                    w.reply_to,
+                    Msg::DepCheckReply {
+                        token: w.token,
+                        entries,
+                        lamport,
+                    },
+                );
             }
         }
     }
@@ -545,6 +642,28 @@ impl Server {
 
     pub fn has_pending_puts(&self) -> bool {
         !self.pending_puts.is_empty()
+    }
+}
+
+impl ProtocolServer for Server {
+    type Msg = Msg;
+
+    fn on_start(&mut self, ctx: &mut dyn ActorCtx<Msg>) {
+        self.timers.start(ctx);
+    }
+
+    fn on_message(&mut self, ctx: &mut dyn ActorCtx<Msg>, from: Addr, msg: Msg) {
+        self.handle_message(ctx, from, msg);
+    }
+
+    fn on_timer(&mut self, ctx: &mut dyn ActorCtx<Msg>, kind: TimerKind) {
+        debug_assert_eq!(kind.kind, timers::GC);
+        self.gc(ctx);
+        self.timers.rearm(ctx, kind.kind);
+    }
+
+    fn store_heads(&self) -> Vec<(Key, VersionId)> {
+        self.store.heads()
     }
 }
 
@@ -574,7 +693,12 @@ mod tests {
         s.on_message(
             ctx,
             client(),
-            Msg::PutReq { key, value: Value::from_static(b"v"), deps, lamport: 0 },
+            Msg::PutReq {
+                key,
+                value: Value::from_static(b"v"),
+                deps,
+                lamport: 0,
+            },
         );
         match ctx.drain_to(client()).pop() {
             Some(Msg::PutResp { vid, .. }) => vid,
@@ -588,11 +712,20 @@ mod tests {
         t: TxId,
         keys: Vec<Key>,
     ) -> Vec<(Key, Option<VersionId>)> {
-        s.on_message(ctx, client(), Msg::RotRead { tx: t, keys, lamport: 0 });
+        s.on_message(
+            ctx,
+            client(),
+            Msg::RotRead {
+                tx: t,
+                keys,
+                lamport: 0,
+            },
+        );
         match ctx.drain_to(client()).pop() {
-            Some(Msg::RotSlice { pairs, .. }) => {
-                pairs.into_iter().map(|(k, v)| (k, v.map(|(vid, _)| vid))).collect()
-            }
+            Some(Msg::RotSlice { pairs, .. }) => pairs
+                .into_iter()
+                .map(|(k, v)| (k, v.map(|(vid, _)| vid)))
+                .collect(),
             other => panic!("expected RotSlice, got {other:?}"),
         }
     }
@@ -633,9 +766,13 @@ mod tests {
         do_rot(&mut s, &mut ctx, t1, vec![x]); // T1 reads X0
         let x1 = do_put(&mut s, &mut ctx, x, vec![]); // X0 overwritten
         let _y1 = do_put(&mut s, &mut ctx, y, vec![(x, x1)]); // Y1 ; X1
-        // T1's read of y must return Y0, not Y1.
+                                                              // T1's read of y must return Y0, not Y1.
         let got = do_rot(&mut s, &mut ctx, t1, vec![y]);
-        assert_eq!(got[0].1, Some(y0), "old reader must get the version before its read time");
+        assert_eq!(
+            got[0].1,
+            Some(y0),
+            "old reader must get the version before its read time"
+        );
         // A fresh ROT sees Y1.
         let got2 = do_rot(&mut s, &mut ctx, tx(1, 0), vec![y]);
         assert_ne!(got2[0].1, Some(y0));
@@ -675,7 +812,11 @@ mod tests {
         s.on_message(
             &mut ctx,
             addr(1),
-            Msg::OldReadersReply { token, entries: vec![(blocked, 7)], lamport: 9 },
+            Msg::OldReadersReply {
+                token,
+                entries: vec![(blocked, 7)],
+                lamport: 9,
+            },
         );
         let resp = ctx.drain_to(client());
         assert!(matches!(resp[0], Msg::PutResp { .. }));
@@ -696,12 +837,19 @@ mod tests {
         s.on_message(
             &mut ctx,
             addr(1),
-            Msg::OldReadersQuery { token: 42, deps: vec![(Key(0), x1)], lamport: 0 },
+            Msg::OldReadersQuery {
+                token: 42,
+                deps: vec![(Key(0), x1)],
+                lamport: 0,
+            },
         );
         match ctx.drain_to(addr(1)).pop() {
             Some(Msg::OldReadersReply { entries, .. }) => {
                 assert_eq!(entries.len(), 2, "one id per client");
-                assert!(entries.iter().any(|(t, _)| *t == tx(0, 1)), "most recent ROT of client 0");
+                assert!(
+                    entries.iter().any(|(t, _)| *t == tx(0, 1)),
+                    "most recent ROT of client 0"
+                );
             }
             other => panic!("unexpected {other:?}"),
         }

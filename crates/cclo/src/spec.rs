@@ -1,51 +1,40 @@
-//! Assembling simulated CC-LO clusters.
+//! CC-LO's [`ProtocolSpec`]: how the generic builders assemble a CC-LO
+//! cluster.
 
 use crate::client::Client;
-use crate::node::Node;
 use crate::server::Server;
-use contrarian_sim::cost::CostModel;
-use contrarian_sim::sim::Sim;
-use contrarian_types::{Addr, ClusterConfig, DcId, PartitionId};
-use contrarian_workload::{ClientDriver, OpSource, WorkloadSpec, Zipf};
-use std::sync::Arc;
+use contrarian_protocol::ProtocolSpec;
+use contrarian_types::{Addr, ClusterConfig};
+use contrarian_workload::OpSource;
+use rand::rngs::SmallRng;
 
-/// Everything needed to stand up one simulated CC-LO cluster.
-pub struct ClusterParams {
-    pub cfg: ClusterConfig,
-    pub cost: CostModel,
-    pub workload: WorkloadSpec,
-    pub clients_per_dc: u16,
-    pub seed: u64,
-}
+/// The CC-LO (COPS-SNOW) backend.
+pub struct CcLo;
 
-/// Builds a full cluster with closed-loop clients.
-pub fn build_cluster(p: &ClusterParams) -> Sim<Node> {
-    let mut sim = Sim::new(p.cost.clone(), p.seed);
-    let zipf = Arc::new(Zipf::new(p.cfg.keys_per_partition, p.workload.zipf_theta));
+impl ProtocolSpec for CcLo {
+    type Msg = crate::msg::Msg;
+    type Server = Server;
+    type Client = Client;
 
-    for dc in 0..p.cfg.n_dcs {
-        for part in 0..p.cfg.n_partitions {
-            let addr = Addr::server(DcId(dc), PartitionId(part));
-            sim.add_server(
-                addr,
-                Node::Server(Server::new(addr, p.cfg.clone())),
-                p.cfg.workers_per_server as u32,
-            );
-        }
+    const NAME: &'static str = "cc-lo";
+
+    fn server(addr: Addr, cfg: &ClusterConfig, _rng: &mut SmallRng) -> Server {
+        // Lamport clocks: no physical-clock model to draw.
+        Server::new(addr, cfg.clone())
     }
-    for dc in 0..p.cfg.n_dcs {
-        for c in 0..p.clients_per_dc {
-            let addr = Addr::client(DcId(dc), c);
-            let driver = ClientDriver::new(p.workload.clone(), zipf.clone(), p.cfg.n_partitions);
-            sim.add_client(addr, Node::Client(Client::new(addr, p.cfg.clone(), OpSource::closed(driver))));
-        }
+
+    fn client(addr: Addr, cfg: &ClusterConfig, source: OpSource) -> Client {
+        Client::new(addr, cfg.clone(), source)
     }
-    sim
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use contrarian_protocol::{build_cluster, ClusterParams};
+    use contrarian_sim::cost::CostModel;
+    use contrarian_types::{DcId, PartitionId};
+    use contrarian_workload::WorkloadSpec;
 
     #[test]
     fn closed_loop_cclo_cluster_makes_progress() {
@@ -56,7 +45,7 @@ mod tests {
             clients_per_dc: 4,
             seed: 11,
         };
-        let mut sim = build_cluster(&p);
+        let mut sim = build_cluster::<CcLo>(&p);
         sim.start();
         sim.metrics_mut().enabled = true;
         sim.run_until(50_000_000);
@@ -75,7 +64,7 @@ mod tests {
             clients_per_dc: 2,
             seed: 13,
         };
-        let mut sim = build_cluster(&p);
+        let mut sim = build_cluster::<CcLo>(&p);
         sim.start();
         sim.run_until(30_000_000);
         sim.set_stopped(true);
@@ -84,8 +73,15 @@ mod tests {
         for part in 0..4u16 {
             let a = sim.actor(Addr::server(DcId(0), PartitionId(part)));
             let b = sim.actor(Addr::server(DcId(1), PartitionId(part)));
-            let (sa, sb) = (a.as_server().unwrap().store(), b.as_server().unwrap().store());
-            assert_eq!(sa.n_keys(), sb.n_keys(), "partition {part} diverged in key count");
+            let (sa, sb) = (
+                a.as_server().unwrap().store(),
+                b.as_server().unwrap().store(),
+            );
+            assert_eq!(
+                sa.n_keys(),
+                sb.n_keys(),
+                "partition {part} diverged in key count"
+            );
             for (k, chain) in sa.iter() {
                 let ha = chain.head().unwrap().vid;
                 let hb = sb.latest(*k).expect("key missing in replica").vid;

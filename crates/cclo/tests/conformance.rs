@@ -1,0 +1,27 @@
+//! CC-LO under the shared backend conformance suite: the same convergence +
+//! causal-session checks every backend must pass, on both the discrete-event
+//! simulator and the live threaded transport.
+
+use contrarian_cclo::CcLo;
+use contrarian_protocol::conformance;
+
+#[test]
+fn conforms_on_simulator_single_dc() {
+    conformance::check_sim::<CcLo>(1, 31).unwrap();
+}
+
+#[test]
+fn conforms_on_simulator_replicated() {
+    for seed in [32, 33] {
+        let outcome = conformance::check_sim::<CcLo>(2, seed).unwrap();
+        assert!(
+            outcome.keys_compared > 0,
+            "convergence check must compare keys"
+        );
+    }
+}
+
+#[test]
+fn conforms_on_live_transport() {
+    conformance::check_live::<CcLo>(2, 34).unwrap();
+}

@@ -1,6 +1,6 @@
 //! Simulated loosely synchronized physical clocks.
 
-use rand::{Rng, RngExt};
+use rand::Rng;
 
 /// A physical clock with a constant offset from true (simulated) time.
 ///
@@ -29,7 +29,9 @@ impl PhysicalClockModel {
             return Self::perfect();
         }
         let bound = skew_us as i64 * 1000;
-        PhysicalClockModel { offset_ns: rng.random_range(-bound..=bound) }
+        PhysicalClockModel {
+            offset_ns: rng.random_range(-bound..=bound),
+        }
     }
 
     #[inline]

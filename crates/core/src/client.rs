@@ -1,7 +1,8 @@
 //! The Contrarian client: closed-loop or interactive session.
 
 use crate::msg::Msg;
-use crate::timers;
+use contrarian_protocol::timers::{self, stagger_client_start};
+use contrarian_protocol::ProtocolClient;
 use contrarian_sim::actor::{ActorCtx, TimerKind};
 use contrarian_types::{
     Addr, ClientId, ClusterConfig, DepVector, HistoryEvent, Key, Op, PartitionId, RotMode, TxId,
@@ -61,36 +62,6 @@ impl Client {
         }
     }
 
-    pub fn on_start(&mut self, ctx: &mut dyn ActorCtx<Msg>) {
-        // Stagger client start-up a little to avoid a synchronized burst.
-        let jitter = ctx.rng().random_range(0..200_000u64);
-        ctx.set_timer(jitter, TimerKind::new(timers::CLIENT_START));
-    }
-
-    pub fn on_timer(&mut self, ctx: &mut dyn ActorCtx<Msg>, kind: TimerKind) {
-        debug_assert_eq!(kind.kind, timers::CLIENT_START);
-        // An injected op may already be in flight before the start timer
-        // fires (interactive clusters).
-        if self.pending.is_none() {
-            self.issue_next(ctx);
-        }
-    }
-
-    pub fn on_message(&mut self, ctx: &mut dyn ActorCtx<Msg>, _from: Addr, msg: Msg) {
-        match msg {
-            Msg::Inject(op) => {
-                self.backlog.push_back(op);
-                if self.pending.is_none() {
-                    self.issue_next(ctx);
-                }
-            }
-            Msg::RotSnap { tx, sv } => self.on_snap(ctx, tx, sv),
-            Msg::RotSlice { tx, pairs, sv } => self.on_slice(ctx, tx, pairs, sv),
-            Msg::PutResp { vid, gss, .. } => self.on_put_resp(ctx, vid, gss),
-            other => unreachable!("server-bound message at client: {other:?}"),
-        }
-    }
-
     fn issue_next(&mut self, ctx: &mut dyn ActorCtx<Msg>) {
         debug_assert!(self.pending.is_none());
         // Closed-loop sources stop issuing when the harness says so;
@@ -114,7 +85,15 @@ impl Client {
         self.next_put += 1;
         let target = Addr::server(self.addr.dc, key.partition(self.cfg.n_partitions));
         self.pending = Some(Pending::Put { seq, t0: ctx.now() });
-        ctx.send(target, Msg::PutReq { key, value, lts: self.lts, gss: self.gss.clone() });
+        ctx.send(
+            target,
+            Msg::PutReq {
+                key,
+                value,
+                lts: self.lts,
+                gss: self.gss.clone(),
+            },
+        );
         // Remember the key for history recording.
         self.last_put_key = key;
     }
@@ -135,11 +114,26 @@ impl Client {
                     expect: parts.len(),
                     pairs: Vec::with_capacity(keys.len()),
                 });
-                ctx.send(coord, Msg::RotReq { tx, keys, lts: self.lts, gss: self.gss.clone() });
+                ctx.send(
+                    coord,
+                    Msg::RotReq {
+                        tx,
+                        keys,
+                        lts: self.lts,
+                        gss: self.gss.clone(),
+                    },
+                );
             }
             RotMode::TwoRound => {
                 self.pending = Some(Pending::Snap { tx, t0, keys });
-                ctx.send(coord, Msg::RotSnapReq { tx, lts: self.lts, gss: self.gss.clone() });
+                ctx.send(
+                    coord,
+                    Msg::RotSnapReq {
+                        tx,
+                        lts: self.lts,
+                        gss: self.gss.clone(),
+                    },
+                );
             }
             RotMode::Adaptive { .. } => unreachable!("for_rot resolves Adaptive"),
         }
@@ -160,9 +154,21 @@ impl Client {
         let expect = groups.len();
         for (p, ks) in groups {
             let target = Addr::server(self.addr.dc, PartitionId(p));
-            ctx.send(target, Msg::RotRead { tx, keys: ks, sv: sv.clone() });
+            ctx.send(
+                target,
+                Msg::RotRead {
+                    tx,
+                    keys: ks,
+                    sv: sv.clone(),
+                },
+            );
         }
-        self.pending = Some(Pending::Rot { tx, t0, expect, pairs: Vec::with_capacity(keys.len()) });
+        self.pending = Some(Pending::Rot {
+            tx,
+            t0,
+            expect,
+            pairs: Vec::with_capacity(keys.len()),
+        });
         let _ = sv;
     }
 
@@ -173,7 +179,12 @@ impl Client {
         mut new_pairs: Vec<(Key, Option<(VersionId, Value)>)>,
         slice_sv: DepVector,
     ) {
-        let Some(Pending::Rot { tx: want, t0, expect, mut pairs }) = self.pending.take()
+        let Some(Pending::Rot {
+            tx: want,
+            t0,
+            expect,
+            mut pairs,
+        }) = self.pending.take()
         else {
             return;
         };
@@ -183,7 +194,12 @@ impl Client {
         pairs.append(&mut new_pairs);
         let expect = expect - 1;
         if expect > 0 {
-            self.pending = Some(Pending::Rot { tx, t0, expect, pairs });
+            self.pending = Some(Pending::Rot {
+                tx,
+                t0,
+                expect,
+                pairs,
+            });
             return;
         }
         // ROT complete: absorb the snapshot (monotonic sessions).
@@ -192,13 +208,19 @@ impl Client {
         let latency = ctx.now() - t0;
         ctx.metrics().rot_done(latency);
         if ctx.recording() {
-            let values = pairs.iter().map(|(_, v)| v.as_ref().map(|(_, b)| b.clone())).collect();
+            let values = pairs
+                .iter()
+                .map(|(_, v)| v.as_ref().map(|(_, b)| b.clone()))
+                .collect();
             ctx.record(HistoryEvent::RotDone {
                 client: self.id,
                 tx,
                 t_start: t0,
                 t_end: ctx.now(),
-                pairs: pairs.iter().map(|(k, v)| (*k, v.as_ref().map(|(vid, _)| *vid))).collect(),
+                pairs: pairs
+                    .iter()
+                    .map(|(k, v)| (*k, v.as_ref().map(|(vid, _)| *vid)))
+                    .collect(),
                 values,
             });
         }
@@ -247,6 +269,39 @@ impl Client {
     }
 }
 
+impl ProtocolClient for Client {
+    type Msg = Msg;
+
+    fn on_start(&mut self, ctx: &mut dyn ActorCtx<Msg>) {
+        // Stagger client start-up a little to avoid a synchronized burst.
+        stagger_client_start(ctx);
+    }
+
+    fn on_timer(&mut self, ctx: &mut dyn ActorCtx<Msg>, kind: TimerKind) {
+        debug_assert_eq!(kind.kind, timers::CLIENT_START);
+        // An injected op may already be in flight before the start timer
+        // fires (interactive clusters).
+        if self.pending.is_none() {
+            self.issue_next(ctx);
+        }
+    }
+
+    fn on_message(&mut self, ctx: &mut dyn ActorCtx<Msg>, _from: Addr, msg: Msg) {
+        match msg {
+            Msg::Inject(op) => {
+                self.backlog.push_back(op);
+                if self.pending.is_none() {
+                    self.issue_next(ctx);
+                }
+            }
+            Msg::RotSnap { tx, sv } => self.on_snap(ctx, tx, sv),
+            Msg::RotSlice { tx, pairs, sv } => self.on_slice(ctx, tx, pairs, sv),
+            Msg::PutResp { vid, gss, .. } => self.on_put_resp(ctx, vid, gss),
+            other => unreachable!("server-bound message at client: {other:?}"),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -262,17 +317,15 @@ mod tests {
         (Client::new(addr, cfg, source), ScriptCtx::new(addr))
     }
 
-    fn slice_for(
-        tx: TxId,
-        key: Key,
-        ts: u64,
-        sv_local: u64,
-    ) -> Msg {
+    fn slice_for(tx: TxId, key: Key, ts: u64, sv_local: u64) -> Msg {
         let mut sv = DepVector::zero(1);
         sv.set(0, sv_local);
         Msg::RotSlice {
             tx,
-            pairs: vec![(key, Some((VersionId::new(ts, DcId(0)), Value::from_static(b"v"))))],
+            pairs: vec![(
+                key,
+                Some((VersionId::new(ts, DcId(0)), Value::from_static(b"v"))),
+            )],
             sv,
         }
     }
@@ -280,7 +333,12 @@ mod tests {
     #[test]
     fn one_half_round_sends_single_request_to_coordinator() {
         let (mut c, mut ctx) = client(RotMode::OneHalfRound);
-        let a = ctx.addr; c.on_message(&mut ctx, a, Msg::Inject(Op::Rot(vec![Key(0), Key(1), Key(2)])));
+        let a = ctx.addr;
+        c.on_message(
+            &mut ctx,
+            a,
+            Msg::Inject(Op::Rot(vec![Key(0), Key(1), Key(2)])),
+        );
         let sent = ctx.drain_sent();
         assert_eq!(sent.len(), 1);
         let (to, m) = &sent[0];
@@ -294,7 +352,8 @@ mod tests {
     #[test]
     fn two_round_snap_then_reads() {
         let (mut c, mut ctx) = client(RotMode::TwoRound);
-        let a = ctx.addr; c.on_message(&mut ctx, a, Msg::Inject(Op::Rot(vec![Key(0), Key(1)])));
+        let a = ctx.addr;
+        c.on_message(&mut ctx, a, Msg::Inject(Op::Rot(vec![Key(0), Key(1)])));
         let sent = ctx.drain_sent();
         let tx = match &sent[0].1 {
             Msg::RotSnapReq { tx, .. } => *tx,
@@ -318,7 +377,8 @@ mod tests {
     fn rot_completes_after_all_slices_and_session_advances() {
         let (mut c, mut ctx) = client(RotMode::OneHalfRound);
         ctx.metrics.enabled = true;
-        let a = ctx.addr; c.on_message(&mut ctx, a, Msg::Inject(Op::Rot(vec![Key(0), Key(1)])));
+        let a = ctx.addr;
+        c.on_message(&mut ctx, a, Msg::Inject(Op::Rot(vec![Key(0), Key(1)])));
         let tx = TxId::new(c.id, 0);
         let from = Addr::server(DcId(0), PartitionId(0));
         c.on_message(&mut ctx, from, slice_for(tx, Key(0), 10, 99));
@@ -338,7 +398,12 @@ mod tests {
         let (mut c, mut ctx) = client(RotMode::OneHalfRound);
         ctx.metrics.enabled = true;
         c.lts = 55;
-        let a = ctx.addr; c.on_message(&mut ctx, a, Msg::Inject(Op::Put(Key(3), Value::from_static(b"x"))));
+        let a = ctx.addr;
+        c.on_message(
+            &mut ctx,
+            a,
+            Msg::Inject(Op::Put(Key(3), Value::from_static(b"x"))),
+        );
         let sent = ctx.drain_sent();
         match &sent[0].1 {
             Msg::PutReq { lts, .. } => assert_eq!(*lts, 55),
@@ -349,7 +414,11 @@ mod tests {
         c.on_message(
             &mut ctx,
             sent[0].0,
-            Msg::PutResp { key: Key(3), vid: VersionId::new(200, DcId(0)), gss: DepVector::zero(1) },
+            Msg::PutResp {
+                key: Key(3),
+                vid: VersionId::new(200, DcId(0)),
+                gss: DepVector::zero(1),
+            },
         );
         assert_eq!(c.lts(), 200);
         assert_eq!(ctx.metrics.puts_done, 1);
@@ -390,13 +459,15 @@ mod tests {
     #[test]
     fn monotonic_snapshots_across_rots() {
         let (mut c, mut ctx) = client(RotMode::OneHalfRound);
-        let a = ctx.addr; c.on_message(&mut ctx, a, Msg::Inject(Op::Rot(vec![Key(0)])));
+        let a = ctx.addr;
+        c.on_message(&mut ctx, a, Msg::Inject(Op::Rot(vec![Key(0)])));
         ctx.drain_sent();
         let tx0 = TxId::new(c.id, 0);
         let from = Addr::server(DcId(0), PartitionId(0));
         c.on_message(&mut ctx, from, slice_for(tx0, Key(0), 10, 100));
         // Next ROT must carry lts = 100.
-        let a = ctx.addr; c.on_message(&mut ctx, a, Msg::Inject(Op::Rot(vec![Key(0)])));
+        let a = ctx.addr;
+        c.on_message(&mut ctx, a, Msg::Inject(Op::Rot(vec![Key(0)])));
         let sent = ctx.drain_sent();
         let req = sent.iter().find_map(|(_, m)| match m {
             Msg::RotReq { lts, .. } => Some(*lts),

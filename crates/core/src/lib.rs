@@ -23,28 +23,26 @@
 //! remote prefixes fully installed in the DC. A remote version becomes
 //! visible once `DV ≤ GSS`.
 //!
+//! This crate contains only the Contrarian state machines and messages; the
+//! node dispatcher, cluster builders, stabilization plumbing and timer loop
+//! all come from [`contrarian_protocol`] (see [`Contrarian`], this backend's
+//! [`contrarian_protocol::ProtocolSpec`]).
+//!
 //! [Hybrid Logical Clocks]: contrarian_clock::Hlc
 
-pub mod build;
 pub mod client;
 pub mod msg;
-pub mod node;
 pub mod server;
+pub mod spec;
 
-pub use build::{build_cluster, build_interactive_cluster, ClusterParams};
 pub use client::Client;
 pub use msg::Msg;
-pub use node::Node;
 pub use server::Server;
+pub use spec::Contrarian;
 
-/// Timer kinds used by Contrarian nodes.
-pub mod timers {
-    /// Periodic stabilization (GSS computation).
-    pub const STABILIZE: u16 = 1;
-    /// Idle replication heartbeat.
-    pub const HEARTBEAT: u16 = 2;
-    /// Version-chain garbage collection.
-    pub const GC: u16 = 3;
-    /// Client start (staggered).
-    pub const CLIENT_START: u16 = 4;
-}
+/// Shared timer kinds (re-exported from the protocol kernel).
+pub use contrarian_protocol::timers;
+
+/// One Contrarian node (the generic kernel actor instantiated with this
+/// backend's server and client).
+pub type Node = contrarian_protocol::Node<Server, Client>;

@@ -1,5 +1,6 @@
 //! Contrarian protocol messages and their simulation cost accounting.
 
+use contrarian_protocol::ProtocolMsg;
 use contrarian_sim::cost::{CostModel, MsgClass, SimMessage};
 use contrarian_types::wire;
 use contrarian_types::{Addr, DcId, DepVector, Key, Op, PartitionId, TxId, Value, VersionId};
@@ -8,16 +9,30 @@ use contrarian_types::{Addr, DcId, DepVector, Key, Op, PartitionId, TxId, Value,
 #[derive(Clone, Debug)]
 pub enum Msg {
     /// Client → coordinator, 1½-round mode: the whole ROT in one request.
-    RotReq { tx: TxId, keys: Vec<Key>, lts: u64, gss: DepVector },
+    RotReq {
+        tx: TxId,
+        keys: Vec<Key>,
+        lts: u64,
+        gss: DepVector,
+    },
     /// Client → coordinator, 2-round mode: ask for a snapshot vector.
     RotSnapReq { tx: TxId, lts: u64, gss: DepVector },
     /// Coordinator → client, 2-round mode: the snapshot vector.
     RotSnap { tx: TxId, sv: DepVector },
     /// Client → partition, 2-round mode: read under the snapshot.
-    RotRead { tx: TxId, keys: Vec<Key>, sv: DepVector },
+    RotRead {
+        tx: TxId,
+        keys: Vec<Key>,
+        sv: DepVector,
+    },
     /// Coordinator → partition, 1½-round mode: forwarded read; the partition
     /// answers the *client* directly (the extra half round saved).
-    RotFwd { tx: TxId, client: Addr, keys: Vec<Key>, sv: DepVector },
+    RotFwd {
+        tx: TxId,
+        client: Addr,
+        keys: Vec<Key>,
+        sv: DepVector,
+    },
     /// Partition → client: the versions of this partition's share of keys.
     RotSlice {
         tx: TxId,
@@ -25,15 +40,32 @@ pub enum Msg {
         sv: DepVector,
     },
     /// Client → partition.
-    PutReq { key: Key, value: Value, lts: u64, gss: DepVector },
+    PutReq {
+        key: Key,
+        value: Value,
+        lts: u64,
+        gss: DepVector,
+    },
     /// Partition → client.
-    PutResp { key: Key, vid: VersionId, gss: DepVector },
+    PutResp {
+        key: Key,
+        vid: VersionId,
+        gss: DepVector,
+    },
     /// Origin partition → replica partition (asynchronous, FIFO).
-    Replicate { key: Key, value: Value, dv: DepVector, origin: DcId },
+    Replicate {
+        key: Key,
+        value: Value,
+        dv: DepVector,
+        origin: DcId,
+    },
     /// Idle replication heartbeat: advances the replica's version vector.
     Heartbeat { origin: DcId, ts: u64 },
     /// Partition → aggregator (stabilization).
-    VvReport { partition: PartitionId, vv: DepVector },
+    VvReport {
+        partition: PartitionId,
+        vv: DepVector,
+    },
     /// Aggregator → partitions: the new GSS.
     GssBcast { gss: DepVector },
     /// Externally injected operation (interactive facade).
@@ -77,9 +109,7 @@ impl SimMessage for Msg {
                     wire::KEY + value.len() + wire::TS + vec_bytes(gss)
                 }
                 Msg::PutResp { gss, .. } => wire::KEY + wire::VERSION_ID + vec_bytes(gss),
-                Msg::Replicate { value, dv, .. } => {
-                    wire::KEY + value.len() + vec_bytes(dv) + 1
-                }
+                Msg::Replicate { value, dv, .. } => wire::KEY + value.len() + vec_bytes(dv) + 1,
                 Msg::Heartbeat { .. } => 1 + wire::TS,
                 Msg::VvReport { vv, .. } => 2 + vec_bytes(vv),
                 Msg::GssBcast { gss } => vec_bytes(gss),
@@ -111,6 +141,12 @@ impl SimMessage for Msg {
     }
 }
 
+impl ProtocolMsg for Msg {
+    fn inject(op: Op) -> Msg {
+        Msg::Inject(op)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -139,7 +175,11 @@ mod tests {
     fn slice_carries_value_bytes() {
         let tx = TxId::new(ClientId::new(DcId(0), 0), 1);
         let vid = VersionId::new(5, DcId(0));
-        let empty = Msg::RotSlice { tx, pairs: vec![(Key(1), None)], sv: DepVector::zero(2) };
+        let empty = Msg::RotSlice {
+            tx,
+            pairs: vec![(Key(1), None)],
+            sv: DepVector::zero(2),
+        };
         let full = Msg::RotSlice {
             tx,
             pairs: vec![(Key(1), Some((vid, Value::from(vec![0u8; 2048]))))],
@@ -150,8 +190,21 @@ mod tests {
 
     #[test]
     fn stabilization_messages_are_control_class() {
-        assert_eq!(Msg::GssBcast { gss: DepVector::zero(2) }.class(), MsgClass::Control);
-        assert_eq!(Msg::Heartbeat { origin: DcId(0), ts: 1 }.class(), MsgClass::Control);
+        assert_eq!(
+            Msg::GssBcast {
+                gss: DepVector::zero(2)
+            }
+            .class(),
+            MsgClass::Control
+        );
+        assert_eq!(
+            Msg::Heartbeat {
+                origin: DcId(0),
+                ts: 1
+            }
+            .class(),
+            MsgClass::Control
+        );
         assert_eq!(
             Msg::PutReq {
                 key: Key(1),

@@ -1,22 +1,19 @@
 //! The Contrarian storage server (one per partition per DC).
 
 use crate::msg::Msg;
-use crate::timers;
 use contrarian_clock::{Hlc, PhysicalClockModel};
+use contrarian_protocol::{peer_replicas, timers, ProtocolServer, Stabilizer, Timers};
 use contrarian_sim::actor::{ActorCtx, TimerKind};
 use contrarian_storage::{MvStore, Version};
-use contrarian_types::{
-    Addr, ClusterConfig, DepVector, Key, StabilizationTopology, TxId, VersionId,
-};
+use contrarian_types::{Addr, ClusterConfig, DepVector, Key, TxId, VersionId};
 
 /// Per-partition server state.
 ///
 /// * `hlc` — the hybrid logical clock that timestamps local versions and can
 ///   be *advanced* to an incoming snapshot's local entry (nonblocking ROTs);
-/// * `vv` — version vector: `vv[local]` is the newest local timestamp,
-///   `vv[i]` the newest timestamp received from the replica in DC `i`;
-/// * `gss` — the DC-wide Global Stable Snapshot, refreshed by the
-///   stabilization protocol; remote versions are visible iff `DV ≤ GSS`.
+/// * `stab` — the shared stabilization state: the version vector, the
+///   DC-wide Global Stable Snapshot (remote versions are visible iff
+///   `DV ≤ GSS`), and the aggregation table.
 pub struct Server {
     addr: Addr,
     cfg: ClusterConfig,
@@ -24,29 +21,20 @@ pub struct Server {
     hlc: Hlc,
     phys: PhysicalClockModel,
     store: MvStore<DepVector>,
-    vv: DepVector,
-    gss: DepVector,
-    /// Stabilization: last version vector reported by each partition
-    /// (aggregator role under `Star`; every server under `AllToAll`).
-    vv_table: Vec<DepVector>,
-    /// True time of the last replication send (suppresses heartbeats).
-    last_replicate_ns: u64,
+    stab: Stabilizer,
+    timers: Timers,
 }
 
 impl Server {
     pub fn new(addr: Addr, cfg: ClusterConfig, phys: PhysicalClockModel) -> Self {
-        let m = cfg.n_dcs as usize;
-        let n = cfg.n_partitions as usize;
         Server {
             addr,
             my_dc: addr.dc.index(),
             hlc: Hlc::new(),
             phys,
             store: MvStore::new(),
-            vv: DepVector::zero(m),
-            gss: DepVector::zero(m),
-            vv_table: vec![DepVector::zero(m); n],
-            last_replicate_ns: 0,
+            stab: Stabilizer::new(addr, &cfg),
+            timers: Timers::replication_server(addr, &cfg),
             cfg,
         }
     }
@@ -56,100 +44,19 @@ impl Server {
     }
 
     pub fn gss(&self) -> &DepVector {
-        &self.gss
+        self.stab.gss()
     }
 
     pub fn vv(&self) -> &DepVector {
-        &self.vv
+        self.stab.vv()
     }
 
     fn pt(&self, ctx: &dyn ActorCtx<Msg>) -> u64 {
         self.phys.now_us(ctx.now())
     }
 
-    fn is_aggregator(&self) -> bool {
-        self.addr.idx == 0
-    }
-
-    fn aggregator_addr(&self) -> Addr {
-        Addr::server(self.addr.dc, contrarian_types::PartitionId(0))
-    }
-
     fn replicated(&self) -> bool {
         self.cfg.n_dcs > 1
-    }
-
-    pub fn on_start(&mut self, ctx: &mut dyn ActorCtx<Msg>) {
-        if self.replicated() {
-            // Stagger stabilization deterministically by partition index to
-            // avoid lock-step message storms.
-            let jitter = (self.addr.idx as u64 * 37_129) % self.cfg.stabilization_interval_us;
-            ctx.set_timer(
-                (self.cfg.stabilization_interval_us + jitter) * 1000,
-                TimerKind::new(timers::STABILIZE),
-            );
-            ctx.set_timer(
-                self.cfg.heartbeat_interval_us * 1000,
-                TimerKind::new(timers::HEARTBEAT),
-            );
-        }
-        ctx.set_timer(self.cfg.version_gc_retention_us * 1000, TimerKind::new(timers::GC));
-    }
-
-    pub fn on_message(&mut self, ctx: &mut dyn ActorCtx<Msg>, from: Addr, msg: Msg) {
-        match msg {
-            Msg::PutReq { key, value, lts, gss } => self.handle_put(ctx, from, key, value, lts, gss),
-            Msg::RotReq { tx, keys, lts, gss } => self.handle_rot_req(ctx, from, tx, keys, lts, gss),
-            Msg::RotSnapReq { tx, lts, gss } => self.handle_snap_req(ctx, from, tx, lts, gss),
-            Msg::RotRead { tx, keys, sv } => self.handle_read(ctx, from, tx, keys, sv),
-            Msg::RotFwd { tx, client, keys, sv } => self.handle_read(ctx, client, tx, keys, sv),
-            Msg::Replicate { key, value, dv, origin } => {
-                let ts = dv[origin.index()];
-                self.vv.raise(origin.index(), ts);
-                self.store.put(key, Version::new(VersionId::new(ts, origin), value, dv));
-            }
-            Msg::Heartbeat { origin, ts } => self.vv.raise(origin.index(), ts),
-            Msg::VvReport { partition, vv } => {
-                self.vv_table[partition.index()] = vv;
-            }
-            Msg::GssBcast { gss } => self.gss.join(&gss),
-            Msg::RotSnap { .. } | Msg::RotSlice { .. } | Msg::PutResp { .. } | Msg::Inject(_) => {
-                unreachable!("client-bound message delivered to server")
-            }
-        }
-    }
-
-    pub fn on_timer(&mut self, ctx: &mut dyn ActorCtx<Msg>, kind: TimerKind) {
-        match kind.kind {
-            timers::STABILIZE => {
-                self.stabilize(ctx);
-                if !ctx.stopped() {
-                    ctx.set_timer(
-                        self.cfg.stabilization_interval_us * 1000,
-                        TimerKind::new(timers::STABILIZE),
-                    );
-                }
-            }
-            timers::HEARTBEAT => {
-                self.heartbeat(ctx);
-                if !ctx.stopped() {
-                    ctx.set_timer(
-                        self.cfg.heartbeat_interval_us * 1000,
-                        TimerKind::new(timers::HEARTBEAT),
-                    );
-                }
-            }
-            timers::GC => {
-                self.gc(ctx);
-                if !ctx.stopped() {
-                    ctx.set_timer(
-                        self.cfg.version_gc_retention_us * 1000,
-                        TimerKind::new(timers::GC),
-                    );
-                }
-            }
-            other => unreachable!("unknown server timer {other}"),
-        }
     }
 
     /// PUT: timestamp with the HLC (strictly past the client's causal past),
@@ -165,7 +72,7 @@ impl Server {
     ) {
         // DV's remote entries: the freshest causally complete remote
         // snapshot either side has seen.
-        let mut dv = self.gss.joined(&client_gss);
+        let mut dv = self.stab.gss().joined(&client_gss);
         // The version's timestamp must dominate the client's causal past:
         // both its last observed local timestamp and every remote entry
         // (DV[s] is "enforced to be higher than any other entry", §4).
@@ -173,27 +80,32 @@ impl Server {
         let floor = lts.max(dv.max_entry());
         let ts = self.hlc.update(pt, floor);
         dv.set(self.my_dc, ts);
-        self.vv.raise(self.my_dc, ts);
+        self.stab.record_local(ts);
         let vid = VersionId::new(ts, self.addr.dc);
-        self.store.put(key, Version::new(vid, value.clone(), dv.clone()));
+        self.store
+            .put(key, Version::new(vid, value.clone(), dv.clone()));
 
-        ctx.send(client, Msg::PutResp { key, vid, gss: self.gss.clone() });
+        ctx.send(
+            client,
+            Msg::PutResp {
+                key,
+                vid,
+                gss: self.stab.gss().clone(),
+            },
+        );
 
         if self.replicated() {
-            self.last_replicate_ns = ctx.now();
-            for dc in 0..self.cfg.n_dcs {
-                if dc as usize != self.my_dc {
-                    let peer = Addr::server(contrarian_types::DcId(dc), self.addr.partition());
-                    ctx.send(
-                        peer,
-                        Msg::Replicate {
-                            key,
-                            value: value.clone(),
-                            dv: dv.clone(),
-                            origin: self.addr.dc,
-                        },
-                    );
-                }
+            self.stab.note_replication_sent(ctx.now());
+            for peer in peer_replicas(self.addr, self.cfg.n_dcs) {
+                ctx.send(
+                    peer,
+                    Msg::Replicate {
+                        key,
+                        value: value.clone(),
+                        dv: dv.clone(),
+                        origin: self.addr.dc,
+                    },
+                );
             }
         }
     }
@@ -201,10 +113,15 @@ impl Server {
     /// Computes the snapshot vector for a ROT (coordinator role): local
     /// entry from the HLC ∨ client timestamp, remote entries from GSS ∨ the
     /// client's GSS view.
-    fn snapshot_vector(&mut self, ctx: &mut dyn ActorCtx<Msg>, lts: u64, client_gss: &DepVector) -> DepVector {
+    fn snapshot_vector(
+        &mut self,
+        ctx: &mut dyn ActorCtx<Msg>,
+        lts: u64,
+        client_gss: &DepVector,
+    ) -> DepVector {
         let pt = self.pt(ctx);
         let ts = self.hlc.update(pt, lts);
-        let mut sv = self.gss.joined(client_gss);
+        let mut sv = self.stab.gss().joined(client_gss);
         sv.set(self.my_dc, ts);
         sv
     }
@@ -233,7 +150,15 @@ impl Server {
                 own = ks;
             } else {
                 let peer = Addr::server(self.addr.dc, contrarian_types::PartitionId(p));
-                ctx.send(peer, Msg::RotFwd { tx, client, keys: ks, sv: sv.clone() });
+                ctx.send(
+                    peer,
+                    Msg::RotFwd {
+                        tx,
+                        client,
+                        keys: ks,
+                        sv: sv.clone(),
+                    },
+                );
             }
         }
         if !own.is_empty() {
@@ -298,73 +223,32 @@ impl Server {
         out
     }
 
-    /// Stabilization tick: report the version vector (freshened by the HLC,
-    /// so idle partitions do not hold the GSS back) and, on the aggregator,
-    /// install and broadcast the entrywise minimum.
+    /// Stabilization tick: the shared [`Stabilizer`] aggregates, joins and
+    /// broadcasts; this server contributes its HLC reading so an idle
+    /// partition does not hold the GSS back.
     fn stabilize(&mut self, ctx: &mut dyn ActorCtx<Msg>) {
         let pt = self.pt(ctx);
-        // An idle partition's local entry advances with its clock: everything
-        // it will ever create is timestamped past peek().
-        self.vv.raise(self.my_dc, self.hlc.peek(pt));
-        match self.cfg.stab_topology {
-            StabilizationTopology::Star => {
-                if self.is_aggregator() {
-                    self.vv_table[0] = self.vv.clone();
-                    let gss = self.compute_min();
-                    self.gss.join(&gss);
-                    for p in 1..self.cfg.n_partitions {
-                        let peer = Addr::server(self.addr.dc, contrarian_types::PartitionId(p));
-                        ctx.send(peer, Msg::GssBcast { gss: self.gss.clone() });
-                    }
-                } else {
-                    ctx.send(
-                        self.aggregator_addr(),
-                        Msg::VvReport { partition: self.addr.partition(), vv: self.vv.clone() },
-                    );
-                }
-            }
-            StabilizationTopology::AllToAll => {
-                self.vv_table[self.addr.idx as usize] = self.vv.clone();
-                for p in 0..self.cfg.n_partitions {
-                    if p != self.addr.idx {
-                        let peer = Addr::server(self.addr.dc, contrarian_types::PartitionId(p));
-                        ctx.send(
-                            peer,
-                            Msg::VvReport { partition: self.addr.partition(), vv: self.vv.clone() },
-                        );
-                    }
-                }
-                let gss = self.compute_min();
-                self.gss.join(&gss);
-            }
-        }
-    }
-
-    fn compute_min(&self) -> DepVector {
-        let mut min = self.vv_table[0].clone();
-        for vv in &self.vv_table[1..] {
-            min.meet(vv);
-        }
-        min
+        let fresh = self.hlc.peek(pt);
+        self.stab.stabilize(
+            ctx,
+            &self.cfg,
+            fresh,
+            |partition, vv| Msg::VvReport { partition, vv },
+            |gss| Msg::GssBcast { gss },
+        );
     }
 
     /// Heartbeat tick: if no replication traffic went out recently, tell the
     /// replicas how far our clock has advanced so their VVs (and hence the
     /// remote GSS entries) keep moving.
     fn heartbeat(&mut self, ctx: &mut dyn ActorCtx<Msg>) {
-        let idle_ns = ctx.now().saturating_sub(self.last_replicate_ns);
-        if idle_ns < self.cfg.heartbeat_interval_us * 1000 {
-            return;
-        }
         let pt = self.pt(ctx);
         let ts = self.hlc.peek(pt);
-        self.vv.raise(self.my_dc, ts);
-        for dc in 0..self.cfg.n_dcs {
-            if dc as usize != self.my_dc {
-                let peer = Addr::server(contrarian_types::DcId(dc), self.addr.partition());
-                ctx.send(peer, Msg::Heartbeat { origin: self.addr.dc, ts });
-            }
-        }
+        self.stab
+            .heartbeat(ctx, &self.cfg, ts, |origin, ts| Msg::Heartbeat {
+                origin,
+                ts,
+            });
     }
 
     fn gc(&mut self, ctx: &mut dyn ActorCtx<Msg>) {
@@ -373,6 +257,67 @@ impl Server {
         let horizon = contrarian_clock::hlc::encode(horizon_us, 0);
         let dropped = self.store.gc_all(horizon, 1);
         ctx.charge(dropped as u64 * 200);
+    }
+}
+
+impl ProtocolServer for Server {
+    type Msg = Msg;
+
+    fn on_start(&mut self, ctx: &mut dyn ActorCtx<Msg>) {
+        self.timers.start(ctx);
+    }
+
+    fn on_message(&mut self, ctx: &mut dyn ActorCtx<Msg>, from: Addr, msg: Msg) {
+        match msg {
+            Msg::PutReq {
+                key,
+                value,
+                lts,
+                gss,
+            } => self.handle_put(ctx, from, key, value, lts, gss),
+            Msg::RotReq { tx, keys, lts, gss } => {
+                self.handle_rot_req(ctx, from, tx, keys, lts, gss)
+            }
+            Msg::RotSnapReq { tx, lts, gss } => self.handle_snap_req(ctx, from, tx, lts, gss),
+            Msg::RotRead { tx, keys, sv } => self.handle_read(ctx, from, tx, keys, sv),
+            Msg::RotFwd {
+                tx,
+                client,
+                keys,
+                sv,
+            } => self.handle_read(ctx, client, tx, keys, sv),
+            Msg::Replicate {
+                key,
+                value,
+                dv,
+                origin,
+            } => {
+                let ts = dv[origin.index()];
+                self.stab.record_remote(origin, ts);
+                self.store
+                    .put(key, Version::new(VersionId::new(ts, origin), value, dv));
+            }
+            Msg::Heartbeat { origin, ts } => self.stab.record_remote(origin, ts),
+            Msg::VvReport { partition, vv } => self.stab.on_vv_report(partition, vv),
+            Msg::GssBcast { gss } => self.stab.on_gss_bcast(&gss),
+            Msg::RotSnap { .. } | Msg::RotSlice { .. } | Msg::PutResp { .. } | Msg::Inject(_) => {
+                unreachable!("client-bound message delivered to server")
+            }
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut dyn ActorCtx<Msg>, kind: TimerKind) {
+        match kind.kind {
+            timers::STABILIZE => self.stabilize(ctx),
+            timers::HEARTBEAT => self.heartbeat(ctx),
+            timers::GC => self.gc(ctx),
+            other => unreachable!("unknown server timer {other}"),
+        }
+        self.timers.rearm(ctx, kind.kind);
+    }
+
+    fn store_heads(&self) -> Vec<(Key, VersionId)> {
+        self.store.heads()
     }
 }
 
@@ -390,7 +335,11 @@ mod tests {
 
     fn server(dc: u8, p: u16, n_dcs: u8) -> Server {
         let cfg = ClusterConfig::small().with_dcs(n_dcs);
-        Server::new(Addr::server(DcId(dc), PartitionId(p)), cfg, PhysicalClockModel::perfect())
+        Server::new(
+            Addr::server(DcId(dc), PartitionId(p)),
+            cfg,
+            PhysicalClockModel::perfect(),
+        )
     }
 
     fn put(
@@ -441,7 +390,12 @@ mod tests {
         s.on_message(
             &mut ctx,
             client,
-            Msg::PutReq { key: Key(0), value: Value::new(), lts: 0, gss: cgss },
+            Msg::PutReq {
+                key: Key(0),
+                value: Value::new(),
+                lts: 0,
+                gss: cgss,
+            },
         );
         let dv = s.store().latest(Key(0)).unwrap().meta.clone();
         assert!(dv[0] > dv[1], "local entry must dominate: {dv}");
@@ -487,7 +441,15 @@ mod tests {
         let tx = TxId::new(ClientId::new(DcId(0), 0), 0);
         let mut sv = DepVector::zero(1);
         sv.set(0, v1.ts);
-        s.on_message(&mut ctx, client, Msg::RotRead { tx, keys: vec![Key(0)], sv });
+        s.on_message(
+            &mut ctx,
+            client,
+            Msg::RotRead {
+                tx,
+                keys: vec![Key(0)],
+                sv,
+            },
+        );
         match &ctx.drain_to(client)[0] {
             Msg::RotSlice { pairs, .. } => {
                 assert_eq!(pairs.len(), 1);
@@ -498,7 +460,15 @@ mod tests {
         // Snapshot that includes v2 returns v2 (freshest within snapshot).
         let mut sv2 = DepVector::zero(1);
         sv2.set(0, v2.ts);
-        s.on_message(&mut ctx, client, Msg::RotRead { tx, keys: vec![Key(0)], sv: sv2 });
+        s.on_message(
+            &mut ctx,
+            client,
+            Msg::RotRead {
+                tx,
+                keys: vec![Key(0)],
+                sv: sv2,
+            },
+        );
         match &ctx.drain_to(client)[0] {
             Msg::RotSlice { pairs, .. } => assert_eq!(pairs[0].1.as_ref().unwrap().0, v2),
             other => panic!("unexpected {other:?}"),
@@ -514,7 +484,15 @@ mod tests {
         let future = contrarian_clock::hlc::encode(1 << 30, 0);
         let mut sv = DepVector::zero(1);
         sv.set(0, future);
-        s.on_message(&mut ctx, client, Msg::RotRead { tx, keys: vec![Key(0)], sv });
+        s.on_message(
+            &mut ctx,
+            client,
+            Msg::RotRead {
+                tx,
+                keys: vec![Key(0)],
+                sv,
+            },
+        );
         // Reply produced immediately (nonblocking), key absent → ⊥.
         match &ctx.drain_to(client)[0] {
             Msg::RotSlice { pairs, .. } => assert!(pairs[0].1.is_none()),
@@ -537,7 +515,12 @@ mod tests {
         s.on_message(
             &mut ctx,
             Addr::server(DcId(1), PartitionId(0)),
-            Msg::Replicate { key: Key(0), value: Value::from_static(b"r"), dv, origin: DcId(1) },
+            Msg::Replicate {
+                key: Key(0),
+                value: Value::from_static(b"r"),
+                dv,
+                origin: DcId(1),
+            },
         );
         assert_eq!(s.vv()[1], ts, "vv tracks received replication");
         // Snapshot whose remote entry predates the version: invisible.
@@ -546,7 +529,15 @@ mod tests {
         let mut sv = DepVector::zero(2);
         sv.set(0, u64::MAX);
         sv.set(1, ts - 1);
-        s.on_message(&mut ctx, client, Msg::RotRead { tx, keys: vec![Key(0)], sv });
+        s.on_message(
+            &mut ctx,
+            client,
+            Msg::RotRead {
+                tx,
+                keys: vec![Key(0)],
+                sv,
+            },
+        );
         match &ctx.drain_to(client)[0] {
             Msg::RotSlice { pairs, .. } => assert!(pairs[0].1.is_none()),
             other => panic!("unexpected {other:?}"),
@@ -555,7 +546,15 @@ mod tests {
         let mut sv2 = DepVector::zero(2);
         sv2.set(0, u64::MAX);
         sv2.set(1, ts);
-        s.on_message(&mut ctx, client, Msg::RotRead { tx, keys: vec![Key(0)], sv: sv2 });
+        s.on_message(
+            &mut ctx,
+            client,
+            Msg::RotRead {
+                tx,
+                keys: vec![Key(0)],
+                sv: sv2,
+            },
+        );
         match &ctx.drain_to(client)[0] {
             Msg::RotSlice { pairs, .. } => {
                 assert_eq!(pairs[0].1.as_ref().unwrap().0, VersionId::new(ts, DcId(1)))
@@ -575,12 +574,22 @@ mod tests {
         s.on_message(
             &mut ctx,
             client,
-            Msg::RotReq { tx, keys, lts: 0, gss: DepVector::zero(1) },
+            Msg::RotReq {
+                tx,
+                keys,
+                lts: 0,
+                gss: DepVector::zero(1),
+            },
         );
         let sent = ctx.drain_sent();
-        let fwds: Vec<_> = sent.iter().filter(|(_, m)| matches!(m, Msg::RotFwd { .. })).collect();
-        let slices: Vec<_> =
-            sent.iter().filter(|(_, m)| matches!(m, Msg::RotSlice { .. })).collect();
+        let fwds: Vec<_> = sent
+            .iter()
+            .filter(|(_, m)| matches!(m, Msg::RotFwd { .. }))
+            .collect();
+        let slices: Vec<_> = sent
+            .iter()
+            .filter(|(_, m)| matches!(m, Msg::RotSlice { .. }))
+            .collect();
         assert_eq!(fwds.len(), 2, "two foreign partitions");
         assert_eq!(slices.len(), 1, "own slice straight to the client");
         assert_eq!(slices[0].0, client);
@@ -597,7 +606,15 @@ mod tests {
         let client = Addr::client(DcId(0), 0);
         let tx = TxId::new(ClientId::new(DcId(0), 0), 0);
         let lts = contrarian_clock::hlc::encode(1 << 25, 3);
-        s.on_message(&mut ctx, client, Msg::RotSnapReq { tx, lts, gss: DepVector::zero(1) });
+        s.on_message(
+            &mut ctx,
+            client,
+            Msg::RotSnapReq {
+                tx,
+                lts,
+                gss: DepVector::zero(1),
+            },
+        );
         match &ctx.drain_to(client)[0] {
             Msg::RotSnap { sv, .. } => assert!(sv[0] > lts),
             other => panic!("unexpected {other:?}"),
@@ -617,16 +634,26 @@ mod tests {
             partition: PartitionId(p),
             vv: DepVector::from_vec(vec![0, remote]),
         };
-        agg.on_message(&mut ctx, Addr::server(DcId(0), PartitionId(1)), report(1, 50));
-        agg.on_message(&mut ctx, Addr::server(DcId(0), PartitionId(2)), report(2, 80));
+        agg.on_message(
+            &mut ctx,
+            Addr::server(DcId(0), PartitionId(1)),
+            report(1, 50),
+        );
+        agg.on_message(
+            &mut ctx,
+            Addr::server(DcId(0), PartitionId(2)),
+            report(2, 80),
+        );
         ctx.now = (cfg.stabilization_interval_us + 1) * 1000;
-        agg.vv.raise(1, 60); // the aggregator's own remote entry
+        agg.stab.vv.raise(1, 60); // the aggregator's own remote entry
         agg.on_timer(&mut ctx, TimerKind::new(timers::STABILIZE));
         // GSS remote entry = min(50, 80, 60) = 50.
         assert_eq!(agg.gss()[1], 50);
         let sent = ctx.drain_sent();
-        let bcasts: Vec<_> =
-            sent.iter().filter(|(_, m)| matches!(m, Msg::GssBcast { .. })).collect();
+        let bcasts: Vec<_> = sent
+            .iter()
+            .filter(|(_, m)| matches!(m, Msg::GssBcast { .. }))
+            .collect();
         assert_eq!(bcasts.len(), 2);
     }
 
@@ -635,8 +662,20 @@ mod tests {
         let mut s = server(0, 1, 2);
         let mut ctx = ScriptCtx::new(Addr::server(DcId(0), PartitionId(1)));
         let agg = Addr::server(DcId(0), PartitionId(0));
-        s.on_message(&mut ctx, agg, Msg::GssBcast { gss: DepVector::from_vec(vec![10, 90]) });
-        s.on_message(&mut ctx, agg, Msg::GssBcast { gss: DepVector::from_vec(vec![5, 100]) });
+        s.on_message(
+            &mut ctx,
+            agg,
+            Msg::GssBcast {
+                gss: DepVector::from_vec(vec![10, 90]),
+            },
+        );
+        s.on_message(
+            &mut ctx,
+            agg,
+            Msg::GssBcast {
+                gss: DepVector::from_vec(vec![5, 100]),
+            },
+        );
         assert_eq!(s.gss().as_slice(), &[10, 100]);
     }
 
@@ -644,16 +683,24 @@ mod tests {
     fn heartbeat_suppressed_by_recent_replication() {
         let mut s = server(0, 0, 2);
         let mut ctx = ScriptCtx::new(Addr::server(DcId(0), PartitionId(0)));
-        put(&mut s, &mut ctx, Key(0), 0, 2); // sends Replicate, stamps last_replicate_ns
+        put(&mut s, &mut ctx, Key(0), 0, 2); // sends Replicate, stamps the stabilizer
         ctx.drain_sent();
         ctx.now = 100; // still within the heartbeat interval
         s.on_timer(&mut ctx, TimerKind::new(timers::HEARTBEAT));
-        assert!(ctx.drain_sent().iter().all(|(_, m)| !matches!(m, Msg::Heartbeat { .. })));
+        assert!(ctx
+            .drain_sent()
+            .iter()
+            .all(|(_, m)| !matches!(m, Msg::Heartbeat { .. })));
         // After a long idle period the heartbeat flows.
         ctx.now = 10_000_000_000;
         s.on_timer(&mut ctx, TimerKind::new(timers::HEARTBEAT));
         let hbs = ctx.drain_sent();
-        assert_eq!(hbs.iter().filter(|(_, m)| matches!(m, Msg::Heartbeat { .. })).count(), 1);
+        assert_eq!(
+            hbs.iter()
+                .filter(|(_, m)| matches!(m, Msg::Heartbeat { .. }))
+                .count(),
+            1
+        );
     }
 
     #[test]
@@ -668,5 +715,17 @@ mod tests {
         ctx.now = 3_600_000_000_000;
         s.on_timer(&mut ctx, TimerKind::new(timers::GC));
         assert_eq!(s.store().chain(Key(0)).unwrap().len(), 1);
+    }
+
+    #[test]
+    fn store_heads_reports_lww_winners() {
+        let mut s = server(0, 0, 1);
+        let mut ctx = ScriptCtx::new(Addr::server(DcId(0), PartitionId(0)));
+        let (_v1, _) = put(&mut s, &mut ctx, Key(0), 0, 1);
+        let (v2, _) = put(&mut s, &mut ctx, Key(0), 0, 1);
+        let (v3, _) = put(&mut s, &mut ctx, Key(4), 0, 1);
+        let mut heads = s.store_heads();
+        heads.sort_unstable();
+        assert_eq!(heads, vec![(Key(0), v2), (Key(4), v3)]);
     }
 }

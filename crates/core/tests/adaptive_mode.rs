@@ -2,9 +2,9 @@
 //! ROTs take the low-latency 1½-round path, large ROTs the message-frugal
 //! 2-round path.
 
-use contrarian_core::build::{build_cluster, ClusterParams};
 use contrarian_core::msg::Msg;
-use contrarian_core::{Client, Node};
+use contrarian_core::{Client, Contrarian, Node};
+use contrarian_protocol::{build_cluster, ClusterParams, ProtocolClient};
 use contrarian_sim::cost::CostModel;
 use contrarian_sim::testkit::ScriptCtx;
 use contrarian_types::{Addr, ClusterConfig, DcId, Key, Op, RotMode};
@@ -12,7 +12,9 @@ use contrarian_workload::{OpSource, WorkloadSpec};
 
 fn adaptive_client(threshold: u16) -> (Client, ScriptCtx<Msg>) {
     let mut cfg = ClusterConfig::small().with_partitions(4);
-    cfg.rot_mode = RotMode::Adaptive { two_round_at: threshold };
+    cfg.rot_mode = RotMode::Adaptive {
+        two_round_at: threshold,
+    };
     let addr = Addr::client(DcId(0), 0);
     let (source, _q) = OpSource::queue();
     (Client::new(addr, cfg, source), ScriptCtx::new(addr))
@@ -36,17 +38,27 @@ fn small_rot_takes_one_and_a_half_rounds() {
     c.on_message(&mut ctx, a, Msg::Inject(Op::Rot(vec![Key(0), Key(1)])));
     let sent = ctx.drain_sent();
     assert_eq!(sent.len(), 1);
-    assert!(matches!(sent[0].1, Msg::RotReq { .. }), "2 partitions < 3 → 1½-round path");
+    assert!(
+        matches!(sent[0].1, Msg::RotReq { .. }),
+        "2 partitions < 3 → 1½-round path"
+    );
 }
 
 #[test]
 fn large_rot_takes_two_rounds() {
     let (mut c, mut ctx) = adaptive_client(3);
     let a = ctx.addr;
-    c.on_message(&mut ctx, a, Msg::Inject(Op::Rot(vec![Key(0), Key(1), Key(2), Key(3)])));
+    c.on_message(
+        &mut ctx,
+        a,
+        Msg::Inject(Op::Rot(vec![Key(0), Key(1), Key(2), Key(3)])),
+    );
     let sent = ctx.drain_sent();
     assert_eq!(sent.len(), 1);
-    assert!(matches!(sent[0].1, Msg::RotSnapReq { .. }), "4 partitions ≥ 3 → 2-round path");
+    assert!(
+        matches!(sent[0].1, Msg::RotSnapReq { .. }),
+        "4 partitions ≥ 3 → 2-round path"
+    );
 }
 
 #[test]
@@ -60,7 +72,7 @@ fn adaptive_cluster_serves_mixed_modes_consistently() {
         clients_per_dc: 4,
         seed: 3,
     };
-    let mut sim = build_cluster(&params);
+    let mut sim = build_cluster::<Contrarian>(&params);
     sim.set_recording(true);
     sim.start();
     sim.metrics_mut().enabled = true;

@@ -1,0 +1,27 @@
+//! Contrarian under the shared backend conformance suite: the same
+//! convergence + causal-session checks every backend must pass, on both the
+//! discrete-event simulator and the live threaded transport.
+
+use contrarian_core::Contrarian;
+use contrarian_protocol::conformance;
+
+#[test]
+fn conforms_on_simulator_single_dc() {
+    conformance::check_sim::<Contrarian>(1, 21).unwrap();
+}
+
+#[test]
+fn conforms_on_simulator_replicated() {
+    for seed in [22, 23] {
+        let outcome = conformance::check_sim::<Contrarian>(2, seed).unwrap();
+        assert!(
+            outcome.keys_compared > 0,
+            "convergence check must compare keys"
+        );
+    }
+}
+
+#[test]
+fn conforms_on_live_transport() {
+    conformance::check_live::<Contrarian>(2, 24).unwrap();
+}

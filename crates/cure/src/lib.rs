@@ -15,70 +15,29 @@
 //! * a PUT whose client has observed a timestamp ahead of the partition's
 //!   clock blocks the same way;
 //! * ROTs always take 2 rounds (4 communication steps).
+//!
+//! This crate contains only the Cure server; the client, messages, node
+//! dispatcher, cluster builders, stabilization plumbing, parked-operation
+//! queue and timer loop all come from `contrarian-core` and
+//! [`contrarian_protocol`] (see [`Cure`], this backend's
+//! [`contrarian_protocol::ProtocolSpec`]).
 
-pub mod build;
 pub mod server;
+pub mod spec;
 
-pub use build::{build_cluster, ClusterParams};
 pub use server::Server;
+pub use spec::Cure;
 
 /// Cure reuses Contrarian's wire protocol (the paper implements all systems
 /// in one code base); only the server-side behaviour differs.
 pub use contrarian_core::msg::Msg;
 
-use contrarian_core::client::Client;
-use contrarian_sim::actor::{Actor, ActorCtx, TimerKind};
-use contrarian_types::{Addr, Op};
+/// Cure reuses Contrarian's client, pinned to 2-round ROTs by [`Cure`].
+pub use contrarian_core::client::Client;
 
-/// Timer kinds specific to Cure (Contrarian's are reused for the shared
-/// machinery).
-pub mod timers {
-    pub use contrarian_core::timers::*;
-    /// Wake-up for operations blocked on the physical clock.
-    pub const RESUME: u16 = 5;
-}
+/// Shared timer kinds (re-exported from the protocol kernel).
+pub use contrarian_protocol::timers;
 
 /// One Cure node: a blocking physical-clock server, or the standard client
 /// pinned to 2-round ROTs.
-pub enum Node {
-    Server(Server),
-    Client(Client),
-}
-
-impl Node {
-    pub fn as_server(&self) -> Option<&Server> {
-        match self {
-            Node::Server(s) => Some(s),
-            Node::Client(_) => None,
-        }
-    }
-}
-
-impl Actor for Node {
-    type Msg = Msg;
-
-    fn on_start(&mut self, ctx: &mut dyn ActorCtx<Msg>) {
-        match self {
-            Node::Server(s) => s.on_start(ctx),
-            Node::Client(c) => c.on_start(ctx),
-        }
-    }
-
-    fn on_message(&mut self, ctx: &mut dyn ActorCtx<Msg>, from: Addr, msg: Msg) {
-        match self {
-            Node::Server(s) => s.on_message(ctx, from, msg),
-            Node::Client(c) => c.on_message(ctx, from, msg),
-        }
-    }
-
-    fn on_timer(&mut self, ctx: &mut dyn ActorCtx<Msg>, kind: TimerKind) {
-        match self {
-            Node::Server(s) => s.on_timer(ctx, kind),
-            Node::Client(c) => c.on_timer(ctx, kind),
-        }
-    }
-
-    fn inject(op: Op) -> Msg {
-        Msg::Inject(op)
-    }
-}
+pub type Node = contrarian_protocol::Node<Server, Client>;

@@ -1,23 +1,35 @@
 //! The Cure storage server: physical clocks, blocking reads and writes.
 
-use crate::timers;
 use contrarian_clock::{hlc, PhysicalClockModel};
 use contrarian_core::msg::Msg;
+use contrarian_protocol::{peer_replicas, timers, Parked, ProtocolServer, Stabilizer, Timers};
 use contrarian_sim::actor::{ActorCtx, TimerKind};
 use contrarian_storage::{MvStore, Version};
-use contrarian_types::{
-    Addr, ClusterConfig, DepVector, Key, StabilizationTopology, TxId, Value, VersionId,
-};
-use std::collections::VecDeque;
+use contrarian_types::{Addr, ClusterConfig, DepVector, Key, TxId, Value, VersionId};
 
 /// An operation parked until the local physical clock catches up.
 enum Deferred {
     /// A snapshot request whose client timestamp is ahead of our clock.
-    Snap { client: Addr, tx: TxId, lts: u64, client_gss: DepVector },
+    Snap {
+        client: Addr,
+        tx: TxId,
+        lts: u64,
+        client_gss: DepVector,
+    },
     /// A read whose snapshot is ahead of our clock.
-    Read { client: Addr, tx: TxId, keys: Vec<Key>, sv: DepVector },
+    Read {
+        client: Addr,
+        tx: TxId,
+        keys: Vec<Key>,
+        sv: DepVector,
+    },
     /// A PUT whose causal floor is ahead of our clock.
-    Put { client: Addr, key: Key, value: Value, client_gss: DepVector },
+    Put {
+        client: Addr,
+        key: Key,
+        value: Value,
+        client_gss: DepVector,
+    },
 }
 
 pub struct Server {
@@ -29,11 +41,9 @@ pub struct Server {
     /// between two PUTs; the low counter bits disambiguate).
     last_ts: u64,
     store: MvStore<DepVector>,
-    vv: DepVector,
-    gss: DepVector,
-    vv_table: Vec<DepVector>,
-    last_replicate_ns: u64,
-    parked: VecDeque<(u64, Deferred)>,
+    stab: Stabilizer,
+    parked: Parked<Deferred>,
+    timers: Timers,
     /// Blocking-time diagnostics.
     pub blocked_ops: u64,
     pub blocked_ns_total: u64,
@@ -41,19 +51,15 @@ pub struct Server {
 
 impl Server {
     pub fn new(addr: Addr, cfg: ClusterConfig, phys: PhysicalClockModel) -> Self {
-        let m = cfg.n_dcs as usize;
-        let n = cfg.n_partitions as usize;
         Server {
             addr,
             my_dc: addr.dc.index(),
             phys,
             last_ts: 0,
             store: MvStore::new(),
-            vv: DepVector::zero(m),
-            gss: DepVector::zero(m),
-            vv_table: vec![DepVector::zero(m); n],
-            last_replicate_ns: 0,
-            parked: VecDeque::new(),
+            stab: Stabilizer::new(addr, &cfg),
+            parked: Parked::new(),
+            timers: Timers::replication_server(addr, &cfg),
             blocked_ops: 0,
             blocked_ns_total: 0,
             cfg,
@@ -65,7 +71,7 @@ impl Server {
     }
 
     pub fn gss(&self) -> &DepVector {
-        &self.gss
+        self.stab.gss()
     }
 
     /// The clock's current reading, encoded in the shared (µs, counter)
@@ -83,76 +89,7 @@ impl Server {
     fn park(&mut self, ctx: &mut dyn ActorCtx<Msg>, wait: u64, d: Deferred) {
         self.blocked_ops += 1;
         self.blocked_ns_total += wait;
-        self.parked.push_back((ctx.now() + wait, d));
-        ctx.set_timer(wait, TimerKind::new(timers::RESUME));
-    }
-
-    pub fn on_start(&mut self, ctx: &mut dyn ActorCtx<Msg>) {
-        if self.cfg.n_dcs > 1 {
-            let jitter = (self.addr.idx as u64 * 37_129) % self.cfg.stabilization_interval_us;
-            ctx.set_timer(
-                (self.cfg.stabilization_interval_us + jitter) * 1000,
-                TimerKind::new(timers::STABILIZE),
-            );
-            ctx.set_timer(self.cfg.heartbeat_interval_us * 1000, TimerKind::new(timers::HEARTBEAT));
-        }
-        ctx.set_timer(self.cfg.version_gc_retention_us * 1000, TimerKind::new(timers::GC));
-    }
-
-    pub fn on_message(&mut self, ctx: &mut dyn ActorCtx<Msg>, from: Addr, msg: Msg) {
-        match msg {
-            Msg::PutReq { key, value, lts, gss } => {
-                self.handle_put(ctx, from, key, value, lts, gss)
-            }
-            Msg::RotSnapReq { tx, lts, gss } => self.handle_snap_req(ctx, from, tx, lts, gss),
-            Msg::RotRead { tx, keys, sv } => self.handle_read(ctx, from, tx, keys, sv),
-            Msg::Replicate { key, value, dv, origin } => {
-                let ts = dv[origin.index()];
-                self.vv.raise(origin.index(), ts);
-                self.store.put(key, Version::new(VersionId::new(ts, origin), value, dv));
-            }
-            Msg::Heartbeat { origin, ts } => self.vv.raise(origin.index(), ts),
-            Msg::VvReport { partition, vv } => self.vv_table[partition.index()] = vv,
-            Msg::GssBcast { gss } => self.gss.join(&gss),
-            Msg::RotReq { .. } => unreachable!("Cure clients always run 2-round ROTs"),
-            other => unreachable!("client-bound message at Cure server: {other:?}"),
-        }
-    }
-
-    pub fn on_timer(&mut self, ctx: &mut dyn ActorCtx<Msg>, kind: TimerKind) {
-        match kind.kind {
-            timers::RESUME => self.drain_parked(ctx),
-            timers::STABILIZE => {
-                self.stabilize(ctx);
-                if !ctx.stopped() {
-                    ctx.set_timer(
-                        self.cfg.stabilization_interval_us * 1000,
-                        TimerKind::new(timers::STABILIZE),
-                    );
-                }
-            }
-            timers::HEARTBEAT => {
-                self.heartbeat(ctx);
-                if !ctx.stopped() {
-                    ctx.set_timer(
-                        self.cfg.heartbeat_interval_us * 1000,
-                        TimerKind::new(timers::HEARTBEAT),
-                    );
-                }
-            }
-            timers::GC => {
-                let now_us = ctx.now() / 1000;
-                let horizon = hlc::encode(now_us.saturating_sub(self.cfg.version_gc_retention_us), 0);
-                self.store.gc_all(horizon, 1);
-                if !ctx.stopped() {
-                    ctx.set_timer(
-                        self.cfg.version_gc_retention_us * 1000,
-                        TimerKind::new(timers::GC),
-                    );
-                }
-            }
-            other => unreachable!("unknown Cure timer {other}"),
-        }
+        self.parked.park(ctx, wait, d);
     }
 
     /// PUT: the version timestamp is the physical clock; if the client's
@@ -167,12 +104,21 @@ impl Server {
         lts: u64,
         client_gss: DepVector,
     ) {
-        let dv0 = self.gss.joined(&client_gss);
+        let dv0 = self.stab.gss().joined(&client_gss);
         let floor = lts.max(dv0.max_entry());
         let clock = self.clock_ts(ctx);
         if clock <= floor {
             let wait = self.wait_ns(ctx, floor).max(1);
-            self.park(ctx, wait, Deferred::Put { client, key, value, client_gss });
+            self.park(
+                ctx,
+                wait,
+                Deferred::Put {
+                    client,
+                    key,
+                    value,
+                    client_gss,
+                },
+            );
             return;
         }
         self.commit_put(ctx, client, key, value, client_gss);
@@ -189,27 +135,32 @@ impl Server {
         let clock = self.clock_ts(ctx);
         let ts = clock.max(self.last_ts + 1);
         self.last_ts = ts;
-        let mut dv = self.gss.joined(&client_gss);
+        let mut dv = self.stab.gss().joined(&client_gss);
         dv.set(self.my_dc, ts);
-        self.vv.raise(self.my_dc, ts);
+        self.stab.record_local(ts);
         let vid = VersionId::new(ts, self.addr.dc);
-        self.store.put(key, Version::new(vid, value.clone(), dv.clone()));
-        ctx.send(client, Msg::PutResp { key, vid, gss: self.gss.clone() });
+        self.store
+            .put(key, Version::new(vid, value.clone(), dv.clone()));
+        ctx.send(
+            client,
+            Msg::PutResp {
+                key,
+                vid,
+                gss: self.stab.gss().clone(),
+            },
+        );
         if self.cfg.n_dcs > 1 {
-            self.last_replicate_ns = ctx.now();
-            for dc in 0..self.cfg.n_dcs {
-                if dc as usize != self.my_dc {
-                    let peer = Addr::server(contrarian_types::DcId(dc), self.addr.partition());
-                    ctx.send(
-                        peer,
-                        Msg::Replicate {
-                            key,
-                            value: value.clone(),
-                            dv: dv.clone(),
-                            origin: self.addr.dc,
-                        },
-                    );
-                }
+            self.stab.note_replication_sent(ctx.now());
+            for peer in peer_replicas(self.addr, self.cfg.n_dcs) {
+                ctx.send(
+                    peer,
+                    Msg::Replicate {
+                        key,
+                        value: value.clone(),
+                        dv: dv.clone(),
+                        origin: self.addr.dc,
+                    },
+                );
             }
         }
     }
@@ -228,10 +179,19 @@ impl Server {
         let clock = self.clock_ts(ctx);
         if clock <= lts {
             let wait = self.wait_ns(ctx, lts).max(1);
-            self.park(ctx, wait, Deferred::Snap { client, tx, lts, client_gss });
+            self.park(
+                ctx,
+                wait,
+                Deferred::Snap {
+                    client,
+                    tx,
+                    lts,
+                    client_gss,
+                },
+            );
             return;
         }
-        let mut sv = self.gss.joined(&client_gss);
+        let mut sv = self.stab.gss().joined(&client_gss);
         sv.set(self.my_dc, clock);
         ctx.send(client, Msg::RotSnap { tx, sv });
     }
@@ -250,7 +210,16 @@ impl Server {
         let clock = self.clock_ts(ctx);
         if clock < sv[self.my_dc] {
             let wait = self.wait_ns(ctx, sv[self.my_dc]).max(1);
-            self.park(ctx, wait, Deferred::Read { client, tx, keys, sv });
+            self.park(
+                ctx,
+                wait,
+                Deferred::Read {
+                    client,
+                    tx,
+                    keys,
+                    sv,
+                },
+            );
             return;
         }
         self.serve_read(ctx, client, tx, keys, sv);
@@ -283,85 +252,106 @@ impl Server {
     }
 
     fn drain_parked(&mut self, ctx: &mut dyn ActorCtx<Msg>) {
-        let now = ctx.now();
-        let mut remaining = VecDeque::new();
-        while let Some((wake, d)) = self.parked.pop_front() {
-            if wake > now {
-                remaining.push_back((wake, d));
-                continue;
-            }
+        for d in self.parked.take_due(ctx.now()) {
             match d {
-                Deferred::Snap { client, tx, lts, client_gss } => {
-                    self.handle_snap_req(ctx, client, tx, lts, client_gss)
-                }
-                Deferred::Read { client, tx, keys, sv } => {
-                    self.handle_read(ctx, client, tx, keys, sv)
-                }
-                Deferred::Put { client, key, value, client_gss } => {
-                    self.handle_put(ctx, client, key, value, 0, client_gss)
-                }
+                Deferred::Snap {
+                    client,
+                    tx,
+                    lts,
+                    client_gss,
+                } => self.handle_snap_req(ctx, client, tx, lts, client_gss),
+                Deferred::Read {
+                    client,
+                    tx,
+                    keys,
+                    sv,
+                } => self.handle_read(ctx, client, tx, keys, sv),
+                Deferred::Put {
+                    client,
+                    key,
+                    value,
+                    client_gss,
+                } => self.handle_put(ctx, client, key, value, 0, client_gss),
             }
         }
-        self.parked = remaining;
     }
 
     fn stabilize(&mut self, ctx: &mut dyn ActorCtx<Msg>) {
-        let clock = self.clock_ts(ctx);
-        self.vv.raise(self.my_dc, clock.max(self.last_ts));
-        match self.cfg.stab_topology {
-            StabilizationTopology::Star => {
-                if self.addr.idx == 0 {
-                    self.vv_table[0] = self.vv.clone();
-                    let mut min = self.vv_table[0].clone();
-                    for vv in &self.vv_table[1..] {
-                        min.meet(vv);
-                    }
-                    self.gss.join(&min);
-                    for p in 1..self.cfg.n_partitions {
-                        let peer = Addr::server(self.addr.dc, contrarian_types::PartitionId(p));
-                        ctx.send(peer, Msg::GssBcast { gss: self.gss.clone() });
-                    }
-                } else {
-                    let agg = Addr::server(self.addr.dc, contrarian_types::PartitionId(0));
-                    ctx.send(
-                        agg,
-                        Msg::VvReport { partition: self.addr.partition(), vv: self.vv.clone() },
-                    );
-                }
-            }
-            StabilizationTopology::AllToAll => {
-                self.vv_table[self.addr.idx as usize] = self.vv.clone();
-                for p in 0..self.cfg.n_partitions {
-                    if p != self.addr.idx {
-                        let peer = Addr::server(self.addr.dc, contrarian_types::PartitionId(p));
-                        ctx.send(
-                            peer,
-                            Msg::VvReport { partition: self.addr.partition(), vv: self.vv.clone() },
-                        );
-                    }
-                }
-                let mut min = self.vv_table[0].clone();
-                for vv in &self.vv_table[1..] {
-                    min.meet(vv);
-                }
-                self.gss.join(&min);
-            }
-        }
+        let fresh = self.clock_ts(ctx).max(self.last_ts);
+        self.stab.stabilize(
+            ctx,
+            &self.cfg,
+            fresh,
+            |partition, vv| Msg::VvReport { partition, vv },
+            |gss| Msg::GssBcast { gss },
+        );
     }
 
     fn heartbeat(&mut self, ctx: &mut dyn ActorCtx<Msg>) {
-        let idle_ns = ctx.now().saturating_sub(self.last_replicate_ns);
-        if idle_ns < self.cfg.heartbeat_interval_us * 1000 {
-            return;
-        }
         let ts = self.clock_ts(ctx).max(self.last_ts);
-        self.vv.raise(self.my_dc, ts);
-        for dc in 0..self.cfg.n_dcs {
-            if dc as usize != self.my_dc {
-                let peer = Addr::server(contrarian_types::DcId(dc), self.addr.partition());
-                ctx.send(peer, Msg::Heartbeat { origin: self.addr.dc, ts });
+        self.stab
+            .heartbeat(ctx, &self.cfg, ts, |origin, ts| Msg::Heartbeat {
+                origin,
+                ts,
+            });
+    }
+
+    fn gc(&mut self, ctx: &mut dyn ActorCtx<Msg>) {
+        let now_us = ctx.now() / 1000;
+        let horizon = hlc::encode(now_us.saturating_sub(self.cfg.version_gc_retention_us), 0);
+        self.store.gc_all(horizon, 1);
+    }
+}
+
+impl ProtocolServer for Server {
+    type Msg = Msg;
+
+    fn on_start(&mut self, ctx: &mut dyn ActorCtx<Msg>) {
+        self.timers.start(ctx);
+    }
+
+    fn on_message(&mut self, ctx: &mut dyn ActorCtx<Msg>, from: Addr, msg: Msg) {
+        match msg {
+            Msg::PutReq {
+                key,
+                value,
+                lts,
+                gss,
+            } => self.handle_put(ctx, from, key, value, lts, gss),
+            Msg::RotSnapReq { tx, lts, gss } => self.handle_snap_req(ctx, from, tx, lts, gss),
+            Msg::RotRead { tx, keys, sv } => self.handle_read(ctx, from, tx, keys, sv),
+            Msg::Replicate {
+                key,
+                value,
+                dv,
+                origin,
+            } => {
+                let ts = dv[origin.index()];
+                self.stab.record_remote(origin, ts);
+                self.store
+                    .put(key, Version::new(VersionId::new(ts, origin), value, dv));
             }
+            Msg::Heartbeat { origin, ts } => self.stab.record_remote(origin, ts),
+            Msg::VvReport { partition, vv } => self.stab.on_vv_report(partition, vv),
+            Msg::GssBcast { gss } => self.stab.on_gss_bcast(&gss),
+            Msg::RotReq { .. } => unreachable!("Cure clients always run 2-round ROTs"),
+            other => unreachable!("client-bound message at Cure server: {other:?}"),
         }
+    }
+
+    fn on_timer(&mut self, ctx: &mut dyn ActorCtx<Msg>, kind: TimerKind) {
+        match kind.kind {
+            timers::RESUME => self.drain_parked(ctx),
+            timers::STABILIZE => self.stabilize(ctx),
+            timers::HEARTBEAT => self.heartbeat(ctx),
+            timers::GC => self.gc(ctx),
+            other => unreachable!("unknown Cure timer {other}"),
+        }
+        self.timers.rearm(ctx, kind.kind);
+    }
+
+    fn store_heads(&self) -> Vec<(Key, VersionId)> {
+        self.store.heads()
     }
 }
 
@@ -392,7 +382,15 @@ mod tests {
         ctx.now = 5_000_000; // true 5ms, local clock 2ms
         let mut sv = DepVector::zero(1);
         sv.set(0, hlc::encode(4_000, 0)); // snapshot at 4ms
-        s.on_message(&mut ctx, client(), Msg::RotRead { tx: tx(), keys: vec![Key(0)], sv });
+        s.on_message(
+            &mut ctx,
+            client(),
+            Msg::RotRead {
+                tx: tx(),
+                keys: vec![Key(0)],
+                sv,
+            },
+        );
         assert!(ctx.drain_sent().is_empty(), "read must block");
         assert_eq!(s.blocked_ops, 1);
         let (wake, _) = ctx.timers[0];
@@ -412,8 +410,20 @@ mod tests {
         ctx.now = 5_000_000;
         let mut sv = DepVector::zero(1);
         sv.set(0, hlc::encode(4_000, 0));
-        s.on_message(&mut ctx, client(), Msg::RotRead { tx: tx(), keys: vec![Key(0)], sv });
-        assert_eq!(ctx.drain_to(client()).len(), 1, "no blocking when clock is ahead");
+        s.on_message(
+            &mut ctx,
+            client(),
+            Msg::RotRead {
+                tx: tx(),
+                keys: vec![Key(0)],
+                sv,
+            },
+        );
+        assert_eq!(
+            ctx.drain_to(client()).len(),
+            1,
+            "no blocking when clock is ahead"
+        );
         assert_eq!(s.blocked_ops, 0);
     }
 
@@ -424,7 +434,15 @@ mod tests {
         let mut ctx = ScriptCtx::new(addr());
         ctx.now = 1_000_000; // clock at 1ms
         let lts = hlc::encode(2_000, 0); // client saw 2ms
-        s.on_message(&mut ctx, client(), Msg::RotSnapReq { tx: tx(), lts, gss: DepVector::zero(1) });
+        s.on_message(
+            &mut ctx,
+            client(),
+            Msg::RotSnapReq {
+                tx: tx(),
+                lts,
+                gss: DepVector::zero(1),
+            },
+        );
         assert!(ctx.drain_sent().is_empty());
         ctx.now = 2_100_000;
         s.on_timer(&mut ctx, TimerKind::new(timers::RESUME));
@@ -444,7 +462,12 @@ mod tests {
         s.on_message(
             &mut ctx,
             client(),
-            Msg::PutReq { key: Key(0), value: Value::from_static(b"v"), lts, gss: DepVector::zero(1) },
+            Msg::PutReq {
+                key: Key(0),
+                value: Value::from_static(b"v"),
+                lts,
+                gss: DepVector::zero(1),
+            },
         );
         assert!(ctx.drain_sent().is_empty(), "PUT must wait for the clock");
         ctx.now = 5_200_000;
@@ -466,7 +489,12 @@ mod tests {
             s.on_message(
                 &mut ctx,
                 client(),
-                Msg::PutReq { key: Key(0), value: Value::new(), lts: 0, gss: DepVector::zero(1) },
+                Msg::PutReq {
+                    key: Key(0),
+                    value: Value::new(),
+                    lts: 0,
+                    gss: DepVector::zero(1),
+                },
             );
             match ctx.drain_to(client()).pop() {
                 Some(Msg::PutResp { vid, .. }) => {
@@ -487,7 +515,12 @@ mod tests {
         s.on_message(
             &mut ctx,
             client(),
-            Msg::PutReq { key: Key(0), value: Value::from_static(b"a"), lts: 0, gss: DepVector::zero(1) },
+            Msg::PutReq {
+                key: Key(0),
+                value: Value::from_static(b"a"),
+                lts: 0,
+                gss: DepVector::zero(1),
+            },
         );
         let v1 = match ctx.drain_to(client()).pop() {
             Some(Msg::PutResp { vid, .. }) => vid,
@@ -497,13 +530,26 @@ mod tests {
         s.on_message(
             &mut ctx,
             client(),
-            Msg::PutReq { key: Key(0), value: Value::from_static(b"b"), lts: 0, gss: DepVector::zero(1) },
+            Msg::PutReq {
+                key: Key(0),
+                value: Value::from_static(b"b"),
+                lts: 0,
+                gss: DepVector::zero(1),
+            },
         );
         ctx.drain_sent();
         // Snapshot at v1: reads must see "a".
         let mut sv = DepVector::zero(1);
         sv.set(0, v1.ts);
-        s.on_message(&mut ctx, client(), Msg::RotRead { tx: tx(), keys: vec![Key(0)], sv });
+        s.on_message(
+            &mut ctx,
+            client(),
+            Msg::RotRead {
+                tx: tx(),
+                keys: vec![Key(0)],
+                sv,
+            },
+        );
         match ctx.drain_to(client()).pop() {
             Some(Msg::RotSlice { pairs, .. }) => {
                 assert_eq!(pairs[0].1.as_ref().unwrap().0, v1);

@@ -7,7 +7,15 @@ use std::process::Command;
 
 fn main() {
     let bins = [
-        "table1", "table2", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "value_size",
+        "table1",
+        "table2",
+        "fig4",
+        "fig5",
+        "fig6",
+        "fig7",
+        "fig8",
+        "fig9",
+        "value_size",
         "theory",
     ];
     let exe = std::env::current_exe().expect("own path");

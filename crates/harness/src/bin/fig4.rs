@@ -19,11 +19,29 @@ fn main() {
     let cluster = ClusterConfig::paper_default().with_dcs(2);
     let wl = WorkloadSpec::paper_default();
 
-    let c15 = sweep_series("Contrarian 1 1/2 rounds", Protocol::Contrarian, cluster.clone(), wl.clone(), &scale, 42);
-    let c2 = sweep_series("Contrarian 2 rounds", Protocol::ContrarianTwoRound, cluster.clone(), wl.clone(), &scale, 42);
+    let c15 = sweep_series(
+        "Contrarian 1 1/2 rounds",
+        Protocol::Contrarian,
+        cluster.clone(),
+        wl.clone(),
+        &scale,
+        42,
+    );
+    let c2 = sweep_series(
+        "Contrarian 2 rounds",
+        Protocol::ContrarianTwoRound,
+        cluster.clone(),
+        wl.clone(),
+        &scale,
+        42,
+    );
     let cure = sweep_series("Cure", Protocol::Cure, cluster, wl, &scale, 42);
 
-    emit_figure("fig4", "Contrarian design evaluation (2 DCs, default workload)", &[c15.clone(), c2.clone(), cure.clone()]);
+    emit_figure(
+        "fig4",
+        "Contrarian design evaluation (2 DCs, default workload)",
+        &[c15.clone(), c2.clone(), cure.clone()],
+    );
 
     println!("paper vs measured:");
     println!(

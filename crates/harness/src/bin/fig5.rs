@@ -17,10 +17,38 @@ fn main() {
     let scale = Scale::from_env();
     let wl = WorkloadSpec::paper_default();
 
-    let contr1 = sweep_series("Contrarian 1DC", Protocol::Contrarian, ClusterConfig::paper_default(), wl.clone(), &scale, 42);
-    let cclo1 = sweep_series("CC-LO 1DC", Protocol::CcLo, ClusterConfig::paper_default(), wl.clone(), &scale, 42);
-    let contr2 = sweep_series("Contrarian 2DC", Protocol::Contrarian, ClusterConfig::paper_default().with_dcs(2), wl.clone(), &scale, 42);
-    let cclo2 = sweep_series("CC-LO 2DC", Protocol::CcLo, ClusterConfig::paper_default().with_dcs(2), wl, &scale, 42);
+    let contr1 = sweep_series(
+        "Contrarian 1DC",
+        Protocol::Contrarian,
+        ClusterConfig::paper_default(),
+        wl.clone(),
+        &scale,
+        42,
+    );
+    let cclo1 = sweep_series(
+        "CC-LO 1DC",
+        Protocol::CcLo,
+        ClusterConfig::paper_default(),
+        wl.clone(),
+        &scale,
+        42,
+    );
+    let contr2 = sweep_series(
+        "Contrarian 2DC",
+        Protocol::Contrarian,
+        ClusterConfig::paper_default().with_dcs(2),
+        wl.clone(),
+        &scale,
+        42,
+    );
+    let cclo2 = sweep_series(
+        "CC-LO 2DC",
+        Protocol::CcLo,
+        ClusterConfig::paper_default().with_dcs(2),
+        wl,
+        &scale,
+        42,
+    );
 
     emit_figure(
         "fig5",
@@ -47,10 +75,7 @@ fn main() {
     // Crossover on the throughput axis: the lowest throughput above which
     // Contrarian's latency (interpolated over its own curve) stays below
     // CC-LO's. Past CC-LO's peak Contrarian wins by default.
-    for (what, pick) in [
-        ("avg", 0usize),
-        ("p99", 1usize),
-    ] {
+    for (what, pick) in [("avg", 0usize), ("p99", 1usize)] {
         let lat = |r: &contrarian_harness::experiment::RunResult| {
             if pick == 0 {
                 r.avg_rot_ms
@@ -63,8 +88,8 @@ fn main() {
             for w in pts.windows(2) {
                 let (a, b) = (&w[0], &w[1]);
                 if a.throughput_kops <= x && x <= b.throughput_kops {
-                    let f = (x - a.throughput_kops)
-                        / (b.throughput_kops - a.throughput_kops).max(1e-9);
+                    let f =
+                        (x - a.throughput_kops) / (b.throughput_kops - a.throughput_kops).max(1e-9);
                     return Some(lat(a) + f * (lat(b) - lat(a)));
                 }
             }

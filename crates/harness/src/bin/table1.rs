@@ -13,26 +13,41 @@ fn main() {
     let rows = vec![
         vec![
             "w (write/read ratio)".to_string(),
-            ws.iter().map(|w| mark(w.to_string(), *w == def.write_ratio)).collect::<Vec<_>>().join(", "),
+            ws.iter()
+                .map(|w| mark(w.to_string(), *w == def.write_ratio))
+                .collect::<Vec<_>>()
+                .join(", "),
             "0.01 extreme read-heavy; 0.05 YCSB default; 0.1 COPS-SNOW default".to_string(),
         ],
         vec![
             "p (partitions per ROT)".to_string(),
-            ps.iter().map(|p| mark(p.to_string(), *p == def.rot_size)).collect::<Vec<_>>().join(", "),
+            ps.iter()
+                .map(|p| mark(p.to_string(), *p == def.rot_size))
+                .collect::<Vec<_>>()
+                .join(", "),
             "application ops span multiple partitions".to_string(),
         ],
         vec![
             "b (value bytes)".to_string(),
-            bs.iter().map(|b| mark(b.to_string(), *b == def.value_size)).collect::<Vec<_>>().join(", "),
+            bs.iter()
+                .map(|b| mark(b.to_string(), *b == def.value_size))
+                .collect::<Vec<_>>()
+                .join(", "),
             "8 typical of production; 128 COPS-SNOW default; 2048 large items".to_string(),
         ],
         vec![
             "z (zipfian skew)".to_string(),
-            zs.iter().map(|z| mark(z.to_string(), *z == def.zipf_theta)).collect::<Vec<_>>().join(", "),
+            zs.iter()
+                .map(|z| mark(z.to_string(), *z == def.zipf_theta))
+                .collect::<Vec<_>>()
+                .join(", "),
             "0.99 strong production skew; 0.8 COPS-SNOW default; 0 uniform".to_string(),
         ],
     ];
-    println!("{}", table::render(&["parameter", "values (* = default)", "motivation"], &rows));
+    println!(
+        "{}",
+        table::render(&["parameter", "values (* = default)", "motivation"], &rows)
+    );
     println!(
         "derived: PUT probability per op q = w*p/(1-w+w*p) = {:.4} at defaults",
         def.put_probability()

@@ -22,9 +22,16 @@ fn main() {
     println!(
         "causal checker: {} violation(s) — {}",
         report.violations.len(),
-        report.violations.first().map(String::as_str).unwrap_or("none")
+        report
+            .violations
+            .first()
+            .map(String::as_str)
+            .unwrap_or("none")
     );
-    assert!(!report.ok(), "the straw-man must violate causal consistency");
+    assert!(
+        !report.ok(),
+        "the straw-man must violate causal consistency"
+    );
 
     // Part 2: CC-LO under the same adversarial schedule.
     println!("\n--- CC-LO (COPS-SNOW) under the same schedule ---");
@@ -47,7 +54,13 @@ fn main() {
     // Part 3: Lemma 1 / Lemma 2 — distinguishability over all reader
     // subsets, communication ≥ |D| bits.
     println!("\n--- Lemma 1/2: distinct reader subsets force distinct communication ---\n");
-    let headers = ["|D| clients", "executions (2^|D|)", "distinct transcripts", "min bits", "max ids in transcript"];
+    let headers = [
+        "|D| clients",
+        "executions (2^|D|)",
+        "distinct transcripts",
+        "min bits",
+        "max ids in transcript",
+    ];
     let mut rows = Vec::new();
     for n in 1..=8u16 {
         let d = distinguishability(n);

@@ -34,7 +34,11 @@ fn main() {
             42,
         ));
     }
-    emit_figure("value_size", "value-size sweep (single DC, Section 5.8)", &series);
+    emit_figure(
+        "value_size",
+        "value-size sweep (single DC, Section 5.8)",
+        &series,
+    );
 
     println!("paper vs measured (ratio should shrink with b; ~1.43x at b=2048):");
     for (i, b) in [8, 128, 2048].iter().enumerate() {

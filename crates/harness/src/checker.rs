@@ -42,7 +42,10 @@ struct Graph {
 
 impl Graph {
     fn new() -> Self {
-        Graph { deps: HashMap::new(), past: HashMap::new() }
+        Graph {
+            deps: HashMap::new(),
+            past: HashMap::new(),
+        }
     }
 
     /// The causal past of `node` as a per-key max-version map, memoized,
@@ -58,8 +61,11 @@ impl Graph {
                 continue;
             }
             let deps = self.deps.get(&n).cloned().unwrap_or_default();
-            let unresolved: Vec<Node> =
-                deps.iter().copied().filter(|d| !self.past.contains_key(d)).collect();
+            let unresolved: Vec<Node> = deps
+                .iter()
+                .copied()
+                .filter(|d| !self.past.contains_key(d))
+                .collect();
             if !unresolved.is_empty() {
                 stack.extend(unresolved);
                 continue;
@@ -99,21 +105,24 @@ pub fn check_causal(history: &[HistoryEvent]) -> CheckReport {
     let mut report = CheckReport::default();
     let mut graph = Graph::new();
     // Per-client observed frontier: key → max version observed.
-    let mut frontier: HashMap<contrarian_types::ClientId, HashMap<Key, VersionId>> =
-        HashMap::new();
+    let mut frontier: HashMap<contrarian_types::ClientId, HashMap<Key, VersionId>> = HashMap::new();
 
     // Pass 1: build the dependency graph from client sessions, and run the
     // session checks along the way.
     for ev in history {
         match ev {
-            HistoryEvent::PutDone { client, key, vid, .. } => {
+            HistoryEvent::PutDone {
+                client, key, vid, ..
+            } => {
                 let f = frontier.entry(*client).or_default();
                 let deps: Vec<Node> = f.iter().map(|(k, v)| (*k, *v)).collect();
                 graph.deps.insert((*key, *vid), deps);
                 raise(f, *key, *vid);
                 report.versions += 1;
             }
-            HistoryEvent::RotDone { client, tx, pairs, .. } => {
+            HistoryEvent::RotDone {
+                client, tx, pairs, ..
+            } => {
                 let f = frontier.entry(*client).or_default();
                 for (k, v) in pairs {
                     match (f.get(k), v) {
@@ -141,7 +150,9 @@ pub fn check_causal(history: &[HistoryEvent]) -> CheckReport {
 
     // Pass 2: the causal snapshot property for every ROT.
     for ev in history {
-        let HistoryEvent::RotDone { tx, pairs, .. } = ev else { continue };
+        let HistoryEvent::RotDone { tx, pairs, .. } = ev else {
+            continue;
+        };
         report.rots_checked += 1;
         for (kj, vj) in pairs {
             let Some(vj) = vj else { continue };
@@ -152,8 +163,8 @@ pub fn check_causal(history: &[HistoryEvent]) -> CheckReport {
                 }
                 if let Some(w) = past.get(ki) {
                     let stale = match vi {
-                        None => true,            // read ⊥ but the past has a version
-                        Some(vi) => *w > *vi,    // read something older than the past requires
+                        None => true,         // read ⊥ but the past has a version
+                        Some(vi) => *w > *vi, // read something older than the past requires
                     };
                     if stale {
                         report.violations.push(format!(

@@ -193,42 +193,30 @@ pub fn run_experiment(cfg: &ExperimentConfig) -> RunResult {
         }};
     }
 
+    let cluster = match cfg.protocol {
+        Protocol::Contrarian => cfg.cluster.clone().with_rot_mode(RotMode::OneHalfRound),
+        Protocol::ContrarianTwoRound => cfg.cluster.clone().with_rot_mode(RotMode::TwoRound),
+        Protocol::CcLo | Protocol::Cure => cfg.cluster.clone(),
+    };
+    let p = contrarian_protocol::ClusterParams {
+        cfg: cluster,
+        cost: cfg.cost.clone(),
+        workload: cfg.workload.clone(),
+        clients_per_dc: cfg.clients_per_dc,
+        seed: cfg.seed,
+    };
     match cfg.protocol {
         Protocol::Contrarian | Protocol::ContrarianTwoRound => {
-            let mode = if cfg.protocol == Protocol::Contrarian {
-                RotMode::OneHalfRound
-            } else {
-                RotMode::TwoRound
-            };
-            let p = contrarian_core::build::ClusterParams {
-                cfg: cfg.cluster.clone().with_rot_mode(mode),
-                cost: cfg.cost.clone(),
-                workload: cfg.workload.clone(),
-                clients_per_dc: cfg.clients_per_dc,
-                seed: cfg.seed,
-            };
-            drive!(contrarian_core::build::build_cluster(&p))
+            drive!(contrarian_protocol::build_cluster::<
+                contrarian_core::Contrarian,
+            >(&p))
         }
-        Protocol::CcLo => {
-            let p = contrarian_cclo::build::ClusterParams {
-                cfg: cfg.cluster.clone(),
-                cost: cfg.cost.clone(),
-                workload: cfg.workload.clone(),
-                clients_per_dc: cfg.clients_per_dc,
-                seed: cfg.seed,
-            };
-            drive!(contrarian_cclo::build::build_cluster(&p))
-        }
-        Protocol::Cure => {
-            let p = contrarian_cure::build::ClusterParams {
-                cfg: cfg.cluster.clone(),
-                cost: cfg.cost.clone(),
-                workload: cfg.workload.clone(),
-                clients_per_dc: cfg.clients_per_dc,
-                seed: cfg.seed,
-            };
-            drive!(contrarian_cure::build::build_cluster(&p))
-        }
+        Protocol::CcLo => drive!(contrarian_protocol::build_cluster::<contrarian_cclo::CcLo>(
+            &p
+        )),
+        Protocol::Cure => drive!(contrarian_protocol::build_cluster::<contrarian_cure::Cure>(
+            &p
+        )),
     }
 }
 
@@ -241,7 +229,10 @@ pub struct Series {
 
 impl Series {
     pub fn peak_throughput(&self) -> f64 {
-        self.points.iter().map(|r| r.throughput_kops).fold(0.0, f64::max)
+        self.points
+            .iter()
+            .map(|r| r.throughput_kops)
+            .fold(0.0, f64::max)
     }
 
     /// Latency at the lowest load point.
@@ -279,7 +270,10 @@ pub fn sweep_series(
         );
         points.push(r);
     }
-    Series { name: name.to_string(), points }
+    Series {
+        name: name.to_string(),
+        points,
+    }
 }
 
 #[cfg(test)]

@@ -7,8 +7,15 @@ use crate::table;
 /// `results/` with every point of every series.
 pub fn emit_figure(fig_id: &str, caption: &str, series: &[Series]) {
     println!("\n=== {fig_id}: {caption} ===\n");
-    let headers =
-        ["series", "clients/DC", "tput Kops/s", "ROT avg ms", "ROT p99 ms", "PUT avg ms", "PUT p99 ms"];
+    let headers = [
+        "series",
+        "clients/DC",
+        "tput Kops/s",
+        "ROT avg ms",
+        "ROT p99 ms",
+        "PUT avg ms",
+        "PUT p99 ms",
+    ];
     let mut all_rows: Vec<Vec<String>> = Vec::new();
     for s in series {
         for r in &s.points {
@@ -74,7 +81,11 @@ mod tests {
     fn peak_and_low_load_are_extracted() {
         let s = Series {
             name: "test".into(),
-            points: vec![point(8, 50.0, 0.3), point(64, 200.0, 0.5), point(128, 180.0, 1.2)],
+            points: vec![
+                point(8, 50.0, 0.3),
+                point(64, 200.0, 0.5),
+                point(128, 180.0, 1.2),
+            ],
         };
         assert_eq!(s.peak_throughput(), 200.0);
         assert_eq!(s.low_load_rot_ms(), 0.3);
@@ -82,8 +93,14 @@ mod tests {
 
     #[test]
     fn peak_ratio_compares_series() {
-        let a = Series { name: "a".into(), points: vec![point(8, 300.0, 0.3)] };
-        let b = Series { name: "b".into(), points: vec![point(8, 200.0, 0.3)] };
+        let a = Series {
+            name: "a".into(),
+            points: vec![point(8, 300.0, 0.3)],
+        };
+        let b = Series {
+            name: "b".into(),
+            points: vec![point(8, 200.0, 0.3)],
+        };
         assert!((peak_ratio(&a, &b) - 1.5).abs() < 1e-9);
     }
 }

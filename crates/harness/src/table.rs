@@ -69,7 +69,10 @@ mod tests {
     fn render_aligns_columns() {
         let t = render(
             &["a", "long-header"],
-            &[vec!["1".into(), "2".into()], vec!["100".into(), "20000000".into()]],
+            &[
+                vec!["1".into(), "2".into()],
+                vec!["100".into(), "20000000".into()],
+            ],
         );
         let lines: Vec<&str> = t.lines().collect();
         assert_eq!(lines.len(), 4);

@@ -26,16 +26,116 @@ pub struct SystemRow {
 /// The full Table 2.
 pub fn table2() -> Vec<SystemRow> {
     vec![
-        SystemRow { name: "COPS", nonblocking: true, rounds: "<=2", versions: "<=2", write_comm_cs: "1", write_comm_ss: "-", write_meta_cs: "|deps|", write_meta_ss: "-", clock: "Logical" },
-        SystemRow { name: "Eiger", nonblocking: true, rounds: "<=2", versions: "<=2", write_comm_cs: "1", write_comm_ss: "-", write_meta_cs: "|deps|", write_meta_ss: "-", clock: "Logical" },
-        SystemRow { name: "ChainReaction", nonblocking: false, rounds: ">=2", versions: "1", write_comm_cs: "1", write_comm_ss: ">=1", write_meta_cs: "|deps|", write_meta_ss: "M", clock: "Logical" },
-        SystemRow { name: "Orbe", nonblocking: false, rounds: "2", versions: "1", write_comm_cs: "1", write_comm_ss: "-", write_meta_cs: "NxM", write_meta_ss: "-", clock: "Logical" },
-        SystemRow { name: "GentleRain", nonblocking: false, rounds: "2", versions: "1", write_comm_cs: "1", write_comm_ss: "-", write_meta_cs: "1", write_meta_ss: "-", clock: "Physical" },
-        SystemRow { name: "Cure", nonblocking: false, rounds: "2", versions: "1", write_comm_cs: "1", write_comm_ss: "-", write_meta_cs: "M", write_meta_ss: "-", clock: "Physical" },
-        SystemRow { name: "OCCULT", nonblocking: true, rounds: ">=1", versions: ">=1", write_comm_cs: "1", write_comm_ss: "-", write_meta_cs: "O(P)", write_meta_ss: "-", clock: "Hybrid" },
-        SystemRow { name: "POCC", nonblocking: false, rounds: "2", versions: "1", write_comm_cs: "1", write_comm_ss: "-", write_meta_cs: "M", write_meta_ss: "-", clock: "Physical" },
-        SystemRow { name: "COPS-SNOW", nonblocking: true, rounds: "1", versions: "1", write_comm_cs: "1", write_comm_ss: "O(N)", write_meta_cs: "|deps|", write_meta_ss: "O(K)", clock: "Logical" },
-        SystemRow { name: "Contrarian", nonblocking: true, rounds: "1 1/2 (or 2)", versions: "1", write_comm_cs: "1", write_comm_ss: "-", write_meta_cs: "M", write_meta_ss: "-", clock: "Hybrid" },
+        SystemRow {
+            name: "COPS",
+            nonblocking: true,
+            rounds: "<=2",
+            versions: "<=2",
+            write_comm_cs: "1",
+            write_comm_ss: "-",
+            write_meta_cs: "|deps|",
+            write_meta_ss: "-",
+            clock: "Logical",
+        },
+        SystemRow {
+            name: "Eiger",
+            nonblocking: true,
+            rounds: "<=2",
+            versions: "<=2",
+            write_comm_cs: "1",
+            write_comm_ss: "-",
+            write_meta_cs: "|deps|",
+            write_meta_ss: "-",
+            clock: "Logical",
+        },
+        SystemRow {
+            name: "ChainReaction",
+            nonblocking: false,
+            rounds: ">=2",
+            versions: "1",
+            write_comm_cs: "1",
+            write_comm_ss: ">=1",
+            write_meta_cs: "|deps|",
+            write_meta_ss: "M",
+            clock: "Logical",
+        },
+        SystemRow {
+            name: "Orbe",
+            nonblocking: false,
+            rounds: "2",
+            versions: "1",
+            write_comm_cs: "1",
+            write_comm_ss: "-",
+            write_meta_cs: "NxM",
+            write_meta_ss: "-",
+            clock: "Logical",
+        },
+        SystemRow {
+            name: "GentleRain",
+            nonblocking: false,
+            rounds: "2",
+            versions: "1",
+            write_comm_cs: "1",
+            write_comm_ss: "-",
+            write_meta_cs: "1",
+            write_meta_ss: "-",
+            clock: "Physical",
+        },
+        SystemRow {
+            name: "Cure",
+            nonblocking: false,
+            rounds: "2",
+            versions: "1",
+            write_comm_cs: "1",
+            write_comm_ss: "-",
+            write_meta_cs: "M",
+            write_meta_ss: "-",
+            clock: "Physical",
+        },
+        SystemRow {
+            name: "OCCULT",
+            nonblocking: true,
+            rounds: ">=1",
+            versions: ">=1",
+            write_comm_cs: "1",
+            write_comm_ss: "-",
+            write_meta_cs: "O(P)",
+            write_meta_ss: "-",
+            clock: "Hybrid",
+        },
+        SystemRow {
+            name: "POCC",
+            nonblocking: false,
+            rounds: "2",
+            versions: "1",
+            write_comm_cs: "1",
+            write_comm_ss: "-",
+            write_meta_cs: "M",
+            write_meta_ss: "-",
+            clock: "Physical",
+        },
+        SystemRow {
+            name: "COPS-SNOW",
+            nonblocking: true,
+            rounds: "1",
+            versions: "1",
+            write_comm_cs: "1",
+            write_comm_ss: "O(N)",
+            write_meta_cs: "|deps|",
+            write_meta_ss: "O(K)",
+            clock: "Logical",
+        },
+        SystemRow {
+            name: "Contrarian",
+            nonblocking: true,
+            rounds: "1 1/2 (or 2)",
+            versions: "1",
+            write_comm_cs: "1",
+            write_comm_ss: "-",
+            write_meta_cs: "M",
+            write_meta_ss: "-",
+            clock: "Hybrid",
+        },
     ]
 }
 
@@ -82,8 +182,11 @@ mod tests {
         // COPS-SNOW is the only 1-round system; Contrarian gives up exactly
         // half a round.
         let t = table2();
-        let one_round: Vec<&str> =
-            t.iter().filter(|r| r.rounds == "1").map(|r| r.name).collect();
+        let one_round: Vec<&str> = t
+            .iter()
+            .filter(|r| r.rounds == "1")
+            .map(|r| r.name)
+            .collect();
         assert_eq!(one_round, vec!["COPS-SNOW"]);
     }
 
@@ -93,7 +196,10 @@ mod tests {
         for r in &t {
             if r.name == "COPS-SNOW" {
                 assert_eq!(r.write_comm_ss, "O(N)");
-                assert_eq!(r.write_meta_ss, "O(K)", "the Theorem-1 linear-in-clients cost");
+                assert_eq!(
+                    r.write_meta_ss, "O(K)",
+                    "the Theorem-1 linear-in-clients cost"
+                );
             } else if r.name != "ChainReaction" {
                 assert_eq!(r.write_comm_ss, "-", "{}", r.name);
             }

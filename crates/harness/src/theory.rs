@@ -20,6 +20,7 @@
 use crate::checker::{check_causal, CheckReport};
 use contrarian_cclo::msg::Msg as CMsg;
 use contrarian_cclo::server::Server as CcloServer;
+use contrarian_protocol::ProtocolServer;
 use contrarian_sim::testkit::ScriptCtx;
 use contrarian_types::{
     Addr, ClientId, ClusterConfig, DcId, HistoryEvent, Key, PartitionId, TxId, Value, VersionId,
@@ -87,7 +88,10 @@ struct StrawmanServer {
 
 impl StrawmanServer {
     fn new() -> Self {
-        StrawmanServer { lamport: 0, heads: HashMap::new() }
+        StrawmanServer {
+            lamport: 0,
+            heads: HashMap::new(),
+        }
     }
 
     fn put(&mut self, key: Key, client_lamport: u64) -> (VersionId, u64) {
@@ -140,7 +144,15 @@ pub fn run_strawman_scenario(readers: &[u16]) -> ScenarioResult {
         reads.push((tx, vx, vy));
     }
 
-    ScenarioResult { history, transcript: Vec::new(), reads, x0, y0, x1, y1 }
+    ScenarioResult {
+        history,
+        transcript: Vec::new(),
+        reads,
+        x0,
+        y0,
+        x1,
+        y1,
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -150,6 +162,7 @@ pub fn run_strawman_scenario(readers: &[u16]) -> ScenarioResult {
 /// Drives a CC-LO PUT at `server`, pumping its readers-check messages to
 /// `peer` synchronously. Returns the new version and the transcript `peer`
 /// answered with.
+#[allow(clippy::too_many_arguments)]
 fn pump_put(
     server: &mut CcloServer,
     server_addr: Addr,
@@ -162,7 +175,16 @@ fn pump_put(
     lamport: u64,
 ) -> (VersionId, u64, Vec<(TxId, u64)>) {
     ctx.at(server_addr, ctx.now);
-    server.on_message(ctx, client, CMsg::PutReq { key, value: Value::from_static(b"v"), deps, lamport });
+    server.on_message(
+        ctx,
+        client,
+        CMsg::PutReq {
+            key,
+            value: Value::from_static(b"v"),
+            deps,
+            lamport,
+        },
+    );
     let mut transcript = Vec::new();
     // Deliver any readers-check queries to the peer and return the replies.
     let queries = ctx.drain_to(peer_addr);
@@ -200,26 +222,57 @@ pub fn run_cclo_scenario(readers: &[u16]) -> ScenarioResult {
     // An empty control query observes the lamport value without registering
     // any reader.
     ctx.at(px(), 0);
-    sx.on_message(&mut ctx, py(), CMsg::OldReadersQuery { token: u64::MAX, deps: vec![], lamport: 50 });
+    sx.on_message(
+        &mut ctx,
+        py(),
+        CMsg::OldReadersQuery {
+            token: u64::MAX,
+            deps: vec![],
+            lamport: 50,
+        },
+    );
     ctx.drain_sent();
 
     // cw's causal chain X0 ; Y0 ; X1 ; Y1, each PUT issued after the
     // previous completed.
-    let (x0, l0, _) = pump_put(&mut sx, px(), &mut sy, py(), &mut ctx, client, x(), vec![], 0);
+    let (x0, l0, _) = pump_put(
+        &mut sx,
+        px(),
+        &mut sy,
+        py(),
+        &mut ctx,
+        client,
+        x(),
+        vec![],
+        0,
+    );
     history_put(&mut history, cw(), 0, x(), x0);
-    let (y0, l1, _) =
-        pump_put(&mut sy, py(), &mut sx, px(), &mut ctx, client, y(), vec![(x(), x0)], l0);
+    let (y0, l1, _) = pump_put(
+        &mut sy,
+        py(),
+        &mut sx,
+        px(),
+        &mut ctx,
+        client,
+        y(),
+        vec![(x(), x0)],
+        l0,
+    );
     history_put(&mut history, cw(), 1, y(), y0);
 
     // t1: the readers' x-reads reach px before X1.
     let mut x_reads = Vec::new();
     for &r in readers {
         ctx.at(px(), ctx.now);
-        sx.on_message(&mut ctx, reader(r).client.into(), CMsg::RotRead {
-            tx: reader(r),
-            keys: vec![x()],
-            lamport: 0,
-        });
+        sx.on_message(
+            &mut ctx,
+            reader(r).client.into(),
+            CMsg::RotRead {
+                tx: reader(r),
+                keys: vec![x()],
+                lamport: 0,
+            },
+        );
         let vx = match ctx.drain_to(reader(r).client.into()).pop() {
             Some(CMsg::RotSlice { pairs, .. }) => pairs[0].1.as_ref().map(|(v, _)| *v),
             other => panic!("unexpected {other:?}"),
@@ -227,20 +280,46 @@ pub fn run_cclo_scenario(readers: &[u16]) -> ScenarioResult {
         x_reads.push((reader(r), vx));
     }
 
-    let (x1, l2, _) =
-        pump_put(&mut sx, px(), &mut sy, py(), &mut ctx, client, x(), vec![(y(), y0)], l1);
+    let (x1, l2, _) = pump_put(
+        &mut sx,
+        px(),
+        &mut sy,
+        py(),
+        &mut ctx,
+        client,
+        x(),
+        vec![(y(), y0)],
+        l1,
+    );
     history_put(&mut history, cw(), 2, x(), x1);
     // The dangerous PUT: Y1 depends on X1; py must interrogate px for old
     // readers of x — the communication Theorem 1 proves unavoidable.
-    let (y1, _l3, transcript) =
-        pump_put(&mut sy, py(), &mut sx, px(), &mut ctx, client, y(), vec![(x(), x1)], l2);
+    let (y1, _l3, transcript) = pump_put(
+        &mut sy,
+        py(),
+        &mut sx,
+        px(),
+        &mut ctx,
+        client,
+        y(),
+        vec![(x(), x1)],
+        l2,
+    );
     history_put(&mut history, cw(), 3, y(), y1);
 
     // After Y1 completes, the y-reads arrive.
     let mut reads = Vec::new();
     for (tx, vx) in x_reads {
         ctx.at(py(), ctx.now);
-        sy.on_message(&mut ctx, tx.client.into(), CMsg::RotRead { tx, keys: vec![y()], lamport: 0 });
+        sy.on_message(
+            &mut ctx,
+            tx.client.into(),
+            CMsg::RotRead {
+                tx,
+                keys: vec![y()],
+                lamport: 0,
+            },
+        );
         let vy = match ctx.drain_to(tx.client.into()).pop() {
             Some(CMsg::RotSlice { pairs, .. }) => pairs[0].1.as_ref().map(|(v, _)| *v),
             other => panic!("unexpected {other:?}"),
@@ -249,10 +328,24 @@ pub fn run_cclo_scenario(readers: &[u16]) -> ScenarioResult {
         reads.push((tx, vx, vy));
     }
 
-    ScenarioResult { history, transcript, reads, x0, y0, x1, y1 }
+    ScenarioResult {
+        history,
+        transcript,
+        reads,
+        x0,
+        y0,
+        x1,
+        y1,
+    }
 }
 
-fn history_put(history: &mut Vec<HistoryEvent>, client: ClientId, seq: u32, key: Key, vid: VersionId) {
+fn history_put(
+    history: &mut Vec<HistoryEvent>,
+    client: ClientId,
+    seq: u32,
+    key: Key,
+    vid: VersionId,
+) {
     history.push(HistoryEvent::PutDone {
         client,
         seq,
@@ -292,12 +385,17 @@ pub fn distinguishability(n_clients: u16) -> DistinguishResult {
     let mut max_ids = 0;
     let total = 1usize << n_clients;
     for mask in 0..total {
-        let readers: Vec<u16> =
-            (0..n_clients).filter(|i| mask & (1usize << i) != 0).collect();
+        let readers: Vec<u16> = (0..n_clients)
+            .filter(|i| mask & (1usize << i) != 0)
+            .collect();
         let res = run_cclo_scenario(&readers);
         // Every execution must also be causally consistent.
         let report = res.check();
-        assert!(report.ok(), "CC-LO violated causality for R={readers:?}: {:?}", report.violations);
+        assert!(
+            report.ok(),
+            "CC-LO violated causality for R={readers:?}: {:?}",
+            report.violations
+        );
         max_ids = max_ids.max(res.transcript.len());
         transcripts.insert(res.transcript);
     }
@@ -333,7 +431,11 @@ mod tests {
         for (tx, vx, vy) in &res.reads {
             assert_eq!(*vx, Some(res.x0), "{tx} read x before X1");
             assert_ne!(*vy, Some(res.y1), "{tx} must not see Y1");
-            assert_eq!(*vy, Some(res.y0), "{tx} gets the version before its read time");
+            assert_eq!(
+                *vy,
+                Some(res.y0),
+                "{tx} gets the version before its read time"
+            );
         }
         let report = res.check();
         assert!(report.ok(), "{:?}", report.violations);
@@ -355,8 +457,14 @@ mod tests {
     fn transcripts_distinguish_every_reader_subset() {
         let r = distinguishability(5);
         assert_eq!(r.executions, 32);
-        assert_eq!(r.distinct_transcripts, 32, "Lemma 1: different readers, different messages");
-        assert_eq!(r.min_bits, 5, "Lemma 2: at least |D| bits in the worst case");
+        assert_eq!(
+            r.distinct_transcripts, 32,
+            "Lemma 1: different readers, different messages"
+        );
+        assert_eq!(
+            r.min_bits, 5,
+            "Lemma 2: at least |D| bits in the worst case"
+        );
         assert_eq!(r.max_transcript_ids, 5, "worst case carries every client");
     }
 

@@ -1,0 +1,45 @@
+//! The shared protocol-runtime kernel.
+//!
+//! The paper's whole argument is a *comparison* of three causal protocols
+//! (Contrarian, CC-LO, Cure) on one code base. This crate owns everything a
+//! partitioned causal key-value protocol needs besides its actual message
+//! handling, so that a protocol crate contains **only** its state machines
+//! and message/metadata types:
+//!
+//! * [`ProtocolServer`] / [`ProtocolClient`] — the trait pair a backend
+//!   implements; [`Node`] is the one generic server-or-client actor that
+//!   every runtime (simulator, live transport) drives.
+//! * [`Stabilizer`] — the GSS machinery shared by vector-clock protocols:
+//!   partition version-vector aggregation, entrywise-minimum join,
+//!   broadcast, heartbeat bookkeeping.
+//! * [`Timers`] — one registry for the periodic stabilization / heartbeat /
+//!   GC timer loop (arm once, re-arm after each tick unless stopped).
+//! * [`Parked`] — the deferred-request queue used for operations waiting on
+//!   a clock (Cure) or on a dependency install (CC-LO).
+//! * [`build_cluster`] / [`build_interactive_cluster`] /
+//!   [`build_live_nodes`] — the generic cluster builders, driven by a
+//!   [`ProtocolSpec`].
+//! * [`conformance`] — the shared conformance suite: the *same* convergence
+//!   and causal-session checks, run against any backend on both the
+//!   discrete-event simulator and the live threaded transport.
+//!
+//! Adding a fourth backend (an Okapi-style design, an adaptive switcher, …)
+//! means implementing the three traits plus a [`ProtocolSpec`] — roughly
+//! one file — and every builder, runtime, harness and conformance check
+//! works with it unchanged.
+
+pub mod build;
+pub mod conformance;
+pub mod node;
+pub mod parked;
+pub mod stabilizer;
+pub mod timers;
+
+pub use build::{
+    build_cluster, build_interactive_cluster, build_live_cluster, build_live_nodes, ClusterParams,
+    ProtoNode, ProtocolSpec,
+};
+pub use node::{Node, ProtocolClient, ProtocolMsg, ProtocolServer};
+pub use parked::Parked;
+pub use stabilizer::{peer_replicas, Stabilizer};
+pub use timers::Timers;

@@ -1,0 +1,122 @@
+//! The shared deferred-request queue.
+//!
+//! Two kinds of deferral occur across the backends and used to be
+//! implemented twice as ad-hoc structures:
+//!
+//! * **time-based** — Cure parks an operation until its physical clock
+//!   catches up with a timestamp; the park arms a [`crate::timers::RESUME`]
+//!   timer and [`Parked::take_due`] releases everything whose wake time has
+//!   passed;
+//! * **condition-based** — CC-LO parks a dependency-check reply until the
+//!   dependencies install locally; [`Parked::take_ready`] releases
+//!   everything matching a predicate after each install.
+//!
+//! Released items are handed back to the caller, which re-runs its normal
+//! handler (and may park again if still not serviceable).
+
+use crate::timers;
+use contrarian_sim::actor::{ActorCtx, TimerKind};
+use std::collections::VecDeque;
+
+/// A queue of deferred requests, each with an optional wake time.
+pub struct Parked<T> {
+    q: VecDeque<(u64, T)>,
+}
+
+impl<T> Default for Parked<T> {
+    fn default() -> Self {
+        Parked { q: VecDeque::new() }
+    }
+}
+
+impl<T> Parked<T> {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn len(&self) -> usize {
+        self.q.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.q.is_empty()
+    }
+
+    /// Parks `item` for `delay_ns`, arming the shared RESUME timer. The
+    /// server's timer dispatch calls [`Parked::take_due`] on RESUME.
+    pub fn park<M>(&mut self, ctx: &mut dyn ActorCtx<M>, delay_ns: u64, item: T) {
+        self.q.push_back((ctx.now() + delay_ns, item));
+        ctx.set_timer(delay_ns, TimerKind::new(timers::RESUME));
+    }
+
+    /// Parks `item` with no wake time: only [`Parked::take_ready`] can
+    /// release it.
+    pub fn park_until_ready(&mut self, item: T) {
+        self.q.push_back((u64::MAX, item));
+    }
+
+    /// Removes and returns every item whose wake time has passed, in park
+    /// order.
+    pub fn take_due(&mut self, now: u64) -> Vec<T> {
+        let mut due = Vec::new();
+        let mut keep = VecDeque::with_capacity(self.q.len());
+        for (wake, item) in self.q.drain(..) {
+            if wake <= now {
+                due.push(item);
+            } else {
+                keep.push_back((wake, item));
+            }
+        }
+        self.q = keep;
+        due
+    }
+
+    /// Removes and returns every item matching `pred`, in park order.
+    pub fn take_ready(&mut self, mut pred: impl FnMut(&T) -> bool) -> Vec<T> {
+        let mut ready = Vec::new();
+        let mut keep = VecDeque::with_capacity(self.q.len());
+        for (wake, item) in self.q.drain(..) {
+            if pred(&item) {
+                ready.push(item);
+            } else {
+                keep.push_back((wake, item));
+            }
+        }
+        self.q = keep;
+        ready
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use contrarian_sim::testkit::ScriptCtx;
+    use contrarian_types::{Addr, DcId, PartitionId};
+
+    #[test]
+    fn time_based_release_in_park_order() {
+        let addr = Addr::server(DcId(0), PartitionId(0));
+        let mut ctx: ScriptCtx<u32> = ScriptCtx::new(addr);
+        let mut p: Parked<&'static str> = Parked::new();
+        ctx.now = 100;
+        p.park(&mut ctx, 50, "early");
+        p.park(&mut ctx, 500, "late");
+        assert_eq!(ctx.timers.len(), 2, "each park arms RESUME");
+        assert_eq!(ctx.timers[0].1.kind, timers::RESUME);
+        assert_eq!(p.take_due(149), Vec::<&str>::new());
+        assert_eq!(p.take_due(150), vec!["early"]);
+        assert_eq!(p.len(), 1);
+        assert_eq!(p.take_due(u64::MAX - 1), vec!["late"]);
+    }
+
+    #[test]
+    fn condition_based_release() {
+        let mut p: Parked<u32> = Parked::new();
+        p.park_until_ready(1);
+        p.park_until_ready(2);
+        p.park_until_ready(3);
+        assert_eq!(p.take_due(u64::MAX - 1), Vec::<u32>::new(), "no wake time");
+        assert_eq!(p.take_ready(|x| x % 2 == 1), vec![1, 3]);
+        assert_eq!(p.len(), 1);
+    }
+}

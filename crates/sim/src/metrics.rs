@@ -25,7 +25,13 @@ impl Default for Histogram {
 
 impl Histogram {
     pub fn new() -> Self {
-        Histogram { buckets: vec![0; N_BUCKETS], count: 0, sum: 0, max: 0, min: u64::MAX }
+        Histogram {
+            buckets: vec![0; N_BUCKETS],
+            count: 0,
+            sum: 0,
+            max: 0,
+            min: u64::MAX,
+        }
     }
 
     #[inline]
@@ -139,7 +145,10 @@ pub struct Metrics {
 
 impl Metrics {
     pub fn new() -> Self {
-        Metrics { enabled: false, ..Default::default() }
+        Metrics {
+            enabled: false,
+            ..Default::default()
+        }
     }
 
     #[inline]

@@ -114,7 +114,13 @@ impl<A: Actor> Sim<A> {
         assert!(!self.started, "cannot add nodes after start");
         assert!(!self.index.contains_key(&addr), "duplicate node {addr}");
         self.index.insert(addr, self.nodes.len());
-        self.nodes.push(NodeSlot { addr, actor, workers, busy: 0, queue: VecDeque::new() });
+        self.nodes.push(NodeSlot {
+            addr,
+            actor,
+            workers,
+            busy: 0,
+            queue: VecDeque::new(),
+        });
     }
 
     /// Calls every node's `on_start` (in registration order).
@@ -179,12 +185,21 @@ impl<A: Actor> Sim<A> {
     pub fn inject_op(&mut self, client: Addr, op: Op) {
         let to = self.index[&client];
         let msg = A::inject(op);
-        self.push(self.now, EvKind::Arrive { to, from: client, msg });
+        self.push(
+            self.now,
+            EvKind::Arrive {
+                to,
+                from: client,
+                msg,
+            },
+        );
     }
 
     /// Processes a single event. Returns `false` when no events remain.
     pub fn step(&mut self) -> bool {
-        let Some(ev) = self.heap.pop() else { return false };
+        let Some(ev) = self.heap.pop() else {
+            return false;
+        };
         debug_assert!(ev.t >= self.now, "time went backwards");
         self.now = ev.t;
         match ev.kind {
@@ -220,7 +235,11 @@ impl<A: Actor> Sim<A> {
 
     fn push(&mut self, t: u64, kind: EvKind<A::Msg>) {
         self.seq += 1;
-        self.heap.push(HeapEv { t, seq: self.seq, kind });
+        self.heap.push(HeapEv {
+            t,
+            seq: self.seq,
+            kind,
+        });
     }
 
     fn on_arrive(&mut self, to: usize, from: Addr, msg: A::Msg) {
@@ -232,14 +251,28 @@ impl<A: Actor> Sim<A> {
         if slot.workers == 0 {
             // Client: infinite parallelism, fixed receive cost.
             let c = self.cost.client_rx_ns + self.cost.cpu_bytes(msg.wire_size());
-            self.push(self.now + c, EvKind::ServiceDone { node: to, from, msg });
+            self.push(
+                self.now + c,
+                EvKind::ServiceDone {
+                    node: to,
+                    from,
+                    msg,
+                },
+            );
         } else if slot.busy < slot.workers {
             slot.busy += 1;
             let c = msg.rx_cost(&self.cost);
             if self.metrics.enabled {
                 self.metrics.busy_ns += c;
             }
-            self.push(self.now + c, EvKind::ServiceDone { node: to, from, msg });
+            self.push(
+                self.now + c,
+                EvKind::ServiceDone {
+                    node: to,
+                    from,
+                    msg,
+                },
+            );
         } else {
             self.stash_seq += 1;
             self.stash.insert(self.stash_seq, msg);
@@ -271,7 +304,9 @@ impl<A: Actor> Sim<A> {
     fn on_timer(&mut self, node: usize, kind: TimerKind) {
         // Timers run off the worker pool with a small base cost; their sends
         // still pay tx costs (folded into departure spacing).
-        self.with_ctx(node, self.cost.timer_ns, |actor, ctx| actor.on_timer(ctx, kind));
+        self.with_ctx(node, self.cost.timer_ns, |actor, ctx| {
+            actor.on_timer(ctx, kind)
+        });
     }
 
     /// Runs a handler inside a context, then applies its outbox/timer
@@ -299,7 +334,12 @@ impl<A: Actor> Sim<A> {
         // borrows self.rng / self.metrics / self.history.
         let actor = &mut self.nodes[node].actor;
         f(actor, &mut ctx);
-        let SimCtx { out, timers, charge, .. } = ctx;
+        let SimCtx {
+            out,
+            timers,
+            charge,
+            ..
+        } = ctx;
 
         // Send phase: messages depart back-to-back after the handler, each
         // paying its tx cost on the sender's CPU.
@@ -314,7 +354,10 @@ impl<A: Actor> Sim<A> {
             if is_server && self.metrics.enabled {
                 self.metrics.busy_ns += tx;
             }
-            let to_idx = *self.index.get(&to).unwrap_or_else(|| panic!("unknown addr {to}"));
+            let to_idx = *self
+                .index
+                .get(&to)
+                .unwrap_or_else(|| panic!("unknown addr {to}"));
             let latency = if to.dc == addr.dc {
                 self.cost.hop_latency_ns
             } else {
@@ -327,7 +370,14 @@ impl<A: Actor> Sim<A> {
                 arrive = *link + 1;
             }
             *link = arrive;
-            self.push(arrive, EvKind::Arrive { to: to_idx, from: addr, msg });
+            self.push(
+                arrive,
+                EvKind::Arrive {
+                    to: to_idx,
+                    from: addr,
+                    msg,
+                },
+            );
         }
         for (delay, kind) in timers {
             self.push(self.now + delay, EvKind::Timer { node, kind });
@@ -462,8 +512,21 @@ mod tests {
         let mut sim = Sim::new(CostModel::functional(), 1);
         let server = Addr::server(DcId(0), contrarian_types::PartitionId(0));
         let client = Addr::client(DcId(0), 0);
-        sim.add_server(server, Echo { pongs: 0, peer: None }, 1);
-        sim.add_client(client, Echo { pongs: 0, peer: Some(server) });
+        sim.add_server(
+            server,
+            Echo {
+                pongs: 0,
+                peer: None,
+            },
+            1,
+        );
+        sim.add_client(
+            client,
+            Echo {
+                pongs: 0,
+                peer: Some(server),
+            },
+        );
         sim
     }
 
@@ -473,7 +536,11 @@ mod tests {
         sim.start();
         sim.run_to_quiescence(u64::MAX);
         let client = Addr::client(DcId(0), 0);
-        assert_eq!(sim.actor(client).pongs, 5, "pings 0,2,4,6,8 produce 5 pongs");
+        assert_eq!(
+            sim.actor(client).pongs,
+            5,
+            "pings 0,2,4,6,8 produce 5 pongs"
+        );
     }
 
     #[test]
@@ -482,8 +549,21 @@ mod tests {
             let mut sim = Sim::new(CostModel::calibrated(), seed);
             let server = Addr::server(DcId(0), contrarian_types::PartitionId(0));
             let client = Addr::client(DcId(0), 0);
-            sim.add_server(server, Echo { pongs: 0, peer: None }, 2);
-            sim.add_client(client, Echo { pongs: 0, peer: Some(server) });
+            sim.add_server(
+                server,
+                Echo {
+                    pongs: 0,
+                    peer: None,
+                },
+                2,
+            );
+            sim.add_client(
+                client,
+                Echo {
+                    pongs: 0,
+                    peer: Some(server),
+                },
+            );
             sim.start();
             sim.run_to_quiescence(u64::MAX);
             sim.now()
@@ -519,13 +599,28 @@ mod tests {
         let rx = Ping(0).rx_cost(&cost);
         let mut sim: Sim<Echo> = Sim::new(cost, 3);
         let server = Addr::server(DcId(0), contrarian_types::PartitionId(0));
-        sim.add_server(server, Echo { pongs: 0, peer: None }, 1);
+        sim.add_server(
+            server,
+            Echo {
+                pongs: 0,
+                peer: None,
+            },
+            1,
+        );
         for i in 0..2 {
-            sim.add_client(Addr::client(DcId(0), i), Echo { pongs: 0, peer: Some(server) });
+            sim.add_client(
+                Addr::client(DcId(0), i),
+                Echo {
+                    pongs: 0,
+                    peer: Some(server),
+                },
+            );
         }
         sim.start();
         sim.run_to_quiescence(u64::MAX);
-        let total: u64 = (0..2).map(|i| sim.actor(Addr::client(DcId(0), i)).pongs).sum();
+        let total: u64 = (0..2)
+            .map(|i| sim.actor(Addr::client(DcId(0), i)).pongs)
+            .sum();
         assert_eq!(total, 10);
         assert!(sim.now() >= 20 * rx);
     }
@@ -542,7 +637,10 @@ mod tests {
             fn on_start(&mut self, ctx: &mut dyn ActorCtx<Ping>) {
                 if !ctx.self_addr().is_server() {
                     for i in 0..5 {
-                        ctx.send(Addr::server(DcId(0), contrarian_types::PartitionId(0)), Ping(i));
+                        ctx.send(
+                            Addr::server(DcId(0), contrarian_types::PartitionId(0)),
+                            Ping(i),
+                        );
                     }
                 }
             }

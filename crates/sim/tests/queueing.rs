@@ -109,17 +109,7 @@ fn run_open_loop(interval_ns: u64, workers: u32, n: u64) -> Vec<u64> {
     );
     sim.start();
     sim.run_to_quiescence(u64::MAX);
-    let OpenLoop { latencies, .. } = match sim.actor(client) {
-        c => OpenLoop {
-            server: c.server,
-            interval_ns: 0,
-            remaining: 0,
-            sent_at: Default::default(),
-            latencies: c.latencies.clone(),
-            seq: 0,
-        },
-    };
-    latencies
+    sim.actor(client).latencies.clone()
 }
 
 #[test]
@@ -138,7 +128,10 @@ fn overloaded_server_queues_linearly() {
     // bound, so the *last* request waits roughly n × 25µs.
     let lats = run_open_loop(25_000, 1, 200);
     let max = *lats.iter().max().unwrap();
-    assert!(max > 4_000_000, "saturated queue must build delay, max {max}");
+    assert!(
+        max > 4_000_000,
+        "saturated queue must build delay, max {max}"
+    );
     // And latencies grow monotonically-ish: last > 10x first.
     assert!(lats.last().unwrap() > &(lats[0] * 10));
 }

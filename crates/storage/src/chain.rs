@@ -28,7 +28,9 @@ pub struct Chain<M> {
 
 impl<M> Default for Chain<M> {
     fn default() -> Self {
-        Chain { versions: Vec::new() }
+        Chain {
+            versions: Vec::new(),
+        }
     }
 }
 

@@ -1,7 +1,7 @@
 //! The per-partition multi-version store.
 
 use crate::chain::{Chain, Version};
-use contrarian_types::Key;
+use contrarian_types::{Key, VersionId};
 use std::collections::HashMap;
 
 /// A partition's share of the data set: key → version chain.
@@ -17,7 +17,10 @@ pub struct MvStore<M> {
 
 impl<M> Default for MvStore<M> {
     fn default() -> Self {
-        MvStore { map: HashMap::new(), n_versions: 0 }
+        MvStore {
+            map: HashMap::new(),
+            n_versions: 0,
+        }
     }
 }
 
@@ -83,6 +86,15 @@ impl<M> MvStore<M> {
     pub fn iter(&self) -> impl Iterator<Item = (&Key, &Chain<M>)> {
         self.map.iter()
     }
+
+    /// `(key, head version id)` for every materialized key, in arbitrary
+    /// order (the shape convergence checks compare).
+    pub fn heads(&self) -> Vec<(Key, VersionId)> {
+        self.map
+            .iter()
+            .filter_map(|(k, c)| c.head().map(|h| (*k, h.vid)))
+            .collect()
+    }
 }
 
 #[cfg(test)]
@@ -91,7 +103,11 @@ mod tests {
     use contrarian_types::{DcId, Value, VersionId};
 
     fn ver(ts: u64) -> Version<u32> {
-        Version::new(VersionId::new(ts, DcId(0)), Value::from_static(b"v"), ts as u32)
+        Version::new(
+            VersionId::new(ts, DcId(0)),
+            Value::from_static(b"v"),
+            ts as u32,
+        )
     }
 
     #[test]

@@ -98,19 +98,28 @@ impl<A: Actor + Send + 'static> LiveCluster<A> {
 
         let mut threads = Vec::new();
         let mut addrs = Vec::new();
-        for ((addr, actor), (_, rx)) in nodes.into_iter().zip(rxs.into_iter()) {
+        for ((addr, actor), (_, rx)) in nodes.into_iter().zip(rxs) {
             addrs.push(addr);
             let shared = shared.clone();
-            let node_seed = seed ^ (addr.dc.0 as u64) << 32
+            let node_seed = seed
+                ^ (addr.dc.0 as u64) << 32
                 ^ (addr.idx as u64) << 8
                 ^ matches!(addr.kind, contrarian_types::NodeKind::Client) as u64;
-            threads.push(std::thread::spawn(move || run_node(addr, actor, rx, shared, node_seed)));
+            threads.push(std::thread::spawn(move || {
+                run_node(addr, actor, rx, shared, node_seed)
+            }));
         }
-        LiveCluster { shared, threads, addrs }
+        LiveCluster {
+            shared,
+            threads,
+            addrs,
+        }
     }
 
     pub fn handle(&self) -> LiveHandle<A::Msg> {
-        LiveHandle { shared: self.shared.clone() }
+        LiveHandle {
+            shared: self.shared.clone(),
+        }
     }
 
     pub fn addrs(&self) -> &[Addr] {
@@ -120,7 +129,10 @@ impl<A: Actor + Send + 'static> LiveCluster<A> {
     /// Sends an operation to a client node.
     pub fn inject_op(&self, client: Addr, op: Op) {
         if let Some(tx) = self.shared.routes.get(&client) {
-            let _ = tx.send(Input::Msg { from: client, msg: A::inject(op) });
+            let _ = tx.send(Input::Msg {
+                from: client,
+                msg: A::inject(op),
+            });
         }
     }
 
@@ -160,10 +172,10 @@ fn run_node<A: Actor>(
     let mut timer_seq = 0u64;
 
     let fire = |actor: &mut A,
-                    rng: &mut SmallRng,
-                    timers: &mut BinaryHeap<std::cmp::Reverse<(Instant, u64, u16, u64)>>,
-                    timer_seq: &mut u64,
-                    ev: Event<A::Msg>| {
+                rng: &mut SmallRng,
+                timers: &mut BinaryHeap<std::cmp::Reverse<(Instant, u64, u16, u64)>>,
+                timer_seq: &mut u64,
+                ev: Event<A::Msg>| {
         let mut local = Metrics::new();
         local.enabled = shared.metrics.lock().enabled;
         let mut ctx = LiveCtx {
@@ -179,7 +191,12 @@ fn run_node<A: Actor>(
             Event::Msg { from, msg } => actor.on_message(&mut ctx, from, msg),
             Event::Timer(kind) => actor.on_timer(&mut ctx, kind),
         }
-        let LiveCtx { out, new_timers, local_metrics, .. } = ctx;
+        let LiveCtx {
+            out,
+            new_timers,
+            local_metrics,
+            ..
+        } = ctx;
         if local_metrics.ops_done() > 0 || !local_metrics.counters.is_empty() {
             shared.metrics.lock().absorb(&local_metrics);
         }
@@ -195,7 +212,13 @@ fn run_node<A: Actor>(
         }
     };
 
-    fire(&mut actor, &mut rng, &mut timers, &mut timer_seq, Event::Start);
+    fire(
+        &mut actor,
+        &mut rng,
+        &mut timers,
+        &mut timer_seq,
+        Event::Start,
+    );
 
     loop {
         // Fire due timers.
@@ -219,9 +242,13 @@ fn run_node<A: Actor>(
             .map(|std::cmp::Reverse((d, ..))| d.saturating_duration_since(Instant::now()))
             .unwrap_or(Duration::from_millis(5));
         match rx.recv_timeout(wait.min(Duration::from_millis(5))) {
-            Ok(Input::Msg { from, msg }) => {
-                fire(&mut actor, &mut rng, &mut timers, &mut timer_seq, Event::Msg { from, msg })
-            }
+            Ok(Input::Msg { from, msg }) => fire(
+                &mut actor,
+                &mut rng,
+                &mut timers,
+                &mut timer_seq,
+                Event::Msg { from, msg },
+            ),
             Ok(Input::Stop) => break,
             Err(crossbeam::channel::RecvTimeoutError::Timeout) => {}
             Err(crossbeam::channel::RecvTimeoutError::Disconnected) => break,

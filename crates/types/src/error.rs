@@ -34,6 +34,8 @@ mod tests {
     #[test]
     fn display_is_human_readable() {
         assert_eq!(Error::Timeout.to_string(), "operation timed out");
-        assert!(Error::InvalidArgument("empty key set").to_string().contains("empty"));
+        assert!(Error::InvalidArgument("empty key set")
+            .to_string()
+            .contains("empty"));
     }
 }

@@ -112,12 +112,20 @@ pub struct Addr {
 impl Addr {
     #[inline]
     pub fn server(dc: DcId, partition: PartitionId) -> Self {
-        Addr { dc, kind: NodeKind::Server, idx: partition.0 }
+        Addr {
+            dc,
+            kind: NodeKind::Server,
+            idx: partition.0,
+        }
     }
 
     #[inline]
     pub fn client(dc: DcId, idx: u16) -> Self {
-        Addr { dc, kind: NodeKind::Client, idx }
+        Addr {
+            dc,
+            kind: NodeKind::Client,
+            idx,
+        }
     }
 
     #[inline]
@@ -195,6 +203,9 @@ mod tests {
     #[test]
     fn display_forms_are_stable() {
         assert_eq!(Addr::server(DcId(0), PartitionId(3)).to_string(), "dc0/p3");
-        assert_eq!(TxId::new(ClientId::new(DcId(1), 2), 7).to_string(), "tc1.2#7");
+        assert_eq!(
+            TxId::new(ClientId::new(DcId(1), 2), 7).to_string(),
+            "tc1.2#7"
+        );
     }
 }

@@ -30,7 +30,10 @@ impl VersionId {
     /// preloaded initial version of every key as a shared timestamp-0
     /// version served lazily (no memory per key). It has no causal
     /// dependencies and belongs to every snapshot.
-    pub const GENESIS: VersionId = VersionId { ts: 0, origin: DcId(0) };
+    pub const GENESIS: VersionId = VersionId {
+        ts: 0,
+        origin: DcId(0),
+    };
 
     #[inline]
     pub fn is_genesis(&self) -> bool {

@@ -44,7 +44,14 @@ impl ClientDriver {
         let put_prob = spec.put_probability();
         let value = Bytes::from(vec![0xABu8; spec.value_size]);
         let scratch = (0..n_partitions).collect();
-        ClientDriver { spec, zipf, n_partitions, value, put_prob, scratch }
+        ClientDriver {
+            spec,
+            zipf,
+            n_partitions,
+            value,
+            put_prob,
+            scratch,
+        }
     }
 
     pub fn spec(&self) -> &WorkloadSpec {

@@ -24,7 +24,12 @@ impl Default for WorkloadSpec {
 impl WorkloadSpec {
     /// The paper's default workload.
     pub fn paper_default() -> Self {
-        WorkloadSpec { write_ratio: 0.05, rot_size: 4, value_size: 8, zipf_theta: 0.99 }
+        WorkloadSpec {
+            write_ratio: 0.05,
+            rot_size: 4,
+            value_size: 8,
+            zipf_theta: 0.99,
+        }
     }
 
     pub fn with_write_ratio(mut self, w: f64) -> Self {
@@ -60,7 +65,12 @@ impl WorkloadSpec {
 
     /// The full Table 1 parameter grid (for documentation binaries).
     pub fn table1_grid() -> (Vec<f64>, Vec<u16>, Vec<usize>, Vec<f64>) {
-        (vec![0.01, 0.05, 0.1], vec![4, 8, 24], vec![8, 128, 2048], vec![0.99, 0.8, 0.0])
+        (
+            vec![0.01, 0.05, 0.1],
+            vec![4, 8, 24],
+            vec![8, 128, 2048],
+            vec![0.99, 0.8, 0.0],
+        )
     }
 }
 
@@ -82,7 +92,9 @@ mod tests {
         // For any (w, p): q/(q + (1-q)p) must equal w.
         for w in [0.01, 0.05, 0.1, 0.5] {
             for p in [1u16, 4, 8, 24] {
-                let s = WorkloadSpec::paper_default().with_write_ratio(w).with_rot_size(p);
+                let s = WorkloadSpec::paper_default()
+                    .with_write_ratio(w)
+                    .with_rot_size(p);
                 let q = s.put_probability();
                 let realized = q / (q + (1.0 - q) * p as f64);
                 assert!((realized - w).abs() < 1e-12, "w={w} p={p}");
@@ -99,7 +111,9 @@ mod tests {
 
     #[test]
     fn builders() {
-        let s = WorkloadSpec::paper_default().with_value_size(2048).with_zipf(0.8);
+        let s = WorkloadSpec::paper_default()
+            .with_value_size(2048)
+            .with_zipf(0.8);
         assert_eq!(s.value_size, 2048);
         assert_eq!(s.zipf_theta, 0.8);
     }

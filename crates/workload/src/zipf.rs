@@ -23,13 +23,25 @@ impl Zipf {
         assert!(n > 0, "zipf needs a non-empty domain");
         assert!((0.0..1.0).contains(&theta), "theta must be in [0, 1)");
         if theta == 0.0 {
-            return Zipf { n, theta, alpha: 0.0, zetan: 0.0, eta: 0.0 };
+            return Zipf {
+                n,
+                theta,
+                alpha: 0.0,
+                zetan: 0.0,
+                eta: 0.0,
+            };
         }
         let zetan = Self::zeta(n, theta);
         let zeta2 = Self::zeta(2.min(n), theta);
         let alpha = 1.0 / (1.0 - theta);
         let eta = (1.0 - (2.0 / n as f64).powf(1.0 - theta)) / (1.0 - zeta2 / zetan);
-        Zipf { n, theta, alpha, zetan, eta }
+        Zipf {
+            n,
+            theta,
+            alpha,
+            zetan,
+            eta,
+        }
     }
 
     fn zeta(n: u64, theta: f64) -> f64 {

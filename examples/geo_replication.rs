@@ -10,7 +10,8 @@
 //!   last-writer-wins heads;
 //! * remote visibility lag — how far each DC's GSS trails behind.
 
-use contrarian::core_protocol::build::{build_cluster, ClusterParams};
+use contrarian::core_protocol::Contrarian;
+use contrarian::protocol::{build_cluster, ClusterParams};
 use contrarian::sim::cost::CostModel;
 use contrarian::types::{Addr, ClusterConfig, DcId, PartitionId};
 use contrarian::workload::WorkloadSpec;
@@ -20,11 +21,13 @@ fn main() {
     let params = ClusterParams {
         cfg: cfg.clone(),
         cost: CostModel::functional(),
-        workload: WorkloadSpec::paper_default().with_rot_size(2).with_write_ratio(0.2),
+        workload: WorkloadSpec::paper_default()
+            .with_rot_size(2)
+            .with_write_ratio(0.2),
         clients_per_dc: 4,
         seed: 2026,
     };
-    let mut sim = build_cluster(&params);
+    let mut sim = build_cluster::<Contrarian>(&params);
     sim.start();
     sim.metrics_mut().enabled = true;
 
@@ -51,7 +54,10 @@ fn main() {
     for p in 0..4u16 {
         let s0 = sim.actor(Addr::server(DcId(0), PartitionId(p)));
         let s1 = sim.actor(Addr::server(DcId(1), PartitionId(p)));
-        let (a, b) = (s0.as_server().unwrap().store(), s1.as_server().unwrap().store());
+        let (a, b) = (
+            s0.as_server().unwrap().store(),
+            s1.as_server().unwrap().store(),
+        );
         for (k, chain) in a.iter() {
             let ha = chain.head().unwrap().vid;
             let hb = b.latest(*k).expect("replica missing key").vid;

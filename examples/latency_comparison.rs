@@ -48,7 +48,14 @@ fn main() {
     println!(
         "{}",
         table::render(
-            &["system", "clients", "tput Kops/s", "ROT avg ms", "ROT p99 ms", "PUT avg ms"],
+            &[
+                "system",
+                "clients",
+                "tput Kops/s",
+                "ROT avg ms",
+                "ROT p99 ms",
+                "PUT avg ms"
+            ],
             &rows
         )
     );

@@ -8,32 +8,24 @@
 //! This is the non-simulated deployment path: the run is checked for causal
 //! consistency afterwards with the same checker used for simulated runs.
 
-use contrarian::core_protocol::{Client, Node, Server};
-use contrarian::clock::PhysicalClockModel;
+use contrarian::core_protocol::Contrarian;
 use contrarian::harness::check_causal;
+use contrarian::protocol::build_live_nodes;
 use contrarian::transport::LiveCluster;
-use contrarian::types::{Addr, ClusterConfig, DcId, PartitionId};
-use contrarian::workload::{ClientDriver, OpSource, WorkloadSpec, Zipf};
-use std::sync::Arc;
+use contrarian::types::ClusterConfig;
+use contrarian::workload::WorkloadSpec;
 use std::time::Duration;
 
 fn main() {
-    let cfg = ClusterConfig::small();
+    let mut cfg = ClusterConfig::small();
+    cfg.clock_skew_us = 0; // wall-clock runs don't simulate NTP skew
     let workload = WorkloadSpec::paper_default().with_rot_size(2);
-    let zipf = Arc::new(Zipf::new(cfg.keys_per_partition, workload.zipf_theta));
+    let nodes = build_live_nodes::<Contrarian>(&cfg, &workload, 6, 7);
 
-    let mut nodes = Vec::new();
-    for p in 0..cfg.n_partitions {
-        let addr = Addr::server(DcId(0), PartitionId(p));
-        nodes.push((addr, Node::Server(Server::new(addr, cfg.clone(), PhysicalClockModel::perfect()))));
-    }
-    for c in 0..6u16 {
-        let addr = Addr::client(DcId(0), c);
-        let driver = ClientDriver::new(workload.clone(), zipf.clone(), cfg.n_partitions);
-        nodes.push((addr, Node::Client(Client::new(addr, cfg.clone(), OpSource::closed(driver)))));
-    }
-
-    println!("starting {} threads (4 servers + 6 closed-loop clients)…", nodes.len());
+    println!(
+        "starting {} threads (4 servers + 6 closed-loop clients)…",
+        nodes.len()
+    );
     let cluster = LiveCluster::start(nodes, /*recording=*/ true, 7);
     std::thread::sleep(Duration::from_millis(400));
     cluster.stop_issuing();

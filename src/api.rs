@@ -7,10 +7,11 @@
 //! simulator directly. For a real multi-threaded deployment of the same
 //! state machines see [`contrarian_transport`].
 
-use contrarian_core::node::Node;
-use contrarian_core::build::build_interactive_cluster;
+use contrarian_core::{Contrarian, Node};
+use contrarian_protocol::build_interactive_cluster;
 use contrarian_sim::sim::Sim;
 use contrarian_types::{ClusterConfig, Error, HistoryEvent, Key, Result, Value};
+use std::collections::{HashMap, VecDeque};
 
 /// An embedded causally consistent store backed by a simulated Contrarian
 /// cluster with one interactive client.
@@ -26,8 +27,15 @@ pub struct CausalStore {
 impl CausalStore {
     /// Starts a cluster with the given configuration.
     pub fn open(cfg: ClusterConfig) -> CausalStore {
-        let (sim, client) = build_interactive_cluster(&cfg, 0xC0FFEE);
-        CausalStore { sim, client, history_cursor: 0, put_seq: 0, rot_seq: 0, down: false }
+        let (sim, client) = build_interactive_cluster::<Contrarian>(&cfg, 0xC0FFEE);
+        CausalStore {
+            sim,
+            client,
+            history_cursor: 0,
+            put_seq: 0,
+            rot_seq: 0,
+            down: false,
+        }
     }
 
     /// Writes a new version of `key`, returning once the PUT completed.
@@ -37,7 +45,8 @@ impl CausalStore {
         }
         let seq = self.put_seq;
         self.put_seq += 1;
-        self.sim.inject_op(self.client, contrarian_types::Op::Put(key, value));
+        self.sim
+            .inject_op(self.client, contrarian_types::Op::Put(key, value));
         self.wait_for(|ev| matches!(ev, HistoryEvent::PutDone { seq: s, .. } if *s == seq))?;
         Ok(())
     }
@@ -54,18 +63,40 @@ impl CausalStore {
         }
         let seq = self.rot_seq;
         self.rot_seq += 1;
-        self.sim.inject_op(self.client, contrarian_types::Op::Rot(keys.to_vec()));
-        let ev = self.wait_for(
-            |ev| matches!(ev, HistoryEvent::RotDone { tx, .. } if tx.seq == seq),
-        )?;
+        self.sim
+            .inject_op(self.client, contrarian_types::Op::Rot(keys.to_vec()));
+        let ev =
+            self.wait_for(|ev| matches!(ev, HistoryEvent::RotDone { tx, .. } if tx.seq == seq))?;
         if let HistoryEvent::RotDone { pairs, values, .. } = ev {
-            // Responses arrive grouped by partition; restore request order.
+            // Responses arrive grouped by partition; restore request order
+            // with a key→pending-slot index built once (O(n + m) instead of
+            // the old O(n·m) scan, which also silently aliased duplicate
+            // request keys to the first response only).
+            let mut slots: HashMap<Key, VecDeque<usize>> = HashMap::with_capacity(keys.len());
+            for (i, k) in keys.iter().enumerate() {
+                slots.entry(*k).or_default().push_back(i);
+            }
             let mut out = vec![None; keys.len()];
-            for (i, want) in keys.iter().enumerate() {
-                for (j, (k, _)) in pairs.iter().enumerate() {
-                    if k == want {
+            let mut first_response: HashMap<Key, usize> = HashMap::new();
+            for (j, (k, _)) in pairs.iter().enumerate() {
+                first_response.entry(*k).or_insert(j);
+                // Each response occurrence fills the next pending slot of
+                // its key, so duplicated request keys each get an answer.
+                if let Some(q) = slots.get_mut(k) {
+                    if let Some(i) = q.pop_front() {
                         out[i] = values[j].clone();
-                        break;
+                    }
+                }
+            }
+            // A backend that deduplicates reads answers each key once;
+            // remaining duplicate slots alias that key's single response.
+            for (k, q) in slots {
+                if q.is_empty() {
+                    continue;
+                }
+                if let Some(&j) = first_response.get(&k) {
+                    for i in q {
+                        out[i] = values[j].clone();
                     }
                 }
             }
@@ -96,9 +127,9 @@ impl CausalStore {
         while self.sim.now() < deadline {
             {
                 let hist = self.sim.history();
-                for i in self.history_cursor..hist.len() {
-                    if pred(&hist[i]) {
-                        let ev = hist[i].clone();
+                for (i, ev) in hist.iter().enumerate().skip(self.history_cursor) {
+                    if pred(ev) {
+                        let ev = ev.clone();
                         self.history_cursor = i + 1;
                         return Ok(ev);
                     }
@@ -140,6 +171,29 @@ mod tests {
     }
 
     #[test]
+    fn duplicate_rot_keys_each_get_the_value() {
+        let mut s = CausalStore::open(ClusterConfig::small());
+        s.put(Key(0), Value::from_static(b"x0")).unwrap();
+        s.put(Key(1), Value::from_static(b"y0")).unwrap();
+        let snap = s.rot(&[Key(0), Key(1), Key(0), Key(0)]).unwrap();
+        assert_eq!(snap[0].as_deref(), Some(&b"x0"[..]));
+        assert_eq!(snap[1].as_deref(), Some(&b"y0"[..]));
+        assert_eq!(
+            snap[2].as_deref(),
+            Some(&b"x0"[..]),
+            "duplicate key slot must be filled"
+        );
+        assert_eq!(snap[3].as_deref(), Some(&b"x0"[..]));
+    }
+
+    #[test]
+    fn duplicate_rot_of_missing_key_stays_bottom() {
+        let mut s = CausalStore::open(ClusterConfig::small());
+        let snap = s.rot(&[Key(9), Key(9)]).unwrap();
+        assert_eq!(snap, vec![None, None]);
+    }
+
+    #[test]
     fn empty_rot_is_rejected() {
         let mut s = CausalStore::open(ClusterConfig::small());
         assert!(matches!(s.rot(&[]), Err(Error::InvalidArgument(_))));
@@ -149,7 +203,10 @@ mod tests {
     fn shutdown_stops_service() {
         let mut s = CausalStore::open(ClusterConfig::small());
         s.shutdown();
-        assert!(matches!(s.put(Key(1), Value::new()), Err(Error::ClusterDown)));
+        assert!(matches!(
+            s.put(Key(1), Value::new()),
+            Err(Error::ClusterDown)
+        ));
     }
 
     #[test]

@@ -6,21 +6,57 @@
 //! The workspace implements three causally consistent, partitioned,
 //! multi-master geo-replicated key-value store protocols on one code base:
 //!
-//! * **Contrarian** ([`core`]) — the paper's contribution: nonblocking,
-//!   one-version ROTs in 1½ (or 2) rounds, built on hybrid logical clocks
-//!   and a stabilization protocol, with *no* extra overhead on PUTs.
+//! * **Contrarian** ([`core_protocol`]) — the paper's contribution:
+//!   nonblocking, one-version ROTs in 1½ (or 2) rounds, built on hybrid
+//!   logical clocks and a stabilization protocol, with *no* extra overhead
+//!   on PUTs.
 //! * **CC-LO** ([`cclo`]) — the COPS-SNOW "latency-optimal" design:
 //!   one-round, one-version, nonblocking ROTs paid for by a *readers check*
 //!   on every PUT.
 //! * **Cure** ([`cure`]) — the classic coordinator design on physical
 //!   clocks: two rounds and blocking reads.
 //!
+//! ## Crate layout
+//!
+//! The backends share one **protocol-runtime kernel**, [`protocol`]
+//! (`contrarian-protocol`): the `ProtocolServer`/`ProtocolClient` trait
+//! pair, the generic `Node` actor, the GSS `Stabilizer`, the periodic
+//! `Timers` registry, the `Parked` deferred-request queue, the generic
+//! cluster builders, and a conformance suite that runs identical
+//! convergence + session checks against every backend. A protocol crate
+//! contains *only* its state machines and message/metadata types; adding a
+//! fourth backend is roughly one file (implement the traits plus a
+//! `ProtocolSpec`).
+//!
+//! Underneath sit the building blocks: [`types`] (ids, keys, vectors,
+//! config, wire sizes), [`clock`] (HLC / Lamport / simulated physical
+//! clocks), [`storage`] (multi-version chains), [`workload`] (zipfian
+//! closed-loop generation), [`sim`] (the deterministic discrete-event
+//! cluster simulator), and [`transport`] (the live multi-threaded
+//! in-process deployment of the same state machines). [`harness`]
+//! regenerates every figure and table of the paper; `contrarian-bench`
+//! holds the Criterion benchmarks (see `BENCH_baseline.json` for the
+//! checked-in baseline).
+//!
 //! Protocols are deterministic state machines driven either by the
-//! discrete-event cluster simulator ([`sim`]) — used to regenerate every
-//! figure and table of the paper — or by a live multi-threaded transport
-//! ([`transport`]) for real concurrent execution.
+//! simulator — used to regenerate the paper's results — or by the live
+//! transport for real concurrent execution; both speak the same `ActorCtx`
+//! interface, so protocol code never knows which runtime is driving it.
+//!
+//! ## Building
+//!
+//! The workspace builds fully offline: external dependencies (`rand`,
+//! `bytes`, `crossbeam`, `parking_lot`, `proptest`, `criterion`) resolve to
+//! minimal in-repo shims under `crates/shims/`; swap the
+//! `[workspace.dependencies]` path entries for registry versions to use the
+//! real crates. `cargo build --release && cargo test -q` builds and tests
+//! every crate; `cargo run -p contrarian-harness --bin all` regenerates the
+//! paper's tables and figures (`CONTRARIAN_SCALE=smoke|quick|paper`).
 //!
 //! ## Quickstart
+//!
+//! The embedded facade runs a single-DC Contrarian cluster deterministically
+//! in process:
 //!
 //! ```
 //! use contrarian::api::CausalStore;
@@ -33,12 +69,35 @@
 //! assert_eq!(snap[0].as_deref(), Some(&b"hello"[..]));
 //! store.shutdown();
 //! ```
+//!
+//! Standing up a full simulated cluster for any backend goes through the
+//! kernel's generic builder:
+//!
+//! ```
+//! use contrarian::protocol::{build_cluster, ClusterParams};
+//! use contrarian::core_protocol::Contrarian;
+//! use contrarian::sim::cost::CostModel;
+//! use contrarian::types::ClusterConfig;
+//! use contrarian::workload::WorkloadSpec;
+//!
+//! let params = ClusterParams {
+//!     cfg: ClusterConfig::small(),
+//!     cost: CostModel::functional(),
+//!     workload: WorkloadSpec::paper_default().with_rot_size(2),
+//!     clients_per_dc: 4,
+//!     seed: 42,
+//! };
+//! let mut sim = build_cluster::<Contrarian>(&params);
+//! sim.start();
+//! sim.run_until(10_000_000); // 10 virtual milliseconds
+//! ```
 
 pub use contrarian_cclo as cclo;
 pub use contrarian_clock as clock;
 pub use contrarian_core as core_protocol;
 pub use contrarian_cure as cure;
 pub use contrarian_harness as harness;
+pub use contrarian_protocol as protocol;
 pub use contrarian_sim as sim;
 pub use contrarian_storage as storage;
 pub use contrarian_transport as transport;

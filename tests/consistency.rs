@@ -1,10 +1,11 @@
 //! Cross-crate integration tests: every protocol, checked for causal
 //! consistency, session guarantees, convergence and eventual visibility.
 
-use contrarian::harness::experiment::{run_experiment, ExperimentConfig, Protocol};
 use contrarian::harness::check_causal;
+use contrarian::harness::experiment::{run_experiment, ExperimentConfig, Protocol};
+use contrarian::protocol::{build_cluster, ClusterParams};
 use contrarian::sim::cost::CostModel;
-use contrarian::types::{Addr, ClusterConfig, DcId, PartitionId, RotMode};
+use contrarian::types::{Addr, ClusterConfig, DcId, PartitionId};
 use contrarian::workload::WorkloadSpec;
 
 fn functional(protocol: Protocol, dcs: u8, seed: u64) -> ExperimentConfig {
@@ -16,7 +17,11 @@ fn functional(protocol: Protocol, dcs: u8, seed: u64) -> ExperimentConfig {
 
 fn assert_causal(cfg: &ExperimentConfig) {
     let r = run_experiment(cfg);
-    assert!(r.history.len() > 100, "{}: too little history", cfg.protocol.label());
+    assert!(
+        r.history.len() > 100,
+        "{}: too little history",
+        cfg.protocol.label()
+    );
     let report = check_causal(&r.history);
     assert!(
         report.ok(),
@@ -104,14 +109,16 @@ fn all_to_all_stabilization_stays_causal() {
 /// replicas of every key hold the same LWW winner.
 #[test]
 fn contrarian_replicas_converge() {
-    let params = contrarian::core_protocol::build::ClusterParams {
+    let params = ClusterParams {
         cfg: ClusterConfig::small().with_dcs(3),
         cost: CostModel::functional(),
-        workload: WorkloadSpec::paper_default().with_rot_size(2).with_write_ratio(0.3),
+        workload: WorkloadSpec::paper_default()
+            .with_rot_size(2)
+            .with_write_ratio(0.3),
         clients_per_dc: 3,
         seed: 99,
     };
-    let mut sim = contrarian::core_protocol::build::build_cluster(&params);
+    let mut sim = build_cluster::<contrarian::core_protocol::Contrarian>(&params);
     sim.start();
     sim.run_until(50_000_000);
     sim.set_stopped(true);
@@ -121,8 +128,10 @@ fn contrarian_replicas_converge() {
             .map(|dc| {
                 let node = sim.actor(Addr::server(DcId(dc), PartitionId(p)));
                 let store = node.as_server().unwrap().store();
-                let mut keys: Vec<_> =
-                    store.iter().map(|(k, c)| (*k, c.head().unwrap().vid)).collect();
+                let mut keys: Vec<_> = store
+                    .iter()
+                    .map(|(k, c)| (*k, c.head().unwrap().vid))
+                    .collect();
                 keys.sort_unstable();
                 keys
             })
@@ -138,13 +147,6 @@ fn contrarian_replicas_converge() {
 fn contrarian_writes_become_visible_remotely() {
     use contrarian::types::{Key, Op};
     let cfg = ClusterConfig::small().with_dcs(2);
-    let params = contrarian::core_protocol::build::ClusterParams {
-        cfg: cfg.clone(),
-        cost: CostModel::functional(),
-        workload: WorkloadSpec::paper_default().with_rot_size(2),
-        clients_per_dc: 1,
-        seed: 5,
-    };
     // Interactive-ish: build a cluster whose clients idle (queue sources),
     // inject a PUT in DC0, then poll a ROT in DC1.
     let mut sim = contrarian::sim::sim::Sim::new(CostModel::functional(), 5);
@@ -176,7 +178,6 @@ fn contrarian_writes_become_visible_remotely() {
     }
     sim.set_recording(true);
     sim.start();
-    let _ = &params;
 
     let writer = Addr::client(DcId(0), 0);
     let reader = Addr::client(DcId(1), 0);

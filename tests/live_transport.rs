@@ -4,79 +4,41 @@
 
 use contrarian::clock::PhysicalClockModel;
 use contrarian::harness::check_causal;
+use contrarian::protocol::build_live_nodes;
 use contrarian::transport::LiveCluster;
 use contrarian::types::{Addr, ClusterConfig, DcId, Key, Op, PartitionId};
-use contrarian::workload::{ClientDriver, OpSource, WorkloadSpec, Zipf};
-use std::sync::Arc;
+use contrarian::workload::{OpSource, WorkloadSpec};
 use std::time::Duration;
 
-fn small_workload() -> (ClusterConfig, WorkloadSpec, Arc<Zipf>) {
-    let cfg = ClusterConfig::small();
-    let wl = WorkloadSpec::paper_default().with_rot_size(2);
-    let zipf = Arc::new(Zipf::new(cfg.keys_per_partition, wl.zipf_theta));
-    (cfg, wl, zipf)
+fn small_workload() -> (ClusterConfig, WorkloadSpec) {
+    (
+        ClusterConfig::small(),
+        WorkloadSpec::paper_default().with_rot_size(2),
+    )
 }
 
 #[test]
 fn live_contrarian_cluster_is_causally_consistent() {
-    let (cfg, wl, zipf) = small_workload();
-    let mut nodes = Vec::new();
-    for p in 0..cfg.n_partitions {
-        let addr = Addr::server(DcId(0), PartitionId(p));
-        nodes.push((
-            addr,
-            contrarian::core_protocol::Node::Server(contrarian::core_protocol::Server::new(
-                addr,
-                cfg.clone(),
-                PhysicalClockModel::perfect(),
-            )),
-        ));
-    }
-    for c in 0..4u16 {
-        let addr = Addr::client(DcId(0), c);
-        let driver = ClientDriver::new(wl.clone(), zipf.clone(), cfg.n_partitions);
-        nodes.push((
-            addr,
-            contrarian::core_protocol::Node::Client(contrarian::core_protocol::Client::new(
-                addr,
-                cfg.clone(),
-                OpSource::closed(driver),
-            )),
-        ));
-    }
+    let (cfg, wl) = small_workload();
+    let nodes = build_live_nodes::<contrarian::core_protocol::Contrarian>(&cfg, &wl, 4, 11);
     let cluster = LiveCluster::start(nodes, true, 11);
     std::thread::sleep(Duration::from_millis(300));
     cluster.stop_issuing();
     std::thread::sleep(Duration::from_millis(100));
     let (_, _, history) = cluster.shutdown();
-    assert!(history.len() > 50, "little progress on threads: {}", history.len());
+    assert!(
+        history.len() > 50,
+        "little progress on threads: {}",
+        history.len()
+    );
     let report = check_causal(&history);
     assert!(report.ok(), "{:?}", report.violations.first());
 }
 
 #[test]
 fn live_cclo_cluster_is_causally_consistent() {
-    let (cfg, wl, zipf) = small_workload();
-    let mut nodes = Vec::new();
-    for p in 0..cfg.n_partitions {
-        let addr = Addr::server(DcId(0), PartitionId(p));
-        nodes.push((
-            addr,
-            contrarian::cclo::Node::Server(contrarian::cclo::Server::new(addr, cfg.clone())),
-        ));
-    }
-    for c in 0..4u16 {
-        let addr = Addr::client(DcId(0), c);
-        let driver = ClientDriver::new(wl.clone(), zipf.clone(), cfg.n_partitions);
-        nodes.push((
-            addr,
-            contrarian::cclo::Node::Client(contrarian::cclo::Client::new(
-                addr,
-                cfg.clone(),
-                OpSource::closed(driver),
-            )),
-        ));
-    }
+    let (cfg, wl) = small_workload();
+    let nodes = build_live_nodes::<contrarian::cclo::CcLo>(&cfg, &wl, 4, 13);
     let cluster = LiveCluster::start(nodes, true, 13);
     std::thread::sleep(Duration::from_millis(300));
     cluster.stop_issuing();
@@ -89,7 +51,7 @@ fn live_cclo_cluster_is_causally_consistent() {
 
 #[test]
 fn live_interactive_injection_round_trips() {
-    let (cfg, _wl, _zipf) = small_workload();
+    let (cfg, _wl) = small_workload();
     let mut nodes = Vec::new();
     for p in 0..cfg.n_partitions {
         let addr = Addr::server(DcId(0), PartitionId(p));

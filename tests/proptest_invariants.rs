@@ -10,7 +10,13 @@ use contrarian::sim::cost::CostModel;
 use contrarian::types::{ClusterConfig, DepVector, HistoryEvent, Key, VersionId};
 use proptest::prelude::*;
 
-fn functional_cfg(protocol: Protocol, seed: u64, dcs: u8, clients: u16, w: f64) -> ExperimentConfig {
+fn functional_cfg(
+    protocol: Protocol,
+    seed: u64,
+    dcs: u8,
+    clients: u16,
+    w: f64,
+) -> ExperimentConfig {
     let mut cfg = ExperimentConfig::functional(protocol);
     cfg.cluster = ClusterConfig::small().with_dcs(dcs);
     cfg.clients_per_dc = clients;
@@ -110,8 +116,8 @@ proptest! {
             if vid.is_genesis() {
                 continue;
             }
-            for i in j + 1..history.len() {
-                let HistoryEvent::RotDone { client: rc, pairs, .. } = &mut history[i] else {
+            for ev in history.iter_mut().skip(j + 1) {
+                let HistoryEvent::RotDone { client: rc, pairs, .. } = ev else {
                     continue;
                 };
                 if *rc != client {
@@ -140,8 +146,8 @@ proptest! {
     }
 }
 
-/// Zipf statistical sanity under proptest-chosen skews: top rank is always
-/// at least as likely as a mid rank.
+// Zipf statistical sanity under proptest-chosen skews: top rank is always
+// at least as likely as a mid rank.
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(8))]
     #[test]
@@ -159,6 +165,68 @@ proptest! {
             }
         }
         prop_assert!(hits0 >= hits500);
+    }
+}
+
+// Storage invariant: whatever the interleaving of inserts (including
+// duplicate ids from replication redelivery) and GC passes, a version chain
+// stays strictly ascending by version id, its head is the newest live
+// version, and GC with min_keep >= 1 never drops the head.
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn chain_insert_gc_keeps_ascending_vids(
+        ops in prop::collection::vec((0u8..8, 0u64..200, 0u8..3), 1..120)
+    ) {
+        use contrarian::storage::{Chain, Version};
+        use contrarian::types::{DcId, Value};
+
+        let mut chain: Chain<u8> = Chain::new();
+        for (kind, a, b) in ops {
+            if kind < 6 {
+                // Insert ts=a, origin=b (replication can interleave and
+                // redeliver, so out-of-order and duplicate ids are normal).
+                chain.insert(Version::new(VersionId::new(a, DcId(b)), Value::new(), b));
+            } else {
+                // GC at horizon a, always retaining the newest 1..=2.
+                let min_keep = 1 + (b as usize % 2);
+                let head_before = chain.head().map(|v| v.vid);
+                chain.gc(a, min_keep);
+                if let Some(h) = head_before {
+                    prop_assert_eq!(
+                        chain.head().map(|v| v.vid),
+                        Some(h),
+                        "GC with min_keep >= 1 must keep the head"
+                    );
+                }
+            }
+            // The ascending-vid invariant, re-checked after every step.
+            let vids: Vec<_> = chain.iter_desc().map(|v| v.vid).collect();
+            for w in vids.windows(2) {
+                prop_assert!(w[0] > w[1], "chain not strictly ascending: {:?}", vids);
+            }
+            // Head is the newest live version.
+            if let Some(h) = chain.head() {
+                prop_assert!(vids.iter().all(|v| *v <= h.vid));
+            }
+        }
+    }
+
+    #[test]
+    fn chain_reinsert_replaces_not_duplicates(
+        ts in 0u64..50,
+        metas in prop::collection::vec(0u8..250, 2..6)
+    ) {
+        use contrarian::storage::{Chain, Version};
+        use contrarian::types::{DcId, Value};
+
+        let mut chain: Chain<u8> = Chain::new();
+        for &m in &metas {
+            chain.insert(Version::new(VersionId::new(ts, DcId(0)), Value::new(), m));
+        }
+        prop_assert_eq!(chain.len(), 1, "idempotent redelivery must replace");
+        prop_assert_eq!(chain.head().unwrap().meta, *metas.last().unwrap());
     }
 }
 
