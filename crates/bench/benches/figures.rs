@@ -7,7 +7,7 @@
 use contrarian_bench::{bench_cluster, bench_scale};
 use contrarian_harness::experiment::{run_experiment, ExperimentConfig, Protocol};
 use contrarian_harness::theory;
-use contrarian_sim::cost::CostModel;
+use contrarian_runtime::cost::CostModel;
 use contrarian_workload::WorkloadSpec;
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
 

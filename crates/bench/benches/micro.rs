@@ -147,6 +147,126 @@ fn bench_reader_records(c: &mut Criterion) {
     g.finish();
 }
 
+/// Engine throughput at 8/32/128 partitions, calendar queue vs the
+/// heap-scheduler baseline it replaced. One iteration = a fixed number of
+/// engine steps over a synthetic geo-replicated echo flood: trivial
+/// handlers, calibrated network latencies, two DCs, so thousands of
+/// in-flight messages spread over a ~10 ms inter-DC span — the event
+/// population shape of a real 128-partition protocol run. ns/iter ÷
+/// `STEPS` is ns/event; the heap/calendar ratio at 128 partitions is the
+/// scheduler speedup.
+fn bench_sim_scale(c: &mut Criterion) {
+    use contrarian_runtime::actor::{Actor, ActorCtx, TimerKind};
+    use contrarian_runtime::cost::{CostModel, MsgClass, SimMessage};
+    use contrarian_sim::sched::SchedKind;
+    use contrarian_sim::sim::Sim;
+    use contrarian_types::{Addr, DcId, Op, PartitionId};
+
+    const STEPS: usize = 100_000;
+    const WINDOW: u32 = 96;
+    const DCS: u8 = 2;
+
+    #[derive(Clone)]
+    struct Ball;
+    impl SimMessage for Ball {
+        fn wire_size(&self) -> usize {
+            64
+        }
+        fn class(&self) -> MsgClass {
+            MsgClass::Data
+        }
+    }
+
+    /// Clients keep `WINDOW` echo requests in flight, round-robin over
+    /// every server of every DC (like replication traffic, most messages
+    /// spend ~10 ms on the inter-DC wire); servers bounce them straight
+    /// back.
+    struct Flood {
+        servers: u16,
+        next: u32,
+    }
+    impl Flood {
+        fn target(&mut self) -> Addr {
+            let t = self.next;
+            self.next = (self.next + 1) % (DCS as u32 * self.servers as u32);
+            Addr::server(
+                DcId((t / self.servers as u32) as u8),
+                PartitionId((t % self.servers as u32) as u16),
+            )
+        }
+    }
+    impl Actor for Flood {
+        type Msg = Ball;
+        fn on_start(&mut self, ctx: &mut dyn ActorCtx<Ball>) {
+            if !ctx.self_addr().is_server() {
+                for _ in 0..WINDOW {
+                    let to = self.target();
+                    ctx.send(to, Ball);
+                }
+            }
+        }
+        fn on_message(&mut self, ctx: &mut dyn ActorCtx<Ball>, from: Addr, msg: Ball) {
+            if ctx.self_addr().is_server() {
+                ctx.send(from, msg);
+            } else {
+                let to = self.target();
+                ctx.send(to, Ball);
+            }
+        }
+        fn on_timer(&mut self, _ctx: &mut dyn ActorCtx<Ball>, _kind: TimerKind) {}
+        fn inject(_op: Op) -> Ball {
+            Ball
+        }
+    }
+
+    let run = |partitions: u16, sched: SchedKind| {
+        let mut sim: Sim<Flood> = Sim::with_scheduler(CostModel::calibrated(), 7, sched);
+        for dc in 0..DCS {
+            for p in 0..partitions {
+                sim.add_server(
+                    Addr::server(DcId(dc), PartitionId(p)),
+                    Flood {
+                        servers: partitions,
+                        next: 0,
+                    },
+                    16,
+                );
+            }
+        }
+        for dc in 0..DCS {
+            for i in 0..2 * partitions {
+                sim.add_client(
+                    Addr::client(DcId(dc), i),
+                    Flood {
+                        servers: partitions,
+                        next: i as u32 % (DCS as u32 * partitions as u32),
+                    },
+                );
+            }
+        }
+        sim.start();
+        let mut steps = 0usize;
+        while steps < STEPS && sim.step() {
+            steps += 1;
+        }
+        assert_eq!(steps, STEPS, "flood must not drain");
+        sim.now()
+    };
+
+    let mut g = c.benchmark_group("sim_scale");
+    g.sample_size(10);
+    g.warm_up_time(std::time::Duration::from_millis(300));
+    g.measurement_time(std::time::Duration::from_secs(2));
+    for partitions in [8u16, 32, 128] {
+        for (label, sched) in [("calendar", SchedKind::Calendar), ("heap", SchedKind::Heap)] {
+            g.bench_with_input(BenchmarkId::new(label, partitions), &partitions, |b, &p| {
+                b.iter(|| black_box(run(p, sched)))
+            });
+        }
+    }
+    g.finish();
+}
+
 fn bench_checker(c: &mut Criterion) {
     // End-to-end functional run + causal check of the full history.
     use contrarian_harness::experiment::{run_experiment, ExperimentConfig, Protocol};
@@ -172,6 +292,7 @@ criterion_group!(
     bench_chain,
     bench_zipf,
     bench_reader_records,
+    bench_sim_scale,
     bench_checker
 );
 criterion_main!(micro);

@@ -3,7 +3,7 @@
 use crate::msg::{Dep, Msg};
 use contrarian_protocol::timers::{self, stagger_client_start};
 use contrarian_protocol::ProtocolClient;
-use contrarian_sim::actor::{ActorCtx, TimerKind};
+use contrarian_runtime::actor::{ActorCtx, TimerKind};
 use contrarian_types::{
     Addr, ClientId, ClusterConfig, HistoryEvent, Key, Op, PartitionId, TxId, Value, VersionId,
 };
@@ -259,7 +259,7 @@ impl ProtocolClient for Client {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use contrarian_sim::testkit::ScriptCtx;
+    use contrarian_runtime::testkit::ScriptCtx;
     use contrarian_types::DcId;
 
     fn client() -> (Client, ScriptCtx<Msg>) {

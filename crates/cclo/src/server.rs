@@ -5,7 +5,7 @@ use crate::records::{BlockRecord, ReaderEntry, ReaderSet};
 use crate::stats;
 use contrarian_clock::LogicalClock;
 use contrarian_protocol::{timers, Parked, ProtocolServer, Timers};
-use contrarian_sim::actor::{ActorCtx, TimerKind};
+use contrarian_runtime::actor::{ActorCtx, TimerKind};
 use contrarian_storage::{MvStore, Version};
 use contrarian_types::{Addr, ClusterConfig, Key, PartitionId, TxId, Value, VersionId};
 use std::collections::{BTreeMap, HashMap, HashSet};
@@ -670,7 +670,7 @@ impl ProtocolServer for Server {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use contrarian_sim::testkit::ScriptCtx;
+    use contrarian_runtime::testkit::ScriptCtx;
     use contrarian_types::{ClientId, DcId};
 
     fn addr(p: u16) -> Addr {

@@ -32,7 +32,7 @@ impl ProtocolSpec for CcLo {
 mod tests {
     use super::*;
     use contrarian_protocol::{build_cluster, ClusterParams};
-    use contrarian_sim::cost::CostModel;
+    use contrarian_runtime::cost::CostModel;
     use contrarian_types::{DcId, PartitionId};
     use contrarian_workload::WorkloadSpec;
 

@@ -3,7 +3,7 @@
 use crate::msg::Msg;
 use contrarian_protocol::timers::{self, stagger_client_start};
 use contrarian_protocol::ProtocolClient;
-use contrarian_sim::actor::{ActorCtx, TimerKind};
+use contrarian_runtime::actor::{ActorCtx, TimerKind};
 use contrarian_types::{
     Addr, ClientId, ClusterConfig, DepVector, HistoryEvent, Key, Op, PartitionId, RotMode, TxId,
     Value, VersionId,
@@ -305,7 +305,7 @@ impl ProtocolClient for Client {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use contrarian_sim::testkit::ScriptCtx;
+    use contrarian_runtime::testkit::ScriptCtx;
     use contrarian_types::DcId;
     use contrarian_workload::{ClientDriver, WorkloadSpec, Zipf};
     use std::sync::Arc;

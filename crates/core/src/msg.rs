@@ -1,7 +1,7 @@
 //! Contrarian protocol messages and their simulation cost accounting.
 
 use contrarian_protocol::ProtocolMsg;
-use contrarian_sim::cost::{CostModel, MsgClass, SimMessage};
+use contrarian_runtime::cost::{CostModel, MsgClass, SimMessage};
 use contrarian_types::wire;
 use contrarian_types::{Addr, DcId, DepVector, Key, Op, PartitionId, TxId, Value, VersionId};
 

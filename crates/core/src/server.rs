@@ -3,7 +3,7 @@
 use crate::msg::Msg;
 use contrarian_clock::{Hlc, PhysicalClockModel};
 use contrarian_protocol::{peer_replicas, timers, ProtocolServer, Stabilizer, Timers};
-use contrarian_sim::actor::{ActorCtx, TimerKind};
+use contrarian_runtime::actor::{ActorCtx, TimerKind};
 use contrarian_storage::{MvStore, Version};
 use contrarian_types::{Addr, ClusterConfig, DepVector, Key, TxId, VersionId};
 
@@ -330,7 +330,7 @@ fn ctx_read_cost(keys: usize) -> u64 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use contrarian_sim::testkit::ScriptCtx;
+    use contrarian_runtime::testkit::ScriptCtx;
     use contrarian_types::{ClientId, DcId, PartitionId, Value};
 
     fn server(dc: u8, p: u16, n_dcs: u8) -> Server {

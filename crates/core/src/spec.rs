@@ -35,7 +35,7 @@ impl ProtocolSpec for Contrarian {
 mod tests {
     use super::*;
     use contrarian_protocol::{build_cluster, ClusterParams};
-    use contrarian_sim::cost::CostModel;
+    use contrarian_runtime::cost::CostModel;
     use contrarian_types::Op;
     use contrarian_workload::WorkloadSpec;
 

@@ -5,8 +5,8 @@
 use contrarian_core::msg::Msg;
 use contrarian_core::{Client, Contrarian, Node};
 use contrarian_protocol::{build_cluster, ClusterParams, ProtocolClient};
-use contrarian_sim::cost::CostModel;
-use contrarian_sim::testkit::ScriptCtx;
+use contrarian_runtime::cost::CostModel;
+use contrarian_runtime::testkit::ScriptCtx;
 use contrarian_types::{Addr, ClusterConfig, DcId, Key, Op, RotMode};
 use contrarian_workload::{OpSource, WorkloadSpec};
 

@@ -3,7 +3,7 @@
 use contrarian_clock::{hlc, PhysicalClockModel};
 use contrarian_core::msg::Msg;
 use contrarian_protocol::{peer_replicas, timers, Parked, ProtocolServer, Stabilizer, Timers};
-use contrarian_sim::actor::{ActorCtx, TimerKind};
+use contrarian_runtime::actor::{ActorCtx, TimerKind};
 use contrarian_storage::{MvStore, Version};
 use contrarian_types::{Addr, ClusterConfig, DepVector, Key, TxId, Value, VersionId};
 
@@ -358,7 +358,7 @@ impl ProtocolServer for Server {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use contrarian_sim::testkit::ScriptCtx;
+    use contrarian_runtime::testkit::ScriptCtx;
     use contrarian_types::{ClientId, DcId, PartitionId};
 
     fn addr() -> Addr {

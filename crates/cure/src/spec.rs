@@ -40,7 +40,7 @@ impl ProtocolSpec for Cure {
 mod tests {
     use super::*;
     use contrarian_protocol::{build_cluster, ClusterParams};
-    use contrarian_sim::cost::CostModel;
+    use contrarian_runtime::cost::CostModel;
     use contrarian_workload::WorkloadSpec;
 
     #[test]

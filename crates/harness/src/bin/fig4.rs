@@ -9,7 +9,7 @@
 //! 0.45 ms); the 2-round variant peaks ≈8% higher because it uses fewer
 //! messages.
 
-use contrarian_harness::experiment::{sweep_series, Protocol, Scale};
+use contrarian_harness::experiment::{sweep_grid, Protocol, Scale, SweepSpec};
 use contrarian_harness::figures::{emit_figure, peak_ratio};
 use contrarian_types::ClusterConfig;
 use contrarian_workload::WorkloadSpec;
@@ -19,28 +19,22 @@ fn main() {
     let cluster = ClusterConfig::paper_default().with_dcs(2);
     let wl = WorkloadSpec::paper_default();
 
-    let c15 = sweep_series(
-        "Contrarian 1 1/2 rounds",
-        Protocol::Contrarian,
-        cluster.clone(),
-        wl.clone(),
+    let series = sweep_grid(
+        [
+            ("Contrarian 1 1/2 rounds", Protocol::Contrarian),
+            ("Contrarian 2 rounds", Protocol::ContrarianTwoRound),
+            ("Cure", Protocol::Cure),
+        ]
+        .map(|(name, p)| SweepSpec::new(name, p, cluster.clone(), wl.clone())),
         &scale,
         42,
     );
-    let c2 = sweep_series(
-        "Contrarian 2 rounds",
-        Protocol::ContrarianTwoRound,
-        cluster.clone(),
-        wl.clone(),
-        &scale,
-        42,
-    );
-    let cure = sweep_series("Cure", Protocol::Cure, cluster, wl, &scale, 42);
+    let (c15, c2, cure) = (&series[0], &series[1], &series[2]);
 
     emit_figure(
         "fig4",
         "Contrarian design evaluation (2 DCs, default workload)",
-        &[c15.clone(), c2.clone(), cure.clone()],
+        &series,
     );
 
     println!("paper vs measured:");
@@ -52,7 +46,7 @@ fn main() {
     );
     println!(
         "  2-round peak / 1.5-round peak  paper: ~1.08x   measured: {:.2}x",
-        peak_ratio(&c2, &c15)
+        peak_ratio(c2, c15)
     );
     println!(
         "  Cure/Contrarian low-load latency ratio  paper: ~3x   measured: {:.2}x",

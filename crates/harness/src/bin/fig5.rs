@@ -8,7 +8,7 @@
 //! 1.9× from 1→2 DCs vs 1.6× for CC-LO (whose replication performs remote
 //! readers checks).
 
-use contrarian_harness::experiment::{sweep_series, Protocol, Scale};
+use contrarian_harness::experiment::{contrarian_vs_cclo_over, sweep_grid, Scale};
 use contrarian_harness::figures::{emit_figure, peak_ratio};
 use contrarian_types::ClusterConfig;
 use contrarian_workload::WorkloadSpec;
@@ -17,43 +17,24 @@ fn main() {
     let scale = Scale::from_env();
     let wl = WorkloadSpec::paper_default();
 
-    let contr1 = sweep_series(
-        "Contrarian 1DC",
-        Protocol::Contrarian,
-        ClusterConfig::paper_default(),
-        wl.clone(),
+    let series = sweep_grid(
+        [1u8, 2].iter().flat_map(|&dcs| {
+            contrarian_vs_cclo_over(
+                &[dcs],
+                &ClusterConfig::paper_default().with_dcs(dcs),
+                |p, dcs| format!("{} {dcs}DC", p.label()),
+                |_| wl.clone(),
+            )
+        }),
         &scale,
         42,
     );
-    let cclo1 = sweep_series(
-        "CC-LO 1DC",
-        Protocol::CcLo,
-        ClusterConfig::paper_default(),
-        wl.clone(),
-        &scale,
-        42,
-    );
-    let contr2 = sweep_series(
-        "Contrarian 2DC",
-        Protocol::Contrarian,
-        ClusterConfig::paper_default().with_dcs(2),
-        wl.clone(),
-        &scale,
-        42,
-    );
-    let cclo2 = sweep_series(
-        "CC-LO 2DC",
-        Protocol::CcLo,
-        ClusterConfig::paper_default().with_dcs(2),
-        wl,
-        &scale,
-        42,
-    );
+    let (contr1, cclo1, contr2, cclo2) = (&series[0], &series[1], &series[2], &series[3]);
 
     emit_figure(
         "fig5",
         "Contrarian vs CC-LO, default workload (avg and p99 columns)",
-        &[contr1.clone(), cclo1.clone(), contr2.clone(), cclo2.clone()],
+        &series,
     );
 
     println!("paper vs measured:");
@@ -64,13 +45,13 @@ fn main() {
     );
     println!(
         "  peak throughput ratio Contrarian/CC-LO  paper: 1.45x (1DC), 1.6x (2DC)   measured: {:.2}x, {:.2}x",
-        peak_ratio(&contr1, &cclo1),
-        peak_ratio(&contr2, &cclo2)
+        peak_ratio(contr1, cclo1),
+        peak_ratio(contr2, cclo2)
     );
     println!(
         "  1->2 DC scaling  paper: Contrarian 1.9x, CC-LO 1.6x   measured: {:.2}x, {:.2}x",
-        peak_ratio(&contr2, &contr1),
-        peak_ratio(&cclo2, &cclo1)
+        peak_ratio(contr2, contr1),
+        peak_ratio(cclo2, cclo1)
     );
     // Crossover on the throughput axis: the lowest throughput above which
     // Contrarian's latency (interpolated over its own curve) stays below
@@ -97,7 +78,7 @@ fn main() {
         };
         let cross = cclo1.points.windows(2).find_map(|w| {
             let x = w[1].throughput_kops;
-            let c = interp(&contr1, x)?;
+            let c = interp(contr1, x)?;
             (c < lat(&w[1])).then_some(x)
         });
         match cross {

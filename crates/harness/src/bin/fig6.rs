@@ -9,7 +9,7 @@
 
 use contrarian_harness::experiment::{run_experiment, ExperimentConfig, Protocol, Scale};
 use contrarian_harness::table;
-use contrarian_sim::cost::CostModel;
+use contrarian_runtime::cost::CostModel;
 use contrarian_types::ClusterConfig;
 use contrarian_workload::WorkloadSpec;
 

@@ -8,7 +8,7 @@
 //! higher. Even at w=0.01 CC-LO's latency advantage is small: rare writes
 //! accumulate long dependency lists, so each check is expensive.
 
-use contrarian_harness::experiment::{sweep_series, Protocol, Scale};
+use contrarian_harness::experiment::{contrarian_vs_cclo_over, sweep_grid, Scale};
 use contrarian_harness::figures::emit_figure;
 use contrarian_types::ClusterConfig;
 use contrarian_workload::WorkloadSpec;
@@ -17,26 +17,16 @@ fn main() {
     let scale = Scale::from_env();
     for (dcs, panel) in [(1u8, "a"), (2, "b")] {
         let cluster = ClusterConfig::paper_default().with_dcs(dcs);
-        let mut series = Vec::new();
-        for w in [0.01, 0.05, 0.1] {
-            let wl = WorkloadSpec::paper_default().with_write_ratio(w);
-            series.push(sweep_series(
-                &format!("Contrarian w={w} {dcs}DC"),
-                Protocol::Contrarian,
-                cluster.clone(),
-                wl.clone(),
-                &scale,
-                42,
-            ));
-            series.push(sweep_series(
-                &format!("CC-LO w={w} {dcs}DC"),
-                Protocol::CcLo,
-                cluster.clone(),
-                wl,
-                &scale,
-                42,
-            ));
-        }
+        let series = sweep_grid(
+            contrarian_vs_cclo_over(
+                &[0.01, 0.05, 0.1],
+                &cluster,
+                |p, w| format!("{} w={w} {dcs}DC", p.label()),
+                |w| WorkloadSpec::paper_default().with_write_ratio(w),
+            ),
+            &scale,
+            42,
+        );
         emit_figure(
             &format!("fig7{panel}"),
             &format!("write-intensity sweep, {dcs} DC(s)"),

@@ -6,7 +6,7 @@
 //! fresh (less GC relief), dependency chains grow, and readers checks carry
 //! more ids. At any skew the ids exchanged grow linearly with clients.
 
-use contrarian_harness::experiment::{sweep_series, Protocol, Scale};
+use contrarian_harness::experiment::{contrarian_vs_cclo_over, sweep_grid, Scale};
 use contrarian_harness::figures::{emit_figure, peak_ratio};
 use contrarian_types::ClusterConfig;
 use contrarian_workload::WorkloadSpec;
@@ -14,26 +14,16 @@ use contrarian_workload::WorkloadSpec;
 fn main() {
     let scale = Scale::from_env();
     let cluster = ClusterConfig::paper_default();
-    let mut series = Vec::new();
-    for z in [0.99, 0.8, 0.0] {
-        let wl = WorkloadSpec::paper_default().with_zipf(z);
-        series.push(sweep_series(
-            &format!("Contrarian z={z}"),
-            Protocol::Contrarian,
-            cluster.clone(),
-            wl.clone(),
-            &scale,
-            42,
-        ));
-        series.push(sweep_series(
-            &format!("CC-LO z={z}"),
-            Protocol::CcLo,
-            cluster.clone(),
-            wl,
-            &scale,
-            42,
-        ));
-    }
+    let series = sweep_grid(
+        contrarian_vs_cclo_over(
+            &[0.99, 0.8, 0.0],
+            &cluster,
+            |p, z| format!("{} z={z}", p.label()),
+            |z| WorkloadSpec::paper_default().with_zipf(z),
+        ),
+        &scale,
+        42,
+    );
     emit_figure("fig8", "skew sweep (single DC)", &series);
 
     let contr_z99 = &series[0];

@@ -7,7 +7,7 @@
 //! partition is the adversarial case for it). Contrarian's peak advantage
 //! is largest at p=4 (≈1.45×).
 
-use contrarian_harness::experiment::{sweep_series, Protocol, Scale};
+use contrarian_harness::experiment::{contrarian_vs_cclo_over, sweep_grid, Scale};
 use contrarian_harness::figures::{emit_figure, peak_ratio};
 use contrarian_types::ClusterConfig;
 use contrarian_workload::WorkloadSpec;
@@ -15,26 +15,16 @@ use contrarian_workload::WorkloadSpec;
 fn main() {
     let scale = Scale::from_env();
     let cluster = ClusterConfig::paper_default();
-    let mut series = Vec::new();
-    for p in [4u16, 8, 24] {
-        let wl = WorkloadSpec::paper_default().with_rot_size(p);
-        series.push(sweep_series(
-            &format!("Contrarian p={p}"),
-            Protocol::Contrarian,
-            cluster.clone(),
-            wl.clone(),
-            &scale,
-            42,
-        ));
-        series.push(sweep_series(
-            &format!("CC-LO p={p}"),
-            Protocol::CcLo,
-            cluster.clone(),
-            wl,
-            &scale,
-            42,
-        ));
-    }
+    let series = sweep_grid(
+        contrarian_vs_cclo_over(
+            &[4u16, 8, 24],
+            &cluster,
+            |proto, p| format!("{} p={p}", proto.label()),
+            |p| WorkloadSpec::paper_default().with_rot_size(p),
+        ),
+        &scale,
+        42,
+    );
     emit_figure("fig9", "ROT-size sweep (single DC)", &series);
 
     println!("paper vs measured (Contrarian/CC-LO peak ratio should shrink with p):");

@@ -1,0 +1,65 @@
+//! Beyond the paper: partition-count scaling sweep (8 → 128 partitions).
+//!
+//! The paper evaluates up to 32 partitions; the ROADMAP north star is
+//! production-scale clusters. This binary sweeps the partition count at
+//! fixed per-DC load for Contrarian and CC-LO on [`Scale::large`] —
+//! the 128-partition point is the one the calendar-queue engine rebuild
+//! exists for (a single global event heap made it intractable).
+//!
+//! Expected shape: Contrarian's peak throughput grows with partitions
+//! (PUTs stay single-partition, stabilization cost is amortized); CC-LO's
+//! readers checks fan out to every partition a ROT's dependencies touch,
+//! so its scaling curve flattens sooner.
+
+use contrarian_harness::experiment::{contrarian_vs_cclo_over, sweep_grid, Scale};
+use contrarian_harness::figures::emit_figure;
+use contrarian_types::ClusterConfig;
+use contrarian_workload::WorkloadSpec;
+use std::time::Instant;
+
+fn main() {
+    // This sweep is itself the Scale::Large demonstration; CONTRARIAN_SCALE
+    // still overrides (e.g. `smoke` for a fast functional pass).
+    let scale = match std::env::var("CONTRARIAN_SCALE") {
+        Ok(_) => Scale::from_env(),
+        Err(_) => Scale::large(),
+    };
+    let wl = WorkloadSpec::paper_default();
+
+    let mut series = Vec::new();
+    for parts in [8u16, 32, 128] {
+        let cluster = ClusterConfig::large().with_partitions(parts);
+        let t0 = Instant::now();
+        series.extend(sweep_grid(
+            contrarian_vs_cclo_over(
+                &[parts],
+                &cluster,
+                |p, parts| format!("{} N={parts}", p.label()),
+                |_| wl.clone(),
+            ),
+            &scale,
+            42,
+        ));
+        eprintln!(
+            "  [scale_sweep] N={parts}: swept in {:.1}s",
+            t0.elapsed().as_secs_f64()
+        );
+    }
+
+    emit_figure(
+        "scale_sweep",
+        "partition-count scaling, 8 → 128 partitions (beyond the paper)",
+        &series,
+    );
+
+    println!("scaling of peak throughput with partition count:");
+    for pair in series.chunks(2) {
+        println!(
+            "  {:<24} peak {:>8.1} Kops/s   {:<24} peak {:>8.1} Kops/s",
+            pair[0].name,
+            pair[0].peak_throughput(),
+            pair[1].name,
+            pair[1].peak_throughput()
+        );
+    }
+}

@@ -6,7 +6,7 @@
 //! b=2048 Contrarian keeps lower-or-comparable ROT latency and ≈43% higher
 //! peak throughput.
 
-use contrarian_harness::experiment::{sweep_series, Protocol, Scale};
+use contrarian_harness::experiment::{contrarian_vs_cclo_over, sweep_grid, Scale};
 use contrarian_harness::figures::{emit_figure, peak_ratio};
 use contrarian_types::ClusterConfig;
 use contrarian_workload::WorkloadSpec;
@@ -14,26 +14,16 @@ use contrarian_workload::WorkloadSpec;
 fn main() {
     let scale = Scale::from_env();
     let cluster = ClusterConfig::paper_default();
-    let mut series = Vec::new();
-    for b in [8usize, 128, 2048] {
-        let wl = WorkloadSpec::paper_default().with_value_size(b);
-        series.push(sweep_series(
-            &format!("Contrarian b={b}"),
-            Protocol::Contrarian,
-            cluster.clone(),
-            wl.clone(),
-            &scale,
-            42,
-        ));
-        series.push(sweep_series(
-            &format!("CC-LO b={b}"),
-            Protocol::CcLo,
-            cluster.clone(),
-            wl,
-            &scale,
-            42,
-        ));
-    }
+    let series = sweep_grid(
+        contrarian_vs_cclo_over(
+            &[8usize, 128, 2048],
+            &cluster,
+            |p, b| format!("{} b={b}", p.label()),
+            |b| WorkloadSpec::paper_default().with_value_size(b),
+        ),
+        &scale,
+        42,
+    );
     emit_figure(
         "value_size",
         "value-size sweep (single DC, Section 5.8)",

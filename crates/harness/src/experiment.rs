@@ -1,7 +1,7 @@
 //! Running one measured experiment (one protocol, one cluster, one load).
 
-use contrarian_sim::cost::CostModel;
-use contrarian_sim::metrics::Metrics;
+use contrarian_runtime::cost::CostModel;
+use contrarian_runtime::metrics::Metrics;
 use contrarian_types::{ClusterConfig, HistoryEvent, RotMode};
 use contrarian_workload::WorkloadSpec;
 use std::collections::BTreeMap;
@@ -69,10 +69,23 @@ impl Scale {
         }
     }
 
+    /// Production-scale sweeps: load points sized for a 128-partition
+    /// cluster (`ClusterConfig::large`), windows kept short enough that a
+    /// full sweep stays CI-tolerable on the calendar-queue engine.
+    pub fn large() -> Self {
+        Scale {
+            warmup_ns: 100_000_000,
+            measure_ns: 300_000_000,
+            load_points: vec![64, 256, 512],
+            fig6_points: vec![60],
+        }
+    }
+
     pub fn from_env() -> Self {
         match std::env::var("CONTRARIAN_SCALE").as_deref() {
             Ok("smoke") => Scale::smoke(),
             Ok("paper") => Scale::paper(),
+            Ok("large") => Scale::large(),
             _ => Scale::quick(),
         }
     }
@@ -274,6 +287,63 @@ pub fn sweep_series(
         name: name.to_string(),
         points,
     }
+}
+
+/// A named (protocol, cluster, workload) combination to sweep — one line
+/// of a figure.
+#[derive(Clone)]
+pub struct SweepSpec {
+    pub name: String,
+    pub protocol: Protocol,
+    pub cluster: ClusterConfig,
+    pub workload: WorkloadSpec,
+}
+
+impl SweepSpec {
+    pub fn new(
+        name: impl Into<String>,
+        protocol: Protocol,
+        cluster: ClusterConfig,
+        workload: WorkloadSpec,
+    ) -> Self {
+        SweepSpec {
+            name: name.into(),
+            protocol,
+            cluster,
+            workload,
+        }
+    }
+}
+
+/// Runs one load sweep per spec — the boilerplate every figure binary used
+/// to repeat, folded onto [`sweep_series`].
+pub fn sweep_grid(
+    specs: impl IntoIterator<Item = SweepSpec>,
+    scale: &Scale,
+    seed: u64,
+) -> Vec<Series> {
+    specs
+        .into_iter()
+        .map(|s| sweep_series(&s.name, s.protocol, s.cluster, s.workload, scale, seed))
+        .collect()
+}
+
+/// The commonest grid: the Contrarian-vs-CC-LO pair for every value of one
+/// workload parameter (the write-intensity, skew, ROT-size and value-size
+/// sweeps of Figures 7–9 and Section 5.8).
+pub fn contrarian_vs_cclo_over<V: Copy>(
+    values: &[V],
+    cluster: &ClusterConfig,
+    label: impl Fn(Protocol, V) -> String,
+    workload: impl Fn(V) -> WorkloadSpec,
+) -> Vec<SweepSpec> {
+    values
+        .iter()
+        .flat_map(|&v| {
+            [Protocol::Contrarian, Protocol::CcLo]
+                .map(|p| SweepSpec::new(label(p, v), p, cluster.clone(), workload(v)))
+        })
+        .collect()
 }
 
 #[cfg(test)]

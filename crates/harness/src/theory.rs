@@ -21,7 +21,7 @@ use crate::checker::{check_causal, CheckReport};
 use contrarian_cclo::msg::Msg as CMsg;
 use contrarian_cclo::server::Server as CcloServer;
 use contrarian_protocol::ProtocolServer;
-use contrarian_sim::testkit::ScriptCtx;
+use contrarian_runtime::testkit::ScriptCtx;
 use contrarian_types::{
     Addr, ClientId, ClusterConfig, DcId, HistoryEvent, Key, PartitionId, TxId, Value, VersionId,
 };

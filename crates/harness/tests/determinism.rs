@@ -1,0 +1,63 @@
+//! Cross-engine determinism: the calendar-queue scheduler must replay the
+//! exact event order of the binary-heap engine it replaced. Same seed ⇒
+//! byte-identical history and metrics under either scheduler, and both must
+//! match golden fingerprints recorded from the pre-rewrite heap engine.
+
+use contrarian_harness::experiment::{run_experiment, ExperimentConfig, Protocol, RunResult};
+
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+fn fingerprint(r: &RunResult) -> (usize, u64) {
+    (
+        r.history.len(),
+        fnv1a(format!("{:?}", r.history).as_bytes()),
+    )
+}
+
+/// One test drives both schedulers sequentially: the scheduler choice is a
+/// process-wide environment variable, so it must not race with concurrent
+/// tests (this is the only test in the file that touches it).
+#[test]
+fn schedulers_replay_identical_histories_matching_golden() {
+    // (events, FNV-1a of the Debug-formatted history) of
+    // `ExperimentConfig::functional` runs, recorded from the seed
+    // (single-global-heap) engine before the scheduler rewrite.
+    let golden = [
+        (Protocol::Contrarian, 3052usize, 0x142562961f5576d6u64),
+        (Protocol::CcLo, 4436, 0xf822bda0243c2ece),
+        (Protocol::Cure, 453, 0x1d1e25a96978e900),
+    ];
+    for (protocol, golden_events, golden_hash) in golden {
+        let cfg = ExperimentConfig::functional(protocol);
+
+        std::env::set_var("CONTRARIAN_SCHED", "heap");
+        let heap = run_experiment(&cfg);
+        std::env::set_var("CONTRARIAN_SCHED", "calendar");
+        let calendar = run_experiment(&cfg);
+        std::env::remove_var("CONTRARIAN_SCHED");
+
+        assert_eq!(
+            fingerprint(&heap),
+            fingerprint(&calendar),
+            "{protocol:?}: schedulers diverged"
+        );
+        assert_eq!(
+            fingerprint(&calendar),
+            (golden_events, golden_hash),
+            "{protocol:?}: history no longer matches the golden heap-engine run"
+        );
+        // Metrics are derived from the same events; spot-check the scalars.
+        assert_eq!(heap.throughput_kops, calendar.throughput_kops);
+        assert_eq!(heap.avg_rot_ms, calendar.avg_rot_ms);
+        assert_eq!(heap.p99_rot_ms, calendar.p99_rot_ms);
+        assert_eq!(heap.avg_put_ms, calendar.avg_put_ms);
+        assert_eq!(heap.counters, calendar.counters);
+    }
+}

@@ -1,0 +1,68 @@
+//! The 128-partition ceiling, exercised in tier 1: a `ClusterConfig::large`
+//! cluster must run deterministically and make progress in CI-tolerable
+//! time on the rebuilt engine.
+
+use contrarian_harness::check_causal;
+use contrarian_harness::experiment::{run_experiment, ExperimentConfig, Protocol, Scale};
+use contrarian_runtime::cost::CostModel;
+use contrarian_types::ClusterConfig;
+
+fn large_functional(protocol: Protocol, clients: u16) -> ExperimentConfig {
+    let mut cfg = ExperimentConfig::functional(protocol);
+    cfg.cluster = ClusterConfig::large();
+    // Keep the store sparse in tests: lazily materialized keys mean the
+    // partition count, not the key count, is what's being exercised.
+    cfg.cluster.keys_per_partition = 1_000;
+    // Periodic machinery at a production cadence: 128 servers ticking
+    // sub-millisecond timers through the post-run drain would dominate the
+    // test's wall time without exercising anything new.
+    cfg.cluster.stabilization_interval_us = 10_000;
+    cfg.cluster.heartbeat_interval_us = 5_000;
+    // The engine at scale is what is under test, not checker asymptotics:
+    // the causal checker's per-version past maps grow with the distinct
+    // keys a wide cluster touches, so keep the measured window short.
+    cfg.measure_ns = 10_000_000;
+    cfg.clients_per_dc = clients;
+    cfg.cost = CostModel::functional();
+    cfg
+}
+
+#[test]
+fn contrarian_128_partitions_run_is_deterministic_and_causal() {
+    let cfg = large_functional(Protocol::Contrarian, 16);
+    assert_eq!(cfg.cluster.n_partitions, 128);
+    let a = run_experiment(&cfg);
+    assert!(
+        a.history.len() > 100,
+        "too little progress at 128 partitions: {} events",
+        a.history.len()
+    );
+    let report = check_causal(&a.history);
+    assert!(report.ok(), "{:?}", report.violations.first());
+
+    let b = run_experiment(&cfg);
+    assert_eq!(a.history.len(), b.history.len(), "non-deterministic");
+    assert_eq!(a.throughput_kops, b.throughput_kops);
+}
+
+#[test]
+fn cclo_128_partitions_makes_progress() {
+    let r = run_experiment(&large_functional(Protocol::CcLo, 8));
+    assert!(r.throughput_kops > 0.0);
+    assert!(r.history.len() > 50, "{} events", r.history.len());
+}
+
+#[test]
+fn large_scale_knobs_are_sized_for_128_partitions() {
+    let s = Scale::large();
+    assert!(!s.load_points.is_empty());
+    assert!(s.measure_ns <= 500_000_000, "must stay CI-tolerable");
+    let c = ClusterConfig::large();
+    assert!(c.n_partitions >= 128);
+    // Same ~32M-key data set as the paper's platform, spread wider.
+    assert_eq!(
+        c.n_partitions as u64 * c.keys_per_partition,
+        ClusterConfig::paper_default().n_partitions as u64
+            * ClusterConfig::paper_default().keys_per_partition
+    );
+}

@@ -7,7 +7,7 @@
 //! transport.
 
 use crate::node::{Node, ProtocolClient, ProtocolMsg, ProtocolServer};
-use contrarian_sim::cost::CostModel;
+use contrarian_runtime::cost::CostModel;
 use contrarian_sim::sim::Sim;
 use contrarian_transport::LiveCluster;
 use contrarian_types::{Addr, ClusterConfig, DcId, PartitionId};

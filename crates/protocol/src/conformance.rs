@@ -18,7 +18,7 @@
 
 use crate::build::{build_cluster, build_live_cluster, ClusterParams, ProtocolSpec};
 use crate::node::ProtocolServer;
-use contrarian_sim::cost::CostModel;
+use contrarian_runtime::cost::CostModel;
 use contrarian_types::{
     Addr, ClientId, ClusterConfig, DcId, HistoryEvent, Key, PartitionId, VersionId,
 };
@@ -180,18 +180,27 @@ pub fn check_live<P: ProtocolSpec>(dcs: u8, seed: u64) -> Result<ConformanceOutc
     cfg.clock_skew_us = 0;
     let wl = conformance_workload();
     let cluster = build_live_cluster::<P>(&cfg, &wl, 3, seed);
+    // Measure from the start: exercises the per-thread metrics sinks that
+    // are merged when the node threads join.
+    cluster.set_measuring(true);
     std::thread::sleep(std::time::Duration::from_millis(250));
     cluster.stop_issuing();
     // Grace for in-flight operations, replication, and dependency checks to
     // drain before the threads are stopped.
     std::thread::sleep(std::time::Duration::from_millis(300));
-    let (actors, _metrics, history) = cluster.shutdown();
+    let (actors, metrics, history) = cluster.shutdown();
 
     if history.len() < 50 {
         return Err(format!(
             "{}: too little progress ({} events)",
             P::NAME,
             history.len()
+        ));
+    }
+    if metrics.ops_done() == 0 {
+        return Err(format!(
+            "{}: per-thread metrics recorded no operations",
+            P::NAME
         ));
     }
     check_sessions(&history).map_err(|e| format!("{} (live): {e}", P::NAME))?;

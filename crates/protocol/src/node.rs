@@ -1,8 +1,8 @@
 //! The backend interface: what a protocol crate implements, and the one
 //! generic [`Node`] actor that runs it.
 
-use contrarian_sim::actor::{Actor, ActorCtx, TimerKind};
-use contrarian_sim::cost::SimMessage;
+use contrarian_runtime::actor::{Actor, ActorCtx, TimerKind};
+use contrarian_runtime::cost::SimMessage;
 use contrarian_types::{Addr, Key, Op, VersionId};
 
 /// A protocol's wire message type.

@@ -15,7 +15,7 @@
 //! handler (and may park again if still not serviceable).
 
 use crate::timers;
-use contrarian_sim::actor::{ActorCtx, TimerKind};
+use contrarian_runtime::actor::{ActorCtx, TimerKind};
 use std::collections::VecDeque;
 
 /// A queue of deferred requests, each with an optional wake time.
@@ -90,7 +90,7 @@ impl<T> Parked<T> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use contrarian_sim::testkit::ScriptCtx;
+    use contrarian_runtime::testkit::ScriptCtx;
     use contrarian_types::{Addr, DcId, PartitionId};
 
     #[test]

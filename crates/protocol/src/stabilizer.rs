@@ -14,7 +14,7 @@
 //! stays with the protocol (closures), so backends with different wire
 //! types share the logic.
 
-use contrarian_sim::actor::ActorCtx;
+use contrarian_runtime::actor::ActorCtx;
 use contrarian_types::{Addr, ClusterConfig, DcId, DepVector, PartitionId, StabilizationTopology};
 
 /// Per-server stabilization state: version vector, GSS, and (on the
@@ -183,7 +183,7 @@ pub fn peer_replicas(addr: Addr, n_dcs: u8) -> impl Iterator<Item = Addr> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use contrarian_sim::testkit::ScriptCtx;
+    use contrarian_runtime::testkit::ScriptCtx;
 
     #[derive(Debug, PartialEq)]
     enum M {

@@ -6,7 +6,7 @@
 //! that loop in one place; a server registers its periodic kinds once and
 //! calls [`Timers::rearm`] at the end of its timer dispatch.
 
-use contrarian_sim::actor::{ActorCtx, TimerKind};
+use contrarian_runtime::actor::{ActorCtx, TimerKind};
 use contrarian_types::{Addr, ClusterConfig};
 use rand::RngExt;
 
@@ -114,7 +114,7 @@ pub fn stagger_client_start<M>(ctx: &mut dyn ActorCtx<M>) {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use contrarian_sim::testkit::ScriptCtx;
+    use contrarian_runtime::testkit::ScriptCtx;
     use contrarian_types::{DcId, PartitionId};
 
     fn addr() -> Addr {

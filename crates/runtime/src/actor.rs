@@ -2,7 +2,7 @@
 //!
 //! Protocol nodes (servers and clients) are deterministic state machines
 //! implementing [`Actor`]; the runtime — either the discrete-event
-//! simulator ([`crate::sim::Sim`]) or the live threaded transport
+//! simulator (`contrarian-sim`) or the live threaded transport
 //! (`contrarian-transport`) — delivers messages and timer ticks through an
 //! [`ActorCtx`], and the node responds by sending messages and arming
 //! timers. Protocol code never knows which runtime is driving it.

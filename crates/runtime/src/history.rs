@@ -1,0 +1,175 @@
+//! A shared, waitable history sink.
+//!
+//! The live transport records [`HistoryEvent`]s from many node threads and
+//! external observers (the facade, conformance tests) block until a
+//! matching event appears. [`HistorySink`] pairs the event log with a
+//! condition variable so waiters sleep until an append actually happens
+//! instead of burning CPU in a poll loop.
+//!
+//! The simulator does not use this type — it is single-threaded and keeps
+//! its history in a plain `Vec` — but the sink lives here, in the runtime
+//! layer, because history recording is part of the substrate contract every
+//! runtime offers ([`crate::ActorCtx::record`]).
+
+use contrarian_types::HistoryEvent;
+use std::sync::{Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// An append-only event log multiple threads write and waiters watch.
+#[derive(Default)]
+pub struct HistorySink {
+    events: Mutex<Vec<HistoryEvent>>,
+    appended: Condvar,
+}
+
+impl HistorySink {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends one event and wakes every waiter.
+    pub fn append(&self, ev: HistoryEvent) {
+        self.events
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .push(ev);
+        self.appended.notify_all();
+    }
+
+    /// Number of recorded events.
+    pub fn len(&self) -> usize {
+        self.events
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Takes the whole log (post-run extraction).
+    pub fn take(&self) -> Vec<HistoryEvent> {
+        std::mem::take(
+            &mut *self
+                .events
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner),
+        )
+    }
+
+    /// Clones the events recorded so far.
+    pub fn snapshot(&self) -> Vec<HistoryEvent> {
+        self.events
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .clone()
+    }
+
+    /// Blocks until some event at or past `*cursor` satisfies `pred` or
+    /// `timeout` expires; advances the cursor past the match. Waiting is
+    /// condition-variable based: the thread sleeps until an append occurs.
+    pub fn wait_for<F>(
+        &self,
+        cursor: &mut usize,
+        timeout: Duration,
+        mut pred: F,
+    ) -> Option<HistoryEvent>
+    where
+        F: FnMut(&HistoryEvent) -> bool,
+    {
+        let deadline = Instant::now() + timeout;
+        let mut events = self
+            .events
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        // Within this call events are tested once; across calls the cursor
+        // only moves past a match, so a later call with a different
+        // predicate still sees the skipped-over events.
+        let mut scanned = *cursor;
+        loop {
+            for i in scanned..events.len() {
+                if pred(&events[i]) {
+                    *cursor = i + 1;
+                    return Some(events[i].clone());
+                }
+            }
+            scanned = events.len();
+            let now = Instant::now();
+            if now >= deadline {
+                return None;
+            }
+            let (guard, _timed_out) = self
+                .appended
+                .wait_timeout(events, deadline - now)
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            events = guard;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use contrarian_types::{ClientId, DcId, Key, VersionId};
+    use std::sync::Arc;
+
+    fn put(seq: u32) -> HistoryEvent {
+        HistoryEvent::PutDone {
+            client: ClientId::new(DcId(0), 0),
+            seq,
+            t_start: 0,
+            t_end: 1,
+            key: Key(1),
+            vid: VersionId::new(seq as u64 + 1, DcId(0)),
+        }
+    }
+
+    #[test]
+    fn wait_for_sees_events_appended_before_the_wait() {
+        let sink = HistorySink::new();
+        sink.append(put(0));
+        sink.append(put(1));
+        let mut cursor = 0;
+        let ev = sink.wait_for(&mut cursor, Duration::from_millis(10), |ev| {
+            matches!(ev, HistoryEvent::PutDone { seq: 1, .. })
+        });
+        assert!(ev.is_some());
+        assert_eq!(cursor, 2);
+    }
+
+    #[test]
+    fn wait_for_wakes_on_append_from_another_thread() {
+        let sink = Arc::new(HistorySink::new());
+        let writer = sink.clone();
+        let t = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(20));
+            writer.append(put(7));
+        });
+        let mut cursor = 0;
+        let ev = sink.wait_for(&mut cursor, Duration::from_secs(5), |ev| {
+            matches!(ev, HistoryEvent::PutDone { seq: 7, .. })
+        });
+        t.join().unwrap();
+        assert!(ev.is_some(), "waiter must wake on append");
+    }
+
+    #[test]
+    fn wait_for_times_out_without_matching_event() {
+        let sink = HistorySink::new();
+        sink.append(put(0));
+        let mut cursor = 0;
+        let ev = sink.wait_for(&mut cursor, Duration::from_millis(20), |ev| {
+            matches!(ev, HistoryEvent::PutDone { seq: 99, .. })
+        });
+        assert!(ev.is_none());
+    }
+
+    #[test]
+    fn take_empties_the_log() {
+        let sink = HistorySink::new();
+        sink.append(put(0));
+        assert_eq!(sink.take().len(), 1);
+        assert!(sink.is_empty());
+    }
+}

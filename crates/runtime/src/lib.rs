@@ -1,0 +1,57 @@
+//! The execution substrate shared by every runtime that drives protocol
+//! state machines.
+//!
+//! ## The layer diagram
+//!
+//! ```text
+//!                  contrarian-types           (ids, keys, vectors, config)
+//!                         │
+//!                  contrarian-runtime         (this crate: Actor/ActorCtx,
+//!                         │                    TimerKind, SimMessage + cost
+//!                         │                    model, Metrics, history
+//!                         │                    recording, Runtime trait)
+//!              ┌──────────┴──────────┐
+//!       contrarian-sim        contrarian-transport
+//!       (discrete-event       (thread-per-node live
+//!        engine, virtual       cluster, wall clock,
+//!        time)                 channels)
+//!              └──────────┬──────────┘
+//!                  contrarian-protocol        (Node, Stabilizer, Timers,
+//!                         │                    builders, conformance)
+//!            ┌────────────┼────────────┐
+//!     contrarian-core  contrarian-cclo  contrarian-cure
+//! ```
+//!
+//! Protocol nodes are deterministic state machines implementing [`Actor`];
+//! a runtime delivers messages and timer ticks through an [`ActorCtx`] and
+//! the node responds by sending messages and arming timers. Protocol code
+//! never knows which runtime is driving it. Two runtimes exist:
+//!
+//! * `contrarian-sim` — the deterministic discrete-event simulator with a
+//!   queueing cost model (virtual time);
+//! * `contrarian-transport` — a live thread-per-node deployment (wall-clock
+//!   time, crossbeam channels as links).
+//!
+//! Both implement the cluster-facing [`Runtime`] trait (external
+//! `send` / `inject_op` / `now` / `stop_issuing` semantics); during a
+//! handler the node-facing capabilities (`send`, `set_timer`, `now`,
+//! metrics, history) come from the [`ActorCtx`].
+//!
+//! This crate exists so that the two runtimes are *siblings*: the live
+//! transport must not depend on the simulator (nor vice versa), which keeps
+//! the door open for further runtimes (a TCP transport, a sharded engine)
+//! without touching protocol code.
+
+pub mod actor;
+pub mod cost;
+pub mod history;
+pub mod metrics;
+pub mod runtime;
+pub mod testkit;
+
+pub use actor::{Actor, ActorCtx, TimerKind};
+pub use cost::{CostModel, MsgClass, SimMessage};
+pub use history::HistorySink;
+pub use metrics::{Histogram, Metrics};
+pub use runtime::Runtime;
+pub use testkit::ScriptCtx;

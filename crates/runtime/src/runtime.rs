@@ -1,0 +1,44 @@
+//! The cluster-facing runtime contract.
+//!
+//! [`crate::ActorCtx`] is the *node-facing* half of the substrate: what a
+//! state machine may do while handling one event (send, arm a timer, read
+//! the clock). [`Runtime`] is the *cluster-facing* half: what an external
+//! driver (harness, facade, tests) may do to a running cluster, regardless
+//! of whether virtual time (`contrarian-sim`) or the wall clock
+//! (`contrarian-transport`) is underneath.
+
+use crate::actor::Actor;
+use contrarian_types::{Addr, Op};
+
+/// Operations every runtime offers an external driver.
+///
+/// Implementations: `contrarian_sim::Sim` (deterministic virtual time) and
+/// `contrarian_transport::LiveCluster` (threads and the wall clock). The
+/// trait is deliberately small — it covers injection and lifecycle, not
+/// time control: how time advances is the one thing the runtimes genuinely
+/// do not share (the simulator is stepped, the live cluster free-runs).
+pub trait Runtime<A: Actor> {
+    /// Current runtime time in nanoseconds since the start of the run
+    /// (virtual under simulation, wall-clock under the live transport).
+    fn now(&self) -> u64;
+
+    /// Delivers `msg` to `to`, attributed to `from`. This is external
+    /// *injection*, not cluster traffic: it arrives immediately and does
+    /// not share (or preserve) the FIFO order of the in-cluster
+    /// `(from, to)` link — the same semantics `inject_op` has always had
+    /// on both runtimes.
+    fn send(&mut self, from: Addr, to: Addr, msg: A::Msg);
+
+    /// Wraps an external operation via [`Actor::inject`] and delivers it to
+    /// a client node (interactive facades).
+    fn inject_op(&mut self, client: Addr, op: Op) {
+        self.send(client, client, A::inject(op));
+    }
+
+    /// Signals closed-loop clients to stop issuing new operations
+    /// ([`crate::ActorCtx::stopped`] turns true).
+    fn stop_issuing(&mut self);
+
+    /// All node addresses, in registration order.
+    fn addrs(&self) -> Vec<Addr>;
+}

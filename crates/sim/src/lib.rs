@@ -25,18 +25,35 @@
 //! with real bookkeeping (reader records, dependency vectors, garbage
 //! collection). Only CPU time and the network are modeled. The same state
 //! machines also run on a live multi-threaded transport
-//! (`contrarian-transport`).
+//! (`contrarian-transport`); both runtimes drive the [`Actor`] interface
+//! owned by `contrarian-runtime`, of which this crate re-exports the
+//! commonly used pieces.
 //!
 //! Runs are fully deterministic given a seed: events are ordered by
 //! `(time, sequence)` and all randomness flows from one PRNG.
+//!
+//! ## The engine
+//!
+//! [`Sim`] is built for clusters well past the paper's 32 partitions:
+//! node addresses are interned into a flat routing table at [`Sim::start`],
+//! per-link FIFO state lives in a flat `n×n` vector, and the event queue is
+//! a hierarchical calendar queue ([`sched`]) with near-O(1) insertion and a
+//! same-tick fast path, instead of one global binary heap. The heap-based
+//! scheduler is retained behind [`sched::SchedKind::Heap`] (selectable with
+//! `CONTRARIAN_SCHED=heap` or [`Sim::with_scheduler`]) as a differential
+//! baseline: both orderings are identical, which the cross-engine
+//! determinism tests and the `sim_scale` bench rely on.
 
-pub mod actor;
-pub mod cost;
-pub mod metrics;
+pub mod sched;
 pub mod sim;
-pub mod testkit;
 
-pub use actor::{Actor, ActorCtx, TimerKind};
-pub use cost::{CostModel, SimMessage};
-pub use metrics::{Histogram, Metrics};
+// The protocol ⇄ runtime interface lives in `contrarian-runtime`; re-export
+// it under the historical paths so `contrarian_sim::actor::ActorCtx` etc.
+// keep working for downstream users.
+pub use contrarian_runtime::{actor, cost, metrics, testkit};
+
+pub use contrarian_runtime::{
+    Actor, ActorCtx, CostModel, Histogram, Metrics, SimMessage, TimerKind,
+};
+pub use sched::SchedKind;
 pub use sim::Sim;

@@ -1,0 +1,431 @@
+//! Event schedulers: the calendar queue that makes 100+-partition sweeps
+//! tractable, and the binary-heap baseline it replaced.
+//!
+//! Both schedulers implement the *same total order* — events leave strictly
+//! by `(t, seq)`, where `seq` is the global insertion counter — so a run is
+//! bit-identical under either. That equivalence is load-bearing: the
+//! cross-engine determinism tests diff full histories across schedulers,
+//! and the `sim_scale` bench measures the speedup at a fixed, identical
+//! workload.
+//!
+//! ## The calendar queue
+//!
+//! A single [`std::collections::BinaryHeap`] costs `O(log n)` per
+//! operation with `n` the *entire* event population — at 128 partitions and
+//! hundreds of closed-loop clients that population is tens of thousands of
+//! in-flight messages and timers, and the heap's cache-hostile sifting
+//! dominates the engine. The calendar queue exploits what a cluster
+//! simulation actually looks like:
+//!
+//! * most insertions land a few service times ahead of `now` — they go into
+//!   an unsorted per-bucket `Vec` (`O(1)` push, [`CalendarQueue::W_NS`]
+//!   nanoseconds of virtual time per bucket);
+//! * only the *current* bucket needs total order — it is kept as a small
+//!   binary heap, loaded (heapified) once when time enters the bucket;
+//! * events scheduled for exactly `now` (same-tick self-delivery: worker
+//!   hand-offs, zero-cost injections) bypass the wheel entirely through a
+//!   FIFO `due` queue — insertion order *is* `seq` order at fixed `t`;
+//! * the rare far-future event (GC and heartbeat timers) overflows into a
+//!   small heap that drains into the wheel as the horizon advances.
+//!
+//! Insertion is thus `O(1)` for everything but the current bucket, and pops
+//! sort only events that are about to execute.
+
+use std::cmp::Ordering;
+use std::collections::{BinaryHeap, VecDeque};
+
+/// Which event scheduler a [`crate::Sim`] uses.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum SchedKind {
+    /// Hierarchical calendar queue (the default).
+    #[default]
+    Calendar,
+    /// One global binary heap — the original engine, kept as a differential
+    /// baseline for determinism tests and the `sim_scale` bench.
+    Heap,
+}
+
+impl SchedKind {
+    /// Reads `CONTRARIAN_SCHED` (`heap` or `calendar`); defaults to
+    /// [`SchedKind::Calendar`] when unset. An unrecognized value is a
+    /// hard error: silently falling back would make a heap-vs-calendar
+    /// comparison measure the calendar queue against itself.
+    pub fn from_env() -> Self {
+        match std::env::var("CONTRARIAN_SCHED").as_deref() {
+            Ok("heap") => SchedKind::Heap,
+            Ok("calendar") | Err(_) => SchedKind::Calendar,
+            Ok(other) => panic!("CONTRARIAN_SCHED must be `heap` or `calendar`, got `{other}`"),
+        }
+    }
+}
+
+struct Entry<T> {
+    t: u64,
+    seq: u64,
+    item: T,
+}
+
+impl<T> PartialEq for Entry<T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.t == other.t && self.seq == other.seq
+    }
+}
+impl<T> Eq for Entry<T> {}
+impl<T> PartialOrd for Entry<T> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<T> Ord for Entry<T> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reversed: BinaryHeap is a max-heap, we need earliest-first.
+        (other.t, other.seq).cmp(&(self.t, self.seq))
+    }
+}
+
+/// The event queue behind [`crate::Sim`]: one of the two scheduler
+/// implementations, with identical `(t, seq)` pop order.
+pub struct EventQueue<T>(Inner<T>);
+
+enum Inner<T> {
+    Heap(BinaryHeap<Entry<T>>),
+    Calendar(CalendarQueue<T>),
+}
+
+impl<T> EventQueue<T> {
+    pub fn new(kind: SchedKind) -> Self {
+        EventQueue(match kind {
+            SchedKind::Heap => Inner::Heap(BinaryHeap::new()),
+            SchedKind::Calendar => Inner::Calendar(CalendarQueue::new()),
+        })
+    }
+
+    /// Inserts an event. `t` must be ≥ the `t` of the last pop, and `seq`
+    /// must be strictly increasing across all pushes (the simulator's
+    /// global event counter).
+    #[inline]
+    pub fn push(&mut self, t: u64, seq: u64, item: T) {
+        match &mut self.0 {
+            Inner::Heap(h) => h.push(Entry { t, seq, item }),
+            Inner::Calendar(c) => c.push(t, seq, item),
+        }
+    }
+
+    /// Removes and returns the earliest `(t, seq)` event.
+    #[inline]
+    pub fn pop(&mut self) -> Option<(u64, u64, T)> {
+        match &mut self.0 {
+            Inner::Heap(h) => h.pop().map(|e| (e.t, e.seq, e.item)),
+            Inner::Calendar(c) => c.pop(),
+        }
+    }
+
+    /// Timestamp of the earliest pending event. Takes `&mut self` because
+    /// the calendar queue may rotate its wheel to find it — observationally
+    /// pure.
+    #[inline]
+    pub fn peek_t(&mut self) -> Option<u64> {
+        match &mut self.0 {
+            Inner::Heap(h) => h.peek().map(|e| e.t),
+            Inner::Calendar(c) => c.peek_t(),
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        match &self.0 {
+            Inner::Heap(h) => h.len(),
+            Inner::Calendar(c) => c.len(),
+        }
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// See the module docs for the design.
+pub struct CalendarQueue<T> {
+    /// Same-tick fast path: events with `t` equal to the last popped time.
+    /// Pushed in `seq` order, so the front is always this lane's minimum.
+    due: VecDeque<Entry<T>>,
+    /// The current bucket, totally ordered.
+    cur: BinaryHeap<Entry<T>>,
+    /// Future buckets within the horizon, unsorted.
+    wheel: Vec<Vec<Entry<T>>>,
+    /// Total events parked in `wheel`.
+    wheel_len: usize,
+    /// Events at or past the horizon.
+    overflow: BinaryHeap<Entry<T>>,
+    /// Virtual-time start of the current bucket.
+    bucket_start: u64,
+    /// Ring index of the current bucket.
+    cur_idx: usize,
+    /// `t` of the most recent pop (0 before the first).
+    last_pop_t: u64,
+    len: usize,
+}
+
+impl<T> Default for CalendarQueue<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> CalendarQueue<T> {
+    /// Bucket width in virtual nanoseconds (power of two). ~16 µs spans a
+    /// handful of service times of the calibrated cost model, keeping the
+    /// current-bucket heap small without making the wheel spin hot.
+    pub const W_NS: u64 = 1 << Self::W_SHIFT;
+    const W_SHIFT: u32 = 14;
+    /// Ring size (power of two): horizon = `N_BUCKETS * W_NS` ≈ 67 ms.
+    const N_BUCKETS: usize = 4096;
+
+    pub fn new() -> Self {
+        CalendarQueue {
+            due: VecDeque::new(),
+            cur: BinaryHeap::new(),
+            wheel: std::iter::repeat_with(Vec::new)
+                .take(Self::N_BUCKETS)
+                .collect(),
+            wheel_len: 0,
+            overflow: BinaryHeap::new(),
+            bucket_start: 0,
+            cur_idx: 0,
+            last_pop_t: 0,
+            len: 0,
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    #[inline]
+    fn horizon(&self) -> u64 {
+        self.bucket_start + ((Self::N_BUCKETS as u64) << Self::W_SHIFT)
+    }
+
+    #[inline]
+    pub fn push(&mut self, t: u64, seq: u64, item: T) {
+        debug_assert!(t >= self.last_pop_t, "scheduling into the past");
+        self.len += 1;
+        let e = Entry { t, seq, item };
+        if t == self.last_pop_t {
+            self.due.push_back(e);
+        } else if t < self.bucket_start + Self::W_NS {
+            self.cur.push(e);
+        } else if t < self.horizon() {
+            let off = ((t - self.bucket_start) >> Self::W_SHIFT) as usize;
+            let idx = (self.cur_idx + off) & (Self::N_BUCKETS - 1);
+            self.wheel[idx].push(e);
+            self.wheel_len += 1;
+        } else {
+            self.overflow.push(e);
+        }
+    }
+
+    #[inline]
+    pub fn pop(&mut self) -> Option<(u64, u64, T)> {
+        loop {
+            // The global minimum is the smaller of the same-tick lane's
+            // front and the current bucket's heap top (all other events sit
+            // in strictly later buckets or past the horizon).
+            let take_due = match (self.due.front(), self.cur.peek()) {
+                (Some(d), Some(c)) => (d.t, d.seq) < (c.t, c.seq),
+                (Some(_), None) => true,
+                (None, Some(_)) => false,
+                (None, None) => {
+                    if !self.advance() {
+                        return None;
+                    }
+                    continue;
+                }
+            };
+            let e = if take_due {
+                self.due.pop_front().expect("checked front")
+            } else {
+                self.cur.pop().expect("checked peek")
+            };
+            self.last_pop_t = e.t;
+            self.len -= 1;
+            return Some((e.t, e.seq, e.item));
+        }
+    }
+
+    /// Timestamp of the earliest pending event (rotates the wheel if the
+    /// current bucket is exhausted).
+    pub fn peek_t(&mut self) -> Option<u64> {
+        loop {
+            let t = match (self.due.front(), self.cur.peek()) {
+                (Some(d), Some(c)) => Some(d.t.min(c.t)),
+                (Some(d), None) => Some(d.t),
+                (None, Some(c)) => Some(c.t),
+                (None, None) => None,
+            };
+            if t.is_some() {
+                return t;
+            }
+            if !self.advance() {
+                return None;
+            }
+        }
+    }
+
+    /// Rotates the wheel to the next non-empty bucket and loads it into
+    /// `cur`. Returns false when no events remain anywhere.
+    fn advance(&mut self) -> bool {
+        debug_assert!(self.due.is_empty() && self.cur.is_empty());
+        if self.wheel_len == 0 {
+            // Wheel drained: jump the horizon straight to the overflow's
+            // earliest event (far-future timers in an otherwise idle
+            // cluster).
+            if self.overflow.is_empty() {
+                return false;
+            }
+            let t_min = self.overflow.peek().expect("non-empty").t;
+            self.bucket_start = t_min & !(Self::W_NS - 1);
+            self.migrate_overflow();
+            debug_assert!(!self.wheel[self.cur_idx].is_empty());
+        } else {
+            loop {
+                self.cur_idx = (self.cur_idx + 1) & (Self::N_BUCKETS - 1);
+                self.bucket_start += Self::W_NS;
+                self.migrate_overflow();
+                if !self.wheel[self.cur_idx].is_empty() {
+                    break;
+                }
+            }
+        }
+        let bucket = std::mem::take(&mut self.wheel[self.cur_idx]);
+        self.wheel_len -= bucket.len();
+        self.cur = BinaryHeap::from(bucket);
+        true
+    }
+
+    /// Drains overflow events that now fall inside the horizon into their
+    /// wheel buckets.
+    fn migrate_overflow(&mut self) {
+        let horizon = self.horizon();
+        while let Some(e) = self.overflow.peek() {
+            if e.t >= horizon {
+                break;
+            }
+            let e = self.overflow.pop().expect("peeked");
+            let off = ((e.t - self.bucket_start) >> Self::W_SHIFT) as usize;
+            let idx = (self.cur_idx + off) & (Self::N_BUCKETS - 1);
+            self.wheel[idx].push(e);
+            self.wheel_len += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn drain<T>(q: &mut EventQueue<T>) -> Vec<(u64, u64)> {
+        let mut out = Vec::new();
+        while let Some((t, seq, _)) = q.pop() {
+            out.push((t, seq));
+        }
+        out
+    }
+
+    #[test]
+    fn calendar_pops_in_t_seq_order() {
+        let mut q: EventQueue<u32> = EventQueue::new(SchedKind::Calendar);
+        // Same tick, far future, next bucket, current bucket.
+        q.push(0, 1, 0);
+        q.push(500_000_000, 2, 0); // overflow (beyond 67 ms horizon)
+        q.push(CalendarQueue::<u32>::W_NS * 3, 3, 0);
+        q.push(100, 4, 0);
+        q.push(0, 5, 0);
+        let order = drain(&mut q);
+        assert_eq!(
+            order,
+            vec![
+                (0, 1),
+                (0, 5),
+                (100, 4),
+                (CalendarQueue::<u32>::W_NS * 3, 3),
+                (500_000_000, 2)
+            ]
+        );
+    }
+
+    #[test]
+    fn same_tick_ties_break_by_seq_across_lanes() {
+        let mut q: EventQueue<u32> = EventQueue::new(SchedKind::Calendar);
+        q.push(100, 1, 0); // lands in cur
+        assert_eq!(q.pop().map(|e| e.1), Some(1));
+        // now == 100; a cur-resident event at 100 with seq 2, then due events.
+        q.push(200, 2, 0);
+        q.push(100, 3, 0); // due lane
+        q.push(100, 4, 0); // due lane
+        assert_eq!(q.pop().map(|e| e.1), Some(3));
+        assert_eq!(q.pop().map(|e| e.1), Some(4));
+        assert_eq!(q.pop().map(|e| e.1), Some(2));
+    }
+
+    #[test]
+    fn heap_and_calendar_agree_on_a_dense_schedule() {
+        let mut heap: EventQueue<u32> = EventQueue::new(SchedKind::Heap);
+        let mut cal: EventQueue<u32> = EventQueue::new(SchedKind::Calendar);
+        // Deterministic pseudo-random interleaving of pushes and pops.
+        let mut state = 0x9E3779B97F4A7C15u64;
+        let mut rnd = || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        let mut seq = 0;
+        let mut now = 0u64;
+        for _ in 0..5_000 {
+            if rnd() % 3 != 0 {
+                seq += 1;
+                let dt = match rnd() % 4 {
+                    0 => 0,
+                    1 => rnd() % 1_000,
+                    2 => rnd() % 1_000_000,
+                    _ => rnd() % 200_000_000,
+                };
+                heap.push(now + dt, seq, 0);
+                cal.push(now + dt, seq, 0);
+            } else {
+                let a = heap.pop().map(|e| (e.0, e.1));
+                let b = cal.pop().map(|e| (e.0, e.1));
+                assert_eq!(a, b);
+                if let Some((t, _)) = a {
+                    now = t;
+                }
+            }
+        }
+        assert_eq!(drain(&mut heap), drain(&mut cal));
+    }
+
+    #[test]
+    fn peek_matches_next_pop() {
+        let mut q: EventQueue<u32> = EventQueue::new(SchedKind::Calendar);
+        q.push(70_000_000, 1, 0);
+        assert_eq!(q.peek_t(), Some(70_000_000));
+        assert_eq!(q.pop().map(|e| e.0), Some(70_000_000));
+        assert_eq!(q.peek_t(), None);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn idle_cluster_jumps_to_far_timers() {
+        let mut q: EventQueue<u32> = EventQueue::new(SchedKind::Calendar);
+        // Two sparse GC-style timers, hours of virtual time apart.
+        q.push(3_600_000_000_000, 1, 0);
+        q.push(7_200_000_000_000, 2, 0);
+        assert_eq!(q.pop().map(|e| e.0), Some(3_600_000_000_000));
+        assert_eq!(q.pop().map(|e| e.0), Some(7_200_000_000_000));
+        assert_eq!(q.pop().map(|e| e.0), None);
+    }
+}

@@ -1,13 +1,21 @@
 //! The discrete-event simulation engine.
+//!
+//! Rebuilt for 100+-partition sweeps (see the crate docs): interned
+//! `Addr → index` routing, a flat per-link FIFO table, inline per-node
+//! backlog queues, reusable handler scratch buffers, and the calendar-queue
+//! scheduler of [`crate::sched`]. Event ordering is exactly the original
+//! engine's `(time, sequence)` total order — the heap scheduler is retained
+//! as a differential baseline.
 
-use crate::actor::{Actor, ActorCtx, TimerKind};
-use crate::cost::{CostModel, SimMessage};
-use crate::metrics::Metrics;
+use crate::sched::{EventQueue, SchedKind};
+use contrarian_runtime::actor::{Actor, ActorCtx, TimerKind};
+use contrarian_runtime::cost::{CostModel, SimMessage};
+use contrarian_runtime::metrics::Metrics;
+use contrarian_runtime::Runtime;
 use contrarian_types::{Addr, HistoryEvent, NodeKind, Op};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
-use std::cmp::Ordering;
-use std::collections::{BinaryHeap, HashMap, VecDeque};
+use std::collections::{HashMap, VecDeque};
 
 enum EvKind<M> {
     /// A message reached a node's NIC.
@@ -20,30 +28,6 @@ enum EvKind<M> {
     Timer { node: usize, kind: TimerKind },
 }
 
-struct HeapEv<M> {
-    t: u64,
-    seq: u64,
-    kind: EvKind<M>,
-}
-
-impl<M> PartialEq for HeapEv<M> {
-    fn eq(&self, other: &Self) -> bool {
-        self.t == other.t && self.seq == other.seq
-    }
-}
-impl<M> Eq for HeapEv<M> {}
-impl<M> PartialOrd for HeapEv<M> {
-    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl<M> Ord for HeapEv<M> {
-    fn cmp(&self, other: &Self) -> Ordering {
-        // Reversed: BinaryHeap is a max-heap, we need earliest-first.
-        (other.t, other.seq).cmp(&(self.t, self.seq))
-    }
-}
-
 struct NodeSlot<A> {
     addr: Addr,
     actor: A,
@@ -51,7 +35,70 @@ struct NodeSlot<A> {
     /// are not the bottleneck).
     workers: u32,
     busy: u32,
-    queue: VecDeque<(Addr, u64)>, // (from, stash index)
+    /// Messages that arrived while all workers were busy, FIFO.
+    queue: VecDeque<(Addr, u64)>, // (from, backlog slot)
+}
+
+/// Interned routing: `Addr → node index` as pure arithmetic on two flat
+/// tables, built once at [`Sim::start`]. Replaces the per-send `HashMap`
+/// lookup of the original engine.
+struct RouteTable {
+    /// `servers[dc * server_stride + partition]`, `u32::MAX` = absent.
+    servers: Vec<u32>,
+    /// `clients[dc * client_stride + idx]`, `u32::MAX` = absent.
+    clients: Vec<u32>,
+    server_stride: usize,
+    client_stride: usize,
+}
+
+impl RouteTable {
+    const ABSENT: u32 = u32::MAX;
+
+    fn build(addrs: impl Iterator<Item = Addr> + Clone) -> Self {
+        let mut dcs = 0usize;
+        let mut max_server = 0usize;
+        let mut max_client = 0usize;
+        for a in addrs.clone() {
+            dcs = dcs.max(a.dc.index() + 1);
+            match a.kind {
+                NodeKind::Server => max_server = max_server.max(a.idx as usize + 1),
+                NodeKind::Client => max_client = max_client.max(a.idx as usize + 1),
+            }
+        }
+        let mut t = RouteTable {
+            servers: vec![Self::ABSENT; dcs * max_server],
+            clients: vec![Self::ABSENT; dcs * max_client],
+            server_stride: max_server,
+            client_stride: max_client,
+        };
+        for (i, a) in addrs.enumerate() {
+            match a.kind {
+                NodeKind::Server => {
+                    t.servers[a.dc.index() * t.server_stride + a.idx as usize] = i as u32
+                }
+                NodeKind::Client => {
+                    t.clients[a.dc.index() * t.client_stride + a.idx as usize] = i as u32
+                }
+            }
+        }
+        t
+    }
+
+    #[inline]
+    fn get(&self, addr: Addr) -> Option<usize> {
+        let (table, stride) = match addr.kind {
+            NodeKind::Server => (&self.servers, self.server_stride),
+            NodeKind::Client => (&self.clients, self.client_stride),
+        };
+        // The idx bound matters: without it an out-of-range index would
+        // alias into the next DC's row instead of failing like the HashMap
+        // lookup this table replaced.
+        if addr.idx as usize >= stride {
+            return None;
+        }
+        let slot = *table.get(addr.dc.index() * stride + addr.idx as usize)?;
+        (slot != Self::ABSENT).then_some(slot as usize)
+    }
 }
 
 /// The deterministic cluster simulator. Generic over the protocol's
@@ -59,14 +106,20 @@ struct NodeSlot<A> {
 pub struct Sim<A: Actor> {
     now: u64,
     seq: u64,
-    heap: BinaryHeap<HeapEv<A::Msg>>,
+    queue: EventQueue<EvKind<A::Msg>>,
     nodes: Vec<NodeSlot<A>>,
+    /// Registration-time index; hot-path routing uses `routes` once started.
     index: HashMap<Addr, usize>,
-    /// FIFO enforcement: last scheduled arrival per (src, dst) link.
-    links: HashMap<(usize, usize), u64>,
-    /// Queued-but-not-in-service messages live here so the queue stays tiny.
-    stash: HashMap<u64, A::Msg>,
-    stash_seq: u64,
+    routes: RouteTable,
+    /// FIFO enforcement: last scheduled arrival per (src, dst) link, flat
+    /// `n×n` (0 = never used; arrivals are strictly positive).
+    links: Vec<u64>,
+    /// Backlogged messages awaiting a worker (slab, free-list reuse).
+    backlog: Vec<Option<A::Msg>>,
+    backlog_free: Vec<u64>,
+    /// Reusable handler scratch (outbox + timer buffers).
+    scratch_out: Vec<(Addr, A::Msg)>,
+    scratch_timers: Vec<(u64, TimerKind)>,
     cost: CostModel,
     rng: SmallRng,
     metrics: Metrics,
@@ -77,16 +130,31 @@ pub struct Sim<A: Actor> {
 }
 
 impl<A: Actor> Sim<A> {
+    /// A simulator with the scheduler selected by `CONTRARIAN_SCHED`
+    /// (calendar queue unless overridden).
     pub fn new(cost: CostModel, seed: u64) -> Self {
+        Self::with_scheduler(cost, seed, SchedKind::from_env())
+    }
+
+    /// A simulator with an explicit scheduler choice.
+    pub fn with_scheduler(cost: CostModel, seed: u64, sched: SchedKind) -> Self {
         Sim {
             now: 0,
             seq: 0,
-            heap: BinaryHeap::new(),
+            queue: EventQueue::new(sched),
             nodes: Vec::new(),
             index: HashMap::new(),
-            links: HashMap::new(),
-            stash: HashMap::new(),
-            stash_seq: 0,
+            routes: RouteTable {
+                servers: Vec::new(),
+                clients: Vec::new(),
+                server_stride: 0,
+                client_stride: 0,
+            },
+            links: Vec::new(),
+            backlog: Vec::new(),
+            backlog_free: Vec::new(),
+            scratch_out: Vec::new(),
+            scratch_timers: Vec::new(),
             cost,
             rng: SmallRng::seed_from_u64(seed),
             metrics: Metrics::new(),
@@ -123,10 +191,13 @@ impl<A: Actor> Sim<A> {
         });
     }
 
-    /// Calls every node's `on_start` (in registration order).
+    /// Builds the routing and link tables, then calls every node's
+    /// `on_start` (in registration order).
     pub fn start(&mut self) {
         assert!(!self.started);
         self.started = true;
+        self.routes = RouteTable::build(self.nodes.iter().map(|n| n.addr));
+        self.links = vec![0; self.nodes.len() * self.nodes.len()];
         for i in 0..self.nodes.len() {
             self.with_ctx(i, 0, |actor, ctx| actor.on_start(ctx));
         }
@@ -165,14 +236,25 @@ impl<A: Actor> Sim<A> {
         &self.cost
     }
 
+    /// Resolves an address to its node slot (flat table once started).
+    #[inline]
+    fn route(&self, addr: Addr) -> usize {
+        let found = if self.started {
+            self.routes.get(addr)
+        } else {
+            self.index.get(&addr).copied()
+        };
+        found.unwrap_or_else(|| panic!("unknown addr {addr}"))
+    }
+
     /// Read access to a node's actor (post-run inspection: convergence
     /// checks, protocol statistics).
     pub fn actor(&self, addr: Addr) -> &A {
-        &self.nodes[self.index[&addr]].actor
+        &self.nodes[self.route(addr)].actor
     }
 
     pub fn actor_mut(&mut self, addr: Addr) -> &mut A {
-        let i = self.index[&addr];
+        let i = self.route(addr);
         &mut self.nodes[i].actor
     }
 
@@ -183,7 +265,7 @@ impl<A: Actor> Sim<A> {
 
     /// Injects an external operation into a client node (interactive use).
     pub fn inject_op(&mut self, client: Addr, op: Op) {
-        let to = self.index[&client];
+        let to = self.route(client);
         let msg = A::inject(op);
         self.push(
             self.now,
@@ -197,12 +279,12 @@ impl<A: Actor> Sim<A> {
 
     /// Processes a single event. Returns `false` when no events remain.
     pub fn step(&mut self) -> bool {
-        let Some(ev) = self.heap.pop() else {
+        let Some((t, _seq, kind)) = self.queue.pop() else {
             return false;
         };
-        debug_assert!(ev.t >= self.now, "time went backwards");
-        self.now = ev.t;
-        match ev.kind {
+        debug_assert!(t >= self.now, "time went backwards");
+        self.now = t;
+        match kind {
             EvKind::Arrive { to, from, msg } => self.on_arrive(to, from, msg),
             EvKind::ServiceDone { node, from, msg } => self.on_service_done(node, from, msg),
             EvKind::WorkerFree { node } => self.on_worker_free(node),
@@ -213,8 +295,8 @@ impl<A: Actor> Sim<A> {
 
     /// Runs until virtual time `t` (inclusive of events at `t`).
     pub fn run_until(&mut self, t: u64) {
-        while let Some(ev) = self.heap.peek() {
-            if ev.t > t {
+        while let Some(next) = self.queue.peek_t() {
+            if next > t {
                 break;
             }
             self.step();
@@ -235,11 +317,23 @@ impl<A: Actor> Sim<A> {
 
     fn push(&mut self, t: u64, kind: EvKind<A::Msg>) {
         self.seq += 1;
-        self.heap.push(HeapEv {
-            t,
-            seq: self.seq,
-            kind,
-        });
+        self.queue.push(t, self.seq, kind);
+    }
+
+    fn stash_backlog(&mut self, msg: A::Msg) -> u64 {
+        if let Some(slot) = self.backlog_free.pop() {
+            self.backlog[slot as usize] = Some(msg);
+            slot
+        } else {
+            self.backlog.push(Some(msg));
+            (self.backlog.len() - 1) as u64
+        }
+    }
+
+    fn take_backlog(&mut self, slot: u64) -> A::Msg {
+        let msg = self.backlog[slot as usize].take().expect("stashed message");
+        self.backlog_free.push(slot);
+        msg
     }
 
     fn on_arrive(&mut self, to: usize, from: Addr, msg: A::Msg) {
@@ -274,9 +368,8 @@ impl<A: Actor> Sim<A> {
                 },
             );
         } else {
-            self.stash_seq += 1;
-            self.stash.insert(self.stash_seq, msg);
-            slot.queue.push_back((from, self.stash_seq));
+            let slot_id = self.stash_backlog(msg);
+            self.nodes[to].queue.push_back((from, slot_id));
         }
     }
 
@@ -289,9 +382,9 @@ impl<A: Actor> Sim<A> {
         let slot = &mut self.nodes[node];
         slot.busy -= 1;
         if slot.busy < slot.workers {
-            if let Some((from, stash_id)) = slot.queue.pop_front() {
-                slot.busy += 1;
-                let msg = self.stash.remove(&stash_id).expect("stashed message");
+            if let Some((from, slot_id)) = slot.queue.pop_front() {
+                self.nodes[node].busy += 1;
+                let msg = self.take_backlog(slot_id);
                 let c = msg.rx_cost(&self.cost);
                 if self.metrics.enabled {
                     self.metrics.busy_ns += c;
@@ -318,11 +411,16 @@ impl<A: Actor> Sim<A> {
     {
         let addr = self.nodes[node].addr;
         let is_server = self.nodes[node].workers > 0;
+        // The outbox/timer buffers are owned by the Sim and reused across
+        // handlers: no per-event allocation.
+        let mut out = std::mem::take(&mut self.scratch_out);
+        let mut timers = std::mem::take(&mut self.scratch_timers);
+        debug_assert!(out.is_empty() && timers.is_empty());
         let mut ctx = SimCtx {
             now: self.now,
             addr,
-            out: Vec::new(),
-            timers: Vec::new(),
+            out: &mut out,
+            timers: &mut timers,
             charge: base_charge,
             rng: &mut self.rng,
             metrics: &mut self.metrics,
@@ -334,17 +432,13 @@ impl<A: Actor> Sim<A> {
         // borrows self.rng / self.metrics / self.history.
         let actor = &mut self.nodes[node].actor;
         f(actor, &mut ctx);
-        let SimCtx {
-            out,
-            timers,
-            charge,
-            ..
-        } = ctx;
+        let charge = ctx.charge;
 
         // Send phase: messages depart back-to-back after the handler, each
         // paying its tx cost on the sender's CPU.
+        let n = self.nodes.len();
         let mut depart = self.now + charge;
-        for (to, msg) in out {
+        for (to, msg) in out.drain(..) {
             let tx = if is_server {
                 msg.tx_cost(&self.cost)
             } else {
@@ -354,10 +448,7 @@ impl<A: Actor> Sim<A> {
             if is_server && self.metrics.enabled {
                 self.metrics.busy_ns += tx;
             }
-            let to_idx = *self
-                .index
-                .get(&to)
-                .unwrap_or_else(|| panic!("unknown addr {to}"));
+            let to_idx = self.route(to);
             let latency = if to.dc == addr.dc {
                 self.cost.hop_latency_ns
             } else {
@@ -365,7 +456,7 @@ impl<A: Actor> Sim<A> {
             };
             let mut arrive = depart + latency + self.cost.wire_bytes(msg.wire_size());
             // FIFO per link.
-            let link = self.links.entry((node, to_idx)).or_insert(0);
+            let link = &mut self.links[node * n + to_idx];
             if arrive <= *link {
                 arrive = *link + 1;
             }
@@ -379,9 +470,11 @@ impl<A: Actor> Sim<A> {
                 },
             );
         }
-        for (delay, kind) in timers {
+        for (delay, kind) in timers.drain(..) {
             self.push(self.now + delay, EvKind::Timer { node, kind });
         }
+        self.scratch_out = out;
+        self.scratch_timers = timers;
         if self.metrics.enabled && is_server {
             self.metrics.busy_ns += charge.saturating_sub(base_charge);
         }
@@ -400,11 +493,37 @@ impl<A: Actor> Sim<A> {
     }
 }
 
+impl<A: Actor> Runtime<A> for Sim<A> {
+    fn now(&self) -> u64 {
+        self.now
+    }
+
+    fn send(&mut self, from: Addr, to: Addr, msg: A::Msg) {
+        let to_idx = self.route(to);
+        self.push(
+            self.now,
+            EvKind::Arrive {
+                to: to_idx,
+                from,
+                msg,
+            },
+        );
+    }
+
+    fn stop_issuing(&mut self) {
+        self.set_stopped(true);
+    }
+
+    fn addrs(&self) -> Vec<Addr> {
+        Sim::addrs(self)
+    }
+}
+
 struct SimCtx<'a, M> {
     now: u64,
     addr: Addr,
-    out: Vec<(Addr, M)>,
-    timers: Vec<(u64, TimerKind)>,
+    out: &'a mut Vec<(Addr, M)>,
+    timers: &'a mut Vec<(u64, TimerKind)>,
     charge: u64,
     rng: &'a mut SmallRng,
     metrics: &'a mut Metrics,
@@ -460,7 +579,7 @@ impl<'a, M> ActorCtx<M> for SimCtx<'a, M> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::cost::MsgClass;
+    use contrarian_runtime::cost::MsgClass;
     use contrarian_types::DcId;
 
     /// A ping-pong actor: servers echo, the client counts echoes.
@@ -508,8 +627,8 @@ mod tests {
         }
     }
 
-    fn mk() -> Sim<Echo> {
-        let mut sim = Sim::new(CostModel::functional(), 1);
+    fn mk_with(sched: SchedKind) -> Sim<Echo> {
+        let mut sim = Sim::with_scheduler(CostModel::functional(), 1, sched);
         let server = Addr::server(DcId(0), contrarian_types::PartitionId(0));
         let client = Addr::client(DcId(0), 0);
         sim.add_server(
@@ -530,23 +649,29 @@ mod tests {
         sim
     }
 
-    #[test]
-    fn ping_pong_runs_to_completion() {
-        let mut sim = mk();
-        sim.start();
-        sim.run_to_quiescence(u64::MAX);
-        let client = Addr::client(DcId(0), 0);
-        assert_eq!(
-            sim.actor(client).pongs,
-            5,
-            "pings 0,2,4,6,8 produce 5 pongs"
-        );
+    fn mk() -> Sim<Echo> {
+        mk_with(SchedKind::Calendar)
     }
 
     #[test]
-    fn identical_seeds_are_deterministic() {
-        let run = |seed| {
-            let mut sim = Sim::new(CostModel::calibrated(), seed);
+    fn ping_pong_runs_to_completion() {
+        for sched in [SchedKind::Calendar, SchedKind::Heap] {
+            let mut sim = mk_with(sched);
+            sim.start();
+            sim.run_to_quiescence(u64::MAX);
+            let client = Addr::client(DcId(0), 0);
+            assert_eq!(
+                sim.actor(client).pongs,
+                5,
+                "pings 0,2,4,6,8 produce 5 pongs ({sched:?})"
+            );
+        }
+    }
+
+    #[test]
+    fn identical_seeds_are_deterministic_across_schedulers() {
+        let run = |seed, sched| {
+            let mut sim = Sim::with_scheduler(CostModel::calibrated(), seed, sched);
             let server = Addr::server(DcId(0), contrarian_types::PartitionId(0));
             let client = Addr::client(DcId(0), 0);
             sim.add_server(
@@ -568,7 +693,8 @@ mod tests {
             sim.run_to_quiescence(u64::MAX);
             sim.now()
         };
-        assert_eq!(run(42), run(42));
+        assert_eq!(run(42, SchedKind::Calendar), run(42, SchedKind::Calendar));
+        assert_eq!(run(42, SchedKind::Calendar), run(42, SchedKind::Heap));
     }
 
     #[test]
@@ -652,12 +778,75 @@ mod tests {
                 Ping(0)
             }
         }
-        let mut sim: Sim<Burst> = Sim::new(CostModel::functional(), 9);
+        for sched in [SchedKind::Calendar, SchedKind::Heap] {
+            let mut sim: Sim<Burst> = Sim::with_scheduler(CostModel::functional(), 9, sched);
+            let server = Addr::server(DcId(0), contrarian_types::PartitionId(0));
+            sim.add_server(server, Burst { got: vec![] }, 4);
+            sim.add_client(Addr::client(DcId(0), 0), Burst { got: vec![] });
+            sim.start();
+            sim.run_to_quiescence(u64::MAX);
+            assert_eq!(sim.actor(server).got, vec![0, 1, 2, 3, 4], "{sched:?}");
+        }
+    }
+
+    #[test]
+    fn runtime_trait_injects_and_stops() {
+        use contrarian_runtime::Runtime;
+        let mut sim = mk();
+        sim.start();
+        let client = Addr::client(DcId(0), 0);
+        Runtime::send(&mut sim, client, client, Ping(100));
+        sim.run_to_quiescence(u64::MAX);
+        // The injected Ping(100) is past the pong limit: counted, no reply.
+        assert_eq!(sim.actor(client).pongs, 6);
+        Runtime::stop_issuing(&mut sim);
+        assert_eq!(Runtime::<Echo>::addrs(&sim).len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown addr")]
+    fn out_of_range_partition_does_not_alias_across_dcs() {
+        // A flat route table must reject idx >= stride instead of reading
+        // into the next DC's row.
+        let mut sim = mk();
+        sim.start();
+        sim.actor(Addr::server(DcId(0), contrarian_types::PartitionId(7)));
+    }
+
+    #[test]
+    fn backlog_slots_are_reused() {
+        // Hammer a single-worker server hard enough to build a backlog and
+        // drain it fully; the free list must keep the slab bounded.
+        let mut sim: Sim<Echo> = Sim::new(CostModel::functional(), 5);
         let server = Addr::server(DcId(0), contrarian_types::PartitionId(0));
-        sim.add_server(server, Burst { got: vec![] }, 4);
-        sim.add_client(Addr::client(DcId(0), 0), Burst { got: vec![] });
+        sim.add_server(
+            server,
+            Echo {
+                pongs: 0,
+                peer: None,
+            },
+            1,
+        );
+        for i in 0..8 {
+            sim.add_client(
+                Addr::client(DcId(0), i),
+                Echo {
+                    pongs: 0,
+                    peer: Some(server),
+                },
+            );
+        }
         sim.start();
         sim.run_to_quiescence(u64::MAX);
-        assert_eq!(sim.actor(server).got, vec![0, 1, 2, 3, 4]);
+        let total: u64 = (0..8)
+            .map(|i| sim.actor(Addr::client(DcId(0), i)).pongs)
+            .sum();
+        assert_eq!(total, 40);
+        assert_eq!(
+            sim.backlog.iter().filter(|m| m.is_some()).count(),
+            0,
+            "backlog fully drained"
+        );
+        assert_eq!(sim.backlog.len(), sim.backlog_free.len());
     }
 }

@@ -1,10 +1,11 @@
 //! Thread-per-node live cluster.
 
-use contrarian_sim::actor::{Actor, ActorCtx, TimerKind};
-use contrarian_sim::metrics::Metrics;
+use contrarian_runtime::actor::{Actor, ActorCtx, TimerKind};
+use contrarian_runtime::history::HistorySink;
+use contrarian_runtime::metrics::Metrics;
+use contrarian_runtime::Runtime;
 use contrarian_types::{Addr, HistoryEvent, Op};
 use crossbeam::channel::{bounded, Receiver, Sender};
-use parking_lot::Mutex;
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 use std::collections::{BinaryHeap, HashMap};
@@ -18,20 +19,27 @@ enum Input<M> {
     Stop,
 }
 
-/// Shared run state: routing table, clock origin, metrics and history sinks.
+/// Shared run state: routing table, clock origin, stop/measure flags, and
+/// the waitable history sink.
+///
+/// Metrics are *not* here: every node thread accumulates its own
+/// [`Metrics`] and hands it back when the thread joins — the measurement
+/// hot path takes no lock. History is only ever touched when `recording`
+/// is set (functional runs), through a [`HistorySink`] whose condition
+/// variable lets waiters sleep instead of poll.
 struct Shared<M> {
     routes: HashMap<Addr, Sender<Input<M>>>,
     start: Instant,
     stopped: AtomicBool,
-    metrics: Mutex<Metrics>,
-    history: Mutex<Vec<HistoryEvent>>,
+    measuring: AtomicBool,
+    history: HistorySink,
     recording: bool,
 }
 
 /// A running cluster of actor threads.
 pub struct LiveCluster<A: Actor> {
     shared: Arc<Shared<A::Msg>>,
-    threads: Vec<JoinHandle<A>>,
+    threads: Vec<JoinHandle<(A, Metrics)>>,
     addrs: Vec<Addr>,
 }
 
@@ -48,32 +56,19 @@ impl<M: Send + 'static> LiveHandle<M> {
     }
 
     /// Blocks until some history event satisfies `pred`, scanning from
-    /// `*cursor`; advances the cursor past the match.
+    /// `*cursor`; advances the cursor past the match. Waiters sleep on the
+    /// sink's condition variable and are woken by appends — no CPU is
+    /// burned polling.
     pub fn wait_for_history<F>(
         &self,
         cursor: &mut usize,
         timeout: Duration,
-        mut pred: F,
+        pred: F,
     ) -> Option<HistoryEvent>
     where
         F: FnMut(&HistoryEvent) -> bool,
     {
-        let deadline = Instant::now() + timeout;
-        loop {
-            {
-                let hist = self.shared.history.lock();
-                for i in *cursor..hist.len() {
-                    if pred(&hist[i]) {
-                        *cursor = i + 1;
-                        return Some(hist[i].clone());
-                    }
-                }
-            }
-            if Instant::now() >= deadline {
-                return None;
-            }
-            std::thread::sleep(Duration::from_micros(200));
-        }
+        self.shared.history.wait_for(cursor, timeout, pred)
     }
 }
 
@@ -91,8 +86,8 @@ impl<A: Actor + Send + 'static> LiveCluster<A> {
             routes,
             start: Instant::now(),
             stopped: AtomicBool::new(false),
-            metrics: Mutex::new(Metrics::new()),
-            history: Mutex::new(Vec::new()),
+            measuring: AtomicBool::new(false),
+            history: HistorySink::new(),
             recording,
         });
 
@@ -126,6 +121,11 @@ impl<A: Actor + Send + 'static> LiveCluster<A> {
         &self.addrs
     }
 
+    /// Wall-clock nanoseconds since the cluster started.
+    pub fn now(&self) -> u64 {
+        self.shared.start.elapsed().as_nanos() as u64
+    }
+
     /// Sends an operation to a client node.
     pub fn inject_op(&self, client: Addr, op: Op) {
         if let Some(tx) = self.shared.routes.get(&client) {
@@ -136,55 +136,93 @@ impl<A: Actor + Send + 'static> LiveCluster<A> {
         }
     }
 
+    /// Turns measurement on or off (the live analogue of flipping
+    /// `Metrics::enabled` after warmup; each node thread samples this flag).
+    pub fn set_measuring(&self, on: bool) {
+        self.shared.measuring.store(on, Ordering::SeqCst);
+    }
+
     /// Signals closed-loop clients to stop issuing new operations.
     pub fn stop_issuing(&self) {
         self.shared.stopped.store(true, Ordering::SeqCst);
     }
 
     /// Stops every node and returns the final actors, metrics and history.
+    /// The returned metrics are the per-thread sinks merged at join.
     pub fn shutdown(self) -> (Vec<(Addr, A)>, Metrics, Vec<HistoryEvent>) {
         self.shared.stopped.store(true, Ordering::SeqCst);
         for tx in self.shared.routes.values() {
             let _ = tx.send(Input::Stop);
         }
         let mut actors = Vec::new();
+        let mut metrics = Metrics::new();
         for (t, addr) in self.threads.into_iter().zip(self.addrs.iter()) {
-            actors.push((*addr, t.join().expect("node thread panicked")));
+            let (actor, local) = t.join().expect("node thread panicked");
+            metrics.absorb(&local);
+            actors.push((*addr, actor));
         }
-        let metrics = self.shared.metrics.lock().clone();
-        let history = std::mem::take(&mut *self.shared.history.lock());
+        let history = self.shared.history.take();
         (actors, metrics, history)
     }
 }
 
-/// Per-node event loop: channel input + timer deadline queue.
+impl<A: Actor + Send + 'static> Runtime<A> for LiveCluster<A> {
+    fn now(&self) -> u64 {
+        LiveCluster::now(self)
+    }
+
+    fn send(&mut self, from: Addr, to: Addr, msg: A::Msg) {
+        // Same contract as the simulator's Runtime impl: an unknown
+        // destination is a driver bug, not a droppable message.
+        let tx = self
+            .shared
+            .routes
+            .get(&to)
+            .unwrap_or_else(|| panic!("unknown addr {to}"));
+        let _ = tx.send(Input::Msg { from, msg });
+    }
+
+    fn stop_issuing(&mut self) {
+        LiveCluster::stop_issuing(self);
+    }
+
+    fn addrs(&self) -> Vec<Addr> {
+        self.addrs.clone()
+    }
+}
+
+/// Per-node event loop: channel input + timer deadline queue. Returns the
+/// actor and the thread-local metrics sink.
 fn run_node<A: Actor>(
     addr: Addr,
     mut actor: A,
     rx: Receiver<Input<A::Msg>>,
     shared: Arc<Shared<A::Msg>>,
     seed: u64,
-) -> A {
+) -> (A, Metrics) {
     let mut rng = SmallRng::seed_from_u64(seed);
     // Timer queue: (deadline, seq, kind); BinaryHeap is a max-heap so store
     // reversed deadlines.
     let mut timers: BinaryHeap<std::cmp::Reverse<(Instant, u64, u16, u64)>> = BinaryHeap::new();
     let mut timer_seq = 0u64;
+    // The thread-local metrics sink: all handler effects accumulate here and
+    // the whole thing is handed back on join — no shared lock on this path.
+    let mut metrics = Metrics::new();
 
     let fire = |actor: &mut A,
                 rng: &mut SmallRng,
                 timers: &mut BinaryHeap<std::cmp::Reverse<(Instant, u64, u16, u64)>>,
                 timer_seq: &mut u64,
+                metrics: &mut Metrics,
                 ev: Event<A::Msg>| {
-        let mut local = Metrics::new();
-        local.enabled = shared.metrics.lock().enabled;
+        metrics.enabled = shared.measuring.load(Ordering::Relaxed);
         let mut ctx = LiveCtx {
             addr,
             shared: &shared,
             rng,
             out: Vec::new(),
             new_timers: Vec::new(),
-            local_metrics: local,
+            metrics,
         };
         match ev {
             Event::Start => actor.on_start(&mut ctx),
@@ -192,14 +230,8 @@ fn run_node<A: Actor>(
             Event::Timer(kind) => actor.on_timer(&mut ctx, kind),
         }
         let LiveCtx {
-            out,
-            new_timers,
-            local_metrics,
-            ..
+            out, new_timers, ..
         } = ctx;
-        if local_metrics.ops_done() > 0 || !local_metrics.counters.is_empty() {
-            shared.metrics.lock().absorb(&local_metrics);
-        }
         for (to, msg) in out {
             if let Some(tx) = shared.routes.get(&to) {
                 let _ = tx.send(Input::Msg { from: addr, msg });
@@ -217,6 +249,7 @@ fn run_node<A: Actor>(
         &mut rng,
         &mut timers,
         &mut timer_seq,
+        &mut metrics,
         Event::Start,
     );
 
@@ -233,6 +266,7 @@ fn run_node<A: Actor>(
                 &mut rng,
                 &mut timers,
                 &mut timer_seq,
+                &mut metrics,
                 Event::Timer(TimerKind::with_arg(kind, a)),
             );
         }
@@ -247,6 +281,7 @@ fn run_node<A: Actor>(
                 &mut rng,
                 &mut timers,
                 &mut timer_seq,
+                &mut metrics,
                 Event::Msg { from, msg },
             ),
             Ok(Input::Stop) => break,
@@ -254,7 +289,7 @@ fn run_node<A: Actor>(
             Err(crossbeam::channel::RecvTimeoutError::Disconnected) => break,
         }
     }
-    actor
+    (actor, metrics)
 }
 
 enum Event<M> {
@@ -269,9 +304,9 @@ struct LiveCtx<'a, M> {
     rng: &'a mut SmallRng,
     out: Vec<(Addr, M)>,
     new_timers: Vec<(u64, TimerKind)>,
-    /// Per-handler metrics scratch, merged into the shared metrics after
-    /// the handler returns.
-    local_metrics: Metrics,
+    /// The node thread's metrics sink (merged into the cluster total when
+    /// the thread joins).
+    metrics: &'a mut Metrics,
 }
 
 impl<'a, M> ActorCtx<M> for LiveCtx<'a, M> {
@@ -300,12 +335,12 @@ impl<'a, M> ActorCtx<M> for LiveCtx<'a, M> {
     }
 
     fn metrics(&mut self) -> &mut Metrics {
-        &mut self.local_metrics
+        self.metrics
     }
 
     fn record(&mut self, ev: HistoryEvent) {
         if self.shared.recording {
-            self.shared.history.lock().push(ev);
+            self.shared.history.append(ev);
         }
     }
 

@@ -3,9 +3,13 @@
 //!
 //! The discrete-event simulator (`contrarian-sim`) executes protocols
 //! deterministically under a cost model; this crate runs the *same*
-//! [`Actor`] implementations as a real concurrent system: every node gets
-//! an OS thread, links are crossbeam channels (FIFO, like TCP connections),
-//! time is the wall clock, and timers are per-thread deadline queues.
+//! `Actor` implementations (from `contrarian-runtime`, the substrate both
+//! runtimes share — this crate does not depend on the simulator) as a real
+//! concurrent system: every node gets an OS thread, links are crossbeam
+//! channels (FIFO, like TCP connections), time is the wall clock, and
+//! timers are per-thread deadline queues. Metrics accumulate in per-thread
+//! sinks merged when threads join, and history goes through a waitable
+//! `HistorySink`, so neither is a cross-thread hot-path lock.
 //!
 //! It exists to demonstrate that the protocol crates are real implementations
 //! rather than simulation artifacts: integration tests run Contrarian and

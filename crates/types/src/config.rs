@@ -116,6 +116,17 @@ impl ClusterConfig {
         }
     }
 
+    /// A production-scale cluster: 128 partitions, 4× the paper's platform.
+    /// The key count per partition is scaled down so the whole cluster
+    /// still covers the paper's ~32M-key data set.
+    pub fn large() -> Self {
+        ClusterConfig {
+            n_partitions: 128,
+            keys_per_partition: 250_000,
+            ..ClusterConfig::paper_default()
+        }
+    }
+
     /// A small cluster for unit and integration tests.
     pub fn small() -> Self {
         ClusterConfig {

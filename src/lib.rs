@@ -28,15 +28,21 @@
 //! fourth backend is roughly one file (implement the traits plus a
 //! `ProtocolSpec`).
 //!
-//! Underneath sit the building blocks: [`types`] (ids, keys, vectors,
-//! config, wire sizes), [`clock`] (HLC / Lamport / simulated physical
-//! clocks), [`storage`] (multi-version chains), [`workload`] (zipfian
-//! closed-loop generation), [`sim`] (the deterministic discrete-event
-//! cluster simulator), and [`transport`] (the live multi-threaded
-//! in-process deployment of the same state machines). [`harness`]
-//! regenerates every figure and table of the paper; `contrarian-bench`
-//! holds the Criterion benchmarks (see `BENCH_baseline.json` for the
-//! checked-in baseline).
+//! Underneath sit the building blocks, layered strictly as
+//! `types → runtime → {sim, transport} → protocol → backends`:
+//! [`types`] (ids, keys, vectors, config, wire sizes), [`clock`] (HLC /
+//! Lamport / simulated physical clocks), [`storage`] (multi-version
+//! chains), [`workload`] (zipfian closed-loop generation), [`runtime`]
+//! (the execution substrate both runtimes share: `Actor`/`ActorCtx`, the
+//! cost model, metrics, history recording), [`sim`] (the deterministic
+//! discrete-event cluster simulator with a calendar-queue scheduler sized
+//! for 128-partition sweeps), and [`transport`] (the live multi-threaded
+//! in-process deployment of the same state machines — a sibling of the
+//! simulator, not a dependent). [`harness`] regenerates every figure and
+//! table of the paper plus a beyond-the-paper 8→128-partition scaling
+//! sweep (`scale_sweep`); `contrarian-bench` holds the Criterion
+//! benchmarks (`BENCH_baseline.json` and `BENCH_pr2.json` for the
+//! checked-in trajectory).
 //!
 //! Protocols are deterministic state machines driven either by the
 //! simulator — used to regenerate the paper's results — or by the live
@@ -98,6 +104,7 @@ pub use contrarian_core as core_protocol;
 pub use contrarian_cure as cure;
 pub use contrarian_harness as harness;
 pub use contrarian_protocol as protocol;
+pub use contrarian_runtime as runtime;
 pub use contrarian_sim as sim;
 pub use contrarian_storage as storage;
 pub use contrarian_transport as transport;
