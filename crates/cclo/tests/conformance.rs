@@ -1,6 +1,6 @@
 //! CC-LO under the shared backend conformance suite: the same convergence +
-//! causal-session checks every backend must pass, on both the discrete-event
-//! simulator and the live threaded transport.
+//! causal-session checks every backend must pass, on all three runtimes:
+//! discrete-event simulator, in-process threads, and loopback TCP.
 
 use contrarian_cclo::CcLo;
 use contrarian_protocol::conformance;
@@ -24,4 +24,10 @@ fn conforms_on_simulator_replicated() {
 #[test]
 fn conforms_on_live_transport() {
     conformance::check_live::<CcLo>(2, 34).unwrap();
+}
+
+#[test]
+fn conforms_on_tcp_transport() {
+    let outcome = conformance::check_net::<CcLo>(2, 35).unwrap();
+    assert!(outcome.keys_compared > 0);
 }

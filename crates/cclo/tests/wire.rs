@@ -1,0 +1,152 @@
+//! Wire-codec round-trip properties for every CC-LO message variant.
+//!
+//! `decode(encode(m)) == m` must hold for any message the backend can
+//! construct — this is what lets the TCP runtime carry the protocol.
+
+use contrarian_cclo::msg::{Dep, Msg};
+use contrarian_types::codec::{from_bytes, to_bytes, CodecError};
+use contrarian_types::{ClientId, DcId, Key, Op, TxId, Value, VersionId};
+use proptest::prelude::*;
+
+/// Number of variants in [`Msg`] — keep in sync with the enum (the `_ =>`
+/// arm below panics if a tag is unmapped, so a miscount fails loudly).
+const N_VARIANTS: u8 = 10;
+
+#[allow(clippy::too_many_arguments)]
+fn build_msg(
+    tag: u8,
+    dc: u8,
+    idx: u16,
+    seq: u32,
+    ts: u64,
+    keys: Vec<u64>,
+    deps: Vec<(u64, u64, u8)>,
+    val: Vec<u8>,
+    raw_pairs: Vec<(u64, Option<(u64, u8)>)>,
+) -> Msg {
+    let tx = TxId::new(ClientId::new(DcId(dc), idx), seq);
+    let keys: Vec<Key> = keys.into_iter().map(Key).collect();
+    let value = Value::from(val);
+    let deps: Vec<Dep> = deps
+        .into_iter()
+        .map(|(k, dts, o)| (Key(k), VersionId::new(dts, DcId(o))))
+        .collect();
+    let entries: Vec<(TxId, u64)> = (0..3u32).map(|i| (TxId::new(tx.client, i), ts)).collect();
+    let pairs: Vec<(Key, Option<(VersionId, Value)>)> = raw_pairs
+        .into_iter()
+        .map(|(k, v)| {
+            (
+                Key(k),
+                v.map(|(vts, vo)| (VersionId::new(vts, DcId(vo)), value.clone())),
+            )
+        })
+        .collect();
+    match tag {
+        0 => Msg::RotRead {
+            tx,
+            keys,
+            lamport: ts,
+        },
+        1 => Msg::RotSlice {
+            tx,
+            pairs,
+            lamport: ts,
+        },
+        2 => Msg::PutReq {
+            key: Key(ts),
+            value,
+            deps,
+            lamport: ts,
+        },
+        3 => Msg::PutResp {
+            key: Key(ts),
+            vid: VersionId::new(ts, DcId(dc)),
+            lamport: ts,
+        },
+        4 => Msg::OldReadersQuery {
+            token: ts,
+            deps,
+            lamport: ts,
+        },
+        5 => Msg::OldReadersReply {
+            token: ts,
+            entries,
+            lamport: ts,
+        },
+        6 => Msg::Replicate {
+            key: Key(ts),
+            value,
+            vid: VersionId::new(ts, DcId(dc)),
+            deps,
+            lamport: ts,
+        },
+        7 => Msg::DepCheckQuery {
+            token: ts,
+            deps,
+            lamport: ts,
+        },
+        8 => Msg::DepCheckReply {
+            token: ts,
+            entries,
+            lamport: ts,
+        },
+        9 => {
+            if ts.is_multiple_of(2) {
+                Msg::Inject(Op::Rot(keys))
+            } else {
+                Msg::Inject(Op::Put(Key(ts), value))
+            }
+        }
+        other => panic!("unmapped Msg tag {other}"),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn every_variant_round_trips(
+        tag in 0u8..N_VARIANTS,
+        dc in 0u8..4,
+        idx in 0u16..512,
+        seq in 0u32..100_000,
+        ts in 0u64..u64::MAX,
+        keys in prop::collection::vec(0u64..1_000_000, 0..8),
+        deps in prop::collection::vec((0u64..1_000_000, 0u64..1_000_000, 0u8..4), 0..6),
+        val in prop::collection::vec(0u8..=255, 0..80),
+        raw_pairs in prop::collection::vec(
+            (0u64..1_000_000, prop::option::of((0u64..1_000_000, 0u8..4))),
+            0..6
+        ),
+    ) {
+        let msg = build_msg(tag, dc, idx, seq, ts, keys, deps, val, raw_pairs);
+        let bytes = to_bytes(&msg);
+        let back: Msg = from_bytes(&bytes)
+            .map_err(|e| TestCaseError::Fail(format!("decode failed: {e}")))?;
+        prop_assert_eq!(back, msg);
+    }
+
+    #[test]
+    fn truncated_encodings_never_decode_to_a_value(
+        tag in 0u8..N_VARIANTS,
+        ts in 0u64..u64::MAX,
+        keys in prop::collection::vec(0u64..1_000, 1..5),
+        deps in prop::collection::vec((0u64..1_000, 0u64..1_000, 0u8..2), 1..4),
+        cut_frac in 0u8..100,
+    ) {
+        let msg = build_msg(tag, 1, 7, 9, ts, keys, deps, vec![1, 2, 3], vec![]);
+        let bytes = to_bytes(&msg);
+        let cut = (bytes.len() - 1) * cut_frac as usize / 100;
+        prop_assert!(from_bytes::<Msg>(&bytes[..cut]).is_err());
+    }
+}
+
+#[test]
+fn unknown_variant_tags_are_rejected() {
+    for tag in N_VARIANTS..=u8::MAX {
+        match from_bytes::<Msg>(&[tag]) {
+            Err(CodecError::BadTag { .. }) => {}
+            other => panic!("tag {tag}: expected BadTag, got {other:?}"),
+        }
+    }
+}

@@ -2,11 +2,12 @@
 
 use contrarian_protocol::ProtocolMsg;
 use contrarian_runtime::cost::{CostModel, MsgClass, SimMessage};
+use contrarian_types::codec::{CodecError, Reader, Wire};
 use contrarian_types::wire;
 use contrarian_types::{Addr, DcId, DepVector, Key, Op, PartitionId, TxId, Value, VersionId};
 
 /// All messages exchanged by Contrarian nodes.
-#[derive(Clone, Debug)]
+#[derive(Clone, PartialEq, Eq, Debug)]
 pub enum Msg {
     /// Client → coordinator, 1½-round mode: the whole ROT in one request.
     RotReq {
@@ -144,6 +145,179 @@ impl SimMessage for Msg {
 impl ProtocolMsg for Msg {
     fn inject(op: Op) -> Msg {
         Msg::Inject(op)
+    }
+}
+
+/// The byte-level encoding used by the TCP runtime (`contrarian-net`): one
+/// tag byte per variant, then the fields in declaration order via the
+/// shared [`contrarian_types::codec`] primitives. Cure and the Okapi-style
+/// backend reuse this message type, so this one impl covers three of the
+/// four backends.
+impl Wire for Msg {
+    fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            Msg::RotReq { tx, keys, lts, gss } => {
+                out.push(0);
+                tx.encode(out);
+                keys.encode(out);
+                lts.encode(out);
+                gss.encode(out);
+            }
+            Msg::RotSnapReq { tx, lts, gss } => {
+                out.push(1);
+                tx.encode(out);
+                lts.encode(out);
+                gss.encode(out);
+            }
+            Msg::RotSnap { tx, sv } => {
+                out.push(2);
+                tx.encode(out);
+                sv.encode(out);
+            }
+            Msg::RotRead { tx, keys, sv } => {
+                out.push(3);
+                tx.encode(out);
+                keys.encode(out);
+                sv.encode(out);
+            }
+            Msg::RotFwd {
+                tx,
+                client,
+                keys,
+                sv,
+            } => {
+                out.push(4);
+                tx.encode(out);
+                client.encode(out);
+                keys.encode(out);
+                sv.encode(out);
+            }
+            Msg::RotSlice { tx, pairs, sv } => {
+                out.push(5);
+                tx.encode(out);
+                pairs.encode(out);
+                sv.encode(out);
+            }
+            Msg::PutReq {
+                key,
+                value,
+                lts,
+                gss,
+            } => {
+                out.push(6);
+                key.encode(out);
+                value.encode(out);
+                lts.encode(out);
+                gss.encode(out);
+            }
+            Msg::PutResp { key, vid, gss } => {
+                out.push(7);
+                key.encode(out);
+                vid.encode(out);
+                gss.encode(out);
+            }
+            Msg::Replicate {
+                key,
+                value,
+                dv,
+                origin,
+            } => {
+                out.push(8);
+                key.encode(out);
+                value.encode(out);
+                dv.encode(out);
+                origin.encode(out);
+            }
+            Msg::Heartbeat { origin, ts } => {
+                out.push(9);
+                origin.encode(out);
+                ts.encode(out);
+            }
+            Msg::VvReport { partition, vv } => {
+                out.push(10);
+                partition.encode(out);
+                vv.encode(out);
+            }
+            Msg::GssBcast { gss } => {
+                out.push(11);
+                gss.encode(out);
+            }
+            Msg::Inject(op) => {
+                out.push(12);
+                op.encode(out);
+            }
+        }
+    }
+
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        Ok(match r.take(1)?[0] {
+            0 => Msg::RotReq {
+                tx: TxId::decode(r)?,
+                keys: Vec::decode(r)?,
+                lts: u64::decode(r)?,
+                gss: DepVector::decode(r)?,
+            },
+            1 => Msg::RotSnapReq {
+                tx: TxId::decode(r)?,
+                lts: u64::decode(r)?,
+                gss: DepVector::decode(r)?,
+            },
+            2 => Msg::RotSnap {
+                tx: TxId::decode(r)?,
+                sv: DepVector::decode(r)?,
+            },
+            3 => Msg::RotRead {
+                tx: TxId::decode(r)?,
+                keys: Vec::decode(r)?,
+                sv: DepVector::decode(r)?,
+            },
+            4 => Msg::RotFwd {
+                tx: TxId::decode(r)?,
+                client: Addr::decode(r)?,
+                keys: Vec::decode(r)?,
+                sv: DepVector::decode(r)?,
+            },
+            5 => Msg::RotSlice {
+                tx: TxId::decode(r)?,
+                pairs: Vec::decode(r)?,
+                sv: DepVector::decode(r)?,
+            },
+            6 => Msg::PutReq {
+                key: Key::decode(r)?,
+                value: Value::decode(r)?,
+                lts: u64::decode(r)?,
+                gss: DepVector::decode(r)?,
+            },
+            7 => Msg::PutResp {
+                key: Key::decode(r)?,
+                vid: VersionId::decode(r)?,
+                gss: DepVector::decode(r)?,
+            },
+            8 => Msg::Replicate {
+                key: Key::decode(r)?,
+                value: Value::decode(r)?,
+                dv: DepVector::decode(r)?,
+                origin: DcId::decode(r)?,
+            },
+            9 => Msg::Heartbeat {
+                origin: DcId::decode(r)?,
+                ts: u64::decode(r)?,
+            },
+            10 => Msg::VvReport {
+                partition: PartitionId::decode(r)?,
+                vv: DepVector::decode(r)?,
+            },
+            11 => Msg::GssBcast {
+                gss: DepVector::decode(r)?,
+            },
+            12 => Msg::Inject(Op::decode(r)?),
+            tag => {
+                return Err(CodecError::BadTag {
+                    what: "contrarian_core::Msg",
+                    tag,
+                })
+            }
+        })
     }
 }
 

@@ -1,0 +1,18 @@
+//! Cure's wire coverage: the backend reuses Contrarian's message type, so
+//! the exhaustive per-variant properties live in `contrarian-core`'s wire
+//! tests. This file pins the fact at the type level — the spec's message
+//! type round-trips through the codec the TCP runtime uses.
+
+use contrarian_cure::Cure;
+use contrarian_protocol::ProtocolSpec;
+use contrarian_types::codec::{from_bytes, to_bytes};
+use contrarian_types::DepVector;
+
+#[test]
+fn spec_message_type_round_trips() {
+    let msg: <Cure as ProtocolSpec>::Msg = contrarian_cure::Msg::GssBcast {
+        gss: DepVector::from_vec(vec![3, 1, 4]),
+    };
+    let back: <Cure as ProtocolSpec>::Msg = from_bytes(&to_bytes(&msg)).unwrap();
+    assert_eq!(back, msg);
+}

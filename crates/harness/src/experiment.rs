@@ -6,7 +6,7 @@ use contrarian_types::{ClusterConfig, HistoryEvent, RotMode};
 use contrarian_workload::WorkloadSpec;
 use std::collections::BTreeMap;
 
-/// Which of the three systems to run (Contrarian in either ROT mode).
+/// Which of the four systems to run (Contrarian in either ROT mode).
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub enum Protocol {
     /// Contrarian, 1½-round ROTs (the default configuration).
@@ -17,6 +17,8 @@ pub enum Protocol {
     CcLo,
     /// Cure: blocking two-round design on physical clocks.
     Cure,
+    /// Okapi-style: HLC timestamps, scalar universal-stable-time snapshots.
+    Okapi,
 }
 
 impl Protocol {
@@ -26,6 +28,7 @@ impl Protocol {
             Protocol::ContrarianTwoRound => "Contrarian-2R",
             Protocol::CcLo => "CC-LO",
             Protocol::Cure => "Cure",
+            Protocol::Okapi => "Okapi",
         }
     }
 }
@@ -209,7 +212,7 @@ pub fn run_experiment(cfg: &ExperimentConfig) -> RunResult {
     let cluster = match cfg.protocol {
         Protocol::Contrarian => cfg.cluster.clone().with_rot_mode(RotMode::OneHalfRound),
         Protocol::ContrarianTwoRound => cfg.cluster.clone().with_rot_mode(RotMode::TwoRound),
-        Protocol::CcLo | Protocol::Cure => cfg.cluster.clone(),
+        Protocol::CcLo | Protocol::Cure | Protocol::Okapi => cfg.cluster.clone(),
     };
     let p = contrarian_protocol::ClusterParams {
         cfg: cluster,
@@ -230,6 +233,9 @@ pub fn run_experiment(cfg: &ExperimentConfig) -> RunResult {
         Protocol::Cure => drive!(contrarian_protocol::build_cluster::<contrarian_cure::Cure>(
             &p
         )),
+        Protocol::Okapi => {
+            drive!(contrarian_protocol::build_cluster::<contrarian_okapi::Okapi>(&p))
+        }
     }
 }
 
@@ -393,6 +399,7 @@ mod tests {
             Protocol::ContrarianTwoRound,
             Protocol::CcLo,
             Protocol::Cure,
+            Protocol::Okapi,
         ] {
             let r = run_experiment(&ExperimentConfig::functional(p));
             assert!(r.throughput_kops > 0.0, "{} made no progress", p.label());

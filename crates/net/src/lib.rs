@@ -1,0 +1,48 @@
+//! **contrarian-net** — the TCP-backed live runtime.
+//!
+//! The third runtime sibling. The discrete-event simulator
+//! (`contrarian-sim`) executes the protocol state machines under a cost
+//! model in virtual time; the in-process transport (`contrarian-transport`)
+//! runs them on threads with channels as links; this crate runs the *same*
+//! [`contrarian_runtime::Actor`] state machines with messages actually
+//! crossing sockets:
+//!
+//! * every node (partition server or client session) is an OS thread on
+//!   the live event loop shared with `contrarian-transport`
+//!   ([`contrarian_runtime::node_loop`]);
+//! * every node binds a loopback TCP listener; a directed link between two
+//!   nodes is a dedicated [`std::net::TcpStream`] established lazily on
+//!   first send, with **Nagle disabled** (`TCP_NODELAY`) — a latency study
+//!   cannot sit behind a 40 ms coalescing timer;
+//! * each node gets one writer thread owning all of its outgoing
+//!   connections (encodes are done on the sending node's thread —
+//!   serialization cost lands where it belongs — and the writer batches
+//!   queued frames between flushes); each accepted connection gets a
+//!   reader thread (decodes frames and feeds the owning node's input
+//!   channel);
+//! * messages are framed with the runtime layer's length-prefixed framing
+//!   ([`contrarian_runtime::frame`]) and encoded with the hand-rolled wire
+//!   codec ([`contrarian_types::codec`]) that every backend's
+//!   `ProtocolMsg` implements — no serde, the workspace builds offline;
+//! * one TCP connection per directed link, written only by the source
+//!   node's single writer thread, preserves the per-link FIFO ordering the
+//!   protocol layer assumes (the same guarantee channels give the
+//!   in-process transport).
+//!
+//! Because the runtime only needs [`contrarian_runtime::Actor`] +
+//! [`contrarian_types::Wire`], the generic cluster builders in
+//! `contrarian-protocol` stand up any backend on it unchanged, and the
+//! shared conformance suite (convergence + causal-session checks) runs the
+//! same battery over 127.0.0.1 as over channels and the simulator.
+//!
+//! What this runtime is *for*: demonstrating that the paper's latency
+//! argument survives contact with a real network stack. The harness's
+//! `net_sweep` binary measures Contrarian vs CC-LO ROT latency over
+//! loopback sockets and compares the shape against the simulator's
+//! cost-model prediction. Multi-process (and eventually multi-machine)
+//! deployment needs only a way to exchange the address book; the wire
+//! format is already host-independent.
+
+pub mod cluster;
+
+pub use cluster::{NetCluster, NetHandle};

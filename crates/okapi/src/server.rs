@@ -1,0 +1,500 @@
+//! The Okapi-style storage server (one per partition per DC).
+
+use contrarian_clock::{Hlc, PhysicalClockModel};
+use contrarian_core::msg::Msg;
+use contrarian_protocol::{peer_replicas, timers, ProtocolServer, Stabilizer, Timers};
+use contrarian_runtime::actor::{ActorCtx, TimerKind};
+use contrarian_storage::{MvStore, Version};
+use contrarian_types::{Addr, ClusterConfig, DepVector, Key, TxId, VersionId};
+
+/// Per-partition server state.
+///
+/// Identical machinery to Contrarian's server (HLC, multi-version store,
+/// GSS stabilization) — the one behavioural difference is
+/// [`Server::snapshot_vector`]: remote snapshot entries come from the
+/// scalar *universal stable time* (the minimum entry of the stabilized
+/// vector) instead of the per-DC GSS entries.
+pub struct Server {
+    addr: Addr,
+    cfg: ClusterConfig,
+    my_dc: usize,
+    hlc: Hlc,
+    phys: PhysicalClockModel,
+    store: MvStore<DepVector>,
+    stab: Stabilizer,
+    timers: Timers,
+    /// ROT snapshots proposed by this server (coordinator role).
+    pub snapshots_proposed: u64,
+}
+
+impl Server {
+    pub fn new(addr: Addr, cfg: ClusterConfig, phys: PhysicalClockModel) -> Self {
+        Server {
+            addr,
+            my_dc: addr.dc.index(),
+            hlc: Hlc::new(),
+            phys,
+            store: MvStore::new(),
+            stab: Stabilizer::new(addr, &cfg),
+            timers: Timers::replication_server(addr, &cfg),
+            cfg,
+            snapshots_proposed: 0,
+        }
+    }
+
+    pub fn store(&self) -> &MvStore<DepVector> {
+        &self.store
+    }
+
+    pub fn gss(&self) -> &DepVector {
+        self.stab.gss()
+    }
+
+    /// The universal stable time: the scalar every remote snapshot entry
+    /// is set to. The minimum over the stabilized vector means visibility
+    /// is gated on the *slowest* DC — Okapi's freshness-for-metadata trade.
+    pub fn ust(&self) -> u64 {
+        self.stab.gss().min_entry()
+    }
+
+    fn pt(&self, ctx: &dyn ActorCtx<Msg>) -> u64 {
+        self.phys.now_us(ctx.now())
+    }
+
+    fn replicated(&self) -> bool {
+        self.cfg.n_dcs > 1
+    }
+
+    /// PUT: exactly Contrarian's nonblocking path — timestamp with the HLC
+    /// strictly past the client's causal past, install, reply, replicate.
+    fn handle_put(
+        &mut self,
+        ctx: &mut dyn ActorCtx<Msg>,
+        client: Addr,
+        key: Key,
+        value: contrarian_types::Value,
+        lts: u64,
+        client_gss: DepVector,
+    ) {
+        let mut dv = self.stab.gss().joined(&client_gss);
+        let pt = self.pt(ctx);
+        let floor = lts.max(dv.max_entry());
+        let ts = self.hlc.update(pt, floor);
+        dv.set(self.my_dc, ts);
+        self.stab.record_local(ts);
+        let vid = VersionId::new(ts, self.addr.dc);
+        self.store
+            .put(key, Version::new(vid, value.clone(), dv.clone()));
+
+        ctx.send(
+            client,
+            Msg::PutResp {
+                key,
+                vid,
+                gss: self.stab.gss().clone(),
+            },
+        );
+
+        if self.replicated() {
+            self.stab.note_replication_sent(ctx.now());
+            for peer in peer_replicas(self.addr, self.cfg.n_dcs) {
+                ctx.send(
+                    peer,
+                    Msg::Replicate {
+                        key,
+                        value: value.clone(),
+                        dv: dv.clone(),
+                        origin: self.addr.dc,
+                    },
+                );
+            }
+        }
+    }
+
+    /// Computes the Okapi-style snapshot vector: every remote entry is the
+    /// universal stable time, the local entry is the HLC reading — then the
+    /// client's observed GSS is joined in so sessions stay monotone.
+    fn snapshot_vector(
+        &mut self,
+        ctx: &mut dyn ActorCtx<Msg>,
+        lts: u64,
+        client_gss: &DepVector,
+    ) -> DepVector {
+        let pt = self.pt(ctx);
+        let ts = self.hlc.update(pt, lts);
+        let ust = self.ust();
+        let mut sv = DepVector::from_vec(vec![ust; self.cfg.n_dcs as usize]);
+        sv.join(client_gss);
+        // Raise (not set): the local entry must dominate both the HLC
+        // reading and whatever stable time already filled the slot.
+        sv.raise(self.my_dc, ts);
+        self.snapshots_proposed += 1;
+        sv
+    }
+
+    /// 1½-round ROT (available for completeness; [`crate::Okapi`] pins the
+    /// 2-round mode): pick the snapshot, serve own keys, forward the rest.
+    fn handle_rot_req(
+        &mut self,
+        ctx: &mut dyn ActorCtx<Msg>,
+        client: Addr,
+        tx: TxId,
+        keys: Vec<Key>,
+        lts: u64,
+        client_gss: DepVector,
+    ) {
+        let sv = self.snapshot_vector(ctx, lts, &client_gss);
+        let n = self.cfg.n_partitions;
+        let mut groups: std::collections::BTreeMap<u16, Vec<Key>> = Default::default();
+        for k in keys {
+            groups.entry(k.partition(n).0).or_default().push(k);
+        }
+        let mut own: Vec<Key> = Vec::new();
+        for (p, ks) in groups {
+            if p == self.addr.idx {
+                own = ks;
+            } else {
+                let peer = Addr::server(self.addr.dc, contrarian_types::PartitionId(p));
+                ctx.send(
+                    peer,
+                    Msg::RotFwd {
+                        tx,
+                        client,
+                        keys: ks,
+                        sv: sv.clone(),
+                    },
+                );
+            }
+        }
+        if !own.is_empty() {
+            let pairs = self.read_snapshot(ctx, &own, &sv);
+            ctx.send(client, Msg::RotSlice { tx, pairs, sv });
+        }
+    }
+
+    /// 2-round ROT, first round: just the snapshot vector.
+    fn handle_snap_req(
+        &mut self,
+        ctx: &mut dyn ActorCtx<Msg>,
+        client: Addr,
+        tx: TxId,
+        lts: u64,
+        client_gss: DepVector,
+    ) {
+        let sv = self.snapshot_vector(ctx, lts, &client_gss);
+        ctx.send(client, Msg::RotSnap { tx, sv });
+    }
+
+    /// Serves a read under a snapshot. Nonblocking: the HLC jumps to the
+    /// snapshot's local entry (same argument as Contrarian).
+    fn handle_read(
+        &mut self,
+        ctx: &mut dyn ActorCtx<Msg>,
+        client: Addr,
+        tx: TxId,
+        keys: Vec<Key>,
+        sv: DepVector,
+    ) {
+        self.hlc.advance_to(sv[self.my_dc]);
+        let pairs = self.read_snapshot(ctx, &keys, &sv);
+        ctx.send(client, Msg::RotSlice { tx, pairs, sv });
+    }
+
+    /// One-version reads: for each key, the freshest version with `DV ≤ SV`.
+    fn read_snapshot(
+        &self,
+        ctx: &mut dyn ActorCtx<Msg>,
+        keys: &[Key],
+        sv: &DepVector,
+    ) -> Vec<(Key, Option<(VersionId, contrarian_types::Value)>)> {
+        let mut out = Vec::with_capacity(keys.len());
+        let mut scanned_total = 0;
+        for &k in keys {
+            let (v, scanned) = self.store.read_visible(k, |ver| ver.meta.leq(sv));
+            scanned_total += scanned;
+            let pair = match v {
+                Some(ver) => Some((ver.vid, ver.value.clone())),
+                None if self.cfg.prepopulated => {
+                    Some((VersionId::GENESIS, contrarian_types::genesis_value()))
+                }
+                None => None,
+            };
+            out.push((k, pair));
+        }
+        ctx.charge(scanned_total as u64 * 500);
+        out
+    }
+
+    fn stabilize(&mut self, ctx: &mut dyn ActorCtx<Msg>) {
+        let pt = self.pt(ctx);
+        let fresh = self.hlc.peek(pt);
+        self.stab.stabilize(
+            ctx,
+            &self.cfg,
+            fresh,
+            |partition, vv| Msg::VvReport { partition, vv },
+            |gss| Msg::GssBcast { gss },
+        );
+    }
+
+    fn heartbeat(&mut self, ctx: &mut dyn ActorCtx<Msg>) {
+        let pt = self.pt(ctx);
+        let ts = self.hlc.peek(pt);
+        self.stab
+            .heartbeat(ctx, &self.cfg, ts, |origin, ts| Msg::Heartbeat {
+                origin,
+                ts,
+            });
+    }
+
+    fn gc(&mut self, ctx: &mut dyn ActorCtx<Msg>) {
+        let now_us = ctx.now() / 1000;
+        let horizon_us = now_us.saturating_sub(self.cfg.version_gc_retention_us);
+        let horizon = contrarian_clock::hlc::encode(horizon_us, 0);
+        let dropped = self.store.gc_all(horizon, 1);
+        ctx.charge(dropped as u64 * 200);
+    }
+}
+
+impl ProtocolServer for Server {
+    type Msg = Msg;
+
+    fn on_start(&mut self, ctx: &mut dyn ActorCtx<Msg>) {
+        self.timers.start(ctx);
+    }
+
+    fn on_message(&mut self, ctx: &mut dyn ActorCtx<Msg>, from: Addr, msg: Msg) {
+        match msg {
+            Msg::PutReq {
+                key,
+                value,
+                lts,
+                gss,
+            } => self.handle_put(ctx, from, key, value, lts, gss),
+            Msg::RotReq { tx, keys, lts, gss } => {
+                self.handle_rot_req(ctx, from, tx, keys, lts, gss)
+            }
+            Msg::RotSnapReq { tx, lts, gss } => self.handle_snap_req(ctx, from, tx, lts, gss),
+            Msg::RotRead { tx, keys, sv } => self.handle_read(ctx, from, tx, keys, sv),
+            Msg::RotFwd {
+                tx,
+                client,
+                keys,
+                sv,
+            } => self.handle_read(ctx, client, tx, keys, sv),
+            Msg::Replicate {
+                key,
+                value,
+                dv,
+                origin,
+            } => {
+                let ts = dv[origin.index()];
+                self.stab.record_remote(origin, ts);
+                self.store
+                    .put(key, Version::new(VersionId::new(ts, origin), value, dv));
+            }
+            Msg::Heartbeat { origin, ts } => self.stab.record_remote(origin, ts),
+            Msg::VvReport { partition, vv } => self.stab.on_vv_report(partition, vv),
+            Msg::GssBcast { gss } => self.stab.on_gss_bcast(&gss),
+            Msg::RotSnap { .. } | Msg::RotSlice { .. } | Msg::PutResp { .. } | Msg::Inject(_) => {
+                unreachable!("client-bound message delivered to server")
+            }
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut dyn ActorCtx<Msg>, kind: TimerKind) {
+        match kind.kind {
+            timers::STABILIZE => self.stabilize(ctx),
+            timers::HEARTBEAT => self.heartbeat(ctx),
+            timers::GC => self.gc(ctx),
+            other => unreachable!("unknown server timer {other}"),
+        }
+        self.timers.rearm(ctx, kind.kind);
+    }
+
+    fn store_heads(&self) -> Vec<(Key, VersionId)> {
+        self.store.heads()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use contrarian_runtime::testkit::ScriptCtx;
+    use contrarian_types::{ClientId, DcId, PartitionId, Value};
+
+    fn server(dc: u8, p: u16, n_dcs: u8) -> Server {
+        let cfg = ClusterConfig::small().with_dcs(n_dcs);
+        Server::new(
+            Addr::server(DcId(dc), PartitionId(p)),
+            cfg,
+            PhysicalClockModel::perfect(),
+        )
+    }
+
+    fn put(s: &mut Server, ctx: &mut ScriptCtx<Msg>, key: Key, lts: u64, m: usize) -> VersionId {
+        let client = Addr::client(DcId(0), 0);
+        s.on_message(
+            ctx,
+            client,
+            Msg::PutReq {
+                key,
+                value: Value::from_static(b"v"),
+                lts,
+                gss: DepVector::zero(m),
+            },
+        );
+        match &ctx.drain_to(client)[0] {
+            Msg::PutResp { vid, .. } => *vid,
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    fn snap(s: &mut Server, ctx: &mut ScriptCtx<Msg>, lts: u64, cgss: DepVector) -> DepVector {
+        let client = Addr::client(DcId(0), 0);
+        let tx = TxId::new(ClientId::new(DcId(0), 0), 0);
+        s.on_message(ctx, client, Msg::RotSnapReq { tx, lts, gss: cgss });
+        match &ctx.drain_to(client)[0] {
+            Msg::RotSnap { sv, .. } => sv.clone(),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn snapshot_remote_entries_are_the_scalar_ust() {
+        let mut s = server(0, 0, 3);
+        let mut ctx = ScriptCtx::new(Addr::server(DcId(0), PartitionId(0)));
+        // Stabilized vector [_, 70, 40]: UST must be the minimum (40),
+        // applied to *both* remote DCs — not the per-DC entries.
+        s.stab.on_gss_bcast(&DepVector::from_vec(vec![50, 70, 40]));
+        assert_eq!(s.ust(), 40);
+        // A client whose session already observed local time 1<<30 drives
+        // the HLC well past the stabilized entries.
+        let sv = snap(&mut s, &mut ctx, 1 << 30, DepVector::zero(3));
+        assert_eq!(sv[1], 40, "remote entry capped at UST, not gss[1]=70");
+        assert_eq!(sv[2], 40);
+        assert!(sv[0] > 1 << 30, "local entry comes from the HLC");
+    }
+
+    #[test]
+    fn snapshot_joins_client_view_for_monotone_sessions() {
+        let mut s = server(0, 0, 2);
+        let mut ctx = ScriptCtx::new(Addr::server(DcId(0), PartitionId(0)));
+        s.stab.on_gss_bcast(&DepVector::from_vec(vec![10, 10]));
+        // The client has already observed remote time 90 elsewhere: the
+        // snapshot must not travel backwards for this session.
+        let sv = snap(&mut s, &mut ctx, 0, DepVector::from_vec(vec![0, 90]));
+        assert_eq!(sv[1], 90);
+    }
+
+    #[test]
+    fn put_is_nonblocking_and_timestamps_past_client() {
+        let mut s = server(0, 0, 2);
+        let mut ctx = ScriptCtx::new(Addr::server(DcId(0), PartitionId(0)));
+        let vid = put(&mut s, &mut ctx, Key(0), 12345, 2);
+        assert!(vid.ts > 12345, "HLC dominates the client's causal past");
+        // Replication went out to the other DC.
+        let repl = ctx
+            .drain_sent()
+            .into_iter()
+            .filter(|(_, m)| matches!(m, Msg::Replicate { .. }))
+            .count();
+        assert_eq!(repl, 1);
+    }
+
+    #[test]
+    fn remote_version_invisible_until_ust_covers_it() {
+        let mut s = server(0, 0, 2);
+        let mut ctx = ScriptCtx::new(Addr::server(DcId(0), PartitionId(0)));
+        let ts = contrarian_clock::hlc::encode(100, 0);
+        let mut dv = DepVector::zero(2);
+        dv.set(1, ts);
+        s.on_message(
+            &mut ctx,
+            Addr::server(DcId(1), PartitionId(0)),
+            Msg::Replicate {
+                key: Key(0),
+                value: Value::from_static(b"r"),
+                dv,
+                origin: DcId(1),
+            },
+        );
+        // Stable time below the version: the Okapi snapshot hides it.
+        s.stab
+            .on_gss_bcast(&DepVector::from_vec(vec![ts + 5, ts - 1]));
+        let sv = snap(&mut s, &mut ctx, 0, DepVector::zero(2));
+        let client = Addr::client(DcId(0), 0);
+        let tx = TxId::new(ClientId::new(DcId(0), 0), 1);
+        s.on_message(
+            &mut ctx,
+            client,
+            Msg::RotRead {
+                tx,
+                keys: vec![Key(0)],
+                sv,
+            },
+        );
+        match &ctx.drain_to(client)[0] {
+            Msg::RotSlice { pairs, .. } => assert!(pairs[0].1.is_none()),
+            other => panic!("unexpected {other:?}"),
+        }
+        // Stable time past the version everywhere: visible.
+        s.stab.on_gss_bcast(&DepVector::from_vec(vec![ts + 5, ts]));
+        let sv2 = snap(&mut s, &mut ctx, 0, DepVector::zero(2));
+        s.on_message(
+            &mut ctx,
+            client,
+            Msg::RotRead {
+                tx,
+                keys: vec![Key(0)],
+                sv: sv2,
+            },
+        );
+        match &ctx.drain_to(client)[0] {
+            Msg::RotSlice { pairs, .. } => {
+                assert_eq!(pairs[0].1.as_ref().unwrap().0, VersionId::new(ts, DcId(1)))
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn read_your_writes_survives_a_lagging_ust() {
+        // UST stuck at 0 must not hide a session's own write.
+        let mut s = server(0, 0, 2);
+        let mut ctx = ScriptCtx::new(Addr::server(DcId(0), PartitionId(0)));
+        let vid = put(&mut s, &mut ctx, Key(0), 0, 2);
+        ctx.drain_sent();
+        // The client's gss after PutResp is at least the version's remote
+        // deps (zero here); its lts is vid.ts.
+        let sv = snap(&mut s, &mut ctx, vid.ts, DepVector::zero(2));
+        let client = Addr::client(DcId(0), 0);
+        let tx = TxId::new(ClientId::new(DcId(0), 0), 2);
+        s.on_message(
+            &mut ctx,
+            client,
+            Msg::RotRead {
+                tx,
+                keys: vec![Key(0)],
+                sv,
+            },
+        );
+        match &ctx.drain_to(client)[0] {
+            Msg::RotSlice { pairs, .. } => {
+                assert_eq!(pairs[0].1.as_ref().unwrap().0, vid);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn store_heads_reports_lww_winners() {
+        let mut s = server(0, 0, 1);
+        let mut ctx = ScriptCtx::new(Addr::server(DcId(0), PartitionId(0)));
+        let _v1 = put(&mut s, &mut ctx, Key(0), 0, 1);
+        let v2 = put(&mut s, &mut ctx, Key(0), 0, 1);
+        let mut heads = s.store_heads();
+        heads.sort_unstable();
+        assert_eq!(heads, vec![(Key(0), v2)]);
+    }
+}

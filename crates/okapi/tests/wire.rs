@@ -1,0 +1,19 @@
+//! Okapi's wire coverage: the backend reuses Contrarian's message type, so
+//! the exhaustive per-variant properties live in `contrarian-core`'s wire
+//! tests. This file pins the fact at the type level — the spec's message
+//! type round-trips through the codec the TCP runtime uses.
+
+use contrarian_okapi::Okapi;
+use contrarian_protocol::ProtocolSpec;
+use contrarian_types::codec::{from_bytes, to_bytes};
+use contrarian_types::{ClientId, DcId, DepVector, TxId};
+
+#[test]
+fn spec_message_type_round_trips() {
+    let msg: <Okapi as ProtocolSpec>::Msg = contrarian_okapi::Msg::RotSnap {
+        tx: TxId::new(ClientId::new(DcId(1), 2), 3),
+        sv: DepVector::from_vec(vec![40, 40]),
+    };
+    let back: <Okapi as ProtocolSpec>::Msg = from_bytes(&to_bytes(&msg)).unwrap();
+    assert_eq!(back, msg);
+}

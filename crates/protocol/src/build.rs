@@ -7,6 +7,7 @@
 //! transport.
 
 use crate::node::{Node, ProtocolClient, ProtocolMsg, ProtocolServer};
+use contrarian_net::NetCluster;
 use contrarian_runtime::cost::CostModel;
 use contrarian_sim::sim::Sim;
 use contrarian_transport::LiveCluster;
@@ -147,6 +148,26 @@ pub fn build_live_cluster<P: ProtocolSpec>(
     LiveCluster::start(
         build_live_nodes::<P>(cfg, workload, clients_per_dc, seed),
         true,
+        seed,
+    )
+}
+
+/// Convenience: builds and starts a TCP cluster — the same node list as
+/// the in-process transport, but every link a loopback socket and every
+/// message through the wire codec. Any [`ProtocolSpec`] works:
+/// `ProtocolMsg` already requires the codec. `recording` turns on the
+/// history sink (leave it off for latency measurements: every append
+/// takes a cluster-wide lock).
+pub fn build_net_cluster<P: ProtocolSpec>(
+    cfg: &ClusterConfig,
+    workload: &WorkloadSpec,
+    clients_per_dc: u16,
+    seed: u64,
+    recording: bool,
+) -> NetCluster<ProtoNode<P>> {
+    NetCluster::start(
+        build_live_nodes::<P>(cfg, workload, clients_per_dc, seed),
+        recording,
         seed,
     )
 }

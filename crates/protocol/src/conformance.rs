@@ -16,9 +16,12 @@
 //! Protocol crates run this suite from their integration tests (one line
 //! per runtime); a new backend gets the whole battery for free.
 
-use crate::build::{build_cluster, build_live_cluster, ClusterParams, ProtocolSpec};
+use crate::build::{
+    build_cluster, build_live_cluster, build_net_cluster, ClusterParams, ProtoNode, ProtocolSpec,
+};
 use crate::node::ProtocolServer;
 use contrarian_runtime::cost::CostModel;
+use contrarian_runtime::metrics::Metrics;
 use contrarian_types::{
     Addr, ClientId, ClusterConfig, DcId, HistoryEvent, Key, PartitionId, VersionId,
 };
@@ -170,6 +173,46 @@ pub fn check_sim<P: ProtocolSpec>(dcs: u8, seed: u64) -> Result<ConformanceOutco
     })
 }
 
+/// Post-run validation shared by the wall-clock runtimes: progress,
+/// metrics, session guarantees, convergence. `runtime` labels error
+/// messages ("live", "net").
+fn check_live_outcome<P: ProtocolSpec>(
+    runtime: &str,
+    cfg: ClusterConfig,
+    actors: &[(Addr, ProtoNode<P>)],
+    metrics: &Metrics,
+    history: &[HistoryEvent],
+) -> Result<ConformanceOutcome, String> {
+    if history.len() < 50 {
+        return Err(format!(
+            "{} ({runtime}): too little progress ({} events)",
+            P::NAME,
+            history.len()
+        ));
+    }
+    if metrics.ops_done() == 0 {
+        return Err(format!(
+            "{} ({runtime}): per-thread metrics recorded no operations",
+            P::NAME
+        ));
+    }
+    check_sessions(history).map_err(|e| format!("{} ({runtime}): {e}", P::NAME))?;
+
+    let cfg = P::normalize(cfg);
+    let servers: HashMap<Addr, &<P as ProtocolSpec>::Server> = actors
+        .iter()
+        .filter_map(|(addr, node)| node.as_server().map(|s| (*addr, s)))
+        .collect();
+    let keys_compared =
+        check_convergence(&cfg, |dc, p| servers[&Addr::server(dc, p)].store_heads())
+            .map_err(|e| format!("{} ({runtime}): {e}", P::NAME))?;
+
+    Ok(ConformanceOutcome {
+        ops: history.len(),
+        keys_compared,
+    })
+}
+
 /// Runs the conformance battery on the live threaded transport: real
 /// concurrency, wall-clock timers, then the same checks on the shut-down
 /// cluster.
@@ -189,35 +232,36 @@ pub fn check_live<P: ProtocolSpec>(dcs: u8, seed: u64) -> Result<ConformanceOutc
     // drain before the threads are stopped.
     std::thread::sleep(std::time::Duration::from_millis(300));
     let (actors, metrics, history) = cluster.shutdown();
+    check_live_outcome::<P>("live", cfg, &actors, &metrics, &history)
+}
 
-    if history.len() < 50 {
+/// Runs the conformance battery on the TCP runtime: the same node list as
+/// the in-process transport, but every message crosses a loopback socket
+/// through the wire codec. Checks are identical to [`check_live`], plus a
+/// guard that frames actually crossed the sockets.
+pub fn check_net<P: ProtocolSpec>(dcs: u8, seed: u64) -> Result<ConformanceOutcome, String> {
+    // Real sockets want the wall-clock tuning: no simulated skew, and
+    // millisecond-scale control-plane periods (the sub-millisecond test
+    // defaults are simulator-tuned — over TCP every tick is a frame plus
+    // thread wakeups per server).
+    let cfg = ClusterConfig::small().with_dcs(dcs).for_wall_clock();
+    let wl = conformance_workload();
+    let cluster = build_net_cluster::<P>(&cfg, &wl, 3, seed, true);
+    cluster.set_measuring(true);
+    std::thread::sleep(std::time::Duration::from_millis(250));
+    cluster.stop_issuing();
+    // Grace for in-flight operations, replication, and dependency checks to
+    // drain before the threads are stopped.
+    std::thread::sleep(std::time::Duration::from_millis(300));
+    let (actors, metrics, history) = cluster.shutdown();
+
+    if metrics.counter("net.frames_sent") == 0 {
         return Err(format!(
-            "{}: too little progress ({} events)",
-            P::NAME,
-            history.len()
-        ));
-    }
-    if metrics.ops_done() == 0 {
-        return Err(format!(
-            "{}: per-thread metrics recorded no operations",
+            "{}: no frames crossed the sockets — the run cannot have exercised the transport",
             P::NAME
         ));
     }
-    check_sessions(&history).map_err(|e| format!("{} (live): {e}", P::NAME))?;
-
-    let cfg = P::normalize(cfg);
-    let servers: HashMap<Addr, &<P as ProtocolSpec>::Server> = actors
-        .iter()
-        .filter_map(|(addr, node)| node.as_server().map(|s| (*addr, s)))
-        .collect();
-    let keys_compared =
-        check_convergence(&cfg, |dc, p| servers[&Addr::server(dc, p)].store_heads())
-            .map_err(|e| format!("{} (live): {e}", P::NAME))?;
-
-    Ok(ConformanceOutcome {
-        ops: history.len(),
-        keys_compared,
-    })
+    check_live_outcome::<P>("net", cfg, &actors, &metrics, &history)
 }
 
 #[cfg(test)]

@@ -17,16 +17,17 @@
 //! * [`Parked`] — the deferred-request queue used for operations waiting on
 //!   a clock (Cure) or on a dependency install (CC-LO).
 //! * [`build_cluster`] / [`build_interactive_cluster`] /
-//!   [`build_live_nodes`] — the generic cluster builders, driven by a
-//!   [`ProtocolSpec`].
+//!   [`build_live_nodes`] / [`build_net_cluster`] — the generic cluster
+//!   builders, driven by a [`ProtocolSpec`].
 //! * [`conformance`] — the shared conformance suite: the *same* convergence
-//!   and causal-session checks, run against any backend on both the
-//!   discrete-event simulator and the live threaded transport.
+//!   and causal-session checks, run against any backend on all three
+//!   runtimes: the discrete-event simulator, the live threaded transport,
+//!   and the TCP runtime (`contrarian-net`, loopback sockets + wire codec).
 //!
-//! Adding a fourth backend (an Okapi-style design, an adaptive switcher, …)
-//! means implementing the three traits plus a [`ProtocolSpec`] — roughly
-//! one file — and every builder, runtime, harness and conformance check
-//! works with it unchanged.
+//! Adding a backend means implementing the three traits plus a
+//! [`ProtocolSpec`] — roughly one file — and every builder, runtime,
+//! harness and conformance check works with it unchanged; the Okapi-style
+//! `contrarian-okapi` crate is exactly that recipe executed.
 
 pub mod build;
 pub mod conformance;
@@ -36,8 +37,8 @@ pub mod stabilizer;
 pub mod timers;
 
 pub use build::{
-    build_cluster, build_interactive_cluster, build_live_cluster, build_live_nodes, ClusterParams,
-    ProtoNode, ProtocolSpec,
+    build_cluster, build_interactive_cluster, build_live_cluster, build_live_nodes,
+    build_net_cluster, ClusterParams, ProtoNode, ProtocolSpec,
 };
 pub use node::{Node, ProtocolClient, ProtocolMsg, ProtocolServer};
 pub use parked::Parked;

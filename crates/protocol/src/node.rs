@@ -3,15 +3,17 @@
 
 use contrarian_runtime::actor::{Actor, ActorCtx, TimerKind};
 use contrarian_runtime::cost::SimMessage;
-use contrarian_types::{Addr, Key, Op, VersionId};
+use contrarian_types::{Addr, Key, Op, VersionId, Wire};
 
 /// A protocol's wire message type.
 ///
-/// Beyond simulation cost accounting ([`SimMessage`]), the runtime needs one
-/// constructor: how to wrap an externally injected operation so it can be
-/// delivered to a client node (the interactive facade and the live
-/// transport's `inject_op` both use it).
-pub trait ProtocolMsg: SimMessage + Send + 'static {
+/// Beyond simulation cost accounting ([`SimMessage`]) and a byte-level
+/// encoding ([`Wire`], which the TCP runtime `contrarian-net` frames onto
+/// real sockets), the runtime needs one constructor: how to wrap an
+/// externally injected operation so it can be delivered to a client node
+/// (the interactive facade and the live transports' `inject_op` all use
+/// it).
+pub trait ProtocolMsg: SimMessage + Wire + Send + 'static {
     /// Wraps an injected [`Op`] into a client-bound message.
     fn inject(op: Op) -> Self;
 }

@@ -1,0 +1,141 @@
+//! Length-prefixed message framing for stream transports.
+//!
+//! A TCP stream is a byte pipe; the runtime layer turns it into a message
+//! pipe with the simplest robust framing there is: a 4-byte little-endian
+//! payload length followed by the payload (one [`contrarian_types::codec`]
+//! encoding of `(from, msg)` in `contrarian-net`'s case). The functions are
+//! generic over `io::Read`/`io::Write`, so the same code frames sockets in
+//! the TCP runtime and in-memory buffers in tests.
+//!
+//! Corrupt input is *rejected*, never trusted: a length prefix above
+//! [`MAX_FRAME`] errors out before any allocation, and a stream ending
+//! mid-frame is distinguished from one ending cleanly between frames.
+
+use std::io::{self, Read, Write};
+
+/// Upper bound on one frame's payload. Generously above any real protocol
+/// message (the largest are ROT slices carrying a few KiB of values) while
+/// small enough that a corrupt length prefix cannot drive a huge
+/// allocation.
+pub const MAX_FRAME: usize = 64 * 1024 * 1024;
+
+/// How reading one frame can fail.
+#[derive(Debug)]
+pub enum FrameError {
+    /// The underlying stream failed.
+    Io(io::Error),
+    /// The stream ended inside a frame (peer died mid-message).
+    TruncatedFrame,
+    /// The length prefix exceeds [`MAX_FRAME`] — a corrupt or hostile
+    /// stream, rejected before allocating.
+    Oversize(usize),
+}
+
+impl std::fmt::Display for FrameError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FrameError::Io(e) => write!(f, "frame i/o error: {e}"),
+            FrameError::TruncatedFrame => write!(f, "stream ended mid-frame"),
+            FrameError::Oversize(n) => write!(f, "frame length {n} exceeds {MAX_FRAME}"),
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+impl From<io::Error> for FrameError {
+    fn from(e: io::Error) -> Self {
+        FrameError::Io(e)
+    }
+}
+
+/// Writes one frame: `u32` little-endian payload length, then the payload.
+/// The caller decides when to flush (batching is the writer thread's job).
+pub fn write_frame<W: Write>(w: &mut W, payload: &[u8]) -> io::Result<()> {
+    debug_assert!(payload.len() <= MAX_FRAME);
+    w.write_all(&(payload.len() as u32).to_le_bytes())?;
+    w.write_all(payload)
+}
+
+/// Reads one frame's payload. Returns `Ok(None)` on a clean end of stream
+/// (the peer closed between frames — the normal shutdown path), an error on
+/// a mid-frame end or an oversize length.
+pub fn read_frame<R: Read>(r: &mut R) -> Result<Option<Vec<u8>>, FrameError> {
+    let mut len_buf = [0u8; 4];
+    // A clean EOF before any length byte means the peer is done.
+    match r.read(&mut len_buf) {
+        Ok(0) => return Ok(None),
+        Ok(n) => r.read_exact(&mut len_buf[n..]).map_err(eof_is_truncation)?,
+        Err(ref e) if e.kind() == io::ErrorKind::Interrupted => {
+            return read_frame(r);
+        }
+        Err(e) => return Err(FrameError::Io(e)),
+    }
+    let len = u32::from_le_bytes(len_buf) as usize;
+    if len > MAX_FRAME {
+        return Err(FrameError::Oversize(len));
+    }
+    let mut payload = vec![0u8; len];
+    r.read_exact(&mut payload).map_err(eof_is_truncation)?;
+    Ok(Some(payload))
+}
+
+fn eof_is_truncation(e: io::Error) -> FrameError {
+    if e.kind() == io::ErrorKind::UnexpectedEof {
+        FrameError::TruncatedFrame
+    } else {
+        FrameError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    #[test]
+    fn frames_round_trip_in_sequence() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"first").unwrap();
+        write_frame(&mut buf, b"").unwrap();
+        write_frame(&mut buf, &[7u8; 1000]).unwrap();
+        let mut r = Cursor::new(buf);
+        assert_eq!(read_frame(&mut r).unwrap().unwrap(), b"first");
+        assert_eq!(read_frame(&mut r).unwrap().unwrap(), b"");
+        assert_eq!(read_frame(&mut r).unwrap().unwrap(), vec![7u8; 1000]);
+        assert!(read_frame(&mut r).unwrap().is_none(), "clean EOF");
+    }
+
+    #[test]
+    fn eof_mid_length_prefix_is_truncation() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"payload").unwrap();
+        let mut r = Cursor::new(&buf[..2]);
+        assert!(matches!(
+            read_frame(&mut r),
+            Err(FrameError::TruncatedFrame)
+        ));
+    }
+
+    #[test]
+    fn eof_mid_payload_is_truncation() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"payload").unwrap();
+        let mut r = Cursor::new(&buf[..buf.len() - 3]);
+        assert!(matches!(
+            read_frame(&mut r),
+            Err(FrameError::TruncatedFrame)
+        ));
+    }
+
+    #[test]
+    fn oversize_length_is_rejected_before_allocation() {
+        let mut buf = ((MAX_FRAME + 1) as u32).to_le_bytes().to_vec();
+        buf.extend_from_slice(&[0; 16]);
+        let mut r = Cursor::new(buf);
+        match read_frame(&mut r) {
+            Err(FrameError::Oversize(n)) => assert_eq!(n, MAX_FRAME + 1),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+}

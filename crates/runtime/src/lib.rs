@@ -4,54 +4,63 @@
 //! ## The layer diagram
 //!
 //! ```text
-//!                  contrarian-types           (ids, keys, vectors, config)
-//!                         │
+//!                  contrarian-types           (ids, keys, vectors, config,
+//!                         │                    wire codec)
 //!                  contrarian-runtime         (this crate: Actor/ActorCtx,
 //!                         │                    TimerKind, SimMessage + cost
 //!                         │                    model, Metrics, history
-//!                         │                    recording, Runtime trait)
-//!              ┌──────────┴──────────┐
-//!       contrarian-sim        contrarian-transport
-//!       (discrete-event       (thread-per-node live
-//!        engine, virtual       cluster, wall clock,
-//!        time)                 channels)
-//!              └──────────┬──────────┘
+//!                         │                    recording, frame layer, the
+//!                         │                    shared live node loop,
+//!                         │                    Runtime trait)
+//!         ┌───────────────┼───────────────┐
+//!  contrarian-sim  contrarian-transport  contrarian-net
+//!  (discrete-event (thread-per-node      (thread-per-node
+//!   engine,         live cluster, wall    live cluster over
+//!   virtual time)   clock, channels)      TCP sockets)
+//!         └───────────────┼───────────────┘
 //!                  contrarian-protocol        (Node, Stabilizer, Timers,
 //!                         │                    builders, conformance)
-//!            ┌────────────┼────────────┐
-//!     contrarian-core  contrarian-cclo  contrarian-cure
+//!        ┌──────────┬─────┴──────┬───────────┐
+//!  contrarian-core contrarian-cclo contrarian-cure contrarian-okapi
 //! ```
 //!
 //! Protocol nodes are deterministic state machines implementing [`Actor`];
 //! a runtime delivers messages and timer ticks through an [`ActorCtx`] and
 //! the node responds by sending messages and arming timers. Protocol code
-//! never knows which runtime is driving it. Two runtimes exist:
+//! never knows which runtime is driving it. Three runtimes exist:
 //!
 //! * `contrarian-sim` — the deterministic discrete-event simulator with a
 //!   queueing cost model (virtual time);
 //! * `contrarian-transport` — a live thread-per-node deployment (wall-clock
-//!   time, crossbeam channels as links).
+//!   time, crossbeam channels as links);
+//! * `contrarian-net` — the same thread-per-node event loop over real TCP
+//!   sockets, every message through the wire codec and the [`frame`]
+//!   layer this crate provides.
 //!
-//! Both implement the cluster-facing [`Runtime`] trait (external
+//! All implement the cluster-facing [`Runtime`] trait (external
 //! `send` / `inject_op` / `now` / `stop_issuing` semantics); during a
 //! handler the node-facing capabilities (`send`, `set_timer`, `now`,
 //! metrics, history) come from the [`ActorCtx`].
 //!
-//! This crate exists so that the two runtimes are *siblings*: the live
-//! transport must not depend on the simulator (nor vice versa), which keeps
-//! the door open for further runtimes (a TCP transport, a sharded engine)
+//! This crate exists so that the runtimes are *siblings*: no live
+//! transport depends on the simulator (nor vice versa), which keeps the
+//! door open for further runtimes (an io_uring reactor, a sharded engine)
 //! without touching protocol code.
 
 pub mod actor;
 pub mod cost;
+pub mod frame;
 pub mod history;
 pub mod metrics;
+pub mod node_loop;
 pub mod runtime;
 pub mod testkit;
 
 pub use actor::{Actor, ActorCtx, TimerKind};
 pub use cost::{CostModel, MsgClass, SimMessage};
+pub use frame::{read_frame, write_frame, FrameError, MAX_FRAME};
 pub use history::HistorySink;
 pub use metrics::{Histogram, Metrics};
+pub use node_loop::{node_seed, run_node, Input, Outbound, RunShared};
 pub use runtime::Runtime;
 pub use testkit::ScriptCtx;

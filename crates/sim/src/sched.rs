@@ -46,16 +46,25 @@ pub enum SchedKind {
 }
 
 impl SchedKind {
-    /// Reads `CONTRARIAN_SCHED` (`heap` or `calendar`); defaults to
-    /// [`SchedKind::Calendar`] when unset. An unrecognized value is a
-    /// hard error: silently falling back would make a heap-vs-calendar
+    /// Parses a `CONTRARIAN_SCHED` value. `None` (unset) defaults to
+    /// [`SchedKind::Calendar`]; an unrecognized value is an error listing
+    /// the valid set — silently falling back would make a heap-vs-calendar
     /// comparison measure the calendar queue against itself.
-    pub fn from_env() -> Self {
-        match std::env::var("CONTRARIAN_SCHED").as_deref() {
-            Ok("heap") => SchedKind::Heap,
-            Ok("calendar") | Err(_) => SchedKind::Calendar,
-            Ok(other) => panic!("CONTRARIAN_SCHED must be `heap` or `calendar`, got `{other}`"),
+    pub fn parse(value: Option<&str>) -> Result<Self, String> {
+        match value {
+            Some("heap") => Ok(SchedKind::Heap),
+            Some("calendar") | None => Ok(SchedKind::Calendar),
+            Some(other) => Err(format!(
+                "CONTRARIAN_SCHED must be one of `heap`, `calendar` (or unset), got `{other}`"
+            )),
         }
+    }
+
+    /// Reads `CONTRARIAN_SCHED` from the environment; an unrecognized
+    /// value is a hard error (see [`SchedKind::parse`]).
+    pub fn from_env() -> Self {
+        let value = std::env::var("CONTRARIAN_SCHED").ok();
+        Self::parse(value.as_deref()).unwrap_or_else(|e| panic!("{e}"))
     }
 }
 
@@ -326,6 +335,28 @@ impl<T> CalendarQueue<T> {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn sched_kind_parses_valid_values_and_default() {
+        assert_eq!(SchedKind::parse(Some("heap")).unwrap(), SchedKind::Heap);
+        assert_eq!(
+            SchedKind::parse(Some("calendar")).unwrap(),
+            SchedKind::Calendar
+        );
+        assert_eq!(SchedKind::parse(None).unwrap(), SchedKind::Calendar);
+    }
+
+    #[test]
+    fn sched_kind_rejects_unknown_values_listing_the_valid_set() {
+        // A typo must be a hard error, not a silent calendar fallback (a
+        // heap-vs-calendar comparison would measure calendar vs itself).
+        for bogus in ["Heap", "heapq", "wheel", ""] {
+            let err = SchedKind::parse(Some(bogus)).unwrap_err();
+            assert!(err.contains("`heap`"), "{err}");
+            assert!(err.contains("`calendar`"), "{err}");
+            assert!(err.contains(bogus), "{err}");
+        }
+    }
 
     fn drain<T>(q: &mut EventQueue<T>) -> Vec<(u64, u64)> {
         let mut out = Vec::new();

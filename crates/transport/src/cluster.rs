@@ -1,39 +1,22 @@
-//! Thread-per-node live cluster.
+//! Thread-per-node live cluster over in-process channels.
 
-use contrarian_runtime::actor::{Actor, ActorCtx, TimerKind};
-use contrarian_runtime::history::HistorySink;
+use contrarian_runtime::actor::Actor;
 use contrarian_runtime::metrics::Metrics;
+use contrarian_runtime::node_loop::{node_seed, run_node, Input, Outbound, RunShared};
 use contrarian_runtime::Runtime;
 use contrarian_types::{Addr, HistoryEvent, Op};
 use crossbeam::channel::{bounded, Receiver, Sender};
-use rand::rngs::SmallRng;
-use rand::SeedableRng;
-use std::collections::{BinaryHeap, HashMap};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::collections::HashMap;
+use std::sync::atomic::Ordering;
 use std::sync::Arc;
 use std::thread::JoinHandle;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
-enum Input<M> {
-    Msg { from: Addr, msg: M },
-    Stop,
-}
-
-/// Shared run state: routing table, clock origin, stop/measure flags, and
-/// the waitable history sink.
-///
-/// Metrics are *not* here: every node thread accumulates its own
-/// [`Metrics`] and hands it back when the thread joins — the measurement
-/// hot path takes no lock. History is only ever touched when `recording`
-/// is set (functional runs), through a [`HistorySink`] whose condition
-/// variable lets waiters sleep instead of poll.
+/// Shared run state: the routing table plus the flags/history every live
+/// runtime carries (see [`RunShared`]).
 struct Shared<M> {
     routes: HashMap<Addr, Sender<Input<M>>>,
-    start: Instant,
-    stopped: AtomicBool,
-    measuring: AtomicBool,
-    history: HistorySink,
-    recording: bool,
+    run: RunShared,
 }
 
 /// A running cluster of actor threads.
@@ -68,7 +51,19 @@ impl<M: Send + 'static> LiveHandle<M> {
     where
         F: FnMut(&HistoryEvent) -> bool,
     {
-        self.shared.history.wait_for(cursor, timeout, pred)
+        self.shared.run.history.wait_for(cursor, timeout, pred)
+    }
+}
+
+/// The [`Outbound`] of the in-process transport: deliver = push onto the
+/// destination's input channel.
+struct ChannelOutbound<M>(Arc<Shared<M>>);
+
+impl<M: Send + 'static> Outbound<M> for ChannelOutbound<M> {
+    fn deliver(&mut self, from: Addr, to: Addr, msg: M) {
+        if let Some(tx) = self.0.routes.get(&to) {
+            let _ = tx.send(Input::Msg { from, msg });
+        }
     }
 }
 
@@ -84,11 +79,7 @@ impl<A: Actor + Send + 'static> LiveCluster<A> {
         }
         let shared = Arc::new(Shared {
             routes,
-            start: Instant::now(),
-            stopped: AtomicBool::new(false),
-            measuring: AtomicBool::new(false),
-            history: HistorySink::new(),
-            recording,
+            run: RunShared::new(recording),
         });
 
         let mut threads = Vec::new();
@@ -96,12 +87,16 @@ impl<A: Actor + Send + 'static> LiveCluster<A> {
         for ((addr, actor), (_, rx)) in nodes.into_iter().zip(rxs) {
             addrs.push(addr);
             let shared = shared.clone();
-            let node_seed = seed
-                ^ (addr.dc.0 as u64) << 32
-                ^ (addr.idx as u64) << 8
-                ^ matches!(addr.kind, contrarian_types::NodeKind::Client) as u64;
+            let node_seed = node_seed(seed, addr);
             threads.push(std::thread::spawn(move || {
-                run_node(addr, actor, rx, shared, node_seed)
+                run_node(
+                    addr,
+                    actor,
+                    rx,
+                    ChannelOutbound(shared.clone()),
+                    &shared.run,
+                    node_seed,
+                )
             }));
         }
         LiveCluster {
@@ -123,7 +118,7 @@ impl<A: Actor + Send + 'static> LiveCluster<A> {
 
     /// Wall-clock nanoseconds since the cluster started.
     pub fn now(&self) -> u64 {
-        self.shared.start.elapsed().as_nanos() as u64
+        self.shared.run.now()
     }
 
     /// Sends an operation to a client node.
@@ -139,18 +134,18 @@ impl<A: Actor + Send + 'static> LiveCluster<A> {
     /// Turns measurement on or off (the live analogue of flipping
     /// `Metrics::enabled` after warmup; each node thread samples this flag).
     pub fn set_measuring(&self, on: bool) {
-        self.shared.measuring.store(on, Ordering::SeqCst);
+        self.shared.run.measuring.store(on, Ordering::SeqCst);
     }
 
     /// Signals closed-loop clients to stop issuing new operations.
     pub fn stop_issuing(&self) {
-        self.shared.stopped.store(true, Ordering::SeqCst);
+        self.shared.run.stopped.store(true, Ordering::SeqCst);
     }
 
     /// Stops every node and returns the final actors, metrics and history.
     /// The returned metrics are the per-thread sinks merged at join.
     pub fn shutdown(self) -> (Vec<(Addr, A)>, Metrics, Vec<HistoryEvent>) {
-        self.shared.stopped.store(true, Ordering::SeqCst);
+        self.shared.run.stopped.store(true, Ordering::SeqCst);
         for tx in self.shared.routes.values() {
             let _ = tx.send(Input::Stop);
         }
@@ -161,7 +156,7 @@ impl<A: Actor + Send + 'static> LiveCluster<A> {
             metrics.absorb(&local);
             actors.push((*addr, actor));
         }
-        let history = self.shared.history.take();
+        let history = self.shared.run.history.take();
         (actors, metrics, history)
     }
 }
@@ -188,167 +183,5 @@ impl<A: Actor + Send + 'static> Runtime<A> for LiveCluster<A> {
 
     fn addrs(&self) -> Vec<Addr> {
         self.addrs.clone()
-    }
-}
-
-/// Per-node event loop: channel input + timer deadline queue. Returns the
-/// actor and the thread-local metrics sink.
-fn run_node<A: Actor>(
-    addr: Addr,
-    mut actor: A,
-    rx: Receiver<Input<A::Msg>>,
-    shared: Arc<Shared<A::Msg>>,
-    seed: u64,
-) -> (A, Metrics) {
-    let mut rng = SmallRng::seed_from_u64(seed);
-    // Timer queue: (deadline, seq, kind); BinaryHeap is a max-heap so store
-    // reversed deadlines.
-    let mut timers: BinaryHeap<std::cmp::Reverse<(Instant, u64, u16, u64)>> = BinaryHeap::new();
-    let mut timer_seq = 0u64;
-    // The thread-local metrics sink: all handler effects accumulate here and
-    // the whole thing is handed back on join — no shared lock on this path.
-    let mut metrics = Metrics::new();
-
-    let fire = |actor: &mut A,
-                rng: &mut SmallRng,
-                timers: &mut BinaryHeap<std::cmp::Reverse<(Instant, u64, u16, u64)>>,
-                timer_seq: &mut u64,
-                metrics: &mut Metrics,
-                ev: Event<A::Msg>| {
-        metrics.enabled = shared.measuring.load(Ordering::Relaxed);
-        let mut ctx = LiveCtx {
-            addr,
-            shared: &shared,
-            rng,
-            out: Vec::new(),
-            new_timers: Vec::new(),
-            metrics,
-        };
-        match ev {
-            Event::Start => actor.on_start(&mut ctx),
-            Event::Msg { from, msg } => actor.on_message(&mut ctx, from, msg),
-            Event::Timer(kind) => actor.on_timer(&mut ctx, kind),
-        }
-        let LiveCtx {
-            out, new_timers, ..
-        } = ctx;
-        for (to, msg) in out {
-            if let Some(tx) = shared.routes.get(&to) {
-                let _ = tx.send(Input::Msg { from: addr, msg });
-            }
-        }
-        for (delay_ns, kind) in new_timers {
-            *timer_seq += 1;
-            let deadline = Instant::now() + Duration::from_nanos(delay_ns);
-            timers.push(std::cmp::Reverse((deadline, *timer_seq, kind.kind, kind.a)));
-        }
-    };
-
-    fire(
-        &mut actor,
-        &mut rng,
-        &mut timers,
-        &mut timer_seq,
-        &mut metrics,
-        Event::Start,
-    );
-
-    loop {
-        // Fire due timers.
-        let now = Instant::now();
-        while let Some(std::cmp::Reverse((deadline, _, kind, a))) = timers.peek().copied() {
-            if deadline > now {
-                break;
-            }
-            timers.pop();
-            fire(
-                &mut actor,
-                &mut rng,
-                &mut timers,
-                &mut timer_seq,
-                &mut metrics,
-                Event::Timer(TimerKind::with_arg(kind, a)),
-            );
-        }
-        // Wait for the next input or timer deadline.
-        let wait = timers
-            .peek()
-            .map(|std::cmp::Reverse((d, ..))| d.saturating_duration_since(Instant::now()))
-            .unwrap_or(Duration::from_millis(5));
-        match rx.recv_timeout(wait.min(Duration::from_millis(5))) {
-            Ok(Input::Msg { from, msg }) => fire(
-                &mut actor,
-                &mut rng,
-                &mut timers,
-                &mut timer_seq,
-                &mut metrics,
-                Event::Msg { from, msg },
-            ),
-            Ok(Input::Stop) => break,
-            Err(crossbeam::channel::RecvTimeoutError::Timeout) => {}
-            Err(crossbeam::channel::RecvTimeoutError::Disconnected) => break,
-        }
-    }
-    (actor, metrics)
-}
-
-enum Event<M> {
-    Start,
-    Msg { from: Addr, msg: M },
-    Timer(TimerKind),
-}
-
-struct LiveCtx<'a, M> {
-    addr: Addr,
-    shared: &'a Shared<M>,
-    rng: &'a mut SmallRng,
-    out: Vec<(Addr, M)>,
-    new_timers: Vec<(u64, TimerKind)>,
-    /// The node thread's metrics sink (merged into the cluster total when
-    /// the thread joins).
-    metrics: &'a mut Metrics,
-}
-
-impl<'a, M> ActorCtx<M> for LiveCtx<'a, M> {
-    fn now(&self) -> u64 {
-        self.shared.start.elapsed().as_nanos() as u64
-    }
-
-    fn self_addr(&self) -> Addr {
-        self.addr
-    }
-
-    fn send(&mut self, to: Addr, msg: M) {
-        self.out.push((to, msg));
-    }
-
-    fn set_timer(&mut self, delay_ns: u64, kind: TimerKind) {
-        self.new_timers.push((delay_ns, kind));
-    }
-
-    fn charge(&mut self, _ns: u64) {
-        // Real time: CPU is charged by actually spending it.
-    }
-
-    fn rng(&mut self) -> &mut SmallRng {
-        self.rng
-    }
-
-    fn metrics(&mut self) -> &mut Metrics {
-        self.metrics
-    }
-
-    fn record(&mut self, ev: HistoryEvent) {
-        if self.shared.recording {
-            self.shared.history.append(ev);
-        }
-    }
-
-    fn recording(&self) -> bool {
-        self.shared.recording
-    }
-
-    fn stopped(&self) -> bool {
-        self.shared.stopped.load(Ordering::SeqCst)
     }
 }

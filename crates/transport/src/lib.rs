@@ -15,6 +15,11 @@
 //! rather than simulation artifacts: integration tests run Contrarian and
 //! CC-LO clusters on threads and check the histories with the same causal
 //! checker used for simulated runs.
+//!
+//! The per-node event loop lives in `contrarian_runtime::node_loop`,
+//! parameterized over an `Outbound` message sink: this crate plugs in
+//! channels, `contrarian-net` plugs in sockets, and "how a node runs" is
+//! defined exactly once — the live runtimes stay true siblings.
 
 pub mod cluster;
 

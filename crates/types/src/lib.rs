@@ -11,6 +11,7 @@
 //! (`contrarian-core`, `contrarian-cclo`, `contrarian-cure`) all build on
 //! these definitions.
 
+pub mod codec;
 pub mod config;
 pub mod error;
 pub mod history;
@@ -21,6 +22,7 @@ pub mod vector;
 pub mod version;
 pub mod wire;
 
+pub use codec::{CodecError, Wire};
 pub use config::{ClusterConfig, RotMode, StabilizationTopology};
 pub use error::{Error, Result};
 pub use history::HistoryEvent;

@@ -8,7 +8,7 @@ use crate::Value;
 /// The paper's API also includes single-key `GET`; as in the paper
 /// ("we focus on PUT and ROT operations") a GET is expressed as a ROT over
 /// one key.
-#[derive(Clone, Debug)]
+#[derive(Clone, PartialEq, Eq, Debug)]
 pub enum Op {
     /// Read a causally consistent snapshot of the given keys.
     Rot(Vec<Key>),

@@ -101,6 +101,12 @@ impl DepVector {
     pub fn max_entry(&self) -> u64 {
         self.0.iter().copied().max().unwrap_or(0)
     }
+
+    /// The minimum entry — the scalar "universal stable time" an
+    /// Okapi-style backend distills a stabilized vector down to.
+    pub fn min_entry(&self) -> u64 {
+        self.0.iter().copied().min().unwrap_or(0)
+    }
 }
 
 impl Index<usize> for DepVector {
@@ -175,6 +181,12 @@ mod tests {
     fn max_entry() {
         assert_eq!(v(&[3, 9, 1]).max_entry(), 9);
         assert_eq!(DepVector::zero(0).max_entry(), 0);
+    }
+
+    #[test]
+    fn min_entry() {
+        assert_eq!(v(&[3, 9, 1]).min_entry(), 1);
+        assert_eq!(DepVector::zero(0).min_entry(), 0);
     }
 
     #[test]

@@ -15,6 +15,9 @@
 //!   on every PUT.
 //! * **Cure** ([`cure`]) — the classic coordinator design on physical
 //!   clocks: two rounds and blocking reads.
+//! * **Okapi-style** ([`okapi`]) — HLC timestamps with scalar
+//!   universal-stable-time snapshots: cheaper snapshot metadata, staler
+//!   remote reads (Didona et al., 2017).
 //!
 //! ## Crate layout
 //!
@@ -36,18 +39,23 @@
 //! (the execution substrate both runtimes share: `Actor`/`ActorCtx`, the
 //! cost model, metrics, history recording), [`sim`] (the deterministic
 //! discrete-event cluster simulator with a calendar-queue scheduler sized
-//! for 128-partition sweeps), and [`transport`] (the live multi-threaded
+//! for 128-partition sweeps), [`transport`] (the live multi-threaded
 //! in-process deployment of the same state machines — a sibling of the
-//! simulator, not a dependent). [`harness`] regenerates every figure and
-//! table of the paper plus a beyond-the-paper 8→128-partition scaling
-//! sweep (`scale_sweep`); `contrarian-bench` holds the Criterion
-//! benchmarks (`BENCH_baseline.json` and `BENCH_pr2.json` for the
-//! checked-in trajectory).
+//! simulator, not a dependent), and [`net`] (the TCP runtime: the same
+//! state machines again, but nodes on threads, links as real loopback
+//! sockets with Nagle disabled, and every message through the hand-rolled
+//! wire codec in [`types::codec`]). [`harness`] regenerates every figure
+//! and table of the paper plus a beyond-the-paper 8→128-partition scaling
+//! sweep (`scale_sweep`) and a real-socket latency comparison
+//! (`net_sweep`); `contrarian-bench` holds the Criterion benchmarks
+//! (`BENCH_baseline.json` and `BENCH_pr2.json` for the checked-in
+//! trajectory).
 //!
-//! Protocols are deterministic state machines driven either by the
-//! simulator — used to regenerate the paper's results — or by the live
-//! transport for real concurrent execution; both speak the same `ActorCtx`
-//! interface, so protocol code never knows which runtime is driving it.
+//! Protocols are deterministic state machines driven by the simulator —
+//! used to regenerate the paper's results — or by the live transports
+//! (in-process channels or TCP sockets) for real concurrent execution;
+//! all three speak the same `ActorCtx` interface, so protocol code never
+//! knows which runtime is driving it.
 //!
 //! ## Building
 //!
@@ -103,6 +111,8 @@ pub use contrarian_clock as clock;
 pub use contrarian_core as core_protocol;
 pub use contrarian_cure as cure;
 pub use contrarian_harness as harness;
+pub use contrarian_net as net;
+pub use contrarian_okapi as okapi;
 pub use contrarian_protocol as protocol;
 pub use contrarian_runtime as runtime;
 pub use contrarian_sim as sim;
