@@ -9,15 +9,41 @@
 //! Experiment scale is controlled by the `CONTRARIAN_SCALE` environment
 //! variable: `smoke` (seconds, for CI), `quick` (the default, a few
 //! minutes), `paper` (longest, closest to the paper's methodology).
+//!
+//! # Checking histories
+//!
+//! Every functional run records a [`contrarian_types::HistoryEvent`] per
+//! completed client operation; the checker replays that record and
+//! certifies the guarantees of the paper's Section 2.2 — the causal
+//! snapshot property of ROTs plus per-client session guarantees
+//! (monotonic reads in the causal order, read-your-writes).
+//!
+//! Two entry points:
+//!
+//! - [`check_causal`] takes a finished history slice — the one-liner used
+//!   by tests: `assert!(check_causal(&run.history).ok())`.
+//! - [`CausalChecker`] is the streaming form: [`CausalChecker::feed`]
+//!   events as they arrive (e.g. straight off a
+//!   [`contrarian_runtime::HistorySink`]) and call
+//!   [`CausalChecker::report`] once at the end.
+//!
+//! The checker is frontier-compressed (versions carry per-writer-session
+//! high-water vectors instead of per-key past maps — see [`checker`] for
+//! the representation), which is what lets tier-1 check *full*
+//! 128-partition histories in well under a second. The original map-based
+//! implementation survives as [`oracle::check_causal_oracle`], the
+//! differential second opinion: `tests/checker_differential.rs` asserts
+//! both agree on randomized multi-DC runs of every backend.
 
 pub mod checker;
 pub mod experiment;
 pub mod figures;
+pub mod oracle;
 pub mod table;
 pub mod table2;
 pub mod theory;
 
-pub use checker::{check_causal, CheckReport};
+pub use checker::{check_causal, CausalChecker, CheckReport};
 pub use experiment::{
     run_experiment, sweep_series, ExperimentConfig, Protocol, RunResult, Scale, Series,
 };

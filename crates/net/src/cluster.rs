@@ -24,6 +24,48 @@ const CHANNEL_CAP: usize = 64 * 1024;
 /// One encoded frame bound for a destination, queued on a writer channel.
 type OutFrame = (Addr, Vec<u8>);
 
+/// Retries `attempt` with exponential backoff: the first failure waits
+/// `first_delay`, doubling (capped at `max_delay`) before each subsequent
+/// try. Returns the first success or the last error after `attempts` tries.
+fn with_backoff<T, E>(
+    attempts: u32,
+    first_delay: Duration,
+    max_delay: Duration,
+    mut attempt: impl FnMut() -> Result<T, E>,
+) -> Result<T, E> {
+    let mut delay = first_delay;
+    let mut last;
+    let mut tries = 0;
+    loop {
+        match attempt() {
+            Ok(v) => return Ok(v),
+            Err(e) => last = e,
+        }
+        tries += 1;
+        if tries >= attempts.max(1) {
+            return Err(last);
+        }
+        std::thread::sleep(delay);
+        delay = (delay * 2).min(max_delay);
+    }
+}
+
+/// Connects to a peer, absorbing transient refusals: during 128-node
+/// bring-up every listener's backlog is hammered at once, so a first
+/// `connect` can bounce even though the listener exists and will accept a
+/// moment later. A single refusal must not take down the writer thread
+/// (and with it the whole run); a peer still unreachable after the ~¾ s
+/// this schedule spans (2+4+…+128 ms, then two 250 ms waits) is a real
+/// failure.
+fn connect_with_backoff(peer: SocketAddr) -> std::io::Result<TcpStream> {
+    with_backoff(
+        10,
+        Duration::from_millis(2),
+        Duration::from_millis(250),
+        || TcpStream::connect(peer),
+    )
+}
+
 /// Frames/bytes actually written to sockets, shared between the writer
 /// threads (which count after each successful `write_frame`) and
 /// observers. Relaxed atomics off the latency path.
@@ -76,7 +118,7 @@ fn write_loop(
                      payload: Vec<u8>| {
         let w = conns.entry(to).or_insert_with(|| {
             let peer = listen[&to];
-            let stream = TcpStream::connect(peer)
+            let stream = connect_with_backoff(peer)
                 .unwrap_or_else(|e| panic!("connect {node} -> {to} ({peer}): {e}"));
             stream
                 .set_nodelay(true)
@@ -493,6 +535,67 @@ mod tests {
 
         fn inject(_op: Op) -> Ping {
             Ping(0)
+        }
+    }
+
+    #[test]
+    fn backoff_returns_first_success() {
+        let mut calls = 0;
+        let r: Result<u32, &str> = with_backoff(5, Duration::ZERO, Duration::ZERO, || {
+            calls += 1;
+            if calls < 3 {
+                Err("refused")
+            } else {
+                Ok(42)
+            }
+        });
+        assert_eq!(r, Ok(42));
+        assert_eq!(calls, 3, "two transient failures are absorbed");
+    }
+
+    #[test]
+    fn backoff_gives_up_with_last_error() {
+        let mut calls = 0;
+        let r: Result<u32, u32> = with_backoff(4, Duration::ZERO, Duration::ZERO, || {
+            calls += 1;
+            Err(calls)
+        });
+        assert_eq!(r, Err(4), "the final error is the one reported");
+        assert_eq!(calls, 4);
+    }
+
+    #[test]
+    fn backoff_with_zero_attempts_still_tries_once() {
+        let mut calls = 0;
+        let r: Result<(), ()> = with_backoff(0, Duration::ZERO, Duration::ZERO, || {
+            calls += 1;
+            Err(())
+        });
+        assert!(r.is_err());
+        assert_eq!(calls, 1);
+    }
+
+    #[test]
+    fn connect_backoff_eventually_reaches_a_late_listener() {
+        // Bind, learn the port, drop the listener, then rebind it from
+        // another thread a few ms after the first connect attempt: the
+        // backoff must bridge the gap a plain connect cannot.
+        let l = TcpListener::bind("127.0.0.1:0").unwrap();
+        let peer = l.local_addr().unwrap();
+        drop(l);
+        let t = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(5));
+            TcpListener::bind(peer)
+        });
+        let conn = connect_with_backoff(peer);
+        let rebound = t.join().unwrap();
+        // The rebind itself can lose the port race on a busy machine; the
+        // assertion only stands when the listener actually came back.
+        if rebound.is_ok() {
+            assert!(
+                conn.is_ok(),
+                "backoff should reach the late listener: {conn:?}"
+            );
         }
     }
 

@@ -297,16 +297,25 @@ macro_rules! prop_assume {
     };
 }
 
-/// Defines `#[test]` functions whose arguments are drawn from strategies.
+/// Defines test functions whose arguments are drawn from strategies.
 ///
-/// ```ignore
+/// Attributes are passed through, so the usual form is `#[test] fn name(…)`
+/// inside a test module. The expansion is an ordinary zero-argument
+/// function; with the `#[test]` attribute left off (as here, since
+/// doctests compile without the test harness) the generated property can
+/// be driven directly:
+///
+/// ```
+/// use proptest::prelude::*;
+///
 /// proptest! {
 ///     #![proptest_config(ProptestConfig::with_cases(16))]
-///     #[test]
 ///     fn holds(x in 0u64..100, v in prop::collection::vec(0u8..4, 1..9)) {
 ///         prop_assert!(x < 100 && !v.is_empty());
 ///     }
 /// }
+///
+/// holds(); // runs the 16 cases
 /// ```
 #[macro_export]
 macro_rules! proptest {
@@ -328,7 +337,7 @@ macro_rules! __proptest_impl {
       )*
     ) => {
         $(
-            #[test]
+            $(#[$meta])*
             fn $name() {
                 let cfg: $crate::ProptestConfig = $cfg;
                 let mut rng = $crate::TestRng::for_test(concat!(module_path!(), "::", stringify!($name)));

@@ -1,0 +1,105 @@
+//! Dense interning of sparse identifiers.
+//!
+//! Checkers and routing tables index per-key and per-client state millions
+//! of times; hashing a sparse id on every touch is what made the original
+//! causal checker quadratic in practice. An [`Interner`] maps each distinct
+//! value to a dense `u32` exactly once, after which all bookkeeping lives
+//! in flat vectors indexed by that number.
+
+use std::collections::HashMap;
+use std::hash::Hash;
+
+/// Maps values of `T` to dense indices `0..len()`, first-come first-served.
+///
+/// Indices are stable for the lifetime of the interner, and `resolve`
+/// recovers the original value, so an index is a faithful compressed name.
+#[derive(Clone, Debug, Default)]
+pub struct Interner<T> {
+    index: HashMap<T, u32>,
+    values: Vec<T>,
+}
+
+impl<T: Copy + Eq + Hash> Interner<T> {
+    pub fn new() -> Self {
+        Interner {
+            index: HashMap::new(),
+            values: Vec::new(),
+        }
+    }
+
+    /// The dense index of `value`, allocating the next one on first sight.
+    #[inline]
+    pub fn intern(&mut self, value: T) -> u32 {
+        if let Some(&i) = self.index.get(&value) {
+            return i;
+        }
+        let i = u32::try_from(self.values.len()).expect("interner overflow");
+        self.index.insert(value, i);
+        self.values.push(value);
+        i
+    }
+
+    /// The index of `value` if it has been interned, without allocating.
+    #[inline]
+    pub fn get(&self, value: T) -> Option<u32> {
+        self.index.get(&value).copied()
+    }
+
+    /// The value behind a dense index (panics on an index this interner
+    /// never handed out).
+    #[inline]
+    pub fn resolve(&self, idx: u32) -> T {
+        self.values[idx as usize]
+    }
+
+    /// How many distinct values have been interned.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// All interned values, in index order.
+    #[inline]
+    pub fn values(&self) -> &[T] {
+        &self.values
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::{ClientId, DcId};
+    use crate::key::Key;
+
+    #[test]
+    fn interning_is_dense_and_stable() {
+        let mut i = Interner::new();
+        assert_eq!(i.intern(Key(40)), 0);
+        assert_eq!(i.intern(Key(7)), 1);
+        assert_eq!(i.intern(Key(40)), 0, "re-interning returns the same index");
+        assert_eq!(i.len(), 2);
+        assert_eq!(i.resolve(1), Key(7));
+        assert_eq!(i.values(), &[Key(40), Key(7)]);
+    }
+
+    #[test]
+    fn get_does_not_allocate() {
+        let mut i = Interner::new();
+        assert_eq!(i.get(ClientId::new(DcId(0), 3)), None);
+        let idx = i.intern(ClientId::new(DcId(0), 3));
+        assert_eq!(i.get(ClientId::new(DcId(0), 3)), Some(idx));
+        assert_eq!(i.len(), 1);
+    }
+
+    #[test]
+    fn empty_interner() {
+        let i: Interner<Key> = Interner::new();
+        assert!(i.is_empty());
+        assert_eq!(i.get(Key(0)), None);
+    }
+}

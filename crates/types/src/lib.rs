@@ -16,6 +16,7 @@ pub mod config;
 pub mod error;
 pub mod history;
 pub mod ids;
+pub mod intern;
 pub mod key;
 pub mod op;
 pub mod vector;
@@ -27,6 +28,7 @@ pub use config::{ClusterConfig, RotMode, StabilizationTopology};
 pub use error::{Error, Result};
 pub use history::HistoryEvent;
 pub use ids::{Addr, ClientId, DcId, NodeKind, PartitionId, TxId};
+pub use intern::Interner;
 pub use key::Key;
 pub use op::Op;
 pub use vector::DepVector;

@@ -105,6 +105,24 @@ fn all_to_all_stabilization_stays_causal() {
     assert_causal(&cfg);
 }
 
+/// The streaming checker (fed event by event, as a live monitor riding a
+/// `HistorySink` would be) agrees with the batch entry point on a real
+/// replicated run.
+#[test]
+fn streaming_checker_matches_batch_on_live_history() {
+    let r = run_experiment(&functional(Protocol::Contrarian, 2, 21));
+    assert!(r.history.len() > 100, "too little history");
+    let mut ck = contrarian::harness::CausalChecker::new();
+    for ev in &r.history {
+        ck.feed(ev);
+    }
+    let streamed = ck.report();
+    let batch = check_causal(&r.history);
+    assert!(streamed.ok(), "{:?}", streamed.violations.first());
+    assert_eq!(streamed.rots_checked, batch.rots_checked);
+    assert_eq!(streamed.versions, batch.versions);
+}
+
 /// Convergence (Section 2.2): after load stops and replication drains, all
 /// replicas of every key hold the same LWW winner.
 #[test]
