@@ -8,6 +8,7 @@ use contrarian_bench::{bench_cluster, bench_scale};
 use contrarian_harness::experiment::{run_experiment, ExperimentConfig, Protocol};
 use contrarian_harness::theory;
 use contrarian_runtime::cost::CostModel;
+use contrarian_sim::SchedKind;
 use contrarian_workload::WorkloadSpec;
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
 
@@ -23,6 +24,7 @@ fn mini_experiment(protocol: Protocol, dcs: u8, workload: WorkloadSpec) -> Exper
         seed: 42,
         cost: CostModel::calibrated(),
         record: false,
+        sched: SchedKind::from_env(),
     }
 }
 

@@ -147,14 +147,18 @@ fn bench_reader_records(c: &mut Criterion) {
     g.finish();
 }
 
-/// Engine throughput at 8/32/128 partitions, calendar queue vs the
-/// heap-scheduler baseline it replaced. One iteration = a fixed number of
-/// engine steps over a synthetic geo-replicated echo flood: trivial
-/// handlers, calibrated network latencies, two DCs, so thousands of
-/// in-flight messages spread over a ~10 ms inter-DC span — the event
-/// population shape of a real 128-partition protocol run. ns/iter ÷
-/// `STEPS` is ns/event; the heap/calendar ratio at 128 partitions is the
-/// scheduler speedup.
+/// Engine throughput at 8/32/128 partitions: the heap baseline, the
+/// calendar queue, and the sharded parallel engine. One iteration = a
+/// fixed span of virtual time over a synthetic geo-replicated echo flood:
+/// trivial handlers, calibrated network latencies, four DCs, so thousands
+/// of in-flight messages spread over a ~10 ms inter-DC span — the event
+/// population shape of a real 128-partition protocol run, and four real
+/// shard groups for `sharded` (one per DC, windows ≈ the 10 ms inter-DC
+/// latency). All engines process the *same* events — asserted before the
+/// bench — so ns/iter ratios are engine speedups; events ÷ ns/iter is
+/// engine events/sec. Note the parallel win needs cores: on a single-CPU
+/// machine the sharded engine degrades to serially executed windows and
+/// measures only its bookkeeping overhead.
 fn bench_sim_scale(c: &mut Criterion) {
     use contrarian_runtime::actor::{Actor, ActorCtx, TimerKind};
     use contrarian_runtime::cost::{CostModel, MsgClass, SimMessage};
@@ -162,9 +166,9 @@ fn bench_sim_scale(c: &mut Criterion) {
     use contrarian_sim::sim::Sim;
     use contrarian_types::{Addr, DcId, Op, PartitionId};
 
-    const STEPS: usize = 100_000;
-    const WINDOW: u32 = 96;
-    const DCS: u8 = 2;
+    const HORIZON_NS: u64 = 25_000_000; // 25 virtual ms ≈ 2½ inter-DC RTTs
+    const WINDOW: u32 = 48;
+    const DCS: u8 = 4;
 
     #[derive(Clone)]
     struct Ball;
@@ -219,7 +223,7 @@ fn bench_sim_scale(c: &mut Criterion) {
         }
     }
 
-    let run = |partitions: u16, sched: SchedKind| {
+    let run = |partitions: u16, sched: SchedKind| -> (u64, u64) {
         let mut sim: Sim<Flood> = Sim::with_scheduler(CostModel::calibrated(), 7, sched);
         for dc in 0..DCS {
             for p in 0..partitions {
@@ -234,7 +238,7 @@ fn bench_sim_scale(c: &mut Criterion) {
             }
         }
         for dc in 0..DCS {
-            for i in 0..2 * partitions {
+            for i in 0..partitions {
                 sim.add_client(
                     Addr::client(DcId(dc), i),
                     Flood {
@@ -245,20 +249,39 @@ fn bench_sim_scale(c: &mut Criterion) {
             }
         }
         sim.start();
-        let mut steps = 0usize;
-        while steps < STEPS && sim.step() {
-            steps += 1;
-        }
-        assert_eq!(steps, STEPS, "flood must not drain");
-        sim.now()
+        sim.run_until(HORIZON_NS);
+        (sim.events_processed(), sim.now())
     };
+
+    let engines = [
+        ("heap", SchedKind::Heap),
+        ("calendar", SchedKind::Calendar),
+        ("sharded", SchedKind::Sharded { shards: 0 }),
+    ];
+    // The comparison is only meaningful if every engine does identical
+    // work: assert the processed-event counts match before timing. The
+    // calendar run *is* the reference, so only the other two re-run.
+    for partitions in [8u16, 32, 128] {
+        let want = run(partitions, SchedKind::Calendar);
+        assert!(want.0 > 0, "flood made no progress");
+        for (label, sched) in engines {
+            if sched == SchedKind::Calendar {
+                continue;
+            }
+            assert_eq!(
+                run(partitions, sched),
+                want,
+                "{label} diverged at N={partitions}"
+            );
+        }
+    }
 
     let mut g = c.benchmark_group("sim_scale");
     g.sample_size(10);
     g.warm_up_time(std::time::Duration::from_millis(300));
     g.measurement_time(std::time::Duration::from_secs(2));
     for partitions in [8u16, 32, 128] {
-        for (label, sched) in [("calendar", SchedKind::Calendar), ("heap", SchedKind::Heap)] {
+        for (label, sched) in engines {
             g.bench_with_input(BenchmarkId::new(label, partitions), &partitions, |b, &p| {
                 b.iter(|| black_box(run(p, sched)))
             });

@@ -10,6 +10,7 @@
 use contrarian_harness::experiment::{run_experiment, ExperimentConfig, Protocol, Scale};
 use contrarian_harness::table;
 use contrarian_runtime::cost::CostModel;
+use contrarian_sim::SchedKind;
 use contrarian_types::ClusterConfig;
 use contrarian_workload::WorkloadSpec;
 
@@ -41,6 +42,7 @@ fn main() {
             seed: 42,
             cost: CostModel::calibrated(),
             record: false,
+            sched: SchedKind::from_env(),
         };
         let r = run_experiment(&cfg);
         let checks = r.counter(contrarian_cclo::stats::CHECKS).max(1);

@@ -80,6 +80,7 @@ fn predict_sim(
         seed,
         cost: CostModel::calibrated(),
         record: false,
+        sched: contrarian_sim::SchedKind::from_env(),
     });
     (r.avg_rot_ms, r.p99_rot_ms, r.avg_put_ms)
 }

@@ -1,10 +1,14 @@
-//! Beyond the paper: partition-count scaling sweep (8 → 128 partitions).
+//! Beyond the paper: partition-count scaling sweep (8 → 256 partitions).
 //!
 //! The paper evaluates up to 32 partitions; the ROADMAP north star is
 //! production-scale clusters. This binary sweeps the partition count at
 //! fixed per-DC load for Contrarian and CC-LO on [`Scale::large`] —
 //! the 128-partition point is the one the calendar-queue engine rebuild
-//! exists for (a single global event heap made it intractable).
+//! exists for (a single global event heap made it intractable) — then
+//! adds the 256-partition tier ([`ClusterConfig::xlarge`]): two DCs and
+//! 512 servers, one load point, the scale the *sharded* engine rebuild
+//! exists for (run it under `CONTRARIAN_SCHED=sharded` to put one DC per
+//! event loop; any engine produces bit-identical results).
 //!
 //! Expected shape: Contrarian's peak throughput grows with partitions
 //! (PUTs stay single-partition, stabilization cost is amortized); CC-LO's
@@ -46,9 +50,38 @@ fn main() {
         );
     }
 
+    // The 256-partition tier: its own cluster shape (two DCs) and its own
+    // scale knobs — at 512 servers a full load curve would blow the CI
+    // budget without saying anything new.
+    {
+        let cluster = ClusterConfig::xlarge();
+        let xscale = Scale::xlarge();
+        let t0 = Instant::now();
+        series.extend(sweep_grid(
+            contrarian_vs_cclo_over(
+                &[cluster.n_partitions],
+                &cluster,
+                |p, parts| {
+                    format!(
+                        "{} N={parts}x{}dc",
+                        p.label(),
+                        ClusterConfig::xlarge().n_dcs
+                    )
+                },
+                |_| wl.clone(),
+            ),
+            &xscale,
+            42,
+        ));
+        eprintln!(
+            "  [scale_sweep] N=256 (2 DCs): swept in {:.1}s",
+            t0.elapsed().as_secs_f64()
+        );
+    }
+
     emit_figure(
         "scale_sweep",
-        "partition-count scaling, 8 → 128 partitions (beyond the paper)",
+        "partition-count scaling, 8 → 256 partitions (beyond the paper)",
         &series,
     );
 

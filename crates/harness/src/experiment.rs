@@ -2,6 +2,7 @@
 
 use contrarian_runtime::cost::CostModel;
 use contrarian_runtime::metrics::Metrics;
+use contrarian_sim::SchedKind;
 use contrarian_types::{ClusterConfig, HistoryEvent, RotMode};
 use contrarian_workload::WorkloadSpec;
 use std::collections::BTreeMap;
@@ -84,11 +85,26 @@ impl Scale {
         }
     }
 
+    /// The 256-partition tier (`ClusterConfig::xlarge`): a two-DC,
+    /// 512-server cluster is ~4× the event volume of `large` per load
+    /// point, so the sweep keeps a single saturating load point and a
+    /// short window — its job is demonstrating the sharded engine's
+    /// ceiling inside CI's bench-smoke budget, not tracing a full curve.
+    pub fn xlarge() -> Self {
+        Scale {
+            warmup_ns: 50_000_000,
+            measure_ns: 150_000_000,
+            load_points: vec![128],
+            fig6_points: vec![60],
+        }
+    }
+
     pub fn from_env() -> Self {
         match std::env::var("CONTRARIAN_SCALE").as_deref() {
             Ok("smoke") => Scale::smoke(),
             Ok("paper") => Scale::paper(),
             Ok("large") => Scale::large(),
+            Ok("xlarge") => Scale::xlarge(),
             _ => Scale::quick(),
         }
     }
@@ -105,9 +121,14 @@ pub struct ExperimentConfig {
     pub measure_ns: u64,
     pub seed: u64,
     pub cost: CostModel,
-    /// Record history for the causal checker (functional runs only: it
-    /// keeps every operation in memory).
+    /// Record history for the causal checker. Use
+    /// [`run_experiment_streamed`] to consume it incrementally instead of
+    /// keeping every operation in memory.
     pub record: bool,
+    /// Engine mode (heap / calendar / sharded). Defaults follow
+    /// `CONTRARIAN_SCHED`; the cross-engine determinism tests pin it per
+    /// run instead of racing on the process environment.
+    pub sched: SchedKind,
 }
 
 impl ExperimentConfig {
@@ -123,6 +144,7 @@ impl ExperimentConfig {
             seed: 42,
             cost: CostModel::calibrated(),
             record: false,
+            sched: SchedKind::from_env(),
         }
     }
 
@@ -138,6 +160,7 @@ impl ExperimentConfig {
             seed: 7,
             cost: CostModel::functional(),
             record: true,
+            sched: SchedKind::from_env(),
         }
     }
 }
@@ -184,27 +207,66 @@ impl RunResult {
 }
 
 /// Runs one experiment to completion: warmup, measurement window, result
-/// extraction. Fully deterministic given the seed.
+/// extraction. Fully deterministic given the seed. The full recorded
+/// history rides home in the result; long recorded runs should prefer
+/// [`run_experiment_streamed`].
 pub fn run_experiment(cfg: &ExperimentConfig) -> RunResult {
+    let mut history = Vec::new();
+    let mut r = run_experiment_streamed(cfg, &mut |ev| history.push(ev));
+    r.history = history;
+    r
+}
+
+/// How many slices the measured window is drained in when streaming: the
+/// engine's history buffers hold at most ~1/8 of the measured window's
+/// events at any point.
+const STREAM_SLICES: u64 = 8;
+
+/// Runs one experiment, handing recorded history events to `sink` as run
+/// phases complete instead of buffering them all (`history` in the
+/// returned result stays empty). The measured window is drained in
+/// [`STREAM_SLICES`] slices; drains happen at run barriers, so the events
+/// delivered to the sink form exactly the canonical full history, in
+/// order — pipe them straight into [`crate::CausalChecker::feed`]. Slicing
+/// does not perturb the run: engines process the same events in the same
+/// order whatever the run_until boundaries.
+pub fn run_experiment_streamed(
+    cfg: &ExperimentConfig,
+    sink: &mut dyn FnMut(HistoryEvent),
+) -> RunResult {
     macro_rules! drive {
         ($sim:expr) => {{
             let mut sim = $sim;
             sim.set_recording(cfg.record);
             sim.start();
             sim.run_until(cfg.warmup_ns);
+            for ev in sim.drain_history() {
+                sink(ev);
+            }
             sim.metrics_mut().enabled = true;
-            sim.run_until(cfg.warmup_ns + cfg.measure_ns);
+            let end = cfg.warmup_ns + cfg.measure_ns;
+            let slice = (cfg.measure_ns / STREAM_SLICES).max(1);
+            let mut t = cfg.warmup_ns;
+            while t < end {
+                t = (t + slice).min(end);
+                sim.run_until(t);
+                for ev in sim.drain_history() {
+                    sink(ev);
+                }
+            }
             sim.metrics_mut().enabled = false;
             // Let in-flight operations finish so histories are complete.
             sim.set_stopped(true);
-            sim.run_to_quiescence(cfg.warmup_ns + cfg.measure_ns + 5_000_000_000);
-            let history = sim.take_history();
+            sim.run_to_quiescence(end + 5_000_000_000);
+            for ev in sim.drain_history() {
+                sink(ev);
+            }
             RunResult::from_metrics(
                 cfg.protocol,
                 cfg.clients_per_dc,
                 sim.metrics(),
                 cfg.measure_ns,
-                history,
+                Vec::new(),
             )
         }};
     }
@@ -223,18 +285,20 @@ pub fn run_experiment(cfg: &ExperimentConfig) -> RunResult {
     };
     match cfg.protocol {
         Protocol::Contrarian | Protocol::ContrarianTwoRound => {
-            drive!(contrarian_protocol::build_cluster::<
+            drive!(contrarian_protocol::build_cluster_with::<
                 contrarian_core::Contrarian,
-            >(&p))
+            >(&p, cfg.sched))
         }
-        Protocol::CcLo => drive!(contrarian_protocol::build_cluster::<contrarian_cclo::CcLo>(
-            &p
-        )),
-        Protocol::Cure => drive!(contrarian_protocol::build_cluster::<contrarian_cure::Cure>(
-            &p
-        )),
+        Protocol::CcLo => drive!(contrarian_protocol::build_cluster_with::<
+            contrarian_cclo::CcLo,
+        >(&p, cfg.sched)),
+        Protocol::Cure => drive!(contrarian_protocol::build_cluster_with::<
+            contrarian_cure::Cure,
+        >(&p, cfg.sched)),
         Protocol::Okapi => {
-            drive!(contrarian_protocol::build_cluster::<contrarian_okapi::Okapi>(&p))
+            drive!(contrarian_protocol::build_cluster_with::<
+                contrarian_okapi::Okapi,
+            >(&p, cfg.sched))
         }
     }
 }
@@ -281,6 +345,7 @@ pub fn sweep_series(
             seed,
             cost: CostModel::calibrated(),
             record: false,
+            sched: SchedKind::from_env(),
         };
         let r = run_experiment(&cfg);
         eprintln!(
@@ -390,6 +455,20 @@ mod tests {
         // Same scale, but not bit-identical histories.
         assert_ne!(a.history.len(), 0);
         assert!(a.history.len() != b.history.len() || a.throughput_kops != b.throughput_kops);
+    }
+
+    #[test]
+    fn streamed_run_delivers_the_buffered_history() {
+        // Slice-drained streaming must hand the sink exactly the events a
+        // buffered run returns, in the same order, with identical metrics.
+        let cfg = ExperimentConfig::functional(Protocol::Contrarian);
+        let buffered = run_experiment(&cfg);
+        let mut streamed = Vec::new();
+        let r = run_experiment_streamed(&cfg, &mut |ev| streamed.push(ev));
+        assert!(r.history.is_empty(), "streamed result must not buffer");
+        assert_eq!(r.throughput_kops, buffered.throughput_kops);
+        assert_eq!(streamed.len(), buffered.history.len());
+        assert_eq!(format!("{streamed:?}"), format!("{:?}", buffered.history));
     }
 
     #[test]

@@ -45,5 +45,6 @@ pub mod theory;
 
 pub use checker::{check_causal, CausalChecker, CheckReport};
 pub use experiment::{
-    run_experiment, sweep_series, ExperimentConfig, Protocol, RunResult, Scale, Series,
+    run_experiment, run_experiment_streamed, sweep_series, ExperimentConfig, Protocol, RunResult,
+    Scale, Series,
 };

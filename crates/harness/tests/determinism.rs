@@ -1,9 +1,17 @@
-//! Cross-engine determinism: the calendar-queue scheduler must replay the
-//! exact event order of the binary-heap engine it replaced. Same seed ⇒
-//! byte-identical history and metrics under either scheduler, and both must
-//! match golden fingerprints recorded from the pre-rewrite heap engine.
+//! Cross-engine determinism, three ways: the binary-heap baseline, the
+//! calendar-queue engine, and the sharded parallel engine must replay the
+//! exact same run. Same seed ⇒ byte-identical history and metrics under
+//! any engine, and all must match golden fingerprints recorded from the
+//! calendar engine.
+//!
+//! The clusters here span three DCs, so the sharded engine genuinely runs
+//! three event loops exchanging cross-DC messages at window barriers —
+//! and `CONTRARIAN_SHARD_THREADS` forces the parallel window path even on
+//! machines that report a single CPU (where the engine would otherwise
+//! fall back to serially executed windows).
 
 use contrarian_harness::experiment::{run_experiment, ExperimentConfig, Protocol, RunResult};
+use contrarian_sim::SchedKind;
 
 fn fnv1a(bytes: &[u8]) -> u64 {
     let mut h: u64 = 0xcbf2_9ce4_8422_2325;
@@ -21,43 +29,63 @@ fn fingerprint(r: &RunResult) -> (usize, u64) {
     )
 }
 
-/// One test drives both schedulers sequentially: the scheduler choice is a
-/// process-wide environment variable, so it must not race with concurrent
-/// tests (this is the only test in the file that touches it).
+/// The engines diffed against the calendar reference run (which is run
+/// once per protocol and doubles as the golden-fingerprint source).
+const OTHER_ENGINES: [SchedKind; 2] = [SchedKind::Heap, SchedKind::Sharded { shards: 0 }];
+
+/// One test drives all engines sequentially: the shard-thread override is
+/// a process-wide environment variable, so it must not race with
+/// concurrent tests (this is the only test in this binary).
 #[test]
-fn schedulers_replay_identical_histories_matching_golden() {
-    // (events, FNV-1a of the Debug-formatted history) of
-    // `ExperimentConfig::functional` runs, recorded from the seed
-    // (single-global-heap) engine before the scheduler rewrite.
+fn engines_replay_identical_histories_matching_golden() {
+    // Three shards → three window threads, even on 1-CPU CI runners.
+    std::env::set_var("CONTRARIAN_SHARD_THREADS", "3");
+    // (events, FNV-1a of the Debug-formatted history) of three-DC
+    // functional runs, recorded from the calendar engine.
     let golden = [
-        (Protocol::Contrarian, 3052usize, 0x142562961f5576d6u64),
-        (Protocol::CcLo, 4436, 0xf822bda0243c2ece),
-        (Protocol::Cure, 453, 0x1d1e25a96978e900),
+        (Protocol::Contrarian, 6788usize, 0xbe9f10eaaa310b84u64),
+        (Protocol::ContrarianTwoRound, 6795, 0x64649a7173408d75),
+        (Protocol::CcLo, 9789, 0x4dcb542aa32f7482),
+        (Protocol::Cure, 1039, 0x3379717860c6bfb7),
+        (Protocol::Okapi, 6791, 0x86daa0ae5c423a3f),
     ];
-    for (protocol, golden_events, golden_hash) in golden {
-        let cfg = ExperimentConfig::functional(protocol);
+    let mut got = Vec::new();
+    for (protocol, _, _) in golden {
+        let mut cfg = ExperimentConfig::functional(protocol);
+        // Cross-DC replication: every PUT crosses the shard boundaries.
+        cfg.cluster = cfg.cluster.with_dcs(3);
+        cfg.clients_per_dc = 3;
 
-        std::env::set_var("CONTRARIAN_SCHED", "heap");
-        let heap = run_experiment(&cfg);
-        std::env::set_var("CONTRARIAN_SCHED", "calendar");
+        cfg.sched = SchedKind::Calendar;
         let calendar = run_experiment(&cfg);
-        std::env::remove_var("CONTRARIAN_SCHED");
-
+        for sched in OTHER_ENGINES {
+            cfg.sched = sched;
+            let run = run_experiment(&cfg);
+            assert_eq!(
+                fingerprint(&run),
+                fingerprint(&calendar),
+                "{protocol:?}: {sched:?} diverged from the calendar engine"
+            );
+            // Metrics are derived from the same events; spot-check scalars.
+            assert_eq!(run.throughput_kops, calendar.throughput_kops, "{sched:?}");
+            assert_eq!(run.avg_rot_ms, calendar.avg_rot_ms, "{sched:?}");
+            assert_eq!(run.p99_rot_ms, calendar.p99_rot_ms, "{sched:?}");
+            assert_eq!(run.avg_put_ms, calendar.avg_put_ms, "{sched:?}");
+            assert_eq!(run.counters, calendar.counters, "{sched:?}");
+        }
+        got.push((protocol, fingerprint(&calendar)));
+    }
+    std::env::remove_var("CONTRARIAN_SHARD_THREADS");
+    // On mismatch (an *intentional* engine-semantics change), replace the
+    // golden table with this printout:
+    for (p, (n, h)) in &got {
+        println!("        (Protocol::{p:?}, {n}usize, {h:#018x}u64),");
+    }
+    for ((protocol, want_events, want_hash), (_, fp)) in golden.into_iter().zip(&got) {
         assert_eq!(
-            fingerprint(&heap),
-            fingerprint(&calendar),
-            "{protocol:?}: schedulers diverged"
+            *fp,
+            (want_events, want_hash),
+            "{protocol:?}: history no longer matches the golden run"
         );
-        assert_eq!(
-            fingerprint(&calendar),
-            (golden_events, golden_hash),
-            "{protocol:?}: history no longer matches the golden heap-engine run"
-        );
-        // Metrics are derived from the same events; spot-check the scalars.
-        assert_eq!(heap.throughput_kops, calendar.throughput_kops);
-        assert_eq!(heap.avg_rot_ms, calendar.avg_rot_ms);
-        assert_eq!(heap.p99_rot_ms, calendar.p99_rot_ms);
-        assert_eq!(heap.avg_put_ms, calendar.avg_put_ms);
-        assert_eq!(heap.counters, calendar.counters);
     }
 }

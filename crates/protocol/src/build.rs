@@ -69,10 +69,21 @@ fn add_servers<P: ProtocolSpec>(sim: &mut Sim<ProtoNode<P>>, cfg: &ClusterConfig
 }
 
 /// Builds a full simulated cluster with closed-loop clients. The caller
-/// decides when to `start()` and how long to run.
+/// decides when to `start()` and how long to run. The engine mode comes
+/// from `CONTRARIAN_SCHED`; use [`build_cluster_with`] to pin it.
 pub fn build_cluster<P: ProtocolSpec>(p: &ClusterParams) -> Sim<ProtoNode<P>> {
+    build_cluster_with::<P>(p, contrarian_sim::SchedKind::from_env())
+}
+
+/// [`build_cluster`] with an explicit engine mode — what the cross-engine
+/// determinism tests use to compare heap/calendar/sharded runs of one
+/// configuration without racing on the process environment.
+pub fn build_cluster_with<P: ProtocolSpec>(
+    p: &ClusterParams,
+    sched: contrarian_sim::SchedKind,
+) -> Sim<ProtoNode<P>> {
     let cfg = P::normalize(p.cfg.clone());
-    let mut sim = Sim::new(p.cost.clone(), p.seed);
+    let mut sim = Sim::with_scheduler(p.cost.clone(), p.seed, sched);
     add_servers::<P>(&mut sim, &cfg, p.seed);
     let zipf = Arc::new(Zipf::new(cfg.keys_per_partition, p.workload.zipf_theta));
     for dc in 0..cfg.n_dcs {

@@ -37,8 +37,8 @@ pub mod stabilizer;
 pub mod timers;
 
 pub use build::{
-    build_cluster, build_interactive_cluster, build_live_cluster, build_live_nodes,
-    build_net_cluster, ClusterParams, ProtoNode, ProtocolSpec,
+    build_cluster, build_cluster_with, build_interactive_cluster, build_live_cluster,
+    build_live_nodes, build_net_cluster, ClusterParams, ProtoNode, ProtocolSpec,
 };
 pub use node::{Node, ProtocolClient, ProtocolMsg, ProtocolServer};
 pub use parked::Parked;

@@ -109,6 +109,19 @@ impl CostModel {
         (bytes as u64 * self.cpu_per_kb_ns) >> 10
     }
 
+    /// Conservative lookahead for parallel per-DC simulation: a lower bound
+    /// on how far in the future *any* cross-DC message sent "now" can
+    /// arrive. Every term of the arrival time beyond the one-way inter-DC
+    /// latency — sender CPU, wire time per byte, per-link FIFO clamping —
+    /// only pushes delivery later, so the latency alone is a safe window
+    /// width: events separated by less than this and executing in different
+    /// DCs cannot influence each other. A zero lookahead (degenerate cost
+    /// models) means cross-DC shards must fall back to lockstep execution.
+    #[inline]
+    pub fn cross_dc_lookahead(&self) -> u64 {
+        self.interdc_latency_ns
+    }
+
     /// Wire transmission time for a message of `bytes`.
     #[inline]
     pub fn wire_bytes(&self, bytes: usize) -> u64 {
@@ -188,6 +201,16 @@ mod tests {
         let ctrl = Fake(64, MsgClass::Control);
         assert!(ctrl.rx_cost(&m) < data.rx_cost(&m));
         assert!(ctrl.tx_cost(&m) < data.tx_cost(&m));
+    }
+
+    #[test]
+    fn lookahead_is_the_interdc_latency() {
+        // The window width of the sharded engine: must never exceed the
+        // earliest possible cross-DC arrival. All other arrival-time terms
+        // (tx CPU, wire bytes, FIFO clamp) are non-negative.
+        let m = CostModel::calibrated();
+        assert_eq!(m.cross_dc_lookahead(), m.interdc_latency_ns);
+        assert!(m.cross_dc_lookahead() > 0);
     }
 
     #[test]

@@ -6,14 +6,64 @@
 //! condition variable so waiters sleep until an append actually happens
 //! instead of burning CPU in a poll loop.
 //!
-//! The simulator does not use this type — it is single-threaded and keeps
-//! its history in a plain `Vec` — but the sink lives here, in the runtime
-//! layer, because history recording is part of the substrate contract every
-//! runtime offers ([`crate::ActorCtx::record`]).
+//! The simulator records through the *sharded* half of this module
+//! instead: each shard (or the single-threaded engine, which is the
+//! one-shard special case) appends [`TaggedEvent`]s to a plain local `Vec`
+//! with no locking, and [`merge_shard_histories`] folds the per-shard
+//! streams into one canonical global sequence afterwards. Both sinks live
+//! here, in the runtime layer, because history recording is part of the
+//! substrate contract every runtime offers ([`crate::ActorCtx::record`]).
+//!
+//! ## The canonical history order
+//!
+//! A sharded run has no single "the order events were recorded in" — shards
+//! execute concurrently. Instead every record carries a *canonical key*
+//! `(virtual time, recording node, per-node record counter)`:
+//!
+//! * within one node the counter follows execution order, so a node's
+//!   subsequence is exactly its real order;
+//! * across nodes, ties at equal virtual time break by node id — arbitrary
+//!   but engine-independent.
+//!
+//! Sorting by that key therefore yields the *same* event sequence whether
+//! the run executed on one thread or eight, which is what lets the
+//! determinism suite fingerprint sharded histories against the
+//! single-threaded engines byte for byte.
 
 use contrarian_types::HistoryEvent;
 use std::sync::{Condvar, Mutex};
 use std::time::{Duration, Instant};
+
+/// One history record plus its canonical key (see the module docs): the
+/// virtual time it was recorded at, the global id of the recording node,
+/// and that node's running record counter.
+#[derive(Clone, Debug)]
+pub struct TaggedEvent {
+    pub t: u64,
+    pub node: u32,
+    pub seq: u64,
+    pub ev: HistoryEvent,
+}
+
+/// Folds per-shard tagged streams into the canonical global sequence.
+///
+/// The result is identical for any partition of the same records into
+/// streams — keys are unique (`(node, seq)` never repeats), so the sort is
+/// a total order and the shard count cannot show through.
+pub fn merge_shard_histories(
+    streams: impl IntoIterator<Item = Vec<TaggedEvent>>,
+) -> Vec<HistoryEvent> {
+    let mut all: Vec<TaggedEvent> = Vec::new();
+    for mut s in streams {
+        if all.is_empty() {
+            all = s;
+        } else {
+            all.append(&mut s);
+        }
+    }
+    all.sort_unstable_by_key(|e| (e.t, e.node, e.seq));
+    all.into_iter().map(|e| e.ev).collect()
+}
 
 /// An append-only event log multiple threads write and waiters watch.
 #[derive(Default)]
@@ -171,5 +221,50 @@ mod tests {
         sink.append(put(0));
         assert_eq!(sink.take().len(), 1);
         assert!(sink.is_empty());
+    }
+
+    fn tagged(t: u64, node: u32, seq: u64) -> TaggedEvent {
+        TaggedEvent {
+            t,
+            node,
+            seq,
+            ev: put(seq as u32),
+        }
+    }
+
+    #[test]
+    fn merge_is_partition_independent() {
+        // The same records, split across shards three different ways, must
+        // merge to the same sequence — that independence is what makes
+        // sharded histories comparable with single-threaded ones.
+        let records = vec![
+            tagged(5, 1, 0),
+            tagged(5, 0, 3),
+            tagged(1, 2, 0),
+            tagged(5, 1, 1),
+            tagged(9, 0, 4),
+        ];
+        let key = |e: &TaggedEvent| (e.t, e.node, e.seq);
+        let as_one = merge_shard_histories([records.clone()]);
+        let split_a = merge_shard_histories([records[..2].to_vec(), records[2..].to_vec()]);
+        let by_node: Vec<Vec<TaggedEvent>> = (0..3u32)
+            .map(|n| records.iter().filter(|e| e.node == n).cloned().collect())
+            .collect();
+        let split_b = merge_shard_histories(by_node);
+        assert_eq!(format!("{as_one:?}"), format!("{split_a:?}"));
+        assert_eq!(format!("{as_one:?}"), format!("{split_b:?}"));
+        // And the order really is the canonical key order.
+        let mut sorted = records.clone();
+        sorted.sort_unstable_by_key(key);
+        assert_eq!(
+            format!("{:?}", sorted.into_iter().map(|e| e.ev).collect::<Vec<_>>()),
+            format!("{as_one:?}")
+        );
+    }
+
+    #[test]
+    fn merge_of_empty_streams_is_empty() {
+        assert!(merge_shard_histories(Vec::<Vec<TaggedEvent>>::new()).is_empty());
+        assert!(merge_shard_histories([vec![], vec![]]).is_empty());
     }
 }

@@ -1,5 +1,6 @@
 //! A deterministic discrete-event cluster simulator with a queueing cost
-//! model.
+//! model — sharded: one event loop per DC group, synchronized in
+//! conservative cross-DC windows.
 //!
 //! ## Why a simulator
 //!
@@ -21,30 +22,65 @@
 //!   machines were not the bottleneck in the paper either).
 //!
 //! The protocols themselves are *not* simulated — they are the real state
-//! machines from `contrarian-core`/`-cclo`/`-cure`, exchanging real messages
-//! with real bookkeeping (reader records, dependency vectors, garbage
-//! collection). Only CPU time and the network are modeled. The same state
-//! machines also run on a live multi-threaded transport
-//! (`contrarian-transport`); both runtimes drive the [`Actor`] interface
-//! owned by `contrarian-runtime`, of which this crate re-exports the
-//! commonly used pieces.
-//!
-//! Runs are fully deterministic given a seed: events are ordered by
-//! `(time, sequence)` and all randomness flows from one PRNG.
+//! machines from `contrarian-core`/`-cclo`/`-cure`/`-okapi`, exchanging
+//! real messages with real bookkeeping (reader records, dependency
+//! vectors, garbage collection). Only CPU time and the network are
+//! modeled. The same state machines also run on the live runtimes
+//! (`contrarian-transport`, `contrarian-net`); all drive the [`Actor`]
+//! interface owned by `contrarian-runtime`, of which this crate re-exports
+//! the commonly used pieces.
 //!
 //! ## The engine
 //!
-//! [`Sim`] is built for clusters well past the paper's 32 partitions:
-//! node addresses are interned into a flat routing table at [`Sim::start`],
-//! per-link FIFO state lives in a flat `n×n` vector, and the event queue is
-//! a hierarchical calendar queue ([`sched`]) with near-O(1) insertion and a
-//! same-tick fast path, instead of one global binary heap. The heap-based
-//! scheduler is retained behind [`sched::SchedKind::Heap`] (selectable with
-//! `CONTRARIAN_SCHED=heap` or [`Sim::with_scheduler`]) as a differential
-//! baseline: both orderings are identical, which the cross-engine
-//! determinism tests and the `sim_scale` bench rely on.
+//! [`Sim`] is a set of [`shard`]s — per-DC-group event loops, each owning
+//! its nodes' calendar queue, backlog slab, and the FIFO state of the
+//! links originating at its nodes. Three engine modes share the one
+//! event-processing code path ([`sched::SchedKind`], selectable with
+//! `CONTRARIAN_SCHED` or [`Sim::with_scheduler`]):
+//!
+//! * `calendar` (default) — one shard, the hierarchical calendar queue of
+//!   [`sched`];
+//! * `heap` — one shard on the original global binary heap, kept as a
+//!   differential baseline;
+//! * `sharded` / `sharded:<n>` — one shard per DC (or `n` shards, DCs
+//!   assigned round-robin), run in parallel under conservative cross-DC
+//!   windows.
+//!
+//! ### Windows and the lookahead invariant
+//!
+//! Shard groups are DC-granular, so **intra-DC traffic never crosses a
+//! thread boundary** and every cross-shard message is cross-DC. Its
+//! arrival trails its send by at least
+//! [`CostModel::cross_dc_lookahead`] — the one-way inter-DC latency;
+//! sender CPU, per-byte wire time and FIFO clamping only add. Events
+//! inside a window `[w, w + lookahead)` on different shards therefore
+//! cannot influence each other and run concurrently; shards synchronize
+//! only at window barriers, where parked cross-DC messages are exchanged
+//! (the engine asserts none lands inside the window it was sent in). A
+//! zero lookahead degenerates to lockstep execution — sequential, still
+//! exact.
+//!
+//! ### Why determinism holds
+//!
+//! Runs are bit-identical across all three modes (and any shard or thread
+//! count) because nothing order-dependent is shared between shards:
+//!
+//! * events are totally ordered by `(t, source-attributed key)` — the tie
+//!   break is a per-*node* counter plus the node id, not a global
+//!   insertion counter, so it is a function of each node's own execution
+//!   sequence (see [`shard`] for the induction);
+//! * every node draws randomness from its own seeded stream (the same
+//!   `node_seed` derivation the live runtimes use);
+//! * metrics merge commutatively, and history records carry canonical
+//!   `(t, node, per-node-seq)` tags merged shard-independently
+//!   (`contrarian_runtime::history`).
+//!
+//! The cross-engine determinism tests fingerprint full histories across
+//! all three modes against golden values, and `sim_scale` measures the
+//! engine speedups at fixed, identical workloads.
 
 pub mod sched;
+pub mod shard;
 pub mod sim;
 
 // The protocol ⇄ runtime interface lives in `contrarian-runtime`; re-export

@@ -1,12 +1,14 @@
 //! Event schedulers: the calendar queue that makes 100+-partition sweeps
-//! tractable, and the binary-heap baseline it replaced.
+//! tractable, the binary-heap baseline it replaced, and the scheduler-mode
+//! selector that also picks the sharded parallel engine.
 //!
-//! Both schedulers implement the *same total order* — events leave strictly
-//! by `(t, seq)`, where `seq` is the global insertion counter — so a run is
-//! bit-identical under either. That equivalence is load-bearing: the
-//! cross-engine determinism tests diff full histories across schedulers,
-//! and the `sim_scale` bench measures the speedup at a fixed, identical
-//! workload.
+//! All engine modes implement the *same total order* — events leave
+//! strictly by `(t, key)`, where `key` is the deterministic
+//! source-attributed event key the simulator computes (see
+//! [`crate::shard`]) — so a run is bit-identical under any of them. That
+//! equivalence is load-bearing: the cross-engine determinism tests diff
+//! full histories across schedulers, and the `sim_scale` bench measures
+//! the speedup at a fixed, identical workload.
 //!
 //! ## The calendar queue
 //!
@@ -23,40 +25,63 @@
 //! * only the *current* bucket needs total order — it is kept as a small
 //!   binary heap, loaded (heapified) once when time enters the bucket;
 //! * events scheduled for exactly `now` (same-tick self-delivery: worker
-//!   hand-offs, zero-cost injections) bypass the wheel entirely through a
-//!   FIFO `due` queue — insertion order *is* `seq` order at fixed `t`;
+//!   hand-offs, zero-cost injections) go to a small dedicated `due` heap
+//!   instead of the wheel — it holds only the current tick's stragglers,
+//!   so its heap operations touch a few entries where the current bucket's
+//!   may touch hundreds;
 //! * the rare far-future event (GC and heartbeat timers) overflows into a
 //!   small heap that drains into the wheel as the horizon advances.
 //!
-//! Insertion is thus `O(1)` for everything but the current bucket, and pops
-//! sort only events that are about to execute.
+//! Insertion is thus `O(1)` for everything but the current tick and
+//! bucket, and pops sort only events that are about to execute. (The due
+//! lane used to be a FIFO `VecDeque`, which was correct when event keys
+//! were a single global insertion counter; source-attributed keys are not
+//! monotone in push order at a fixed `t`, so the lane is a heap now.)
 
 use std::cmp::Ordering;
-use std::collections::{BinaryHeap, VecDeque};
+use std::collections::BinaryHeap;
 
-/// Which event scheduler a [`crate::Sim`] uses.
+/// Which engine mode a [`crate::Sim`] uses.
 #[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
 pub enum SchedKind {
-    /// Hierarchical calendar queue (the default).
+    /// Hierarchical calendar queue, single event loop (the default).
     #[default]
     Calendar,
     /// One global binary heap — the original engine, kept as a differential
     /// baseline for determinism tests and the `sim_scale` bench.
     Heap,
+    /// Sharded parallel engine: one event loop (and one calendar queue) per
+    /// shard group of DCs, synchronized in conservative cross-DC windows.
+    /// `shards == 0` means one shard per DC; an explicit count assigns DCs
+    /// round-robin (`dc % shards`), and a count above the DC count leaves
+    /// the surplus shards empty. Intra-DC traffic never crosses a shard.
+    Sharded {
+        /// Requested shard count; `0` = one per DC.
+        shards: u16,
+    },
 }
 
 impl SchedKind {
     /// Parses a `CONTRARIAN_SCHED` value. `None` (unset) defaults to
     /// [`SchedKind::Calendar`]; an unrecognized value is an error listing
-    /// the valid set — silently falling back would make a heap-vs-calendar
+    /// the valid set — silently falling back would make an engine
     /// comparison measure the calendar queue against itself.
     pub fn parse(value: Option<&str>) -> Result<Self, String> {
         match value {
             Some("heap") => Ok(SchedKind::Heap),
             Some("calendar") | None => Ok(SchedKind::Calendar),
-            Some(other) => Err(format!(
-                "CONTRARIAN_SCHED must be one of `heap`, `calendar` (or unset), got `{other}`"
-            )),
+            Some("sharded") => Ok(SchedKind::Sharded { shards: 0 }),
+            Some(other) => {
+                if let Some(n) = other.strip_prefix("sharded:") {
+                    if let Ok(shards) = n.parse::<u16>() {
+                        return Ok(SchedKind::Sharded { shards });
+                    }
+                }
+                Err(format!(
+                    "CONTRARIAN_SCHED must be one of `heap`, `calendar`, `sharded`, \
+                     `sharded:<count>` (or unset), got `{other}`"
+                ))
+            }
         }
     }
 
@@ -65,6 +90,15 @@ impl SchedKind {
     pub fn from_env() -> Self {
         let value = std::env::var("CONTRARIAN_SCHED").ok();
         Self::parse(value.as_deref()).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// The per-shard event-queue flavour this mode runs on: the sharded
+    /// engine gives every shard its own calendar queue.
+    pub(crate) fn queue_kind(self) -> SchedKind {
+        match self {
+            SchedKind::Heap => SchedKind::Heap,
+            SchedKind::Calendar | SchedKind::Sharded { .. } => SchedKind::Calendar,
+        }
     }
 }
 
@@ -92,8 +126,8 @@ impl<T> Ord for Entry<T> {
     }
 }
 
-/// The event queue behind [`crate::Sim`]: one of the two scheduler
-/// implementations, with identical `(t, seq)` pop order.
+/// The event queue behind one [`crate::Sim`] event loop: one of the two
+/// scheduler implementations, with identical `(t, seq)` pop order.
 pub struct EventQueue<T>(Inner<T>);
 
 enum Inner<T> {
@@ -103,15 +137,15 @@ enum Inner<T> {
 
 impl<T> EventQueue<T> {
     pub fn new(kind: SchedKind) -> Self {
-        EventQueue(match kind {
+        EventQueue(match kind.queue_kind() {
             SchedKind::Heap => Inner::Heap(BinaryHeap::new()),
-            SchedKind::Calendar => Inner::Calendar(CalendarQueue::new()),
+            _ => Inner::Calendar(CalendarQueue::new()),
         })
     }
 
-    /// Inserts an event. `t` must be ≥ the `t` of the last pop, and `seq`
-    /// must be strictly increasing across all pushes (the simulator's
-    /// global event counter).
+    /// Inserts an event. `t` must be ≥ the `t` of the last pop, and
+    /// `(t, seq)` must be unique across all pushes (the simulator's
+    /// source-attributed event keys are).
     #[inline]
     pub fn push(&mut self, t: u64, seq: u64, item: T) {
         match &mut self.0 {
@@ -134,9 +168,18 @@ impl<T> EventQueue<T> {
     /// pure.
     #[inline]
     pub fn peek_t(&mut self) -> Option<u64> {
+        self.peek_key().map(|(t, _)| t)
+    }
+
+    /// `(t, seq)` key of the earliest pending event (same rotation caveat
+    /// as [`EventQueue::peek_t`]). The sharded engine uses the full key to
+    /// pick the globally minimal event across shard queues in lockstep
+    /// mode.
+    #[inline]
+    pub fn peek_key(&mut self) -> Option<(u64, u64)> {
         match &mut self.0 {
-            Inner::Heap(h) => h.peek().map(|e| e.t),
-            Inner::Calendar(c) => c.peek_t(),
+            Inner::Heap(h) => h.peek().map(|e| (e.t, e.seq)),
+            Inner::Calendar(c) => c.peek_key(),
         }
     }
 
@@ -155,8 +198,8 @@ impl<T> EventQueue<T> {
 /// See the module docs for the design.
 pub struct CalendarQueue<T> {
     /// Same-tick fast path: events with `t` equal to the last popped time.
-    /// Pushed in `seq` order, so the front is always this lane's minimum.
-    due: VecDeque<Entry<T>>,
+    /// A small heap (a handful of worker hand-offs), ordered like `cur`.
+    due: BinaryHeap<Entry<T>>,
     /// The current bucket, totally ordered.
     cur: BinaryHeap<Entry<T>>,
     /// Future buckets within the horizon, unsorted.
@@ -191,7 +234,7 @@ impl<T> CalendarQueue<T> {
 
     pub fn new() -> Self {
         CalendarQueue {
-            due: VecDeque::new(),
+            due: BinaryHeap::new(),
             cur: BinaryHeap::new(),
             wheel: std::iter::repeat_with(Vec::new)
                 .take(Self::N_BUCKETS)
@@ -224,7 +267,7 @@ impl<T> CalendarQueue<T> {
         self.len += 1;
         let e = Entry { t, seq, item };
         if t == self.last_pop_t {
-            self.due.push_back(e);
+            self.due.push(e);
         } else if t < self.bucket_start + Self::W_NS {
             self.cur.push(e);
         } else if t < self.horizon() {
@@ -241,9 +284,9 @@ impl<T> CalendarQueue<T> {
     pub fn pop(&mut self) -> Option<(u64, u64, T)> {
         loop {
             // The global minimum is the smaller of the same-tick lane's
-            // front and the current bucket's heap top (all other events sit
+            // top and the current bucket's heap top (all other events sit
             // in strictly later buckets or past the horizon).
-            let take_due = match (self.due.front(), self.cur.peek()) {
+            let take_due = match (self.due.peek(), self.cur.peek()) {
                 (Some(d), Some(c)) => (d.t, d.seq) < (c.t, c.seq),
                 (Some(_), None) => true,
                 (None, Some(_)) => false,
@@ -255,7 +298,7 @@ impl<T> CalendarQueue<T> {
                 }
             };
             let e = if take_due {
-                self.due.pop_front().expect("checked front")
+                self.due.pop().expect("checked peek")
             } else {
                 self.cur.pop().expect("checked peek")
             };
@@ -265,18 +308,18 @@ impl<T> CalendarQueue<T> {
         }
     }
 
-    /// Timestamp of the earliest pending event (rotates the wheel if the
+    /// `(t, seq)` of the earliest pending event (rotates the wheel if the
     /// current bucket is exhausted).
-    pub fn peek_t(&mut self) -> Option<u64> {
+    pub fn peek_key(&mut self) -> Option<(u64, u64)> {
         loop {
-            let t = match (self.due.front(), self.cur.peek()) {
-                (Some(d), Some(c)) => Some(d.t.min(c.t)),
-                (Some(d), None) => Some(d.t),
-                (None, Some(c)) => Some(c.t),
+            let key = match (self.due.peek(), self.cur.peek()) {
+                (Some(d), Some(c)) => Some((d.t, d.seq).min((c.t, c.seq))),
+                (Some(d), None) => Some((d.t, d.seq)),
+                (None, Some(c)) => Some((c.t, c.seq)),
                 (None, None) => None,
             };
-            if t.is_some() {
-                return t;
+            if key.is_some() {
+                return key;
             }
             if !self.advance() {
                 return None;
@@ -343,19 +386,37 @@ mod tests {
             SchedKind::parse(Some("calendar")).unwrap(),
             SchedKind::Calendar
         );
+        assert_eq!(
+            SchedKind::parse(Some("sharded")).unwrap(),
+            SchedKind::Sharded { shards: 0 }
+        );
+        assert_eq!(
+            SchedKind::parse(Some("sharded:4")).unwrap(),
+            SchedKind::Sharded { shards: 4 }
+        );
         assert_eq!(SchedKind::parse(None).unwrap(), SchedKind::Calendar);
     }
 
     #[test]
     fn sched_kind_rejects_unknown_values_listing_the_valid_set() {
-        // A typo must be a hard error, not a silent calendar fallback (a
-        // heap-vs-calendar comparison would measure calendar vs itself).
-        for bogus in ["Heap", "heapq", "wheel", ""] {
+        // A typo must be a hard error, not a silent calendar fallback (an
+        // engine comparison would measure calendar vs itself).
+        for bogus in ["Heap", "heapq", "wheel", "", "sharded:", "sharded:x"] {
             let err = SchedKind::parse(Some(bogus)).unwrap_err();
             assert!(err.contains("`heap`"), "{err}");
             assert!(err.contains("`calendar`"), "{err}");
+            assert!(err.contains("`sharded`"), "{err}");
             assert!(err.contains(bogus), "{err}");
         }
+    }
+
+    #[test]
+    fn sharded_mode_runs_on_calendar_queues() {
+        assert_eq!(
+            SchedKind::Sharded { shards: 3 }.queue_kind(),
+            SchedKind::Calendar
+        );
+        assert_eq!(SchedKind::Heap.queue_kind(), SchedKind::Heap);
     }
 
     fn drain<T>(q: &mut EventQueue<T>) -> Vec<(u64, u64)> {
@@ -403,10 +464,27 @@ mod tests {
     }
 
     #[test]
+    fn due_lane_orders_out_of_order_keys() {
+        // Source-attributed keys are not monotone in push order: a
+        // same-tick event pushed *later* may carry a *smaller* key (a
+        // lower-numbered node scheduling behind a higher-numbered one).
+        // The due lane must pop by key, not insertion order.
+        let mut q: EventQueue<u32> = EventQueue::new(SchedKind::Calendar);
+        q.push(50, 10, 0);
+        assert_eq!(q.pop().map(|e| e.1), Some(10));
+        q.push(50, 9, 0); // due lane, pushed first, larger key below
+        q.push(50, 3, 0); // due lane, pushed second, smaller key
+        assert_eq!(q.pop().map(|e| e.1), Some(3));
+        assert_eq!(q.pop().map(|e| e.1), Some(9));
+    }
+
+    #[test]
     fn heap_and_calendar_agree_on_a_dense_schedule() {
         let mut heap: EventQueue<u32> = EventQueue::new(SchedKind::Heap);
         let mut cal: EventQueue<u32> = EventQueue::new(SchedKind::Calendar);
-        // Deterministic pseudo-random interleaving of pushes and pops.
+        // Deterministic pseudo-random interleaving of pushes and pops,
+        // with keys drawn pseudo-randomly (unique, but *not* monotone in
+        // push order — the shape source-attributed keys have).
         let mut state = 0x9E3779B97F4A7C15u64;
         let mut rnd = || {
             state ^= state << 13;
@@ -425,8 +503,10 @@ mod tests {
                     2 => rnd() % 1_000_000,
                     _ => rnd() % 200_000_000,
                 };
-                heap.push(now + dt, seq, 0);
-                cal.push(now + dt, seq, 0);
+                // Unique key that scrambles push order within a tick.
+                let key = (rnd() % 1024) << 40 | seq;
+                heap.push(now + dt, key, 0);
+                cal.push(now + dt, key, 0);
             } else {
                 let a = heap.pop().map(|e| (e.0, e.1));
                 let b = cal.pop().map(|e| (e.0, e.1));
@@ -444,6 +524,7 @@ mod tests {
         let mut q: EventQueue<u32> = EventQueue::new(SchedKind::Calendar);
         q.push(70_000_000, 1, 0);
         assert_eq!(q.peek_t(), Some(70_000_000));
+        assert_eq!(q.peek_key(), Some((70_000_000, 1)));
         assert_eq!(q.pop().map(|e| e.0), Some(70_000_000));
         assert_eq!(q.peek_t(), None);
         assert!(q.is_empty());

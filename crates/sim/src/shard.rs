@@ -1,0 +1,627 @@
+//! The per-shard execution core of the sharded simulator.
+//!
+//! A [`crate::Sim`] is a set of [`Shard`]s. Each shard owns a disjoint
+//! group of DCs: their nodes, the calendar queue of their pending events,
+//! their backlog slab, and the FIFO state of every link *originating* at
+//! their nodes. The single-threaded engines are the one-shard special case
+//! — there is exactly one event-processing code path, which is what makes
+//! "sharded is bit-identical to single-threaded" a structural property
+//! instead of a parallel-maintenance burden.
+//!
+//! ## Determinism: source-attributed event keys
+//!
+//! A discrete-event simulator needs a total order over events; ties at
+//! equal virtual time must break deterministically. The pre-shard engine
+//! used one global insertion counter — inherently sequential, since the
+//! counter value depends on the exact global interleaving of handler
+//! executions. Sharded execution replaces it with a *source-attributed
+//! key*: every event is stamped `(t, source-node-id ∥ per-source-counter)`
+//! at push time, where the counter belongs to the node whose handler (or
+//! arrival processing) created the event. Two properties make this
+//! engine-independent:
+//!
+//! * a node's counter advances only while *that node's* events execute, so
+//!   its value is a function of the node's own event sequence;
+//! * a node's event sequence is determined by the keys of its incoming
+//!   events — which, by induction over `(t, key)` order, are identical
+//!   under any engine.
+//!
+//! Ties at equal `t` therefore break by `(source id, source counter)`:
+//! arbitrary, but the *same* arbitrary under one thread or eight. Cross-
+//! shard messages carry their precomputed key with them, so the receiving
+//! shard inserts them exactly where the single-threaded engine would have.
+//!
+//! ## Conservative windows
+//!
+//! Shards synchronize with classic conservative parallel-DES lookahead:
+//! shard groups are DC-granular and every cross-shard message is therefore
+//! cross-DC, so its arrival lies at least
+//! [`CostModel::cross_dc_lookahead`] (the one-way inter-DC latency; CPU,
+//! wire and FIFO terms only add) after its send. Events inside a window
+//! `[w, w + lookahead)` on different shards consequently cannot affect
+//! each other, and each shard may run its window without communication.
+//! At the window barrier the outboxes are exchanged — the engine asserts
+//! that no exchanged message lands inside the window it was sent in — and
+//! the next window starts at the new global minimum. A zero lookahead
+//! (degenerate cost models with free cross-DC links) falls back to
+//! lockstep: one globally minimal event at a time, exchanging after every
+//! step, which is plain sequential simulation with extra steps.
+
+use crate::sched::{EventQueue, SchedKind};
+use contrarian_runtime::actor::{Actor, ActorCtx, TimerKind};
+use contrarian_runtime::cost::CostModel;
+use contrarian_runtime::history::TaggedEvent;
+use contrarian_runtime::metrics::Metrics;
+use contrarian_runtime::SimMessage;
+use contrarian_types::{Addr, HistoryEvent, NodeKind};
+use rand::rngs::SmallRng;
+use std::collections::VecDeque;
+
+/// Bits of an event key holding the per-source counter; the source node id
+/// occupies the bits above. 2^20 nodes and 2^44 events per node both sit
+/// orders of magnitude beyond any cluster this engine will see.
+const KEY_SEQ_BITS: u32 = 44;
+
+#[inline]
+fn event_key(src: u32, seq: u64) -> u64 {
+    debug_assert!(src < 1 << (64 - KEY_SEQ_BITS), "node id overflow");
+    debug_assert!(seq < 1 << KEY_SEQ_BITS, "per-node event counter overflow");
+    ((src as u64) << KEY_SEQ_BITS) | seq
+}
+
+pub(crate) enum EvKind<M> {
+    /// A message reached a node's NIC.
+    Arrive { to: usize, from: Addr, msg: M },
+    /// A message's service time elapsed; run the handler.
+    ServiceDone { node: usize, from: Addr, msg: M },
+    /// A server worker finished its send phase; pull the next queued job.
+    WorkerFree { node: usize },
+    /// A timer fired.
+    Timer { node: usize, kind: TimerKind },
+}
+
+/// Interned routing: `Addr → global node id` as pure arithmetic on two flat
+/// tables, built once at [`crate::Sim::start`]. Replaces the per-send
+/// `HashMap` lookup of the original engine.
+pub(crate) struct RouteTable {
+    /// `servers[dc * server_stride + partition]`, `u32::MAX` = absent.
+    servers: Vec<u32>,
+    /// `clients[dc * client_stride + idx]`, `u32::MAX` = absent.
+    clients: Vec<u32>,
+    server_stride: usize,
+    client_stride: usize,
+}
+
+impl RouteTable {
+    const ABSENT: u32 = u32::MAX;
+
+    pub(crate) fn build(addrs: impl Iterator<Item = Addr> + Clone) -> Self {
+        let mut dcs = 0usize;
+        let mut max_server = 0usize;
+        let mut max_client = 0usize;
+        for a in addrs.clone() {
+            dcs = dcs.max(a.dc.index() + 1);
+            match a.kind {
+                NodeKind::Server => max_server = max_server.max(a.idx as usize + 1),
+                NodeKind::Client => max_client = max_client.max(a.idx as usize + 1),
+            }
+        }
+        let mut t = RouteTable {
+            servers: vec![Self::ABSENT; dcs * max_server],
+            clients: vec![Self::ABSENT; dcs * max_client],
+            server_stride: max_server,
+            client_stride: max_client,
+        };
+        for (i, a) in addrs.enumerate() {
+            match a.kind {
+                NodeKind::Server => {
+                    t.servers[a.dc.index() * t.server_stride + a.idx as usize] = i as u32
+                }
+                NodeKind::Client => {
+                    t.clients[a.dc.index() * t.client_stride + a.idx as usize] = i as u32
+                }
+            }
+        }
+        t
+    }
+
+    #[inline]
+    fn get(&self, addr: Addr) -> Option<usize> {
+        let (table, stride) = match addr.kind {
+            NodeKind::Server => (&self.servers, self.server_stride),
+            NodeKind::Client => (&self.clients, self.client_stride),
+        };
+        // The idx bound matters: without it an out-of-range index would
+        // alias into the next DC's row instead of failing like the HashMap
+        // lookup this table replaced.
+        if addr.idx as usize >= stride {
+            return None;
+        }
+        let slot = *table.get(addr.dc.index() * stride + addr.idx as usize)?;
+        (slot != Self::ABSENT).then_some(slot as usize)
+    }
+}
+
+/// Shared, read-only cluster geometry every shard routes through: the
+/// address table plus the global-id → (shard, local-slot) map.
+pub(crate) struct Routing {
+    table: RouteTable,
+    /// `global id → (shard, local index)`.
+    locate: Vec<(u32, u32)>,
+    /// `global id → address`, registration order.
+    pub(crate) addrs: Vec<Addr>,
+}
+
+impl Routing {
+    pub(crate) fn empty() -> Self {
+        Routing {
+            table: RouteTable {
+                servers: Vec::new(),
+                clients: Vec::new(),
+                server_stride: 0,
+                client_stride: 0,
+            },
+            locate: Vec::new(),
+            addrs: Vec::new(),
+        }
+    }
+
+    pub(crate) fn build(addrs: Vec<Addr>, locate: Vec<(u32, u32)>) -> Self {
+        let table = RouteTable::build(addrs.iter().copied());
+        Routing {
+            table,
+            locate,
+            addrs,
+        }
+    }
+
+    pub(crate) fn n_nodes(&self) -> usize {
+        self.addrs.len()
+    }
+
+    /// Resolves an address to its global node id.
+    #[inline]
+    pub(crate) fn global(&self, addr: Addr) -> usize {
+        self.table
+            .get(addr)
+            .unwrap_or_else(|| panic!("unknown addr {addr}"))
+    }
+
+    #[inline]
+    pub(crate) fn locate(&self, global: usize) -> (usize, usize) {
+        let (s, l) = self.locate[global];
+        (s as usize, l as usize)
+    }
+}
+
+pub(crate) struct NodeSlot<A> {
+    pub(crate) addr: Addr,
+    /// Registration-order id, stable across engines — the high bits of
+    /// every event key this node creates.
+    pub(crate) global_id: u32,
+    pub(crate) actor: A,
+    /// Worker threads; clients are "infinite" (no queueing — client machines
+    /// are not the bottleneck).
+    workers: u32,
+    busy: u32,
+    /// Messages that arrived while all workers were busy, FIFO.
+    queue: VecDeque<(Addr, u64)>, // (from, backlog slot)
+    /// This node's deterministic randomness stream (same derivation as the
+    /// live runtimes: `contrarian_runtime::node_seed`).
+    rng: SmallRng,
+    /// Events created so far by this node — the low bits of its keys.
+    push_seq: u64,
+    /// History records created so far by this node (canonical-order tag).
+    record_seq: u64,
+}
+
+impl<A> NodeSlot<A> {
+    pub(crate) fn new(addr: Addr, global_id: u32, actor: A, workers: u32, rng: SmallRng) -> Self {
+        NodeSlot {
+            addr,
+            global_id,
+            actor,
+            workers,
+            busy: 0,
+            queue: VecDeque::new(),
+            rng,
+            push_seq: 0,
+            record_seq: 0,
+        }
+    }
+}
+
+/// A message crossing a shard boundary, parked in the sender's outbox
+/// until the next window barrier. Carries its precomputed arrival key so
+/// the receiving shard inserts it exactly where a single-threaded engine
+/// would have.
+pub(crate) struct CrossShardMsg<M> {
+    pub(crate) t: u64,
+    pub(crate) key: u64,
+    pub(crate) shard: usize,
+    pub(crate) to_local: usize,
+    pub(crate) from: Addr,
+    pub(crate) msg: M,
+}
+
+/// One event loop of the engine: a DC group's nodes, queue, and link state.
+pub(crate) struct Shard<A: Actor> {
+    pub(crate) id: usize,
+    pub(crate) now: u64,
+    pub(crate) queue: EventQueue<EvKind<A::Msg>>,
+    pub(crate) nodes: Vec<NodeSlot<A>>,
+    /// FIFO enforcement: last scheduled arrival per (local sender, global
+    /// receiver) link. Rows are allocated on a sender's first send, so a
+    /// cluster never pays the full `n × n` table up front and each shard
+    /// only ever holds rows for its own nodes.
+    pub(crate) links: Vec<Vec<u64>>,
+    /// Backlogged messages awaiting a worker (slab, free-list reuse).
+    pub(crate) backlog: Vec<Option<A::Msg>>,
+    pub(crate) backlog_free: Vec<u64>,
+    /// Reusable handler scratch (outbox + timer buffers).
+    scratch_out: Vec<(Addr, A::Msg)>,
+    scratch_timers: Vec<(u64, TimerKind)>,
+    /// Cross-shard sends of the current window, drained at the barrier.
+    pub(crate) outbox: Vec<CrossShardMsg<A::Msg>>,
+    pub(crate) cost: CostModel,
+    pub(crate) metrics: Metrics,
+    pub(crate) history: Vec<TaggedEvent>,
+    pub(crate) events_processed: u64,
+    pub(crate) recording: bool,
+    pub(crate) stopped: bool,
+}
+
+impl<A: Actor> Shard<A> {
+    pub(crate) fn new(id: usize, queue_kind: SchedKind, cost: CostModel) -> Self {
+        Shard {
+            id,
+            now: 0,
+            queue: EventQueue::new(queue_kind),
+            nodes: Vec::new(),
+            links: Vec::new(),
+            backlog: Vec::new(),
+            backlog_free: Vec::new(),
+            scratch_out: Vec::new(),
+            scratch_timers: Vec::new(),
+            outbox: Vec::new(),
+            cost,
+            metrics: Metrics::new(),
+            history: Vec::new(),
+            events_processed: 0,
+            recording: false,
+            stopped: false,
+        }
+    }
+
+    /// Allocates the next event key for a local node.
+    #[inline]
+    pub(crate) fn alloc_key(&mut self, node: usize) -> u64 {
+        let slot = &mut self.nodes[node];
+        let key = event_key(slot.global_id, slot.push_seq);
+        slot.push_seq += 1;
+        key
+    }
+
+    #[inline]
+    fn push_from(&mut self, node: usize, t: u64, kind: EvKind<A::Msg>) {
+        let key = self.alloc_key(node);
+        self.queue.push(t, key, kind);
+    }
+
+    /// Runs a node's `on_start` (registration-order bring-up).
+    pub(crate) fn start_node(&mut self, routing: &Routing, node: usize) {
+        self.with_ctx(routing, node, 0, |actor, ctx| actor.on_start(ctx));
+    }
+
+    /// Processes every pending event with `t < end_excl`. Cross-shard
+    /// sends accumulate in the outbox; everything else is handled locally.
+    pub(crate) fn run_window(&mut self, routing: &Routing, end_excl: u64) {
+        while let Some(t) = self.queue.peek_t() {
+            if t >= end_excl {
+                break;
+            }
+            self.step_one(routing);
+        }
+    }
+
+    /// Pops and processes exactly one event. Returns its time.
+    pub(crate) fn step_one(&mut self, routing: &Routing) -> Option<u64> {
+        let (t, _key, kind) = self.queue.pop()?;
+        debug_assert!(t >= self.now, "time went backwards");
+        self.now = t;
+        self.events_processed += 1;
+        match kind {
+            EvKind::Arrive { to, from, msg } => self.on_arrive(to, from, msg),
+            EvKind::ServiceDone { node, from, msg } => {
+                self.on_service_done(routing, node, from, msg)
+            }
+            EvKind::WorkerFree { node } => self.on_worker_free(node),
+            EvKind::Timer { node, kind } => self.on_timer(routing, node, kind),
+        }
+        Some(t)
+    }
+
+    fn stash_backlog(&mut self, msg: A::Msg) -> u64 {
+        if let Some(slot) = self.backlog_free.pop() {
+            self.backlog[slot as usize] = Some(msg);
+            slot
+        } else {
+            self.backlog.push(Some(msg));
+            (self.backlog.len() - 1) as u64
+        }
+    }
+
+    fn take_backlog(&mut self, slot: u64) -> A::Msg {
+        let msg = self.backlog[slot as usize].take().expect("stashed message");
+        self.backlog_free.push(slot);
+        msg
+    }
+
+    fn on_arrive(&mut self, to: usize, from: Addr, msg: A::Msg) {
+        if self.metrics.enabled {
+            self.metrics.msgs += 1;
+            self.metrics.bytes += msg.wire_size() as u64;
+        }
+        let slot = &self.nodes[to];
+        if slot.workers == 0 {
+            // Client: infinite parallelism, fixed receive cost.
+            let c = self.cost.client_rx_ns + self.cost.cpu_bytes(msg.wire_size());
+            let t = self.now + c;
+            self.push_from(
+                to,
+                t,
+                EvKind::ServiceDone {
+                    node: to,
+                    from,
+                    msg,
+                },
+            );
+        } else if slot.busy < slot.workers {
+            self.nodes[to].busy += 1;
+            let c = msg.rx_cost(&self.cost);
+            if self.metrics.enabled {
+                self.metrics.busy_ns += c;
+            }
+            let t = self.now + c;
+            self.push_from(
+                to,
+                t,
+                EvKind::ServiceDone {
+                    node: to,
+                    from,
+                    msg,
+                },
+            );
+        } else {
+            let slot_id = self.stash_backlog(msg);
+            self.nodes[to].queue.push_back((from, slot_id));
+        }
+    }
+
+    fn on_service_done(&mut self, routing: &Routing, node: usize, from: Addr, msg: A::Msg) {
+        let busy_extra = self.with_ctx(routing, node, 0, |actor, ctx| {
+            actor.on_message(ctx, from, msg)
+        });
+        self.finish_worker(node, busy_extra);
+    }
+
+    fn on_worker_free(&mut self, node: usize) {
+        let slot = &mut self.nodes[node];
+        slot.busy -= 1;
+        if slot.busy < slot.workers {
+            if let Some((from, slot_id)) = slot.queue.pop_front() {
+                self.nodes[node].busy += 1;
+                let msg = self.take_backlog(slot_id);
+                let c = msg.rx_cost(&self.cost);
+                if self.metrics.enabled {
+                    self.metrics.busy_ns += c;
+                }
+                let t = self.now + c;
+                self.push_from(node, t, EvKind::ServiceDone { node, from, msg });
+            }
+        }
+    }
+
+    fn on_timer(&mut self, routing: &Routing, node: usize, kind: TimerKind) {
+        // Timers run off the worker pool with a small base cost; their sends
+        // still pay tx costs (folded into departure spacing).
+        self.with_ctx(routing, node, self.cost.timer_ns, |actor, ctx| {
+            actor.on_timer(ctx, kind)
+        });
+    }
+
+    /// Runs a handler inside a context, then applies its outbox/timer
+    /// effects. Returns the handler's total send-phase CPU so the caller can
+    /// keep the worker busy for it.
+    fn with_ctx<F>(&mut self, routing: &Routing, node: usize, base_charge: u64, f: F) -> u64
+    where
+        F: FnOnce(&mut A, &mut dyn ActorCtx<A::Msg>),
+    {
+        // The outbox/timer buffers are owned by the shard and reused across
+        // handlers: no per-event allocation.
+        let mut out = std::mem::take(&mut self.scratch_out);
+        let mut timers = std::mem::take(&mut self.scratch_timers);
+        debug_assert!(out.is_empty() && timers.is_empty());
+        let (addr, is_server, charge) = {
+            // Disjoint field borrows: the actor and its rng live in the
+            // node slot, the ctx additionally borrows the shard's metrics
+            // and history.
+            let slot = &mut self.nodes[node];
+            let mut ctx = SimCtx {
+                now: self.now,
+                addr: slot.addr,
+                node_id: slot.global_id,
+                out: &mut out,
+                timers: &mut timers,
+                charge: base_charge,
+                rng: &mut slot.rng,
+                record_seq: &mut slot.record_seq,
+                metrics: &mut self.metrics,
+                history: &mut self.history,
+                recording: self.recording,
+                stopped: self.stopped,
+            };
+            f(&mut slot.actor, &mut ctx);
+            (slot.addr, slot.workers > 0, ctx.charge)
+        };
+
+        // Send phase: messages depart back-to-back after the handler, each
+        // paying its tx cost on the sender's CPU.
+        let n = routing.n_nodes();
+        let mut depart = self.now + charge;
+        for (to, msg) in out.drain(..) {
+            let tx = if is_server {
+                msg.tx_cost(&self.cost)
+            } else {
+                self.cost.client_tx_ns + self.cost.cpu_bytes(msg.wire_size())
+            };
+            depart += tx;
+            if is_server && self.metrics.enabled {
+                self.metrics.busy_ns += tx;
+            }
+            let to_global = routing.global(to);
+            let latency = if to.dc == addr.dc {
+                self.cost.hop_latency_ns
+            } else {
+                self.cost.interdc_latency_ns
+            };
+            let mut arrive = depart + latency + self.cost.wire_bytes(msg.wire_size());
+            // FIFO per link; the row is allocated on this sender's first
+            // send ever, so idle senders cost nothing.
+            let row = &mut self.links[node];
+            if row.is_empty() {
+                row.resize(n, 0);
+            }
+            let link = &mut row[to_global];
+            if arrive <= *link {
+                arrive = *link + 1;
+            }
+            *link = arrive;
+            let key = self.alloc_key(node);
+            let (to_shard, to_local) = routing.locate(to_global);
+            if to_shard == self.id {
+                self.queue.push(
+                    arrive,
+                    key,
+                    EvKind::Arrive {
+                        to: to_local,
+                        from: addr,
+                        msg,
+                    },
+                );
+            } else {
+                // Cross-shard ⇒ cross-DC: lands at least one lookahead
+                // after `now`, i.e. outside the current window.
+                self.outbox.push(CrossShardMsg {
+                    t: arrive,
+                    key,
+                    shard: to_shard,
+                    to_local,
+                    from: addr,
+                    msg,
+                });
+            }
+        }
+        for (delay, kind) in timers.drain(..) {
+            let t = self.now + delay;
+            self.push_from(node, t, EvKind::Timer { node, kind });
+        }
+        self.scratch_out = out;
+        self.scratch_timers = timers;
+        if self.metrics.enabled && is_server {
+            self.metrics.busy_ns += charge.saturating_sub(base_charge);
+        }
+        depart - self.now
+    }
+
+    fn finish_worker(&mut self, node: usize, busy_extra: u64) {
+        if self.nodes[node].workers == 0 {
+            return;
+        }
+        if busy_extra == 0 {
+            self.on_worker_free(node);
+        } else {
+            let t = self.now + busy_extra;
+            self.push_from(node, t, EvKind::WorkerFree { node });
+        }
+    }
+}
+
+struct SimCtx<'a, M> {
+    now: u64,
+    addr: Addr,
+    node_id: u32,
+    out: &'a mut Vec<(Addr, M)>,
+    timers: &'a mut Vec<(u64, TimerKind)>,
+    charge: u64,
+    rng: &'a mut SmallRng,
+    record_seq: &'a mut u64,
+    metrics: &'a mut Metrics,
+    history: &'a mut Vec<TaggedEvent>,
+    recording: bool,
+    stopped: bool,
+}
+
+impl<'a, M> ActorCtx<M> for SimCtx<'a, M> {
+    fn now(&self) -> u64 {
+        self.now
+    }
+
+    fn self_addr(&self) -> Addr {
+        self.addr
+    }
+
+    fn send(&mut self, to: Addr, msg: M) {
+        self.out.push((to, msg));
+    }
+
+    fn set_timer(&mut self, delay_ns: u64, kind: TimerKind) {
+        self.timers.push((delay_ns, kind));
+    }
+
+    fn charge(&mut self, ns: u64) {
+        self.charge += ns;
+    }
+
+    fn rng(&mut self) -> &mut SmallRng {
+        self.rng
+    }
+
+    fn metrics(&mut self) -> &mut Metrics {
+        self.metrics
+    }
+
+    fn record(&mut self, ev: HistoryEvent) {
+        if self.recording {
+            self.history.push(TaggedEvent {
+                t: self.now,
+                node: self.node_id,
+                seq: *self.record_seq,
+                ev,
+            });
+            *self.record_seq += 1;
+        }
+    }
+
+    fn recording(&self) -> bool {
+        self.recording
+    }
+
+    fn stopped(&self) -> bool {
+        self.stopped
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn event_keys_order_by_source_then_counter() {
+        assert!(event_key(0, 5) < event_key(1, 0));
+        assert!(event_key(3, 1) < event_key(3, 2));
+        assert_eq!(event_key(0, 0), 0);
+        // Distinct (src, seq) pairs never collide.
+        assert_ne!(event_key(1, 0), event_key(0, (1 << KEY_SEQ_BITS) - 1));
+    }
+}

@@ -1,164 +1,83 @@
 //! The discrete-event simulation engine.
 //!
-//! Rebuilt for 100+-partition sweeps (see the crate docs): interned
-//! `Addr → index` routing, a flat per-link FIFO table, inline per-node
-//! backlog queues, reusable handler scratch buffers, and the calendar-queue
-//! scheduler of [`crate::sched`]. Event ordering is exactly the original
-//! engine's `(time, sequence)` total order — the heap scheduler is retained
-//! as a differential baseline.
+//! Rebuilt twice: first for 100+-partition sweeps (interned `Addr → index`
+//! routing, per-link FIFO tables, inline per-node backlog queues, reusable
+//! handler scratch buffers, the calendar-queue scheduler of
+//! [`crate::sched`]), then as a *sharded* engine: one event loop per DC
+//! group ([`crate::shard`]), synchronized in conservative cross-DC
+//! windows. Event ordering is the source-attributed `(time, key)` total
+//! order described in the shard module — identical under the heap
+//! baseline, the single calendar loop, and any shard count, which the
+//! three-way golden determinism tests pin down.
+//!
+//! [`Sim`] itself is the cluster facade: registration, routing geometry,
+//! the window/lockstep drivers, and the merged views of per-shard metrics
+//! and history.
 
-use crate::sched::{EventQueue, SchedKind};
-use contrarian_runtime::actor::{Actor, ActorCtx, TimerKind};
-use contrarian_runtime::cost::{CostModel, SimMessage};
+use crate::sched::SchedKind;
+use crate::shard::{EvKind, NodeSlot, Routing, Shard};
+use contrarian_runtime::actor::Actor;
+use contrarian_runtime::cost::CostModel;
+use contrarian_runtime::history::merge_shard_histories;
 use contrarian_runtime::metrics::Metrics;
+use contrarian_runtime::node_loop::node_seed;
 use contrarian_runtime::Runtime;
 use contrarian_types::{Addr, HistoryEvent, NodeKind, Op};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
-use std::collections::{HashMap, VecDeque};
-
-enum EvKind<M> {
-    /// A message reached a node's NIC.
-    Arrive { to: usize, from: Addr, msg: M },
-    /// A message's service time elapsed; run the handler.
-    ServiceDone { node: usize, from: Addr, msg: M },
-    /// A server worker finished its send phase; pull the next queued job.
-    WorkerFree { node: usize },
-    /// A timer fired.
-    Timer { node: usize, kind: TimerKind },
-}
-
-struct NodeSlot<A> {
-    addr: Addr,
-    actor: A,
-    /// Worker threads; clients are "infinite" (no queueing — client machines
-    /// are not the bottleneck).
-    workers: u32,
-    busy: u32,
-    /// Messages that arrived while all workers were busy, FIFO.
-    queue: VecDeque<(Addr, u64)>, // (from, backlog slot)
-}
-
-/// Interned routing: `Addr → node index` as pure arithmetic on two flat
-/// tables, built once at [`Sim::start`]. Replaces the per-send `HashMap`
-/// lookup of the original engine.
-struct RouteTable {
-    /// `servers[dc * server_stride + partition]`, `u32::MAX` = absent.
-    servers: Vec<u32>,
-    /// `clients[dc * client_stride + idx]`, `u32::MAX` = absent.
-    clients: Vec<u32>,
-    server_stride: usize,
-    client_stride: usize,
-}
-
-impl RouteTable {
-    const ABSENT: u32 = u32::MAX;
-
-    fn build(addrs: impl Iterator<Item = Addr> + Clone) -> Self {
-        let mut dcs = 0usize;
-        let mut max_server = 0usize;
-        let mut max_client = 0usize;
-        for a in addrs.clone() {
-            dcs = dcs.max(a.dc.index() + 1);
-            match a.kind {
-                NodeKind::Server => max_server = max_server.max(a.idx as usize + 1),
-                NodeKind::Client => max_client = max_client.max(a.idx as usize + 1),
-            }
-        }
-        let mut t = RouteTable {
-            servers: vec![Self::ABSENT; dcs * max_server],
-            clients: vec![Self::ABSENT; dcs * max_client],
-            server_stride: max_server,
-            client_stride: max_client,
-        };
-        for (i, a) in addrs.enumerate() {
-            match a.kind {
-                NodeKind::Server => {
-                    t.servers[a.dc.index() * t.server_stride + a.idx as usize] = i as u32
-                }
-                NodeKind::Client => {
-                    t.clients[a.dc.index() * t.client_stride + a.idx as usize] = i as u32
-                }
-            }
-        }
-        t
-    }
-
-    #[inline]
-    fn get(&self, addr: Addr) -> Option<usize> {
-        let (table, stride) = match addr.kind {
-            NodeKind::Server => (&self.servers, self.server_stride),
-            NodeKind::Client => (&self.clients, self.client_stride),
-        };
-        // The idx bound matters: without it an out-of-range index would
-        // alias into the next DC's row instead of failing like the HashMap
-        // lookup this table replaced.
-        if addr.idx as usize >= stride {
-            return None;
-        }
-        let slot = *table.get(addr.dc.index() * stride + addr.idx as usize)?;
-        (slot != Self::ABSENT).then_some(slot as usize)
-    }
-}
+use std::collections::HashMap;
 
 /// The deterministic cluster simulator. Generic over the protocol's
 /// [`Actor`] type; one `Sim` runs one protocol on one cluster.
 pub struct Sim<A: Actor> {
     now: u64,
-    seq: u64,
-    queue: EventQueue<EvKind<A::Msg>>,
-    nodes: Vec<NodeSlot<A>>,
-    /// Registration-time index; hot-path routing uses `routes` once started.
-    index: HashMap<Addr, usize>,
-    routes: RouteTable,
-    /// FIFO enforcement: last scheduled arrival per (src, dst) link, flat
-    /// `n×n` (0 = never used; arrivals are strictly positive).
-    links: Vec<u64>,
-    /// Backlogged messages awaiting a worker (slab, free-list reuse).
-    backlog: Vec<Option<A::Msg>>,
-    backlog_free: Vec<u64>,
-    /// Reusable handler scratch (outbox + timer buffers).
-    scratch_out: Vec<(Addr, A::Msg)>,
-    scratch_timers: Vec<(u64, TimerKind)>,
     cost: CostModel,
-    rng: SmallRng,
-    metrics: Metrics,
-    history: Vec<HistoryEvent>,
+    seed: u64,
+    sched: SchedKind,
+    /// Worker threads for parallel windows; 0 = resolve at start
+    /// (`CONTRARIAN_SHARD_THREADS`, else available parallelism).
+    threads: usize,
+    /// Conservative window width (min cross-DC arrival delta).
+    lookahead: u64,
+    /// Pre-start registrations, in order; drained into shards at start.
+    staging: Vec<(Addr, A, u32)>,
+    /// Registration-time index (`Addr → global id`); hot-path routing uses
+    /// `routing` once started.
+    index: HashMap<Addr, usize>,
+    routing: Routing,
+    shards: Vec<Shard<A>>,
+    /// Merged view of the per-shard metrics; `enabled` lives here and is
+    /// pushed down to the shards when a run begins.
+    master: Metrics,
+    metrics_dirty: bool,
     recording: bool,
     stopped: bool,
     started: bool,
 }
 
 impl<A: Actor> Sim<A> {
-    /// A simulator with the scheduler selected by `CONTRARIAN_SCHED`
-    /// (calendar queue unless overridden).
+    /// A simulator with the engine selected by `CONTRARIAN_SCHED`
+    /// (single calendar-queue loop unless overridden).
     pub fn new(cost: CostModel, seed: u64) -> Self {
         Self::with_scheduler(cost, seed, SchedKind::from_env())
     }
 
-    /// A simulator with an explicit scheduler choice.
+    /// A simulator with an explicit engine choice.
     pub fn with_scheduler(cost: CostModel, seed: u64, sched: SchedKind) -> Self {
+        let lookahead = cost.cross_dc_lookahead();
         Sim {
             now: 0,
-            seq: 0,
-            queue: EventQueue::new(sched),
-            nodes: Vec::new(),
-            index: HashMap::new(),
-            routes: RouteTable {
-                servers: Vec::new(),
-                clients: Vec::new(),
-                server_stride: 0,
-                client_stride: 0,
-            },
-            links: Vec::new(),
-            backlog: Vec::new(),
-            backlog_free: Vec::new(),
-            scratch_out: Vec::new(),
-            scratch_timers: Vec::new(),
             cost,
-            rng: SmallRng::seed_from_u64(seed),
-            metrics: Metrics::new(),
-            history: Vec::new(),
+            seed,
+            sched,
+            threads: 0,
+            lookahead,
+            staging: Vec::new(),
+            index: HashMap::new(),
+            routing: Routing::empty(),
+            shards: Vec::new(),
+            master: Metrics::new(),
+            metrics_dirty: false,
             recording: false,
             stopped: false,
             started: false,
@@ -181,126 +100,400 @@ impl<A: Actor> Sim<A> {
     fn register(&mut self, addr: Addr, actor: A, workers: u32) {
         assert!(!self.started, "cannot add nodes after start");
         assert!(!self.index.contains_key(&addr), "duplicate node {addr}");
-        self.index.insert(addr, self.nodes.len());
-        self.nodes.push(NodeSlot {
-            addr,
-            actor,
-            workers,
-            busy: 0,
-            queue: VecDeque::new(),
-        });
+        self.index.insert(addr, self.staging.len());
+        self.staging.push((addr, actor, workers));
     }
 
-    /// Builds the routing and link tables, then calls every node's
-    /// `on_start` (in registration order).
+    /// Overrides the parallel-window thread count (tests; normally derived
+    /// from `CONTRARIAN_SHARD_THREADS` or the machine's parallelism at
+    /// [`Sim::start`]). Capped at the shard count.
+    pub fn set_shard_threads(&mut self, threads: usize) {
+        self.threads = threads.max(1);
+        if self.started {
+            self.threads = self.threads.min(self.shards.len());
+        }
+    }
+
+    /// Number of shards (1 unless running [`SchedKind::Sharded`]).
+    pub fn n_shards(&self) -> usize {
+        if self.started {
+            self.shards.len()
+        } else {
+            1
+        }
+    }
+
+    /// Total events the engine has processed (all shards).
+    pub fn events_processed(&self) -> u64 {
+        self.shards.iter().map(|s| s.events_processed).sum()
+    }
+
+    /// Distributes the registered nodes over shards, builds the routing
+    /// geometry, then calls every node's `on_start` (in registration
+    /// order).
     pub fn start(&mut self) {
         assert!(!self.started);
         self.started = true;
-        self.routes = RouteTable::build(self.nodes.iter().map(|n| n.addr));
-        self.links = vec![0; self.nodes.len() * self.nodes.len()];
-        for i in 0..self.nodes.len() {
-            self.with_ctx(i, 0, |actor, ctx| actor.on_start(ctx));
+        let n_dcs = self
+            .staging
+            .iter()
+            .map(|(a, _, _)| a.dc.index() + 1)
+            .max()
+            .unwrap_or(1);
+        let n_shards = match self.sched {
+            SchedKind::Sharded { shards: 0 } => n_dcs,
+            SchedKind::Sharded { shards } => shards as usize,
+            _ => 1,
         }
+        .max(1);
+        if self.threads == 0 {
+            self.threads = match std::env::var("CONTRARIAN_SHARD_THREADS") {
+                Ok(v) => v.parse().ok().filter(|&n| n > 0).unwrap_or_else(|| {
+                    panic!("CONTRARIAN_SHARD_THREADS must be a positive integer, got `{v}`")
+                }),
+                Err(_) => std::thread::available_parallelism()
+                    .map(|n| n.get())
+                    .unwrap_or(1),
+            };
+        }
+        self.threads = self.threads.min(n_shards);
+
+        self.shards = (0..n_shards)
+            .map(|i| {
+                let mut s = Shard::new(i, self.sched.queue_kind(), self.cost.clone());
+                s.recording = self.recording;
+                s.stopped = self.stopped;
+                s.metrics.enabled = self.master.enabled;
+                s
+            })
+            .collect();
+        let mut addrs = Vec::with_capacity(self.staging.len());
+        let mut locate = Vec::with_capacity(self.staging.len());
+        for (gid, (addr, actor, workers)) in self.staging.drain(..).enumerate() {
+            let shard = addr.dc.index() % n_shards;
+            let local = self.shards[shard].nodes.len();
+            addrs.push(addr);
+            locate.push((shard as u32, local as u32));
+            let rng = SmallRng::seed_from_u64(node_seed(self.seed, addr));
+            self.shards[shard]
+                .nodes
+                .push(NodeSlot::new(addr, gid as u32, actor, workers, rng));
+            self.shards[shard].links.push(Vec::new());
+        }
+        self.routing = Routing::build(addrs, locate);
+        for gid in 0..self.routing.n_nodes() {
+            let (s, l) = self.routing.locate(gid);
+            self.shards[s].start_node(&self.routing, l);
+        }
+        // Bring-up happens before any pop, so cross-shard `on_start` sends
+        // merge into the target queues ahead of execution regardless of
+        // their arrival time — no window invariant applies yet.
+        self.exchange(0, false);
     }
 
     pub fn now(&self) -> u64 {
         self.now
     }
 
-    pub fn metrics(&self) -> &Metrics {
-        &self.metrics
+    /// Merged view of the per-shard metrics. Mutations other than the
+    /// `enabled` flag are not propagated back to the shards (the flag is,
+    /// at the start of every run call).
+    pub fn metrics(&mut self) -> &Metrics {
+        self.refresh_metrics();
+        &self.master
     }
 
     pub fn metrics_mut(&mut self) -> &mut Metrics {
-        &mut self.metrics
+        self.refresh_metrics();
+        &mut self.master
     }
 
-    pub fn history(&self) -> &[HistoryEvent] {
-        &self.history
+    fn refresh_metrics(&mut self) {
+        if !self.metrics_dirty {
+            return;
+        }
+        let mut m = Metrics::new();
+        m.enabled = self.master.enabled;
+        for s in &self.shards {
+            m.absorb(&s.metrics);
+        }
+        self.master = m;
+        self.metrics_dirty = false;
     }
 
+    /// Pushes the externally toggled flags down to the shards.
+    fn sync_flags(&mut self) {
+        let enabled = self.master.enabled;
+        for s in &mut self.shards {
+            s.metrics.enabled = enabled;
+            s.recording = self.recording;
+            s.stopped = self.stopped;
+        }
+    }
+
+    /// Snapshot of the history recorded so far, in canonical order (see
+    /// `contrarian_runtime::history`). Clones; use [`Sim::take_history`] or
+    /// [`Sim::drain_history`] to consume.
+    pub fn history(&self) -> Vec<HistoryEvent> {
+        merge_shard_histories(self.shards.iter().map(|s| s.history.clone()))
+    }
+
+    /// Takes the whole recorded history, merged into canonical order.
     pub fn take_history(&mut self) -> Vec<HistoryEvent> {
-        std::mem::take(&mut self.history)
+        self.drain_history()
+    }
+
+    /// Drains the events recorded since the last drain, merged into
+    /// canonical order. Called between run calls (`run_until` /
+    /// `run_to_quiescence` boundaries) the concatenation of drains is
+    /// exactly the canonical full history — each drain's events all
+    /// precede the next's — which is what lets long recorded runs stream
+    /// into a checker instead of buffering the full event `Vec`.
+    pub fn drain_history(&mut self) -> Vec<HistoryEvent> {
+        merge_shard_histories(
+            self.shards
+                .iter_mut()
+                .map(|s| std::mem::take(&mut s.history)),
+        )
     }
 
     pub fn set_recording(&mut self, on: bool) {
         self.recording = on;
+        for s in &mut self.shards {
+            s.recording = on;
+        }
     }
 
     /// Tells closed-loop clients to stop issuing new operations.
     pub fn set_stopped(&mut self, stopped: bool) {
         self.stopped = stopped;
+        for s in &mut self.shards {
+            s.stopped = stopped;
+        }
     }
 
     pub fn cost_model(&self) -> &CostModel {
         &self.cost
     }
 
-    /// Resolves an address to its node slot (flat table once started).
+    /// Resolves an address to its (shard, local slot) once started.
     #[inline]
-    fn route(&self, addr: Addr) -> usize {
-        let found = if self.started {
-            self.routes.get(addr)
+    fn locate(&self, addr: Addr) -> (usize, usize) {
+        if self.started {
+            self.routing.locate(self.routing.global(addr))
         } else {
-            self.index.get(&addr).copied()
-        };
-        found.unwrap_or_else(|| panic!("unknown addr {addr}"))
+            let gid = *self
+                .index
+                .get(&addr)
+                .unwrap_or_else(|| panic!("unknown addr {addr}"));
+            (usize::MAX, gid)
+        }
     }
 
     /// Read access to a node's actor (post-run inspection: convergence
     /// checks, protocol statistics).
     pub fn actor(&self, addr: Addr) -> &A {
-        &self.nodes[self.route(addr)].actor
+        let (s, i) = self.locate(addr);
+        if s == usize::MAX {
+            &self.staging[i].1
+        } else {
+            &self.shards[s].nodes[i].actor
+        }
     }
 
     pub fn actor_mut(&mut self, addr: Addr) -> &mut A {
-        let i = self.route(addr);
-        &mut self.nodes[i].actor
+        let (s, i) = self.locate(addr);
+        if s == usize::MAX {
+            &mut self.staging[i].1
+        } else {
+            &mut self.shards[s].nodes[i].actor
+        }
     }
 
     /// All registered addresses, in registration order.
     pub fn addrs(&self) -> Vec<Addr> {
-        self.nodes.iter().map(|n| n.addr).collect()
+        if self.started {
+            self.routing.addrs.clone()
+        } else {
+            self.staging.iter().map(|(a, _, _)| *a).collect()
+        }
     }
 
     /// Injects an external operation into a client node (interactive use).
     pub fn inject_op(&mut self, client: Addr, op: Op) {
-        let to = self.route(client);
         let msg = A::inject(op);
-        self.push(
-            self.now,
-            EvKind::Arrive {
-                to,
-                from: client,
-                msg,
-            },
-        );
+        self.external_send(client, client, msg);
     }
 
-    /// Processes a single event. Returns `false` when no events remain.
+    fn external_send(&mut self, from: Addr, to: Addr, msg: A::Msg) {
+        assert!(
+            self.started,
+            "external sends require a started Sim (call start() first)"
+        );
+        let (s, l) = self.routing.locate(self.routing.global(to));
+        let shard = &mut self.shards[s];
+        let key = shard.alloc_key(l);
+        shard
+            .queue
+            .push(self.now, key, EvKind::Arrive { to: l, from, msg });
+    }
+
+    /// Processes a single event — the globally minimal `(t, key)` across
+    /// all shards. Returns `false` when no events remain.
     pub fn step(&mut self) -> bool {
-        let Some((t, _seq, kind)) = self.queue.pop() else {
+        assert!(self.started, "Sim::start must be called before stepping");
+        self.sync_flags();
+        self.lockstep_step()
+    }
+
+    /// `(t, key)`-minimal single step across shards, exchanging cross-shard
+    /// messages immediately. This is plain sequential simulation and the
+    /// fallback whenever windows cannot be formed (zero lookahead).
+    fn lockstep_step(&mut self) -> bool {
+        let mut best: Option<(u64, u64, usize)> = None;
+        for (i, s) in self.shards.iter_mut().enumerate() {
+            if let Some((t, k)) = s.queue.peek_key() {
+                if best.is_none_or(|(bt, bk, _)| (t, k) < (bt, bk)) {
+                    best = Some((t, k, i));
+                }
+            }
+        }
+        let Some((t, _, i)) = best else {
             return false;
         };
-        debug_assert!(t >= self.now, "time went backwards");
-        self.now = t;
-        match kind {
-            EvKind::Arrive { to, from, msg } => self.on_arrive(to, from, msg),
-            EvKind::ServiceDone { node, from, msg } => self.on_service_done(node, from, msg),
-            EvKind::WorkerFree { node } => self.on_worker_free(node),
-            EvKind::Timer { node, kind } => self.on_timer(node, kind),
+        let routing = &self.routing;
+        self.shards[i].step_one(routing);
+        if !self.shards[i].outbox.is_empty() {
+            self.exchange(0, false);
         }
+        self.now = self.now.max(t);
+        self.metrics_dirty = true;
         true
     }
 
-    /// Runs until virtual time `t` (inclusive of events at `t`).
-    pub fn run_until(&mut self, t: u64) {
-        while let Some(next) = self.queue.peek_t() {
-            if next > t {
+    /// Earliest pending event time across all shards.
+    fn min_next_t(&mut self) -> Option<u64> {
+        self.shards
+            .iter_mut()
+            .filter_map(|s| s.queue.peek_t())
+            .min()
+    }
+
+    /// Delivers every parked cross-shard message into its target queue.
+    /// With `conservative`, asserts the window invariant: nothing sent
+    /// during a window may land inside it.
+    fn exchange(&mut self, window_end: u64, conservative: bool) {
+        for i in 0..self.shards.len() {
+            if self.shards[i].outbox.is_empty() {
+                continue;
+            }
+            let mut outbox = std::mem::take(&mut self.shards[i].outbox);
+            for m in outbox.drain(..) {
+                assert!(
+                    !conservative || m.t >= window_end,
+                    "conservative window violated: cross-shard message for t={} \
+                     inside the window ending at {window_end}",
+                    m.t
+                );
+                self.shards[m.shard].queue.push(
+                    m.t,
+                    m.key,
+                    EvKind::Arrive {
+                        to: m.to_local,
+                        from: m.from,
+                        msg: m.msg,
+                    },
+                );
+            }
+            // Hand the allocation back for the next window.
+            self.shards[i].outbox = outbox;
+        }
+    }
+
+    /// Processes every event with `t ≤ bound`.
+    fn run_bounded(&mut self, bound: u64)
+    where
+        A: Send,
+    {
+        assert!(self.started, "Sim::start must be called before running");
+        self.sync_flags();
+        if self.shards.len() == 1 {
+            // Single event loop: the classic engine, no barriers at all.
+            let routing = &self.routing;
+            let s = &mut self.shards[0];
+            while let Some(t) = s.queue.peek_t() {
+                if t > bound {
+                    break;
+                }
+                s.step_one(routing);
+            }
+            self.now = self.now.max(s.now);
+        } else if self.lookahead == 0 {
+            // Free cross-DC links: no conservative window exists; run the
+            // shards in lockstep (sequential, still bit-identical).
+            while let Some(m) = self.min_next_t() {
+                if m > bound {
+                    break;
+                }
+                self.lockstep_step();
+            }
+        } else {
+            self.run_windows(bound);
+        }
+        self.metrics_dirty = true;
+    }
+
+    /// The conservative-window driver: repeatedly form the window
+    /// `[m, m + lookahead)` at the global minimum `m`, run every shard's
+    /// slice of it (in parallel when more than one shard has work and more
+    /// than one thread is available), and exchange cross-shard messages at
+    /// the barrier.
+    fn run_windows(&mut self, bound: u64)
+    where
+        A: Send,
+    {
+        let lookahead = self.lookahead;
+        let threads = self.threads;
+        while let Some(m) = self.min_next_t() {
+            if m > bound {
                 break;
             }
-            self.step();
+            let end = if bound == u64::MAX {
+                m.saturating_add(lookahead)
+            } else {
+                (bound + 1).min(m.saturating_add(lookahead))
+            };
+            let routing = &self.routing;
+            let mut active = 0usize;
+            for s in self.shards.iter_mut() {
+                if s.queue.peek_t().is_some_and(|t| t < end) {
+                    active += 1;
+                }
+            }
+            if threads <= 1 || active <= 1 {
+                for s in &mut self.shards {
+                    s.run_window(routing, end);
+                }
+            } else {
+                std::thread::scope(|scope| {
+                    for s in self.shards.iter_mut() {
+                        scope.spawn(move || s.run_window(routing, end));
+                    }
+                });
+            }
+            self.exchange(end, true);
         }
+        self.now = self
+            .now
+            .max(self.shards.iter().map(|s| s.now).max().unwrap_or(0));
+    }
+
+    /// Runs until virtual time `t` (inclusive of events at `t`).
+    pub fn run_until(&mut self, t: u64)
+    where
+        A: Send,
+    {
+        self.run_bounded(t);
         if self.now < t {
             self.now = t;
         }
@@ -309,186 +502,15 @@ impl<A: Actor> Sim<A> {
     /// Runs until the event queue drains or `max_t` is hit (whichever is
     /// first). Useful to quiesce a cluster whose periodic timers have been
     /// stopped.
-    pub fn run_to_quiescence(&mut self, max_t: u64) {
-        while self.now <= max_t && self.step() {}
-    }
-
-    // ---- internals ----
-
-    fn push(&mut self, t: u64, kind: EvKind<A::Msg>) {
-        self.seq += 1;
-        self.queue.push(t, self.seq, kind);
-    }
-
-    fn stash_backlog(&mut self, msg: A::Msg) -> u64 {
-        if let Some(slot) = self.backlog_free.pop() {
-            self.backlog[slot as usize] = Some(msg);
-            slot
-        } else {
-            self.backlog.push(Some(msg));
-            (self.backlog.len() - 1) as u64
-        }
-    }
-
-    fn take_backlog(&mut self, slot: u64) -> A::Msg {
-        let msg = self.backlog[slot as usize].take().expect("stashed message");
-        self.backlog_free.push(slot);
-        msg
-    }
-
-    fn on_arrive(&mut self, to: usize, from: Addr, msg: A::Msg) {
-        if self.metrics.enabled {
-            self.metrics.msgs += 1;
-            self.metrics.bytes += msg.wire_size() as u64;
-        }
-        let slot = &mut self.nodes[to];
-        if slot.workers == 0 {
-            // Client: infinite parallelism, fixed receive cost.
-            let c = self.cost.client_rx_ns + self.cost.cpu_bytes(msg.wire_size());
-            self.push(
-                self.now + c,
-                EvKind::ServiceDone {
-                    node: to,
-                    from,
-                    msg,
-                },
-            );
-        } else if slot.busy < slot.workers {
-            slot.busy += 1;
-            let c = msg.rx_cost(&self.cost);
-            if self.metrics.enabled {
-                self.metrics.busy_ns += c;
-            }
-            self.push(
-                self.now + c,
-                EvKind::ServiceDone {
-                    node: to,
-                    from,
-                    msg,
-                },
-            );
-        } else {
-            let slot_id = self.stash_backlog(msg);
-            self.nodes[to].queue.push_back((from, slot_id));
-        }
-    }
-
-    fn on_service_done(&mut self, node: usize, from: Addr, msg: A::Msg) {
-        let busy_extra = self.with_ctx(node, 0, |actor, ctx| actor.on_message(ctx, from, msg));
-        self.finish_worker(node, busy_extra);
-    }
-
-    fn on_worker_free(&mut self, node: usize) {
-        let slot = &mut self.nodes[node];
-        slot.busy -= 1;
-        if slot.busy < slot.workers {
-            if let Some((from, slot_id)) = slot.queue.pop_front() {
-                self.nodes[node].busy += 1;
-                let msg = self.take_backlog(slot_id);
-                let c = msg.rx_cost(&self.cost);
-                if self.metrics.enabled {
-                    self.metrics.busy_ns += c;
-                }
-                self.push(self.now + c, EvKind::ServiceDone { node, from, msg });
-            }
-        }
-    }
-
-    fn on_timer(&mut self, node: usize, kind: TimerKind) {
-        // Timers run off the worker pool with a small base cost; their sends
-        // still pay tx costs (folded into departure spacing).
-        self.with_ctx(node, self.cost.timer_ns, |actor, ctx| {
-            actor.on_timer(ctx, kind)
-        });
-    }
-
-    /// Runs a handler inside a context, then applies its outbox/timer
-    /// effects. Returns the handler's total send-phase CPU so the caller can
-    /// keep the worker busy for it.
-    fn with_ctx<F>(&mut self, node: usize, base_charge: u64, f: F) -> u64
+    pub fn run_to_quiescence(&mut self, max_t: u64)
     where
-        F: FnOnce(&mut A, &mut dyn ActorCtx<A::Msg>),
+        A: Send,
     {
-        let addr = self.nodes[node].addr;
-        let is_server = self.nodes[node].workers > 0;
-        // The outbox/timer buffers are owned by the Sim and reused across
-        // handlers: no per-event allocation.
-        let mut out = std::mem::take(&mut self.scratch_out);
-        let mut timers = std::mem::take(&mut self.scratch_timers);
-        debug_assert!(out.is_empty() && timers.is_empty());
-        let mut ctx = SimCtx {
-            now: self.now,
-            addr,
-            out: &mut out,
-            timers: &mut timers,
-            charge: base_charge,
-            rng: &mut self.rng,
-            metrics: &mut self.metrics,
-            history: &mut self.history,
-            recording: self.recording,
-            stopped: self.stopped,
-        };
-        // Disjoint field borrows: the actor lives in self.nodes, the ctx
-        // borrows self.rng / self.metrics / self.history.
-        let actor = &mut self.nodes[node].actor;
-        f(actor, &mut ctx);
-        let charge = ctx.charge;
-
-        // Send phase: messages depart back-to-back after the handler, each
-        // paying its tx cost on the sender's CPU.
-        let n = self.nodes.len();
-        let mut depart = self.now + charge;
-        for (to, msg) in out.drain(..) {
-            let tx = if is_server {
-                msg.tx_cost(&self.cost)
-            } else {
-                self.cost.client_tx_ns + self.cost.cpu_bytes(msg.wire_size())
-            };
-            depart += tx;
-            if is_server && self.metrics.enabled {
-                self.metrics.busy_ns += tx;
-            }
-            let to_idx = self.route(to);
-            let latency = if to.dc == addr.dc {
-                self.cost.hop_latency_ns
-            } else {
-                self.cost.interdc_latency_ns
-            };
-            let mut arrive = depart + latency + self.cost.wire_bytes(msg.wire_size());
-            // FIFO per link.
-            let link = &mut self.links[node * n + to_idx];
-            if arrive <= *link {
-                arrive = *link + 1;
-            }
-            *link = arrive;
-            self.push(
-                arrive,
-                EvKind::Arrive {
-                    to: to_idx,
-                    from: addr,
-                    msg,
-                },
-            );
-        }
-        for (delay, kind) in timers.drain(..) {
-            self.push(self.now + delay, EvKind::Timer { node, kind });
-        }
-        self.scratch_out = out;
-        self.scratch_timers = timers;
-        if self.metrics.enabled && is_server {
-            self.metrics.busy_ns += charge.saturating_sub(base_charge);
-        }
-        depart - self.now
-    }
-
-    fn finish_worker(&mut self, node: usize, busy_extra: u64) {
-        if self.nodes[node].workers == 0 {
-            return;
-        }
-        if busy_extra == 0 {
-            self.on_worker_free(node);
-        } else {
-            self.push(self.now + busy_extra, EvKind::WorkerFree { node });
+        self.run_bounded(max_t);
+        // The historical loop (`while now <= max_t && step()`) also ran the
+        // *first* event past the bound; keep that observable behaviour.
+        if self.now <= max_t {
+            self.lockstep_step();
         }
     }
 }
@@ -499,15 +521,7 @@ impl<A: Actor> Runtime<A> for Sim<A> {
     }
 
     fn send(&mut self, from: Addr, to: Addr, msg: A::Msg) {
-        let to_idx = self.route(to);
-        self.push(
-            self.now,
-            EvKind::Arrive {
-                to: to_idx,
-                from,
-                msg,
-            },
-        );
+        self.external_send(from, to, msg);
     }
 
     fn stop_issuing(&mut self) {
@@ -519,67 +533,11 @@ impl<A: Actor> Runtime<A> for Sim<A> {
     }
 }
 
-struct SimCtx<'a, M> {
-    now: u64,
-    addr: Addr,
-    out: &'a mut Vec<(Addr, M)>,
-    timers: &'a mut Vec<(u64, TimerKind)>,
-    charge: u64,
-    rng: &'a mut SmallRng,
-    metrics: &'a mut Metrics,
-    history: &'a mut Vec<HistoryEvent>,
-    recording: bool,
-    stopped: bool,
-}
-
-impl<'a, M> ActorCtx<M> for SimCtx<'a, M> {
-    fn now(&self) -> u64 {
-        self.now
-    }
-
-    fn self_addr(&self) -> Addr {
-        self.addr
-    }
-
-    fn send(&mut self, to: Addr, msg: M) {
-        self.out.push((to, msg));
-    }
-
-    fn set_timer(&mut self, delay_ns: u64, kind: TimerKind) {
-        self.timers.push((delay_ns, kind));
-    }
-
-    fn charge(&mut self, ns: u64) {
-        self.charge += ns;
-    }
-
-    fn rng(&mut self) -> &mut SmallRng {
-        self.rng
-    }
-
-    fn metrics(&mut self) -> &mut Metrics {
-        self.metrics
-    }
-
-    fn record(&mut self, ev: HistoryEvent) {
-        if self.recording {
-            self.history.push(ev);
-        }
-    }
-
-    fn recording(&self) -> bool {
-        self.recording
-    }
-
-    fn stopped(&self) -> bool {
-        self.stopped
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
-    use contrarian_runtime::cost::MsgClass;
+    use contrarian_runtime::actor::{ActorCtx, TimerKind};
+    use contrarian_runtime::cost::{MsgClass, SimMessage};
     use contrarian_types::DcId;
 
     /// A ping-pong actor: servers echo, the client counts echoes.
@@ -653,9 +611,15 @@ mod tests {
         mk_with(SchedKind::Calendar)
     }
 
+    const ALL_ENGINES: [SchedKind; 3] = [
+        SchedKind::Calendar,
+        SchedKind::Heap,
+        SchedKind::Sharded { shards: 0 },
+    ];
+
     #[test]
     fn ping_pong_runs_to_completion() {
-        for sched in [SchedKind::Calendar, SchedKind::Heap] {
+        for sched in ALL_ENGINES {
             let mut sim = mk_with(sched);
             sim.start();
             sim.run_to_quiescence(u64::MAX);
@@ -669,7 +633,7 @@ mod tests {
     }
 
     #[test]
-    fn identical_seeds_are_deterministic_across_schedulers() {
+    fn identical_seeds_are_deterministic_across_engines() {
         let run = |seed, sched| {
             let mut sim = Sim::with_scheduler(CostModel::calibrated(), seed, sched);
             let server = Addr::server(DcId(0), contrarian_types::PartitionId(0));
@@ -694,7 +658,9 @@ mod tests {
             sim.now()
         };
         assert_eq!(run(42, SchedKind::Calendar), run(42, SchedKind::Calendar));
-        assert_eq!(run(42, SchedKind::Calendar), run(42, SchedKind::Heap));
+        for sched in ALL_ENGINES {
+            assert_eq!(run(42, SchedKind::Calendar), run(42, sched), "{sched:?}");
+        }
     }
 
     #[test]
@@ -723,7 +689,7 @@ mod tests {
         // at least 20 × rx_cost of virtual time to serve 20 requests.
         let cost = CostModel::functional();
         let rx = Ping(0).rx_cost(&cost);
-        let mut sim: Sim<Echo> = Sim::new(cost, 3);
+        let mut sim: Sim<Echo> = Sim::with_scheduler(cost, 3, SchedKind::Calendar);
         let server = Addr::server(DcId(0), contrarian_types::PartitionId(0));
         sim.add_server(
             server,
@@ -778,7 +744,7 @@ mod tests {
                 Ping(0)
             }
         }
-        for sched in [SchedKind::Calendar, SchedKind::Heap] {
+        for sched in ALL_ENGINES {
             let mut sim: Sim<Burst> = Sim::with_scheduler(CostModel::functional(), 9, sched);
             let server = Addr::server(DcId(0), contrarian_types::PartitionId(0));
             sim.add_server(server, Burst { got: vec![] }, 4);
@@ -817,7 +783,8 @@ mod tests {
     fn backlog_slots_are_reused() {
         // Hammer a single-worker server hard enough to build a backlog and
         // drain it fully; the free list must keep the slab bounded.
-        let mut sim: Sim<Echo> = Sim::new(CostModel::functional(), 5);
+        let mut sim: Sim<Echo> =
+            Sim::with_scheduler(CostModel::functional(), 5, SchedKind::Calendar);
         let server = Addr::server(DcId(0), contrarian_types::PartitionId(0));
         sim.add_server(
             server,
@@ -842,11 +809,321 @@ mod tests {
             .map(|i| sim.actor(Addr::client(DcId(0), i)).pongs)
             .sum();
         assert_eq!(total, 40);
+        let shard = &sim.shards[0];
         assert_eq!(
-            sim.backlog.iter().filter(|m| m.is_some()).count(),
+            shard.backlog.iter().filter(|m| m.is_some()).count(),
             0,
             "backlog fully drained"
         );
-        assert_eq!(sim.backlog.len(), sim.backlog_free.len());
+        assert_eq!(shard.backlog.len(), shard.backlog_free.len());
+    }
+
+    // ---- sharded engine: cross-DC clusters and window barriers ----
+
+    /// A two-DC echo mesh: every client round-robins requests over every
+    /// server of both DCs, so most traffic crosses the shard boundary.
+    fn mk_geo(sched: SchedKind, cost: CostModel, servers: u16, clients: u16) -> Sim<Mesh> {
+        let mut sim: Sim<Mesh> = Sim::with_scheduler(cost, 11, sched);
+        for dc in 0..2 {
+            for p in 0..servers {
+                sim.add_server(
+                    Addr::server(DcId(dc), contrarian_types::PartitionId(p)),
+                    Mesh::new(servers),
+                    2,
+                );
+            }
+        }
+        for dc in 0..2 {
+            for c in 0..clients {
+                sim.add_client(Addr::client(DcId(dc), c), Mesh::new(servers));
+            }
+        }
+        sim
+    }
+
+    struct Mesh {
+        servers: u16,
+        next: u32,
+        echoes: u64,
+        sum: u64,
+    }
+
+    impl Mesh {
+        fn new(servers: u16) -> Self {
+            Mesh {
+                servers,
+                next: 0,
+                echoes: 0,
+                sum: 0,
+            }
+        }
+        fn target(&mut self) -> Addr {
+            let t = self.next;
+            self.next += 1;
+            let all = 2 * self.servers as u32;
+            Addr::server(
+                DcId((t % all / self.servers as u32) as u8),
+                contrarian_types::PartitionId((t % self.servers as u32) as u16),
+            )
+        }
+    }
+
+    impl Actor for Mesh {
+        type Msg = Ping;
+        fn on_start(&mut self, ctx: &mut dyn ActorCtx<Ping>) {
+            if !ctx.self_addr().is_server() {
+                for _ in 0..4 {
+                    let to = self.target();
+                    ctx.send(to, Ping(0));
+                }
+            }
+        }
+        fn on_message(&mut self, ctx: &mut dyn ActorCtx<Ping>, from: Addr, msg: Ping) {
+            if ctx.self_addr().is_server() {
+                ctx.send(from, Ping(msg.0 + 1));
+            } else {
+                self.echoes += 1;
+                self.sum = self.sum.wrapping_mul(31).wrapping_add(msg.0 as u64);
+                if msg.0 < 40 {
+                    let to = self.target();
+                    ctx.send(to, Ping(msg.0 + 1));
+                }
+            }
+        }
+        fn on_timer(&mut self, _ctx: &mut dyn ActorCtx<Ping>, _kind: TimerKind) {}
+        fn inject(_op: Op) -> Ping {
+            Ping(0)
+        }
+    }
+
+    /// Digest of the run every engine must agree on: final time, event
+    /// count, and the full per-client observation streams.
+    fn geo_digest(
+        sched: SchedKind,
+        cost: CostModel,
+        threads: Option<usize>,
+    ) -> (u64, u64, Vec<u64>) {
+        let mut sim = mk_geo(sched, cost, 3, 4);
+        if let Some(t) = threads {
+            sim.set_shard_threads(t);
+        }
+        sim.start();
+        sim.run_until(40_000_000);
+        sim.run_to_quiescence(u64::MAX);
+        let mut sums = Vec::new();
+        for dc in 0..2 {
+            for c in 0..4 {
+                let a = sim.actor(Addr::client(DcId(dc), c));
+                sums.push(a.sum.wrapping_mul(1023).wrapping_add(a.echoes));
+            }
+        }
+        (sim.now(), sim.events_processed(), sums)
+    }
+
+    #[test]
+    fn sharded_geo_run_matches_single_threaded_engines() {
+        let want = geo_digest(SchedKind::Calendar, CostModel::calibrated(), None);
+        for sched in [
+            SchedKind::Heap,
+            SchedKind::Sharded { shards: 0 },
+            SchedKind::Sharded { shards: 2 },
+        ] {
+            assert_eq!(
+                geo_digest(sched, CostModel::calibrated(), None),
+                want,
+                "{sched:?} diverged from the calendar engine"
+            );
+        }
+        // Forced multi-threading (the machine may report 1 CPU): the
+        // parallel window path itself must replay the same run.
+        assert_eq!(
+            geo_digest(
+                SchedKind::Sharded { shards: 0 },
+                CostModel::calibrated(),
+                Some(2)
+            ),
+            want,
+            "parallel windows diverged"
+        );
+    }
+
+    #[test]
+    fn zero_cross_dc_latency_degenerates_to_lockstep() {
+        // With free cross-DC links no conservative window exists; the
+        // sharded engine must fall back to one-event-at-a-time lockstep
+        // and still match the single-threaded run exactly.
+        let mut cost = CostModel::functional();
+        cost.interdc_latency_ns = 0;
+        assert_eq!(cost.cross_dc_lookahead(), 0);
+        let want = geo_digest(SchedKind::Calendar, cost.clone(), None);
+        assert_eq!(
+            geo_digest(SchedKind::Sharded { shards: 0 }, cost, None),
+            want
+        );
+    }
+
+    #[test]
+    fn surplus_shards_stay_empty_and_harmless() {
+        // More shards than DCs: shards 2..6 own no nodes. They must not
+        // perturb the run (or deadlock the window barrier).
+        let want = geo_digest(SchedKind::Calendar, CostModel::calibrated(), None);
+        let mut sim = mk_geo(
+            SchedKind::Sharded { shards: 6 },
+            CostModel::calibrated(),
+            3,
+            4,
+        );
+        sim.start();
+        assert_eq!(sim.n_shards(), 6);
+        sim.run_until(40_000_000);
+        sim.run_to_quiescence(u64::MAX);
+        let mut sums = Vec::new();
+        for dc in 0..2 {
+            for c in 0..4 {
+                let a = sim.actor(Addr::client(DcId(dc), c));
+                sums.push(a.sum.wrapping_mul(1023).wrapping_add(a.echoes));
+            }
+        }
+        assert_eq!((sim.now(), sim.events_processed(), sums), want);
+    }
+
+    #[test]
+    fn arrival_exactly_on_the_window_boundary_is_next_window() {
+        // Strip every cost except the inter-DC latency L. A cross-DC send
+        // fired at t=0 then arrives at exactly L — the exclusive end of
+        // the first window [0, L). It must be exchanged into the *next*
+        // window and still be delivered, identically to the serial engine.
+        struct OneShot {
+            delivered: Vec<u64>,
+        }
+        impl Actor for OneShot {
+            type Msg = Ping;
+            fn on_start(&mut self, ctx: &mut dyn ActorCtx<Ping>) {
+                if !ctx.self_addr().is_server() {
+                    ctx.send(
+                        Addr::server(DcId(1), contrarian_types::PartitionId(0)),
+                        Ping(7),
+                    );
+                }
+            }
+            fn on_message(&mut self, ctx: &mut dyn ActorCtx<Ping>, _from: Addr, _msg: Ping) {
+                self.delivered.push(ctx.now());
+            }
+            fn on_timer(&mut self, _ctx: &mut dyn ActorCtx<Ping>, _kind: TimerKind) {}
+            fn inject(_op: Op) -> Ping {
+                Ping(0)
+            }
+        }
+        const L: u64 = 123_456;
+        let zeroed = CostModel {
+            rx_ns: 0,
+            tx_ns: 0,
+            check_rx_ns: 0,
+            check_tx_ns: 0,
+            client_rx_ns: 0,
+            client_tx_ns: 0,
+            read_op_ns: 0,
+            write_op_ns: 0,
+            snap_ns: 0,
+            scan_per_version_ns: 0,
+            reader_record_ns: 0,
+            per_rot_id_ns: 0,
+            cpu_per_kb_ns: 0,
+            timer_ns: 0,
+            hop_latency_ns: 0,
+            interdc_latency_ns: L,
+            wire_ns_per_kb: 0,
+        };
+        let run = |sched| {
+            let mut sim: Sim<OneShot> = Sim::with_scheduler(zeroed.clone(), 2, sched);
+            // A server in each DC so both shards have a node; only DC1's
+            // server receives anything.
+            for dc in 0..2 {
+                sim.add_server(
+                    Addr::server(DcId(dc), contrarian_types::PartitionId(0)),
+                    OneShot { delivered: vec![] },
+                    1,
+                );
+            }
+            sim.add_client(Addr::client(DcId(0), 0), OneShot { delivered: vec![] });
+            sim.start();
+            sim.run_to_quiescence(u64::MAX);
+            sim.actor(Addr::server(DcId(1), contrarian_types::PartitionId(0)))
+                .delivered
+                .clone()
+        };
+        let serial = run(SchedKind::Calendar);
+        assert_eq!(serial, vec![L], "arrival lands exactly at the lookahead");
+        assert_eq!(run(SchedKind::Sharded { shards: 0 }), serial);
+    }
+
+    #[test]
+    fn drained_history_concatenation_equals_take_history() {
+        use contrarian_types::{ClientId, Key, VersionId};
+        // A recording actor: clients tag a PutDone per echo. Draining at
+        // run boundaries then concatenating must equal the one-shot
+        // history of an identical run.
+        struct Rec {
+            inner: Mesh,
+        }
+        impl Actor for Rec {
+            type Msg = Ping;
+            fn on_start(&mut self, ctx: &mut dyn ActorCtx<Ping>) {
+                self.inner.on_start(ctx);
+            }
+            fn on_message(&mut self, ctx: &mut dyn ActorCtx<Ping>, from: Addr, msg: Ping) {
+                let me = ctx.self_addr();
+                if !me.is_server() {
+                    ctx.record(HistoryEvent::PutDone {
+                        client: ClientId::new(me.dc, me.idx),
+                        seq: msg.0,
+                        t_start: ctx.now(),
+                        t_end: ctx.now(),
+                        key: Key(msg.0 as u64),
+                        vid: VersionId::new(ctx.now(), me.dc),
+                    });
+                }
+                self.inner.on_message(ctx, from, msg);
+            }
+            fn on_timer(&mut self, _ctx: &mut dyn ActorCtx<Ping>, _kind: TimerKind) {}
+            fn inject(_op: Op) -> Ping {
+                Ping(0)
+            }
+        }
+        let build = |sched| {
+            let mut sim: Sim<Rec> = Sim::with_scheduler(CostModel::calibrated(), 4, sched);
+            for dc in 0..2 {
+                sim.add_server(
+                    Addr::server(DcId(dc), contrarian_types::PartitionId(0)),
+                    Rec {
+                        inner: Mesh::new(1),
+                    },
+                    2,
+                );
+                sim.add_client(
+                    Addr::client(DcId(dc), 0),
+                    Rec {
+                        inner: Mesh::new(1),
+                    },
+                );
+            }
+            sim.set_recording(true);
+            sim.start();
+            sim
+        };
+        let mut whole = build(SchedKind::Sharded { shards: 0 });
+        whole.run_to_quiescence(u64::MAX);
+        let want = whole.take_history();
+        assert!(!want.is_empty());
+
+        let mut chunked = build(SchedKind::Sharded { shards: 0 });
+        let mut got = Vec::new();
+        for slice in [10_000_000u64, 25_000_000, 60_000_000] {
+            chunked.run_until(slice);
+            got.extend(chunked.drain_history());
+        }
+        chunked.run_to_quiescence(u64::MAX);
+        got.extend(chunked.drain_history());
+        assert_eq!(format!("{want:?}"), format!("{got:?}"));
     }
 }

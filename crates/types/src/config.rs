@@ -127,6 +127,19 @@ impl ClusterConfig {
         }
     }
 
+    /// The 256-partition tier: 8× the paper's platform, geo-replicated
+    /// over two DCs so the sharded engine has a real shard boundary (the
+    /// scale this tier exists to exercise). Keys per partition again
+    /// scaled so the cluster covers the paper's ~32M-key data set.
+    pub fn xlarge() -> Self {
+        ClusterConfig {
+            n_dcs: 2,
+            n_partitions: 256,
+            keys_per_partition: 125_000,
+            ..ClusterConfig::paper_default()
+        }
+    }
+
     /// A small cluster for unit and integration tests.
     pub fn small() -> Self {
         ClusterConfig {
@@ -191,6 +204,18 @@ mod tests {
         assert_eq!(c.keys_per_partition, 1_000_000);
         assert_eq!(c.stabilization_interval_us, 5_000);
         assert_eq!(c.old_reader_gc_us, 500_000);
+    }
+
+    #[test]
+    fn xlarge_tier_is_geo_replicated_and_covers_the_paper_data_set() {
+        let c = ClusterConfig::xlarge();
+        assert_eq!(c.n_partitions, 256);
+        assert!(c.n_dcs >= 2, "a single-DC cluster has no shard boundary");
+        assert_eq!(
+            c.n_partitions as u64 * c.keys_per_partition,
+            ClusterConfig::paper_default().n_partitions as u64
+                * ClusterConfig::paper_default().keys_per_partition
+        );
     }
 
     #[test]

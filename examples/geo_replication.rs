@@ -33,10 +33,10 @@ fn main() {
 
     // 200 virtual milliseconds of load.
     sim.run_until(200_000_000);
+    let m = sim.metrics();
     println!(
         "after 200 ms: {} ROTs, {} PUTs completed",
-        sim.metrics().rots_done,
-        sim.metrics().puts_done
+        m.rots_done, m.puts_done
     );
 
     // GSS lag while running: each partition's remote entry vs its own clock.

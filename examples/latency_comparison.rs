@@ -13,6 +13,7 @@
 use contrarian::harness::experiment::{run_experiment, ExperimentConfig, Protocol};
 use contrarian::harness::table;
 use contrarian::sim::cost::CostModel;
+use contrarian::sim::SchedKind;
 use contrarian::types::ClusterConfig;
 use contrarian::workload::WorkloadSpec;
 
@@ -33,6 +34,7 @@ fn main() {
                 seed: 1,
                 cost: CostModel::calibrated(),
                 record: false,
+                sched: SchedKind::from_env(),
             };
             let r = run_experiment(&cfg);
             rows.push(vec![

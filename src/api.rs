@@ -18,6 +18,10 @@ use std::collections::{HashMap, VecDeque};
 pub struct CausalStore {
     sim: Sim<Node>,
     client: contrarian_types::Addr,
+    /// Completion log, drained out of the engine between steps (the
+    /// engine's history buffers are per-shard; this is the facade's own
+    /// append-only view with a stable cursor).
+    log: Vec<HistoryEvent>,
     history_cursor: usize,
     put_seq: u32,
     rot_seq: u32,
@@ -31,6 +35,7 @@ impl CausalStore {
         CausalStore {
             sim,
             client,
+            log: Vec::new(),
             history_cursor: 0,
             put_seq: 0,
             rot_seq: 0,
@@ -123,23 +128,21 @@ impl CausalStore {
         // Deterministic virtual time: run the simulation until the matching
         // completion event is recorded. 10 virtual seconds is far beyond any
         // single-op latency; reaching it means the protocol lost the op.
+        // The cursor only advances past a match, so a later wait with a
+        // different predicate still sees the skipped-over events.
         let deadline = self.sim.now() + 10_000_000_000;
-        while self.sim.now() < deadline {
-            {
-                let hist = self.sim.history();
-                for (i, ev) in hist.iter().enumerate().skip(self.history_cursor) {
-                    if pred(ev) {
-                        let ev = ev.clone();
-                        self.history_cursor = i + 1;
-                        return Ok(ev);
-                    }
+        loop {
+            self.log.extend(self.sim.drain_history());
+            for i in self.history_cursor..self.log.len() {
+                if pred(&self.log[i]) {
+                    self.history_cursor = i + 1;
+                    return Ok(self.log[i].clone());
                 }
             }
-            if !self.sim.step() {
-                break;
+            if self.sim.now() >= deadline || !self.sim.step() {
+                return Err(Error::Timeout);
             }
         }
-        Err(Error::Timeout)
     }
 }
 

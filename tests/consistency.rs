@@ -203,13 +203,14 @@ fn contrarian_writes_become_visible_remotely() {
     sim.run_until(5_000_000);
 
     // Poll from DC1 until the value is visible (stabilization + replication
-    // must make it so within a few intervals).
+    // must make it so within a few intervals). Drain the engine's history
+    // incrementally instead of re-merging the whole log every round.
     let mut seen = false;
     for round in 0..200 {
         sim.inject_op(reader, Op::Rot(vec![Key(3)]));
         sim.run_until(5_000_000 + (round + 1) * 2_000_000);
         if let Some(contrarian::types::HistoryEvent::RotDone { values, .. }) =
-            sim.history().iter().rev().find(|ev| {
+            sim.drain_history().iter().rev().find(|ev| {
                 matches!(ev, contrarian::types::HistoryEvent::RotDone { client, .. }
                     if *client == reader.client_id())
             })
