@@ -31,3 +31,17 @@ fn conforms_on_tcp_transport() {
     let outcome = conformance::check_net::<CcLo>(2, 35).unwrap();
     assert!(outcome.keys_compared > 0);
 }
+
+#[test]
+fn conforms_on_tcp_reactor_engine() {
+    let outcome =
+        conformance::check_net_with::<CcLo>(2, 36, conformance::NetKind::Reactor).unwrap();
+    assert!(outcome.keys_compared > 0);
+}
+
+#[test]
+fn conforms_on_tcp_threads_engine() {
+    let outcome =
+        conformance::check_net_with::<CcLo>(2, 37, conformance::NetKind::Threads).unwrap();
+    assert!(outcome.keys_compared > 0);
+}

@@ -138,7 +138,12 @@ fn main() {
         rows.push(point_row("CC-LO", &net, sim_rot, sim_p99, sim_put));
     }
 
-    println!("\n=== net_sweep: ROT latency over loopback TCP vs simulator prediction ===\n");
+    let engine = match contrarian_protocol::conformance::NetKind::from_env() {
+        contrarian_protocol::conformance::NetKind::Reactor => "reactor",
+        contrarian_protocol::conformance::NetKind::Threads => "threads",
+    };
+    println!("\n=== net_sweep: ROT latency over loopback TCP vs simulator prediction ===");
+    println!("    (socket engine: {engine} — select with CONTRARIAN_NET=reactor|threads)\n");
     println!("{}", table::render(&headers, &rows));
     match table::write_csv("net_sweep.csv", &headers, &rows) {
         Ok(path) => println!("wrote {path}"),

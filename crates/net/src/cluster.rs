@@ -1,241 +1,154 @@
-//! The TCP cluster: thread-per-node, socket-per-link, writer-per-node.
+//! The TCP cluster facade: one API, two engines.
+//!
+//! [`NetCluster`] is what the builders and the harness talk to. Behind it
+//! sit two interchangeable socket engines:
+//!
+//! * [`reactor`](crate::reactor) (the default): a fixed pool of event-loop
+//!   threads driving nonblocking sockets through epoll, one multiplexed
+//!   connection per peer pair;
+//! * [`threads`](crate::threads) (`CONTRARIAN_NET=threads`): the original
+//!   thread-per-connection engine — a writer thread per node, a reader
+//!   thread per accepted socket — kept as the baseline the reactor is
+//!   measured against.
+//!
+//! Both engines share a [`ClusterCore`]: the run flags and history sink
+//! ([`RunShared`]), every node's input channel, and the wire counters.
+//! Node state machines run on their own threads via
+//! [`contrarian_runtime::node_loop::run_node`] either way — the engine
+//! choice only changes how an encoded frame crosses the process.
 
+use crate::reactor::ReactorCluster;
+use crate::threads::ThreadsCluster;
 use contrarian_runtime::actor::Actor;
-use contrarian_runtime::frame::{read_frame, write_frame, FrameError};
 use contrarian_runtime::metrics::Metrics;
-use contrarian_runtime::node_loop::{node_seed, run_node, Input, Outbound, RunShared};
+use contrarian_runtime::node_loop::{Input, RunShared};
 use contrarian_runtime::Runtime;
-use contrarian_types::codec::{from_bytes, Wire};
+use contrarian_types::codec::Wire;
 use contrarian_types::{Addr, HistoryEvent, Op};
-use crossbeam::channel::{bounded, Receiver, Sender};
-use parking_lot::Mutex;
+use crossbeam::channel::{bounded, Sender};
 use std::collections::HashMap;
-use std::io::{BufReader, BufWriter, Write as _};
-use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
-use std::thread::JoinHandle;
 use std::time::Duration;
 
-/// Channel capacities (frames). Bounded so a stalled peer exerts
-/// backpressure on the sender instead of ballooning memory.
-const CHANNEL_CAP: usize = 64 * 1024;
+/// Capacity of each node's input channel (frames). Bounded so a stalled
+/// node exerts backpressure instead of ballooning memory.
+pub(crate) const CHANNEL_CAP: usize = 64 * 1024;
 
-/// One encoded frame bound for a destination, queued on a writer channel.
-type OutFrame = (Addr, Vec<u8>);
+/// Which socket engine drives the cluster.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum NetKind {
+    /// Event-driven reactor pool (the default).
+    Reactor,
+    /// Thread-per-connection baseline.
+    Threads,
+}
 
-/// Retries `attempt` with exponential backoff: the first failure waits
-/// `first_delay`, doubling (capped at `max_delay`) before each subsequent
-/// try. Returns the first success or the last error after `attempts` tries.
-fn with_backoff<T, E>(
-    attempts: u32,
-    first_delay: Duration,
-    max_delay: Duration,
-    mut attempt: impl FnMut() -> Result<T, E>,
-) -> Result<T, E> {
-    let mut delay = first_delay;
-    let mut last;
-    let mut tries = 0;
-    loop {
-        match attempt() {
-            Ok(v) => return Ok(v),
-            Err(e) => last = e,
+impl NetKind {
+    /// Parses `CONTRARIAN_NET`. Unset defaults to the reactor; an unknown
+    /// value is a hard error — a silently wrong fallback would make an
+    /// engine comparison measure the reactor against itself.
+    pub fn parse(value: Option<&str>) -> Result<Self, String> {
+        match value {
+            None | Some("reactor") => Ok(NetKind::Reactor),
+            Some("threads") => Ok(NetKind::Threads),
+            Some(other) => Err(format!(
+                "CONTRARIAN_NET must be `reactor` or `threads` (or unset), got `{other}`"
+            )),
         }
-        tries += 1;
-        if tries >= attempts.max(1) {
-            return Err(last);
-        }
-        std::thread::sleep(delay);
-        delay = (delay * 2).min(max_delay);
+    }
+
+    pub fn from_env() -> Self {
+        let value = std::env::var("CONTRARIAN_NET").ok();
+        Self::parse(value.as_deref()).unwrap_or_else(|e| panic!("{e}"))
     }
 }
 
-/// Connects to a peer, absorbing transient refusals: during 128-node
-/// bring-up every listener's backlog is hammered at once, so a first
-/// `connect` can bounce even though the listener exists and will accept a
-/// moment later. A single refusal must not take down the writer thread
-/// (and with it the whole run); a peer still unreachable after the ~¾ s
-/// this schedule spans (2+4+…+128 ms, then two 250 ms waits) is a real
-/// failure.
-fn connect_with_backoff(peer: SocketAddr) -> std::io::Result<TcpStream> {
-    with_backoff(
-        10,
-        Duration::from_millis(2),
-        Duration::from_millis(250),
-        || TcpStream::connect(peer),
-    )
-}
-
-/// Frames/bytes actually written to sockets, shared between the writer
-/// threads (which count after each successful `write_frame`) and
-/// observers. Relaxed atomics off the latency path.
+/// Frames/bytes/sockets actually put on the wire, updated by whichever
+/// threads do the socket writes. Relaxed atomics off the latency path.
+/// Hello handshake frames are *not* counted — the totals mean protocol
+/// traffic, comparable across engines.
 #[derive(Default)]
-struct WireStats {
+pub struct WireStats {
     frames: AtomicU64,
     bytes: AtomicU64,
+    sockets: AtomicU64,
 }
 
-/// Cluster-wide state shared by node, reader, writer and accept threads.
-struct NetShared<M> {
-    run: RunShared,
-    /// Input channel of every node (reader threads and injection feed it).
-    inbox: HashMap<Addr, Sender<Input<M>>>,
-    /// Where every node listens (the "address book"; in a multi-process
-    /// deployment this is what nodes would exchange at join time).
-    listen: HashMap<Addr, SocketAddr>,
-    /// Each node's outbound queue, drained by its writer thread. Cleared at
-    /// shutdown so the writers see a disconnect and drain out.
-    outbox: Mutex<HashMap<Addr, Sender<OutFrame>>>,
-    /// Reader thread handles (one per accepted connection), joined at
-    /// shutdown.
-    reader_threads: Mutex<Vec<JoinHandle<()>>>,
-    /// Tells accept loops to exit (they are woken by a dummy connection).
-    io_stop: AtomicBool,
-    wire: Arc<WireStats>,
+impl WireStats {
+    pub fn on_frames(&self, frames: u64, bytes: u64) {
+        if frames == 0 && bytes == 0 {
+            return;
+        }
+        self.frames.fetch_add(frames, Ordering::Relaxed);
+        self.bytes.fetch_add(bytes, Ordering::Relaxed);
+    }
+
+    /// Records one socket endpoint coming up (a completed connect or an
+    /// accept) — the engines' footprint metric.
+    pub fn on_socket(&self) {
+        self.sockets.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn frames_bytes(&self) -> (u64, u64) {
+        (
+            self.frames.load(Ordering::Relaxed),
+            self.bytes.load(Ordering::Relaxed),
+        )
+    }
+
+    pub fn sockets(&self) -> u64 {
+        self.sockets.load(Ordering::Relaxed)
+    }
 }
 
-/// The writer thread: one per node, owning every outgoing connection of
-/// that node. Connections are established lazily on the first frame for a
-/// destination — on *this* thread, so a node's event loop never blocks on
-/// a TCP handshake. A single writer per source plus FIFO channels gives
-/// exactly the per-link FIFO order the protocol layer assumes.
-///
-/// Frames are batched: everything already queued is written before the
-/// flush, so bursts (a coordinator's fan-out, a replication wave) coalesce
-/// into few syscalls without delaying a lone message.
-fn write_loop(
-    node: Addr,
-    rx: Receiver<OutFrame>,
-    listen: HashMap<Addr, SocketAddr>,
-    stats: Arc<WireStats>,
-) {
-    let mut conns: HashMap<Addr, BufWriter<TcpStream>> = HashMap::new();
-    // Destinations written since the last flush.
-    let mut dirty: Vec<Addr> = Vec::new();
-    let write_one = |conns: &mut HashMap<Addr, BufWriter<TcpStream>>,
-                     dirty: &mut Vec<Addr>,
-                     to: Addr,
-                     payload: Vec<u8>| {
-        let w = conns.entry(to).or_insert_with(|| {
-            let peer = listen[&to];
-            let stream = connect_with_backoff(peer)
-                .unwrap_or_else(|e| panic!("connect {node} -> {to} ({peer}): {e}"));
-            stream
-                .set_nodelay(true)
-                .expect("TCP_NODELAY must be settable");
-            BufWriter::new(stream)
-        });
-        match write_frame(w, &payload) {
-            Ok(()) => {
-                stats.frames.fetch_add(1, Ordering::Relaxed);
-                stats
-                    .bytes
-                    .fetch_add(payload.len() as u64 + 4, Ordering::Relaxed);
-                if !dirty.contains(&to) {
-                    dirty.push(to);
-                }
-            }
-            Err(e) => {
-                // A failed write may have left a partial frame in the
-                // buffer: the stream is desynchronized and must not be
-                // reused. Drop it (the next frame reconnects) and say so —
-                // a silently dying link reads as "missing progress".
-                eprintln!("net: dropping link {node} -> {to} after write error: {e}");
-                conns.remove(&to);
-                dirty.retain(|d| *d != to);
-            }
-        }
-    };
-    while let Ok((to, payload)) = rx.recv() {
-        write_one(&mut conns, &mut dirty, to, payload);
-        while let Ok((to, payload)) = rx.try_recv() {
-            write_one(&mut conns, &mut dirty, to, payload);
-        }
-        for to in dirty.drain(..) {
-            if let Some(w) = conns.get_mut(&to) {
-                let _ = w.flush();
-            }
-        }
-    }
-    // Channel disconnected: orderly shutdown. Flush everything so the
-    // peers' readers see complete frames followed by clean EOFs.
-    for (_, mut w) in conns {
-        let _ = w.flush();
-    }
+/// State both engines share: run flags + history, the inbox of every node
+/// (reader side delivers into it, injection bypasses the sockets through
+/// it), and the wire counters.
+pub(crate) struct ClusterCore<M> {
+    pub(crate) run: RunShared,
+    pub(crate) inbox: HashMap<Addr, Sender<Input<M>>>,
+    pub(crate) wire: WireStats,
+}
+
+/// I/O footprint of the running engine, for the `net_perf` comparison:
+/// how many OS threads and socket endpoints it takes to move the frames.
+#[derive(Clone, Copy, Debug)]
+pub struct NetIoStats {
+    /// Threads dedicated to socket I/O (node threads excluded).
+    pub transport_threads: usize,
+    /// Socket endpoints established so far (connects + accepts).
+    pub sockets: u64,
 }
 
 /// Re-raises a panic from a joined I/O thread on the shutting-down thread.
-fn resume_panic<T>(r: std::thread::Result<T>) {
+pub(crate) fn resume_panic<T>(r: std::thread::Result<T>) {
     if let Err(payload) = r {
         std::panic::resume_unwind(payload);
     }
 }
 
-/// The reader thread: decodes `(from, msg)` frames off one accepted
-/// connection and feeds the owning node's input channel.
-fn read_loop<M: Wire + Send + 'static>(stream: TcpStream, owner: Addr, shared: Arc<NetShared<M>>) {
-    let tx = shared.inbox[&owner].clone();
-    let mut r = BufReader::new(stream);
-    loop {
-        match read_frame(&mut r) {
-            Ok(Some(payload)) => {
-                let (from, msg) = from_bytes::<(Addr, M)>(&payload)
-                    .unwrap_or_else(|e| panic!("corrupt frame for {owner}: {e}"));
-                if tx.send(Input::Msg { from, msg }).is_err() {
-                    return; // node thread already stopped
-                }
-            }
-            Ok(None) => return, // clean EOF: peer closed the link
-            Err(FrameError::Io(e)) => {
-                // Reset/abort during shutdown is normal; a dying inbound
-                // link mid-run must not be silent (it would read only as
-                // "missing progress" in the tests).
-                if !shared.run.stopped.load(Ordering::SeqCst) {
-                    eprintln!("net: link into {owner} died mid-run: {e}");
-                }
-                return;
-            }
-            Err(e) => panic!("frame error on link into {owner}: {e}"),
-        }
-    }
+enum Engine<A: Actor> {
+    Threads(ThreadsCluster<A>),
+    Reactor(ReactorCluster<A>),
 }
 
-/// The [`Outbound`] of the TCP runtime: encode on the sending node's
-/// thread (serialization cost lands where it belongs), then hand the frame
-/// to the node's writer (which does the socket-level accounting).
-struct TcpOutbound {
-    tx: Sender<OutFrame>,
-    /// Scratch buffer reused across sends (encode, copy out, clear).
-    buf: Vec<u8>,
-}
-
-impl<M: Wire + Send + 'static> Outbound<M> for TcpOutbound {
-    fn deliver(&mut self, from: Addr, to: Addr, msg: M) {
-        self.buf.clear();
-        from.encode(&mut self.buf);
-        msg.encode(&mut self.buf);
-        let _ = self.tx.send((to, self.buf.clone()));
-    }
-}
-
-/// A running TCP cluster: every node an OS thread, every directed link a
-/// loopback socket fed by the source node's writer thread.
+/// A running TCP cluster: every node an OS thread, every message crossing
+/// a loopback socket through whichever engine [`NetKind`] selected.
 pub struct NetCluster<A: Actor> {
-    shared: Arc<NetShared<A::Msg>>,
-    node_threads: Vec<JoinHandle<(A, Metrics)>>,
-    writer_threads: Vec<JoinHandle<()>>,
-    accept_threads: Vec<JoinHandle<()>>,
+    core: Arc<ClusterCore<A::Msg>>,
+    engine: Engine<A>,
     addrs: Vec<Addr>,
 }
 
 /// A handle for injecting messages from outside the cluster (facade role).
 pub struct NetHandle<M> {
-    shared: Arc<NetShared<M>>,
+    core: Arc<ClusterCore<M>>,
 }
 
 impl<M: Send + 'static> NetHandle<M> {
     pub fn send(&self, from: Addr, to: Addr, msg: M) {
-        if let Some(tx) = self.shared.inbox.get(&to) {
+        if let Some(tx) = self.core.inbox.get(&to) {
             let _ = tx.send(Input::Msg { from, msg });
         }
     }
@@ -251,7 +164,7 @@ impl<M: Send + 'static> NetHandle<M> {
     where
         F: FnMut(&HistoryEvent) -> bool,
     {
-        self.shared.run.history.wait_for(cursor, timeout, pred)
+        self.core.run.history.wait_for(cursor, timeout, pred)
     }
 }
 
@@ -260,96 +173,45 @@ where
     A: Actor + Send + 'static,
     A::Msg: Wire,
 {
-    /// Binds one loopback listener per node, then spawns the accept,
-    /// writer and node threads and calls `on_start` on each node.
+    /// Starts the cluster on the engine `CONTRARIAN_NET` selects.
     pub fn start(nodes: Vec<(Addr, A)>, recording: bool, seed: u64) -> Self {
-        // Phase 1: the address book. Every listener must exist before any
-        // node runs, because `on_start` handlers may send immediately.
-        let mut listen = HashMap::new();
-        let mut listeners = Vec::new();
+        Self::start_with(nodes, recording, seed, NetKind::from_env())
+    }
+
+    /// Starts the cluster on an explicit engine (tests and the `net_perf`
+    /// bench compare both in one process).
+    pub fn start_with(nodes: Vec<(Addr, A)>, recording: bool, seed: u64, kind: NetKind) -> Self {
         let mut inbox = HashMap::new();
-        let mut rxs: Vec<(Addr, Receiver<Input<A::Msg>>)> = Vec::new();
+        let mut rxs = Vec::new();
         for (addr, _) in &nodes {
-            let l = TcpListener::bind("127.0.0.1:0").expect("bind loopback listener");
-            listen.insert(*addr, l.local_addr().expect("listener has local addr"));
-            listeners.push((*addr, l));
             let (tx, rx) = bounded::<Input<A::Msg>>(CHANNEL_CAP);
             inbox.insert(*addr, tx);
             rxs.push((*addr, rx));
         }
-
-        // Phase 2: one writer thread per node (owns all of that node's
-        // outgoing connections).
-        let wire = Arc::new(WireStats::default());
-        let mut outbox = HashMap::new();
-        let mut writer_threads = Vec::new();
-        for (addr, _) in &nodes {
-            let (tx, rx) = bounded::<OutFrame>(CHANNEL_CAP);
-            outbox.insert(*addr, tx);
-            let listen = listen.clone();
-            let stats = wire.clone();
-            let addr = *addr;
-            writer_threads.push(std::thread::spawn(move || {
-                write_loop(addr, rx, listen, stats)
-            }));
-        }
-
-        let shared = Arc::new(NetShared {
+        let core = Arc::new(ClusterCore {
             run: RunShared::new(recording),
             inbox,
-            listen,
-            outbox: Mutex::new(outbox),
-            reader_threads: Mutex::new(Vec::new()),
-            io_stop: AtomicBool::new(false),
-            wire,
+            wire: WireStats::default(),
         });
-
-        // Phase 3: accept loops. Each accepted connection gets a reader
-        // thread feeding the owning node's inbox.
-        let mut accept_threads = Vec::new();
-        for (addr, listener) in listeners {
-            let shared = shared.clone();
-            accept_threads.push(std::thread::spawn(move || {
-                for stream in listener.incoming() {
-                    if shared.io_stop.load(Ordering::SeqCst) {
-                        break;
-                    }
-                    let Ok(stream) = stream else { break };
-                    let reader_shared = shared.clone();
-                    let handle = std::thread::spawn(move || read_loop(stream, addr, reader_shared));
-                    shared.reader_threads.lock().push(handle);
-                }
-            }));
-        }
-
-        // Phase 4: node threads, on the event loop shared with the
-        // in-process transport.
-        let mut node_threads = Vec::new();
-        let mut addrs = Vec::new();
-        for ((addr, actor), (_, rx)) in nodes.into_iter().zip(rxs) {
-            addrs.push(addr);
-            let shared = shared.clone();
-            let seed = node_seed(seed, addr);
-            node_threads.push(std::thread::spawn(move || {
-                let out = TcpOutbound {
-                    tx: shared.outbox.lock()[&addr].clone(),
-                    buf: Vec::new(),
-                };
-                run_node(addr, actor, rx, out, &shared.run, seed)
-            }));
-        }
+        let addrs: Vec<Addr> = nodes.iter().map(|(a, _)| *a).collect();
+        let engine = match kind {
+            NetKind::Threads => {
+                Engine::Threads(ThreadsCluster::start(core.clone(), nodes, rxs, seed))
+            }
+            NetKind::Reactor => {
+                Engine::Reactor(ReactorCluster::start(core.clone(), nodes, rxs, seed))
+            }
+        };
         NetCluster {
-            shared,
-            node_threads,
-            writer_threads,
-            accept_threads,
+            core,
+            engine,
             addrs,
         }
     }
 
     pub fn handle(&self) -> NetHandle<A::Msg> {
         NetHandle {
-            shared: self.shared.clone(),
+            core: self.core.clone(),
         }
     }
 
@@ -359,14 +221,14 @@ where
 
     /// Wall-clock nanoseconds since the cluster started.
     pub fn now(&self) -> u64 {
-        self.shared.run.now()
+        self.core.run.now()
     }
 
     /// Sends an operation to a client node. External injection bypasses the
     /// sockets (it is not cluster traffic), exactly as on the other
     /// runtimes.
     pub fn inject_op(&self, client: Addr, op: Op) {
-        if let Some(tx) = self.shared.inbox.get(&client) {
+        if let Some(tx) = self.core.inbox.get(&client) {
             let _ = tx.send(Input::Msg {
                 from: client,
                 msg: A::inject(op),
@@ -376,73 +238,42 @@ where
 
     /// Turns measurement on or off (sampled by every node thread).
     pub fn set_measuring(&self, on: bool) {
-        self.shared.run.measuring.store(on, Ordering::SeqCst);
+        self.core.run.measuring.store(on, Ordering::SeqCst);
     }
 
     /// Signals closed-loop clients to stop issuing new operations.
     pub fn stop_issuing(&self) {
-        self.shared.run.stopped.store(true, Ordering::SeqCst);
+        self.core.run.stopped.store(true, Ordering::SeqCst);
     }
 
-    /// `(frames, bytes)` successfully written to sockets so far.
+    /// `(frames, bytes)` successfully written to sockets so far (hello
+    /// handshakes excluded).
     pub fn wire_stats(&self) -> (u64, u64) {
-        (
-            self.shared.wire.frames.load(Ordering::Relaxed),
-            self.shared.wire.bytes.load(Ordering::Relaxed),
-        )
+        self.core.wire.frames_bytes()
+    }
+
+    /// The engine's current I/O footprint.
+    pub fn io_stats(&self) -> NetIoStats {
+        match &self.engine {
+            Engine::Threads(t) => t.io_stats(),
+            Engine::Reactor(r) => r.io_stats(),
+        }
     }
 
     /// Stops every node, tears down the sockets, and returns the final
     /// actors, merged metrics and history. Socket-level totals are folded
     /// into the metrics as `net.frames_sent` / `net.bytes_sent`.
     pub fn shutdown(self) -> (Vec<(Addr, A)>, Metrics, Vec<HistoryEvent>) {
-        // 1. Stop the state machines.
-        self.shared.run.stopped.store(true, Ordering::SeqCst);
-        for tx in self.shared.inbox.values() {
-            let _ = tx.send(Input::Stop);
-        }
-        let mut actors = Vec::new();
-        let mut metrics = Metrics::new();
-        for (t, addr) in self.node_threads.into_iter().zip(self.addrs.iter()) {
-            let (actor, local) = t.join().expect("node thread panicked");
-            metrics.absorb(&local);
-            actors.push((*addr, actor));
-        }
-        // 2. Disconnect the writers (channel senders dropped): each drains
-        // what is queued, flushes, and closes its streams; the peers'
-        // readers then see clean EOFs. Writers finish while the listeners
-        // are still alive, so a late lazy connect cannot fail.
-        self.shared.outbox.lock().clear();
-        for t in self.writer_threads {
-            resume_panic(t.join());
-        }
-        // 3. Wake the accept loops with a throwaway connection each.
-        self.shared.io_stop.store(true, Ordering::SeqCst);
-        for peer in self.shared.listen.values() {
-            let _ = TcpStream::connect(peer);
-        }
-        for t in self.accept_threads {
-            resume_panic(t.join());
-        }
-        // 4. Join the readers (no new handles can appear anymore). A
-        // reader that panicked mid-run (corrupt frame) must fail the
-        // shutdown — swallowing it here would let the very corruption the
-        // panic reports go unnoticed.
-        let readers = std::mem::take(&mut *self.shared.reader_threads.lock());
-        for t in readers {
-            resume_panic(t.join());
-        }
-
-        let (frames, bytes) = (
-            self.shared.wire.frames.load(Ordering::Relaxed),
-            self.shared.wire.bytes.load(Ordering::Relaxed),
-        );
+        let (actors, mut metrics) = match self.engine {
+            Engine::Threads(t) => t.shutdown(),
+            Engine::Reactor(r) => r.shutdown(),
+        };
+        let (frames, bytes) = self.core.wire.frames_bytes();
         metrics.enabled = true;
         metrics.add("net.frames_sent", frames);
         metrics.add("net.bytes_sent", bytes);
         metrics.enabled = false;
-
-        let history = self.shared.run.history.take();
+        let history = self.core.run.history.take();
         (actors, metrics, history)
     }
 }
@@ -460,7 +291,7 @@ where
         // Same contract as the other runtimes: an unknown destination is a
         // driver bug, not a droppable message.
         let tx = self
-            .shared
+            .core
             .inbox
             .get(&to)
             .unwrap_or_else(|| panic!("unknown addr {to}"));
@@ -477,21 +308,31 @@ where
 }
 
 #[cfg(test)]
-mod tests {
+pub(crate) mod tests {
     use super::*;
     use contrarian_runtime::actor::{ActorCtx, TimerKind};
     use contrarian_runtime::cost::{MsgClass, SimMessage};
     use contrarian_types::codec::{CodecError, Reader};
     use contrarian_types::{DcId, PartitionId};
+    use std::time::Instant;
+
+    #[test]
+    fn net_kind_parses_and_rejects() {
+        assert_eq!(NetKind::parse(None).unwrap(), NetKind::Reactor);
+        assert_eq!(NetKind::parse(Some("reactor")).unwrap(), NetKind::Reactor);
+        assert_eq!(NetKind::parse(Some("threads")).unwrap(), NetKind::Threads);
+        let err = NetKind::parse(Some("uring")).unwrap_err();
+        assert!(err.contains("reactor") && err.contains("uring"));
+    }
 
     /// A ping-pong actor: servers echo, clients count echoes.
-    struct Echo {
-        pongs: u64,
-        peer: Option<Addr>,
+    pub(crate) struct Echo {
+        pub(crate) pongs: u64,
+        pub(crate) peer: Option<Addr>,
     }
 
     #[derive(Clone, PartialEq, Debug)]
-    struct Ping(u32);
+    pub(crate) struct Ping(pub(crate) u32);
 
     impl SimMessage for Ping {
         fn wire_size(&self) -> usize {
@@ -538,69 +379,7 @@ mod tests {
         }
     }
 
-    #[test]
-    fn backoff_returns_first_success() {
-        let mut calls = 0;
-        let r: Result<u32, &str> = with_backoff(5, Duration::ZERO, Duration::ZERO, || {
-            calls += 1;
-            if calls < 3 {
-                Err("refused")
-            } else {
-                Ok(42)
-            }
-        });
-        assert_eq!(r, Ok(42));
-        assert_eq!(calls, 3, "two transient failures are absorbed");
-    }
-
-    #[test]
-    fn backoff_gives_up_with_last_error() {
-        let mut calls = 0;
-        let r: Result<u32, u32> = with_backoff(4, Duration::ZERO, Duration::ZERO, || {
-            calls += 1;
-            Err(calls)
-        });
-        assert_eq!(r, Err(4), "the final error is the one reported");
-        assert_eq!(calls, 4);
-    }
-
-    #[test]
-    fn backoff_with_zero_attempts_still_tries_once() {
-        let mut calls = 0;
-        let r: Result<(), ()> = with_backoff(0, Duration::ZERO, Duration::ZERO, || {
-            calls += 1;
-            Err(())
-        });
-        assert!(r.is_err());
-        assert_eq!(calls, 1);
-    }
-
-    #[test]
-    fn connect_backoff_eventually_reaches_a_late_listener() {
-        // Bind, learn the port, drop the listener, then rebind it from
-        // another thread a few ms after the first connect attempt: the
-        // backoff must bridge the gap a plain connect cannot.
-        let l = TcpListener::bind("127.0.0.1:0").unwrap();
-        let peer = l.local_addr().unwrap();
-        drop(l);
-        let t = std::thread::spawn(move || {
-            std::thread::sleep(Duration::from_millis(5));
-            TcpListener::bind(peer)
-        });
-        let conn = connect_with_backoff(peer);
-        let rebound = t.join().unwrap();
-        // The rebind itself can lose the port race on a busy machine; the
-        // assertion only stands when the listener actually came back.
-        if rebound.is_ok() {
-            assert!(
-                conn.is_ok(),
-                "backoff should reach the late listener: {conn:?}"
-            );
-        }
-    }
-
-    #[test]
-    fn ping_pong_over_real_sockets() {
+    fn ping_pong_on(kind: NetKind) {
         let server = Addr::server(DcId(0), PartitionId(0));
         let client = Addr::client(DcId(0), 0);
         let nodes = vec![
@@ -619,12 +398,12 @@ mod tests {
                 },
             ),
         ];
-        let cluster = NetCluster::start(nodes, false, 1);
+        let cluster = NetCluster::start_with(nodes, false, 1, kind);
         // 100 round trips over loopback finish in well under a second.
-        let deadline = std::time::Instant::now() + Duration::from_secs(10);
+        let deadline = Instant::now() + Duration::from_secs(10);
         loop {
             let (frames, _) = cluster.wire_stats();
-            if frames >= 100 || std::time::Instant::now() > deadline {
+            if frames >= 100 || Instant::now() > deadline {
                 break;
             }
             std::thread::sleep(Duration::from_millis(5));
@@ -641,36 +420,46 @@ mod tests {
     }
 
     #[test]
-    fn fifo_is_preserved_per_link() {
-        /// Client bursts 200 pings at start; server records receive order.
-        struct Burst {
-            got: Vec<u32>,
-        }
-        impl Actor for Burst {
-            type Msg = Ping;
-            fn on_start(&mut self, ctx: &mut dyn ActorCtx<Ping>) {
-                if !ctx.self_addr().is_server() {
-                    for i in 0..200 {
-                        ctx.send(Addr::server(DcId(0), PartitionId(0)), Ping(i));
-                    }
+    fn ping_pong_over_real_sockets_threads() {
+        ping_pong_on(NetKind::Threads);
+    }
+
+    #[test]
+    fn ping_pong_over_real_sockets_reactor() {
+        ping_pong_on(NetKind::Reactor);
+    }
+
+    /// Client bursts 200 pings at start; server records receive order.
+    struct Burst {
+        got: Vec<u32>,
+    }
+    impl Actor for Burst {
+        type Msg = Ping;
+        fn on_start(&mut self, ctx: &mut dyn ActorCtx<Ping>) {
+            if !ctx.self_addr().is_server() {
+                for i in 0..200 {
+                    ctx.send(Addr::server(DcId(0), PartitionId(0)), Ping(i));
                 }
             }
-            fn on_message(&mut self, _ctx: &mut dyn ActorCtx<Ping>, _from: Addr, msg: Ping) {
-                self.got.push(msg.0);
-            }
-            fn on_timer(&mut self, _ctx: &mut dyn ActorCtx<Ping>, _kind: TimerKind) {}
-            fn inject(_op: Op) -> Ping {
-                Ping(0)
-            }
         }
+        fn on_message(&mut self, _ctx: &mut dyn ActorCtx<Ping>, _from: Addr, msg: Ping) {
+            self.got.push(msg.0);
+        }
+        fn on_timer(&mut self, _ctx: &mut dyn ActorCtx<Ping>, _kind: TimerKind) {}
+        fn inject(_op: Op) -> Ping {
+            Ping(0)
+        }
+    }
+
+    fn fifo_on(kind: NetKind) {
         let server = Addr::server(DcId(0), PartitionId(0));
         let nodes = vec![
             (server, Burst { got: vec![] }),
             (Addr::client(DcId(0), 0), Burst { got: vec![] }),
         ];
-        let cluster = NetCluster::start(nodes, false, 2);
-        let deadline = std::time::Instant::now() + Duration::from_secs(10);
-        while cluster.wire_stats().0 < 200 && std::time::Instant::now() < deadline {
+        let cluster = NetCluster::start_with(nodes, false, 2, kind);
+        let deadline = Instant::now() + Duration::from_secs(10);
+        while cluster.wire_stats().0 < 200 && Instant::now() < deadline {
             std::thread::sleep(Duration::from_millis(5));
         }
         std::thread::sleep(Duration::from_millis(50));
@@ -680,7 +469,16 @@ mod tests {
     }
 
     #[test]
-    fn injection_reaches_clients() {
+    fn fifo_is_preserved_per_link_threads() {
+        fifo_on(NetKind::Threads);
+    }
+
+    #[test]
+    fn fifo_is_preserved_per_link_reactor() {
+        fifo_on(NetKind::Reactor);
+    }
+
+    fn injection_on(kind: NetKind) {
         let server = Addr::server(DcId(0), PartitionId(0));
         let client = Addr::client(DcId(0), 0);
         let nodes = vec![
@@ -699,11 +497,21 @@ mod tests {
                 },
             ),
         ];
-        let mut cluster = NetCluster::start(nodes, false, 3);
+        let mut cluster = NetCluster::start_with(nodes, false, 3, kind);
         Runtime::send(&mut cluster, client, client, Ping(500));
         std::thread::sleep(Duration::from_millis(100));
         let (actors, ..) = cluster.shutdown();
         let pongs = actors.iter().find(|(a, _)| *a == client).unwrap().1.pongs;
         assert_eq!(pongs, 1, "injected ping counted, no further round trips");
+    }
+
+    #[test]
+    fn injection_reaches_clients_threads() {
+        injection_on(NetKind::Threads);
+    }
+
+    #[test]
+    fn injection_reaches_clients_reactor() {
+        injection_on(NetKind::Reactor);
     }
 }

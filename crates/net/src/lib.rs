@@ -5,44 +5,66 @@
 //! model in virtual time; the in-process transport (`contrarian-transport`)
 //! runs them on threads with channels as links; this crate runs the *same*
 //! [`contrarian_runtime::Actor`] state machines with messages actually
-//! crossing sockets:
+//! crossing sockets.
 //!
-//! * every node (partition server or client session) is an OS thread on
-//!   the live event loop shared with `contrarian-transport`
-//!   ([`contrarian_runtime::node_loop`]);
-//! * every node binds a loopback TCP listener; a directed link between two
-//!   nodes is a dedicated [`std::net::TcpStream`] established lazily on
-//!   first send, with **Nagle disabled** (`TCP_NODELAY`) — a latency study
-//!   cannot sit behind a 40 ms coalescing timer;
-//! * each node gets one writer thread owning all of its outgoing
-//!   connections (encodes are done on the sending node's thread —
-//!   serialization cost lands where it belongs — and the writer batches
-//!   queued frames between flushes); each accepted connection gets a
-//!   reader thread (decodes frames and feeds the owning node's input
-//!   channel);
-//! * messages are framed with the runtime layer's length-prefixed framing
-//!   ([`contrarian_runtime::frame`]) and encoded with the hand-rolled wire
-//!   codec ([`contrarian_types::codec`]) that every backend's
-//!   `ProtocolMsg` implements — no serde, the workspace builds offline;
-//! * one TCP connection per directed link, written only by the source
-//!   node's single writer thread, preserves the per-link FIFO ordering the
-//!   protocol layer assumes (the same guarantee channels give the
-//!   in-process transport).
+//! ## Two engines, one facade
+//!
+//! [`NetCluster`] selects a socket engine via `CONTRARIAN_NET`:
+//!
+//! * **`reactor`** (the default, [`reactor`] module): a fixed pool of
+//!   event-loop threads (`CONTRARIAN_NET_THREADS`, default
+//!   `available_parallelism`) drives every socket nonblocking through
+//!   hand-rolled epoll bindings ([`sys`]; `CONTRARIAN_NET_POLLER=poll`
+//!   selects the `poll(2)` fallback). One multiplexed TCP connection per
+//!   *peer pair* — frames already carry `(from, msg)`, so both directions
+//!   share a socket, with a [`conn::Hello`] handshake telling the
+//!   acceptor who called. Outbound frames queue on bounded per-connection
+//!   rings (backpressure blocks the producing node, never an unbounded
+//!   queue) and leave in vectored writes; inbound bytes reassemble
+//!   incrementally via [`contrarian_runtime::FrameAssembler`]. Dial
+//!   backoff is scheduled on reactor timers instead of slept.
+//! * **`threads`** ([`threads`] module): the original engine — one writer
+//!   thread per node, one reader thread per accepted socket, one socket
+//!   per directed link. Kept as the baseline; its O(nodes + links) thread
+//!   bill is what the reactor exists to retire.
+//!
+//! Node state machines are identical under both: each node is an OS
+//! thread on the live event loop shared with `contrarian-transport`
+//! ([`contrarian_runtime::node_loop`]), and everything it sends is framed
+//! with the runtime's length-prefixed framing and encoded with the
+//! hand-rolled wire codec ([`contrarian_types::codec`]) — no serde, the
+//! workspace builds offline. Nagle is disabled everywhere
+//! (`TCP_NODELAY`): a latency study cannot sit behind a 40 ms coalescing
+//! timer.
+//!
+//! ## Deployment knowledge
+//!
+//! The only thing the transport must know about the world is where each
+//! node listens, externalized behind the [`AddressBook`] trait. The
+//! in-process clusters assemble a loopback [`StaticBook`] from ephemeral
+//! ports; a multi-process deployment (the ROADMAP's geo direction) loads
+//! the same book from a one-line-per-node config file
+//! ([`StaticBook::load`]).
 //!
 //! Because the runtime only needs [`contrarian_runtime::Actor`] +
 //! [`contrarian_types::Wire`], the generic cluster builders in
 //! `contrarian-protocol` stand up any backend on it unchanged, and the
 //! shared conformance suite (convergence + causal-session checks) runs the
-//! same battery over 127.0.0.1 as over channels and the simulator.
+//! same battery over 127.0.0.1 as over channels and the simulator — on
+//! either engine (`check_net_with`).
 //!
 //! What this runtime is *for*: demonstrating that the paper's latency
 //! argument survives contact with a real network stack. The harness's
 //! `net_sweep` binary measures Contrarian vs CC-LO ROT latency over
-//! loopback sockets and compares the shape against the simulator's
-//! cost-model prediction. Multi-process (and eventually multi-machine)
-//! deployment needs only a way to exchange the address book; the wire
-//! format is already host-independent.
+//! loopback sockets, and `contrarian-bench`'s `net_perf` compares the two
+//! engines on frames/sec/core and I/O footprint.
 
+pub mod addrbook;
 pub mod cluster;
+pub mod conn;
+pub mod reactor;
+pub mod sys;
+pub mod threads;
 
-pub use cluster::{NetCluster, NetHandle};
+pub use addrbook::{parse_addr, AddressBook, StaticBook};
+pub use cluster::{NetCluster, NetHandle, NetIoStats, NetKind};

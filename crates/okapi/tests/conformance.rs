@@ -33,3 +33,17 @@ fn conforms_on_tcp_transport() {
     let outcome = conformance::check_net::<Okapi>(2, 55).unwrap();
     assert!(outcome.keys_compared > 0);
 }
+
+#[test]
+fn conforms_on_tcp_reactor_engine() {
+    let outcome =
+        conformance::check_net_with::<Okapi>(2, 56, conformance::NetKind::Reactor).unwrap();
+    assert!(outcome.keys_compared > 0);
+}
+
+#[test]
+fn conforms_on_tcp_threads_engine() {
+    let outcome =
+        conformance::check_net_with::<Okapi>(2, 57, conformance::NetKind::Threads).unwrap();
+    assert!(outcome.keys_compared > 0);
+}

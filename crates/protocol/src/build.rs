@@ -7,7 +7,7 @@
 //! transport.
 
 use crate::node::{Node, ProtocolClient, ProtocolMsg, ProtocolServer};
-use contrarian_net::NetCluster;
+use contrarian_net::{NetCluster, NetKind};
 use contrarian_runtime::cost::CostModel;
 use contrarian_sim::sim::Sim;
 use contrarian_transport::LiveCluster;
@@ -180,5 +180,24 @@ pub fn build_net_cluster<P: ProtocolSpec>(
         build_live_nodes::<P>(cfg, workload, clients_per_dc, seed),
         recording,
         seed,
+    )
+}
+
+/// [`build_net_cluster`] with the socket engine pinned instead of read
+/// from `CONTRARIAN_NET` — so a test can run the same backend on both
+/// engines side by side regardless of the environment.
+pub fn build_net_cluster_on<P: ProtocolSpec>(
+    cfg: &ClusterConfig,
+    workload: &WorkloadSpec,
+    clients_per_dc: u16,
+    seed: u64,
+    recording: bool,
+    kind: NetKind,
+) -> NetCluster<ProtoNode<P>> {
+    NetCluster::start_with(
+        build_live_nodes::<P>(cfg, workload, clients_per_dc, seed),
+        recording,
+        seed,
+        kind,
     )
 }

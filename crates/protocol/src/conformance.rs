@@ -17,9 +17,10 @@
 //! per runtime); a new backend gets the whole battery for free.
 
 use crate::build::{
-    build_cluster, build_live_cluster, build_net_cluster, ClusterParams, ProtoNode, ProtocolSpec,
+    build_cluster, build_live_cluster, build_net_cluster_on, ClusterParams, ProtoNode, ProtocolSpec,
 };
 use crate::node::ProtocolServer;
+pub use contrarian_net::NetKind;
 use contrarian_runtime::cost::CostModel;
 use contrarian_runtime::metrics::Metrics;
 use contrarian_types::{
@@ -240,13 +241,25 @@ pub fn check_live<P: ProtocolSpec>(dcs: u8, seed: u64) -> Result<ConformanceOutc
 /// through the wire codec. Checks are identical to [`check_live`], plus a
 /// guard that frames actually crossed the sockets.
 pub fn check_net<P: ProtocolSpec>(dcs: u8, seed: u64) -> Result<ConformanceOutcome, String> {
+    check_net_with::<P>(dcs, seed, NetKind::from_env())
+}
+
+/// [`check_net`] with the socket engine pinned: conformance must hold on
+/// the reactor and the thread-per-connection baseline alike, so backend
+/// test suites run this once per engine instead of trusting whatever
+/// `CONTRARIAN_NET` happens to be set to.
+pub fn check_net_with<P: ProtocolSpec>(
+    dcs: u8,
+    seed: u64,
+    kind: NetKind,
+) -> Result<ConformanceOutcome, String> {
     // Real sockets want the wall-clock tuning: no simulated skew, and
     // millisecond-scale control-plane periods (the sub-millisecond test
     // defaults are simulator-tuned — over TCP every tick is a frame plus
     // thread wakeups per server).
     let cfg = ClusterConfig::small().with_dcs(dcs).for_wall_clock();
     let wl = conformance_workload();
-    let cluster = build_net_cluster::<P>(&cfg, &wl, 3, seed, true);
+    let cluster = build_net_cluster_on::<P>(&cfg, &wl, 3, seed, true, kind);
     cluster.set_measuring(true);
     std::thread::sleep(std::time::Duration::from_millis(250));
     cluster.stop_issuing();

@@ -88,6 +88,86 @@ fn eof_is_truncation(e: io::Error) -> FrameError {
     }
 }
 
+/// Encodes one frame into a fresh buffer: the same bytes [`write_frame`]
+/// would produce, for transports that queue encoded frames instead of
+/// writing them to a stream immediately.
+pub fn encode_frame(payload: &[u8]) -> Vec<u8> {
+    debug_assert!(payload.len() <= MAX_FRAME);
+    let mut out = Vec::with_capacity(4 + payload.len());
+    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    out.extend_from_slice(payload);
+    out
+}
+
+/// Incremental frame reassembly for nonblocking streams.
+///
+/// A nonblocking socket hands back whatever bytes happen to be in the
+/// kernel buffer — possibly half a length prefix, possibly ten frames and
+/// a tail. [`read_frame`] cannot be used there (it blocks for the rest of
+/// a frame); this accumulator takes byte chunks as they arrive
+/// ([`FrameAssembler::extend`]) and yields complete frames
+/// ([`FrameAssembler::next_frame`]) as soon as they close.
+///
+/// The same corruption rules as [`read_frame`] apply: a length prefix
+/// above [`MAX_FRAME`] is rejected before any payload-sized allocation,
+/// and [`FrameAssembler::is_mid_frame`] lets the caller distinguish a
+/// clean EOF (stream ended on a frame boundary) from a truncating one.
+#[derive(Default)]
+pub struct FrameAssembler {
+    buf: Vec<u8>,
+    /// Consumed prefix of `buf` (compacted away once it outgrows the
+    /// unread tail, so steady-state reassembly does not reallocate).
+    pos: usize,
+}
+
+impl FrameAssembler {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends bytes read off the stream.
+    pub fn extend(&mut self, bytes: &[u8]) {
+        // Compact before growing: move the unread tail to the front when
+        // the dead prefix dominates the buffer.
+        if self.pos > 4096 && self.pos * 2 > self.buf.len() {
+            self.buf.drain(..self.pos);
+            self.pos = 0;
+        }
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Pops the next complete frame, if one has fully arrived.
+    /// `Ok(None)` means "need more bytes".
+    pub fn next_frame(&mut self) -> Result<Option<Vec<u8>>, FrameError> {
+        let avail = &self.buf[self.pos..];
+        if avail.len() < 4 {
+            return Ok(None);
+        }
+        let len = u32::from_le_bytes(avail[..4].try_into().unwrap()) as usize;
+        if len > MAX_FRAME {
+            return Err(FrameError::Oversize(len));
+        }
+        if avail.len() < 4 + len {
+            return Ok(None);
+        }
+        let payload = avail[4..4 + len].to_vec();
+        self.pos += 4 + len;
+        Ok(Some(payload))
+    }
+
+    /// True when the stream has ended inside a frame: some bytes of a
+    /// length prefix or payload arrived but the frame never closed. An EOF
+    /// in this state is a [`FrameError::TruncatedFrame`].
+    pub fn is_mid_frame(&self) -> bool {
+        self.pos < self.buf.len()
+    }
+
+    /// Bytes buffered but not yet consumed as frames.
+    pub fn pending_bytes(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -136,6 +216,147 @@ mod tests {
         match read_frame(&mut r) {
             Err(FrameError::Oversize(n)) => assert_eq!(n, MAX_FRAME + 1),
             other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn encode_frame_matches_write_frame() {
+        let mut streamed = Vec::new();
+        write_frame(&mut streamed, b"payload").unwrap();
+        assert_eq!(encode_frame(b"payload"), streamed);
+    }
+
+    #[test]
+    fn assembler_yields_frames_across_arbitrary_chunking() {
+        let mut wire = Vec::new();
+        write_frame(&mut wire, b"first").unwrap();
+        write_frame(&mut wire, b"").unwrap();
+        write_frame(&mut wire, &[9u8; 300]).unwrap();
+        // Feed in 7-byte chunks: every frame boundary lands mid-chunk or
+        // mid-prefix at some point.
+        let mut asm = FrameAssembler::new();
+        let mut got: Vec<Vec<u8>> = Vec::new();
+        for chunk in wire.chunks(7) {
+            asm.extend(chunk);
+            while let Some(f) = asm.next_frame().unwrap() {
+                got.push(f);
+            }
+        }
+        assert_eq!(got, vec![b"first".to_vec(), vec![], vec![9u8; 300]]);
+        assert!(!asm.is_mid_frame(), "stream ended on a frame boundary");
+    }
+
+    #[test]
+    fn assembler_reports_mid_frame_state_for_truncation() {
+        let mut wire = Vec::new();
+        write_frame(&mut wire, b"payload").unwrap();
+        let mut asm = FrameAssembler::new();
+        asm.extend(&wire[..2]); // half a length prefix
+        assert!(asm.next_frame().unwrap().is_none());
+        assert!(asm.is_mid_frame(), "an EOF here truncates a frame");
+        asm.extend(&wire[2..]);
+        assert_eq!(asm.next_frame().unwrap().unwrap(), b"payload");
+        assert!(!asm.is_mid_frame());
+    }
+
+    #[test]
+    fn assembler_rejects_oversize_prefix_before_payload_arrives() {
+        let mut asm = FrameAssembler::new();
+        asm.extend(&((MAX_FRAME + 7) as u32).to_le_bytes());
+        match asm.next_frame() {
+            Err(FrameError::Oversize(n)) => assert_eq!(n, MAX_FRAME + 7),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn assembler_compaction_does_not_lose_tail_bytes() {
+        // Push enough consumed frames to trigger compaction, always with a
+        // partial frame in the tail, and verify nothing is lost.
+        let mut asm = FrameAssembler::new();
+        let mut wire = Vec::new();
+        write_frame(&mut wire, &[3u8; 900]).unwrap();
+        for round in 0..20 {
+            asm.extend(&wire);
+            // Leave a partial prefix dangling between rounds.
+            asm.extend(&wire[..3]);
+            assert_eq!(
+                asm.next_frame().unwrap().unwrap(),
+                vec![3u8; 900],
+                "round {round}"
+            );
+            assert!(asm.next_frame().unwrap().is_none());
+            asm.extend(&wire[3..]);
+            assert_eq!(asm.next_frame().unwrap().unwrap(), vec![3u8; 900]);
+        }
+        assert!(!asm.is_mid_frame());
+    }
+}
+
+#[cfg(test)]
+mod dribble_proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// Any frame sequence, dribbled through the assembler in chunks of
+        /// any size (down to a single byte), reassembles exactly — the
+        /// nonblocking-read contract of the reactor transport.
+        #[test]
+        fn byte_dribble_round_trips(
+            frames in prop::collection::vec(
+                prop::collection::vec(0u8..=255, 0..200), 0..12),
+            chunk in 1usize..17,
+        ) {
+            let mut wire = Vec::new();
+            for f in &frames {
+                write_frame(&mut wire, f).unwrap();
+            }
+            let mut asm = FrameAssembler::new();
+            let mut got = Vec::new();
+            for c in wire.chunks(chunk) {
+                asm.extend(c);
+                while let Some(f) = asm.next_frame().unwrap() {
+                    got.push(f);
+                }
+            }
+            prop_assert_eq!(&got, &frames);
+            prop_assert!(!asm.is_mid_frame());
+        }
+
+        /// Truncating the wire at any interior byte offset leaves the
+        /// assembler mid-frame (so the reader can flag the EOF), never
+        /// yields a phantom frame, and never panics.
+        #[test]
+        fn truncation_at_any_offset_is_detected(
+            frames in prop::collection::vec(
+                prop::collection::vec(0u8..=255, 1..60), 1..6),
+            cut_seed in 0u64..u64::MAX,
+        ) {
+            let mut wire = Vec::new();
+            for f in &frames {
+                write_frame(&mut wire, f).unwrap();
+            }
+            // Cut strictly inside some frame (not on a boundary).
+            let boundaries: Vec<usize> = {
+                let mut b = vec![0];
+                let mut at = 0;
+                for f in &frames {
+                    at += 4 + f.len();
+                    b.push(at);
+                }
+                b
+            };
+            let cut = 1 + (cut_seed as usize) % (wire.len() - 1);
+            prop_assume!(!boundaries.contains(&cut));
+            let mut asm = FrameAssembler::new();
+            asm.extend(&wire[..cut]);
+            let mut complete = 0;
+            while let Some(f) = asm.next_frame().unwrap() {
+                prop_assert_eq!(&f, &frames[complete]);
+                complete += 1;
+            }
+            prop_assert!(asm.is_mid_frame(), "cut at {} must strand a partial frame", cut);
         }
     }
 }

@@ -12,7 +12,7 @@ pub mod channel {
     use std::sync::mpsc;
     use std::time::Duration;
 
-    pub use std::sync::mpsc::{RecvTimeoutError, SendError, TryRecvError};
+    pub use std::sync::mpsc::{RecvTimeoutError, SendError, TryRecvError, TrySendError};
 
     /// The sending half of a bounded channel. Clone freely.
     pub struct Sender<T>(mpsc::SyncSender<T>);
@@ -27,6 +27,12 @@ pub mod channel {
         /// Blocks while the channel is full; errors once disconnected.
         pub fn send(&self, value: T) -> Result<(), SendError<T>> {
             self.0.send(value)
+        }
+
+        /// Never blocks: a full channel hands the value back, so an event
+        /// loop can apply backpressure instead of stalling.
+        pub fn try_send(&self, value: T) -> Result<(), TrySendError<T>> {
+            self.0.try_send(value)
         }
     }
 
