@@ -7,7 +7,7 @@ use contrarian_runtime::actor::{ActorCtx, TimerKind};
 use contrarian_types::{
     Addr, ClientId, ClusterConfig, HistoryEvent, Key, Op, PartitionId, TxId, Value, VersionId,
 };
-use contrarian_workload::OpSource;
+use contrarian_workload::{Draw, OpSource};
 use std::collections::{BTreeMap, HashMap, VecDeque};
 
 /// Per-client session state.
@@ -69,22 +69,35 @@ impl Client {
     }
 
     fn issue_next(&mut self, ctx: &mut dyn ActorCtx<Msg>) {
-        let op = if let Some(op) = self.backlog.pop_front() {
-            Some(op)
-        } else if self.source.is_closed_loop() && ctx.stopped() {
-            None
-        } else {
-            self.source.next(ctx.rng())
-        };
+        if let Some(op) = self.backlog.pop_front() {
+            let now = ctx.now();
+            return self.issue_op(ctx, op, now);
+        }
+        if self.source.is_load_generating() && ctx.stopped() {
+            return;
+        }
+        let now = ctx.now();
+        match self.source.draw(now, ctx.rng()) {
+            // `intended` is the scheduled arrival time — latency measured
+            // from it includes driver queueing delay (see
+            // `contrarian_workload::openloop`).
+            Draw::Op { op, intended } => self.issue_op(ctx, op, intended),
+            Draw::Wait { due } => {
+                ctx.set_timer(due - now, TimerKind::new(timers::CLIENT_START));
+            }
+            Draw::Idle => {}
+        }
+    }
+
+    fn issue_op(&mut self, ctx: &mut dyn ActorCtx<Msg>, op: Op, t0: u64) {
         match op {
-            None => {}
-            Some(Op::Put(key, value)) => self.issue_put(ctx, key, value),
-            Some(Op::Rot(keys)) => self.issue_rot(ctx, keys),
+            Op::Put(key, value) => self.issue_put(ctx, key, value, t0),
+            Op::Rot(keys) => self.issue_rot(ctx, keys, t0),
         }
     }
 
     /// One round: a read request straight to every involved partition.
-    fn issue_rot(&mut self, ctx: &mut dyn ActorCtx<Msg>, keys: Vec<Key>) {
+    fn issue_rot(&mut self, ctx: &mut dyn ActorCtx<Msg>, keys: Vec<Key>, t0: u64) {
         let tx = TxId::new(self.id, self.next_tx);
         self.next_tx += 1;
         let n = self.cfg.n_partitions;
@@ -94,7 +107,7 @@ impl Client {
         }
         self.pending = Some(Pending::Rot {
             tx,
-            t0: ctx.now(),
+            t0,
             expect: groups.len(),
             pairs: Vec::with_capacity(keys.len()),
         });
@@ -111,7 +124,7 @@ impl Client {
         }
     }
 
-    fn issue_put(&mut self, ctx: &mut dyn ActorCtx<Msg>, key: Key, value: Value) {
+    fn issue_put(&mut self, ctx: &mut dyn ActorCtx<Msg>, key: Key, value: Value, t0: u64) {
         let seq = self.next_put;
         self.next_put += 1;
         let target = Addr::server(self.addr.dc, key.partition(self.cfg.n_partitions));
@@ -119,7 +132,7 @@ impl Client {
         // for deterministic bytes).
         let mut deps: Vec<Dep> = self.deps.iter().map(|(k, v)| (*k, *v)).collect();
         deps.sort_unstable_by_key(|(k, _)| *k);
-        self.pending = Some(Pending::Put { seq, t0: ctx.now() });
+        self.pending = Some(Pending::Put { seq, t0 });
         self.last_put_key = key;
         ctx.send(
             target,

@@ -8,7 +8,7 @@ use contrarian_types::{
     Addr, ClientId, ClusterConfig, DepVector, HistoryEvent, Key, Op, PartitionId, RotMode, TxId,
     Value, VersionId,
 };
-use contrarian_workload::OpSource;
+use contrarian_workload::{Draw, OpSource};
 use rand::RngExt;
 use std::collections::{BTreeMap, VecDeque};
 
@@ -64,27 +64,40 @@ impl Client {
 
     fn issue_next(&mut self, ctx: &mut dyn ActorCtx<Msg>) {
         debug_assert!(self.pending.is_none());
-        // Closed-loop sources stop issuing when the harness says so;
-        // interactive backlogs always drain.
-        let op = if let Some(op) = self.backlog.pop_front() {
-            Some(op)
-        } else if self.source.is_closed_loop() && ctx.stopped() {
-            None
-        } else {
-            self.source.next(ctx.rng())
-        };
-        match op {
-            None => {} // idle; an Inject will wake us up
-            Some(Op::Put(key, value)) => self.issue_put(ctx, key, value),
-            Some(Op::Rot(keys)) => self.issue_rot(ctx, keys),
+        // Injected backlogs always drain; load-generating sources go quiet
+        // when the harness says so.
+        if let Some(op) = self.backlog.pop_front() {
+            let now = ctx.now();
+            return self.issue_op(ctx, op, now);
+        }
+        if self.source.is_load_generating() && ctx.stopped() {
+            return;
+        }
+        let now = ctx.now();
+        match self.source.draw(now, ctx.rng()) {
+            // `intended` is the scheduled arrival time; measuring latency
+            // from it keeps driver queueing delay in the histograms
+            // (coordinated omission). Closed-loop draws arrive "now".
+            Draw::Op { op, intended } => self.issue_op(ctx, op, intended),
+            Draw::Wait { due } => {
+                ctx.set_timer(due - now, TimerKind::new(timers::CLIENT_START));
+            }
+            Draw::Idle => {} // an Inject will wake us up
         }
     }
 
-    fn issue_put(&mut self, ctx: &mut dyn ActorCtx<Msg>, key: Key, value: Value) {
+    fn issue_op(&mut self, ctx: &mut dyn ActorCtx<Msg>, op: Op, t0: u64) {
+        match op {
+            Op::Put(key, value) => self.issue_put(ctx, key, value, t0),
+            Op::Rot(keys) => self.issue_rot(ctx, keys, t0),
+        }
+    }
+
+    fn issue_put(&mut self, ctx: &mut dyn ActorCtx<Msg>, key: Key, value: Value, t0: u64) {
         let seq = self.next_put;
         self.next_put += 1;
         let target = Addr::server(self.addr.dc, key.partition(self.cfg.n_partitions));
-        self.pending = Some(Pending::Put { seq, t0: ctx.now() });
+        self.pending = Some(Pending::Put { seq, t0 });
         ctx.send(
             target,
             Msg::PutReq {
@@ -98,14 +111,13 @@ impl Client {
         self.last_put_key = key;
     }
 
-    fn issue_rot(&mut self, ctx: &mut dyn ActorCtx<Msg>, keys: Vec<Key>) {
+    fn issue_rot(&mut self, ctx: &mut dyn ActorCtx<Msg>, keys: Vec<Key>, t0: u64) {
         let tx = TxId::new(self.id, self.next_tx);
         self.next_tx += 1;
         let parts = self.partitions_of(&keys);
         // Any involved partition can coordinate; pick one at random.
         let coord_p = parts[ctx.rng().random_range(0..parts.len())];
         let coord = Addr::server(self.addr.dc, coord_p);
-        let t0 = ctx.now();
         match self.cfg.rot_mode.for_rot(parts.len()) {
             RotMode::OneHalfRound => {
                 self.pending = Some(Pending::Rot {

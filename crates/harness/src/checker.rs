@@ -138,9 +138,11 @@ fn join_frontier(f: &mut Vec<u32>, m: &VersionMeta) -> bool {
 }
 
 /// One write in a per-(key, session) index: ascending `seq`, with the
-/// running LWW maximum so a prefix query needs no scan.
+/// running LWW maximum so a prefix query needs no scan. The version id is
+/// kept so [`CausalChecker::gc`] can unregister reclaimed writes.
 struct WriteRec {
     seq: u32,
+    vid: VersionId,
     lww_max: VersionId,
 }
 
@@ -231,7 +233,25 @@ pub struct CausalChecker {
     deferred: Vec<u32>,
     parked_rots: Vec<ParkedRot>,
     parked_sessions: Vec<ParkedSession>,
+    /// Reusable `meta` slots left behind by [`gc`](Self::gc).
+    free: Vec<u32>,
+    /// Cumulative count of versions reclaimed by [`gc`](Self::gc).
+    reclaimed: u64,
     report: CheckReport,
+}
+
+/// A snapshot of the checker's resident state, for bounding memory in
+/// long streaming runs (see [`CausalChecker::gc`]).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CheckerResidency {
+    /// Registered versions currently held (`(key, vid)` → meta entries).
+    pub live_versions: usize,
+    /// Occupied `meta` slots (allocated minus free-listed).
+    pub meta_slots: usize,
+    /// Total write-index records across all `(key, session)` lists.
+    pub write_recs: usize,
+    /// Versions reclaimed by `gc` over the checker's lifetime.
+    pub reclaimed_total: u64,
 }
 
 impl Default for CausalChecker {
@@ -253,8 +273,137 @@ impl CausalChecker {
             deferred: Vec::new(),
             parked_rots: Vec::new(),
             parked_sessions: Vec::new(),
+            free: Vec::new(),
+            reclaimed: 0,
             report: CheckReport::default(),
         }
+    }
+
+    /// How much state the checker currently holds resident.
+    pub fn residency(&self) -> CheckerResidency {
+        CheckerResidency {
+            live_versions: self.versions.len(),
+            meta_slots: self.meta.len() - self.free.len(),
+            write_recs: self.writes.values().map(Vec::len).sum(),
+            reclaimed_total: self.reclaimed,
+        }
+    }
+
+    /// Reclaims state no future check can need, bounding residency for
+    /// streaming runs over arbitrarily long histories.
+    ///
+    /// A version of key `k` is reclaimable once it is LWW-below the
+    /// *floor* of `k`: the newest version covered by the pointwise
+    /// minimum of every session's observed frontier (each session's own
+    /// writes count as observed — read-your-writes). On a causally
+    /// consistent history no session may ever again read below that
+    /// floor: each session's frontier only grows, and a read returning a
+    /// version LWW-older than the newest write in the reader's causal
+    /// past is exactly what the checker flags. So reclaiming below-floor
+    /// versions never changes the verdict of a *correct* history; on a
+    /// violating history a violation rooted in the reclaimed era may be
+    /// reported differently (or, across a gc boundary, missed) — gc
+    /// trades archival detail for bounded memory, never soundness on
+    /// compliant histories.
+    ///
+    /// Anything still referenced by unsettled state — parked ROTs and
+    /// session checks, pending observations, maximal-antichain members,
+    /// deferred frontier dependencies — is pinned regardless of age and
+    /// reclaimed on a later pass once it settles.
+    ///
+    /// `min_sessions` guards the warm-up: until that many sessions have
+    /// appeared in the history the pass is a no-op, so a client whose
+    /// first op arrives late cannot be cut off by a floor computed
+    /// without it. Callers pass the expected client-session count.
+    pub fn gc(&mut self, min_sessions: usize) -> CheckerResidency {
+        if self.sess.is_empty() || self.sess.len() < min_sessions {
+            return self.residency();
+        }
+        let n = self.sess.len();
+        let mut min_f = vec![u32::MAX; n];
+        for (i, st) in self.sess.iter().enumerate() {
+            for (s, slot) in min_f.iter_mut().enumerate() {
+                let mut hw = st.frontier.get(s).copied().unwrap_or(0);
+                if s == i {
+                    hw = hw.max(st.last_seq);
+                }
+                *slot = (*slot).min(hw);
+            }
+        }
+        // A synthetic "version" whose causal past is the min frontier;
+        // sess = u32::MAX matches no real session, so `covers` reads the
+        // base vector only.
+        let min_meta = VersionMeta {
+            sess: u32::MAX,
+            seq: 0,
+            base: Rc::new(min_f),
+            pending: Vec::new(),
+        };
+
+        // Pin everything a later settle/report pass may still look up.
+        let mut pinned: std::collections::HashSet<(u32, VersionId)> =
+            std::collections::HashSet::new();
+        for st in &self.sess {
+            pinned.extend(st.pending.iter().copied());
+            for (&k, ob) in &st.obs {
+                pinned.extend(ob.pend.iter().map(|&v| (k, v)));
+                pinned.extend(ob.maximal.iter().map(|&(_, v)| (k, v)));
+            }
+        }
+        for p in &self.parked_sessions {
+            pinned.insert((p.k, p.got));
+            pinned.extend(p.maximal.iter().map(|&(_, v)| (p.k, v)));
+            pinned.extend(p.pend.iter().map(|&v| (p.k, v)));
+        }
+        for r in &self.parked_rots {
+            for (key, v) in &r.pairs {
+                if let (Some(k), Some(v)) = (self.keys.get(*key), v) {
+                    pinned.insert((k, *v));
+                }
+            }
+        }
+        for &vref in &self.deferred {
+            pinned.extend(self.meta[vref as usize].pending.iter().copied());
+        }
+
+        for k in 0..self.key_writers.len() as u32 {
+            let Some(floor) = self.latest_under(&min_meta, k) else {
+                continue;
+            };
+            let writers = std::mem::take(&mut self.key_writers[k as usize]);
+            let mut kept_writers = Vec::with_capacity(writers.len());
+            for s in writers {
+                let Some(mut recs) = self.writes.remove(&(k, s)) else {
+                    continue;
+                };
+                recs.retain(|rec| {
+                    let vref = self.versions.get(&(k, rec.vid)).copied();
+                    // A still-deferred version resolves at report(): keep it.
+                    let deferred = vref.is_some_and(|v| !self.meta[v as usize].pending.is_empty());
+                    if rec.vid >= floor || deferred || pinned.contains(&(k, rec.vid)) {
+                        return true;
+                    }
+                    self.versions.remove(&(k, rec.vid));
+                    if let Some(vref) = vref {
+                        self.meta[vref as usize] = VersionMeta {
+                            sess: u32::MAX,
+                            seq: 0,
+                            base: Rc::new(Vec::new()),
+                            pending: Vec::new(),
+                        };
+                        self.free.push(vref);
+                    }
+                    self.reclaimed += 1;
+                    false
+                });
+                if !recs.is_empty() {
+                    self.writes.insert((k, s), recs);
+                    kept_writers.push(s);
+                }
+            }
+            self.key_writers[k as usize] = kept_writers;
+        }
+        self.residency()
     }
 
     /// Feeds one recorded event. Events of one client must arrive in that
@@ -440,16 +589,27 @@ impl CausalChecker {
         self.sess[s].last_seq = seq;
         let base = self.snapshot(s);
         let pending = self.sess[s].pending.clone();
-        let vref = u32::try_from(self.meta.len()).expect("version count overflow");
-        if !pending.is_empty() {
-            self.deferred.push(vref);
-        }
-        self.meta.push(VersionMeta {
+        let has_pending = !pending.is_empty();
+        let vm = VersionMeta {
             sess: s as u32,
             seq,
             base,
             pending,
-        });
+        };
+        let vref = match self.free.pop() {
+            Some(slot) => {
+                self.meta[slot as usize] = vm;
+                slot
+            }
+            None => {
+                let v = u32::try_from(self.meta.len()).expect("version count overflow");
+                self.meta.push(vm);
+                v
+            }
+        };
+        if has_pending {
+            self.deferred.push(vref);
+        }
         self.versions.insert((k, vid), vref);
 
         let recs = match self.writes.entry((k, s as u32)) {
@@ -460,7 +620,7 @@ impl CausalChecker {
             }
         };
         let lww_max = recs.last().map_or(vid, |r| r.lww_max.max(vid));
-        recs.push(WriteRec { seq, lww_max });
+        recs.push(WriteRec { seq, vid, lww_max });
 
         // The write is itself an observation (read-your-writes).
         self.observe(s, k, vid);
@@ -679,7 +839,10 @@ impl CausalChecker {
             if hw == 0 {
                 continue;
             }
-            let recs = &self.writes[&(k, s)];
+            // `gc` drops `(k, s)` entries whose records were all reclaimed.
+            let Some(recs) = self.writes.get(&(k, s)) else {
+                continue;
+            };
             let n = recs.partition_point(|r| r.seq <= hw);
             if n > 0 {
                 let cand = recs[n - 1].lww_max;
@@ -1081,5 +1244,124 @@ mod tests {
         assert_eq!(streamed.ok(), batch.ok());
         assert_eq!(streamed.rots_checked, batch.rots_checked);
         assert_eq!(streamed.versions, batch.versions);
+    }
+
+    #[test]
+    fn gc_bounds_residency_on_a_long_correct_stream() {
+        // One writer, two readers that always catch up: everything below
+        // the newest observed version becomes reclaimable each round.
+        let mut ck = CausalChecker::new();
+        let mut peak = 0;
+        for round in 0..2_000u64 {
+            let ts = 10 * (round + 1);
+            ck.feed(&put(0, u32::try_from(round).unwrap(), 0, ts));
+            ck.feed(&rot(1, u32::try_from(round).unwrap(), vec![(0, Some(ts))]));
+            ck.feed(&rot(2, u32::try_from(round).unwrap(), vec![(0, Some(ts))]));
+            if round % 100 == 99 {
+                let r = ck.gc(3);
+                peak = peak.max(r.live_versions);
+            }
+        }
+        let r = ck.gc(3);
+        assert!(
+            r.live_versions <= 8,
+            "gc must keep only the recent window: {r:?}"
+        );
+        assert!(r.reclaimed_total > 1_900, "{r:?}");
+        assert!(
+            peak <= 110,
+            "residency between passes stays bounded: {peak}"
+        );
+        assert!(ck.report().ok());
+    }
+
+    #[test]
+    fn gc_below_min_sessions_is_a_noop() {
+        let mut ck = CausalChecker::new();
+        for round in 0..50u64 {
+            let ts = 10 * (round + 1);
+            ck.feed(&put(0, u32::try_from(round).unwrap(), 0, ts));
+            ck.feed(&rot(1, u32::try_from(round).unwrap(), vec![(0, Some(ts))]));
+        }
+        let r = ck.gc(3); // only 2 sessions seen so far
+        assert_eq!(r.reclaimed_total, 0);
+        assert_eq!(r.live_versions, 50);
+    }
+
+    #[test]
+    fn gc_preserves_detection_of_later_violations() {
+        // A long correct prefix is reclaimed; a backwards read of live
+        // (post-floor) versions afterwards must still be flagged.
+        let mut ck = CausalChecker::new();
+        for round in 0..500u64 {
+            let ts = 10 * (round + 1);
+            ck.feed(&put(0, u32::try_from(round).unwrap(), 0, ts));
+            ck.feed(&rot(1, u32::try_from(round).unwrap(), vec![(0, Some(ts))]));
+            ck.feed(&rot(2, u32::try_from(round).unwrap(), vec![(0, Some(ts))]));
+        }
+        let r = ck.gc(3);
+        assert!(r.reclaimed_total > 400, "{r:?}");
+        // Two fresh versions after the gc pass...
+        ck.feed(&put(0, 500, 0, 6_000));
+        ck.feed(&put(0, 501, 0, 6_010));
+        ck.feed(&rot(1, 500, vec![(0, Some(6_010))]));
+        // ...then c1 reads backwards: 6_000 after observing 6_010.
+        ck.feed(&rot(1, 501, vec![(0, Some(6_000))]));
+        let rep = ck.report();
+        assert_eq!(rep.violations.len(), 1, "{:?}", rep.violations);
+        assert!(rep.violations[0].contains("session violation"));
+    }
+
+    #[test]
+    fn gc_pins_state_parked_checks_still_need() {
+        // c1 reads x@30 before its PutDone lands, then keeps reading the
+        // writer's newer versions; every such read parks (the x@30
+        // reference is unresolved) and pins its observation snapshot.
+        // When x@30 finally registers — after a gc pass over the prefix —
+        // it turns out to sit at the *end* of c0's session, so it covers
+        // the whole prefix and c1's later reads were backwards. Settling
+        // that at report() dereferences the parked snapshots' members,
+        // which gc must therefore have kept alive.
+        let mut ck = CausalChecker::new();
+        ck.feed(&put(0, 0, 0, 10));
+        ck.feed(&rot(1, 0, vec![(0, Some(30))])); // x@30 not yet recorded
+        for round in 1..200u32 {
+            let ts = 10 * (u64::from(round) + 10);
+            ck.feed(&put(0, round, 0, ts));
+            ck.feed(&rot(2, round, vec![(0, Some(ts))]));
+            ck.feed(&rot(1, round, vec![(0, Some(ts))]));
+        }
+        let r = ck.gc(3);
+        assert!(r.reclaimed_total > 0, "prefix must be reclaimable: {r:?}");
+        ck.feed(&put(0, 200, 0, 30)); // x@30 lands, covering the prefix
+        let rep = ck.report();
+        assert!(!rep.ok(), "c1's post-x@30 reads are backwards");
+        assert!(
+            rep.violations
+                .iter()
+                .all(|v| v.contains("session violation")),
+            "{:?}",
+            rep.violations
+        );
+    }
+
+    #[test]
+    fn gc_interleaved_matches_batch_verdict_on_anomaly_history() {
+        // The Figure-1 anomaly embedded after a reclaimable prefix: the gc
+        // pass must not eat the recent versions the violation involves.
+        let mut ck = CausalChecker::new();
+        for round in 0..300u32 {
+            let ts = 10 * (u64::from(round) + 1);
+            ck.feed(&put(0, round, 0, ts));
+            ck.feed(&rot(1, round, vec![(0, Some(ts))]));
+            ck.feed(&rot(2, round, vec![(0, Some(ts))]));
+        }
+        ck.gc(3);
+        ck.feed(&put(0, 300, 0, 4_000)); // X1
+        ck.feed(&put(0, 301, 1, 4_010)); // Y1 depends on X1
+        ck.feed(&rot(1, 300, vec![(0, Some(3_000)), (1, Some(4_010))]));
+        let rep = ck.report();
+        assert_eq!(rep.violations.len(), 1, "{:?}", rep.violations);
+        assert!(rep.violations[0].contains("causal snapshot violation"));
     }
 }

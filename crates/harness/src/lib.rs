@@ -25,7 +25,11 @@
 //! - [`CausalChecker`] is the streaming form: [`CausalChecker::feed`]
 //!   events as they arrive (e.g. straight off a
 //!   [`contrarian_runtime::HistorySink`]) and call
-//!   [`CausalChecker::report`] once at the end.
+//!   [`CausalChecker::report`] once at the end. For open-ended streams
+//!   (the saturation driver checks millions of operations), periodic
+//!   [`CausalChecker::gc`] calls reclaim versions below the all-session
+//!   minimum observed frontier, keeping resident state bounded by the
+//!   *recent* window rather than the whole history.
 //!
 //! The checker is frontier-compressed (versions carry per-writer-session
 //! high-water vectors instead of per-key past maps — see [`checker`] for
@@ -38,13 +42,18 @@
 pub mod checker;
 pub mod experiment;
 pub mod figures;
+pub mod load;
 pub mod oracle;
 pub mod table;
 pub mod table2;
 pub mod theory;
 
-pub use checker::{check_causal, CausalChecker, CheckReport};
+pub use checker::{check_causal, CausalChecker, CheckReport, CheckerResidency};
 pub use experiment::{
     run_experiment, run_experiment_streamed, sweep_series, ExperimentConfig, Protocol, RunResult,
     Scale, Series,
+};
+pub use load::{
+    run_load_live, run_load_net, run_load_sim, run_load_sim_checked, sweep_to_saturation,
+    CheckedLoad, LoadConfig, SaturationSweep,
 };

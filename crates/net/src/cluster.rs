@@ -246,6 +246,14 @@ where
         self.core.run.stopped.store(true, Ordering::SeqCst);
     }
 
+    /// Drains the history recorded since the last drain, releasing it
+    /// from the shared sink (see
+    /// [`contrarian_runtime::HistorySink::drain`]). Lets a streaming
+    /// consumer check long runs without the sink holding the whole log.
+    pub fn drain_history(&self) -> Vec<HistoryEvent> {
+        self.core.run.history.drain()
+    }
+
     /// `(frames, bytes)` successfully written to sockets so far (hello
     /// handshakes excluded).
     pub fn wire_stats(&self) -> (u64, u64) {

@@ -12,7 +12,9 @@ use contrarian_runtime::cost::CostModel;
 use contrarian_sim::sim::Sim;
 use contrarian_transport::LiveCluster;
 use contrarian_types::{Addr, ClusterConfig, DcId, PartitionId};
-use contrarian_workload::{ClientDriver, OpSource, WorkloadSpec, Zipf};
+use contrarian_workload::{
+    ClientDriver, OpSource, OpenLoopDriver, OpenLoopSpec, WorkloadSpec, Zipf,
+};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 use std::sync::Arc;
@@ -92,6 +94,54 @@ pub fn build_cluster_with<P: ProtocolSpec>(
             let driver = ClientDriver::new(p.workload.clone(), zipf.clone(), cfg.n_partitions);
             let client = P::client(addr, &cfg, OpSource::closed(driver));
             sim.add_client(addr, Node::Client(client));
+        }
+    }
+    sim
+}
+
+/// Everything needed to stand up one open-loop (saturation) cluster: the
+/// base cluster knobs plus the Poisson session population. The driver-actor
+/// pool is bounded (`spec.actors_per_dc` per DC) however many logical
+/// sessions the spec multiplexes onto it.
+pub struct OpenLoopParams {
+    pub cfg: ClusterConfig,
+    pub cost: CostModel,
+    pub spec: OpenLoopSpec,
+    pub seed: u64,
+}
+
+/// Builds a full simulated cluster with open-loop driver actors. Engine
+/// mode from `CONTRARIAN_SCHED`; [`build_openloop_cluster_with`] pins it.
+pub fn build_openloop_cluster<P: ProtocolSpec>(p: &OpenLoopParams) -> Sim<ProtoNode<P>> {
+    build_openloop_cluster_with::<P>(p, contrarian_sim::SchedKind::from_env())
+}
+
+/// [`build_openloop_cluster`] with an explicit engine mode.
+pub fn build_openloop_cluster_with<P: ProtocolSpec>(
+    p: &OpenLoopParams,
+    sched: contrarian_sim::SchedKind,
+) -> Sim<ProtoNode<P>> {
+    let cfg = P::normalize(p.cfg.clone());
+    let mut sim = Sim::with_scheduler(p.cost.clone(), p.seed, sched);
+    add_servers::<P>(&mut sim, &cfg, p.seed);
+    let zipf = Arc::new(Zipf::new(
+        cfg.keys_per_partition,
+        p.spec.workload.zipf_theta,
+    ));
+    let total = cfg.n_dcs as usize * p.spec.actors_per_dc as usize;
+    let mut shard = 0;
+    for dc in 0..cfg.n_dcs {
+        for c in 0..p.spec.actors_per_dc {
+            let addr = Addr::client(DcId(dc), c);
+            let sessions = p.spec.sessions_for(shard, total);
+            shard += 1;
+            let gen = ClientDriver::new(p.spec.workload.clone(), zipf.clone(), cfg.n_partitions);
+            let source = OpSource::open(OpenLoopDriver::new(
+                gen,
+                u32::try_from(sessions).expect("sessions per actor must fit u32"),
+                p.spec.session_rate(),
+            ));
+            sim.add_client(addr, Node::Client(P::client(addr, &cfg, source)));
         }
     }
     sim
@@ -200,4 +250,71 @@ pub fn build_net_cluster_on<P: ProtocolSpec>(
         seed,
         kind,
     )
+}
+
+/// Builds the node list of a live/TCP cluster with open-loop driver actors
+/// instead of closed-loop clients: every partition server plus
+/// `spec.actors_per_dc` drivers per DC, each owning its shard of the
+/// logical-session population. Feed the result to [`LiveCluster::start`]
+/// or [`NetCluster::start`].
+pub fn build_openloop_nodes<P: ProtocolSpec>(
+    cfg: &ClusterConfig,
+    spec: &OpenLoopSpec,
+    seed: u64,
+) -> Vec<(Addr, ProtoNode<P>)> {
+    let cfg = P::normalize(cfg.clone());
+    let mut rng = init_rng(seed);
+    let zipf = Arc::new(Zipf::new(cfg.keys_per_partition, spec.workload.zipf_theta));
+    let mut nodes: Vec<(Addr, ProtoNode<P>)> = Vec::new();
+    for dc in 0..cfg.n_dcs {
+        for part in 0..cfg.n_partitions {
+            let addr = Addr::server(DcId(dc), PartitionId(part));
+            nodes.push((addr, Node::Server(P::server(addr, &cfg, &mut rng))));
+        }
+    }
+    let total = cfg.n_dcs as usize * spec.actors_per_dc as usize;
+    let mut shard = 0;
+    for dc in 0..cfg.n_dcs {
+        for c in 0..spec.actors_per_dc {
+            let addr = Addr::client(DcId(dc), c);
+            let sessions = spec.sessions_for(shard, total);
+            shard += 1;
+            let gen = ClientDriver::new(spec.workload.clone(), zipf.clone(), cfg.n_partitions);
+            let source = OpSource::open(OpenLoopDriver::new(
+                gen,
+                u32::try_from(sessions).expect("sessions per actor must fit u32"),
+                spec.session_rate(),
+            ));
+            nodes.push((addr, Node::Client(P::client(addr, &cfg, source))));
+        }
+    }
+    nodes
+}
+
+/// Convenience: builds and starts an open-loop TCP cluster on a pinned
+/// socket engine (the saturation sweeps pin the reactor explicitly).
+pub fn build_openloop_net_cluster_on<P: ProtocolSpec>(
+    cfg: &ClusterConfig,
+    spec: &OpenLoopSpec,
+    seed: u64,
+    recording: bool,
+    kind: NetKind,
+) -> NetCluster<ProtoNode<P>> {
+    NetCluster::start_with(
+        build_openloop_nodes::<P>(cfg, spec, seed),
+        recording,
+        seed,
+        kind,
+    )
+}
+
+/// Convenience: builds and starts an open-loop live (in-process threaded)
+/// cluster.
+pub fn build_openloop_live_cluster<P: ProtocolSpec>(
+    cfg: &ClusterConfig,
+    spec: &OpenLoopSpec,
+    seed: u64,
+    recording: bool,
+) -> LiveCluster<ProtoNode<P>> {
+    LiveCluster::start(build_openloop_nodes::<P>(cfg, spec, seed), recording, seed)
 }

@@ -65,10 +65,26 @@ pub fn merge_shard_histories(
     all.into_iter().map(|e| e.ev).collect()
 }
 
+/// The log behind a [`HistorySink`]: the not-yet-drained suffix plus the
+/// absolute index of its first element. `events[i]` is the
+/// `base + i`-th event ever recorded, so [`HistorySink::drain`] can
+/// release memory without invalidating [`HistorySink::wait_for`]'s
+/// absolute cursors.
+#[derive(Default)]
+struct Log {
+    base: usize,
+    events: Vec<HistoryEvent>,
+}
+
 /// An append-only event log multiple threads write and waiters watch.
+///
+/// A long-running consumer (the saturation driver's streaming checker)
+/// calls [`drain`](Self::drain) periodically: drained segments are handed
+/// off rather than retained, so the sink holds only the window since the
+/// last drain, not the whole run.
 #[derive(Default)]
 pub struct HistorySink {
-    events: Mutex<Vec<HistoryEvent>>,
+    log: Mutex<Log>,
     appended: Condvar,
 }
 
@@ -77,43 +93,56 @@ impl HistorySink {
         Self::default()
     }
 
-    /// Appends one event and wakes every waiter.
-    pub fn append(&self, ev: HistoryEvent) {
-        self.events
+    fn lock(&self) -> std::sync::MutexGuard<'_, Log> {
+        self.log
             .lock()
             .unwrap_or_else(std::sync::PoisonError::into_inner)
-            .push(ev);
+    }
+
+    /// Appends one event and wakes every waiter.
+    pub fn append(&self, ev: HistoryEvent) {
+        self.lock().events.push(ev);
         self.appended.notify_all();
     }
 
-    /// Number of recorded events.
+    /// Number of events currently held (recorded and not yet drained).
     pub fn len(&self) -> usize {
-        self.events
-            .lock()
-            .unwrap_or_else(std::sync::PoisonError::into_inner)
-            .len()
+        self.lock().events.len()
     }
 
     pub fn is_empty(&self) -> bool {
         self.len() == 0
     }
 
-    /// Takes the whole log (post-run extraction).
-    pub fn take(&self) -> Vec<HistoryEvent> {
-        std::mem::take(
-            &mut *self
-                .events
-                .lock()
-                .unwrap_or_else(std::sync::PoisonError::into_inner),
-        )
+    /// Total events ever recorded, including drained segments.
+    pub fn recorded(&self) -> usize {
+        let log = self.lock();
+        log.base + log.events.len()
     }
 
-    /// Clones the events recorded so far.
+    /// Takes the whole undrained log (post-run extraction) and resets the
+    /// drain offset.
+    pub fn take(&self) -> Vec<HistoryEvent> {
+        let mut log = self.lock();
+        log.base = 0;
+        std::mem::take(&mut log.events)
+    }
+
+    /// Drains the events recorded since the last drain, releasing them
+    /// from the sink and advancing the base offset so `wait_for` cursors
+    /// (absolute indices) keep their meaning. Intended for one streaming
+    /// consumer; a `wait_for` cursor behind the drain point skips the
+    /// drained events.
+    pub fn drain(&self) -> Vec<HistoryEvent> {
+        let mut log = self.lock();
+        let seg = std::mem::take(&mut log.events);
+        log.base += seg.len();
+        seg
+    }
+
+    /// Clones the undrained events recorded so far.
     pub fn snapshot(&self) -> Vec<HistoryEvent> {
-        self.events
-            .lock()
-            .unwrap_or_else(std::sync::PoisonError::into_inner)
-            .clone()
+        self.lock().events.clone()
     }
 
     /// Blocks until some event at or past `*cursor` satisfies `pred` or
@@ -129,31 +158,30 @@ impl HistorySink {
         F: FnMut(&HistoryEvent) -> bool,
     {
         let deadline = Instant::now() + timeout;
-        let mut events = self
-            .events
-            .lock()
-            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        let mut log = self.lock();
         // Within this call events are tested once; across calls the cursor
         // only moves past a match, so a later call with a different
-        // predicate still sees the skipped-over events.
+        // predicate still sees the skipped-over events. Cursors are
+        // absolute indices; events drained away cannot be tested, so a
+        // cursor behind the drain point resumes at the drain point.
         let mut scanned = *cursor;
         loop {
-            for i in scanned..events.len() {
-                if pred(&events[i]) {
-                    *cursor = i + 1;
-                    return Some(events[i].clone());
+            for i in scanned.saturating_sub(log.base)..log.events.len() {
+                if pred(&log.events[i]) {
+                    *cursor = log.base + i + 1;
+                    return Some(log.events[i].clone());
                 }
             }
-            scanned = events.len();
+            scanned = log.base + log.events.len();
             let now = Instant::now();
             if now >= deadline {
                 return None;
             }
             let (guard, _timed_out) = self
                 .appended
-                .wait_timeout(events, deadline - now)
+                .wait_timeout(log, deadline - now)
                 .unwrap_or_else(std::sync::PoisonError::into_inner);
-            events = guard;
+            log = guard;
         }
     }
 }
@@ -221,6 +249,43 @@ mod tests {
         sink.append(put(0));
         assert_eq!(sink.take().len(), 1);
         assert!(sink.is_empty());
+    }
+
+    #[test]
+    fn drain_releases_segments_and_keeps_the_total_count() {
+        let sink = HistorySink::new();
+        sink.append(put(0));
+        sink.append(put(1));
+        assert_eq!(sink.drain().len(), 2);
+        assert!(sink.is_empty());
+        sink.append(put(2));
+        assert_eq!(sink.len(), 1, "only the undrained window is held");
+        assert_eq!(sink.recorded(), 3, "the total spans drained segments");
+        let seg = sink.drain();
+        assert_eq!(seg.len(), 1);
+        assert!(matches!(seg[0], HistoryEvent::PutDone { seq: 2, .. }));
+    }
+
+    #[test]
+    fn wait_for_cursors_survive_drains() {
+        let sink = HistorySink::new();
+        sink.append(put(0));
+        sink.append(put(1));
+        let mut cursor = 0;
+        assert!(sink
+            .wait_for(&mut cursor, Duration::from_millis(10), |ev| matches!(
+                ev,
+                HistoryEvent::PutDone { seq: 1, .. }
+            ))
+            .is_some());
+        assert_eq!(cursor, 2);
+        sink.drain();
+        sink.append(put(2));
+        // The cursor is an absolute index: after draining the first two
+        // events it still lines up with the third.
+        let ev = sink.wait_for(&mut cursor, Duration::from_millis(10), |_| true);
+        assert!(matches!(ev, Some(HistoryEvent::PutDone { seq: 2, .. })));
+        assert_eq!(cursor, 3);
     }
 
     fn tagged(t: u64, node: u32, seq: u64) -> TaggedEvent {

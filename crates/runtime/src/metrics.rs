@@ -105,6 +105,25 @@ impl Histogram {
         self.max
     }
 
+    /// Records `v` with HdrHistogram-style coordinated-omission
+    /// compensation: when a closed-loop measurement loop targets one
+    /// sample every `expected_interval_ns` but a single response took `v`
+    /// instead, the samples the stall suppressed are backfilled at
+    /// `v - i·interval`. Use on closed-loop histograms; the open-loop
+    /// driver doesn't need it because its latency clocks start at the
+    /// scheduled arrival time (`contrarian_workload::openloop`).
+    pub fn record_corrected(&mut self, v: u64, expected_interval_ns: u64) {
+        self.record(v);
+        if expected_interval_ns == 0 {
+            return;
+        }
+        let mut rem = v;
+        while rem > expected_interval_ns {
+            rem -= expected_interval_ns;
+            self.record(rem);
+        }
+    }
+
     pub fn clear(&mut self) {
         self.buckets.iter_mut().for_each(|b| *b = 0);
         self.count = 0;
@@ -121,6 +140,56 @@ impl Histogram {
         self.sum += other.sum;
         self.max = self.max.max(other.max);
         self.min = self.min.min(other.min);
+    }
+}
+
+/// Goodput below this fraction of the offered rate marks a run saturated.
+pub const SATURATION_GOODPUT_FRACTION: f64 = 0.95;
+
+/// The outcome of one open-loop load point: offered vs. achieved rate and
+/// the combined (ROT + PUT) latency distribution, measured from scheduled
+/// arrival times so queueing delay in a saturated driver is included.
+#[derive(Clone, Debug)]
+pub struct LoadReport {
+    /// What the Poisson schedule asked for, ops/s.
+    pub offered_ops_per_sec: f64,
+    /// Completions per second over the measurement window (goodput).
+    pub achieved_ops_per_sec: f64,
+    pub completed_ops: u64,
+    pub mean_ms: f64,
+    pub p50_ms: f64,
+    pub p99_ms: f64,
+    pub p999_ms: f64,
+    pub max_ms: f64,
+    /// Goodput fell below [`SATURATION_GOODPUT_FRACTION`] of offered: the
+    /// backend can't keep up and the arrival backlog grows without bound.
+    pub saturated: bool,
+}
+
+impl LoadReport {
+    /// Summarizes a measurement window of `window_ns` against the offered
+    /// rate. ROT and PUT latencies are folded into one distribution: under
+    /// an open-loop driver both queue behind the same arrival calendar.
+    pub fn from_metrics(m: &Metrics, offered_ops_per_sec: f64, window_ns: u64) -> Self {
+        let mut all = m.rot_latency.clone();
+        all.merge(&m.put_latency);
+        let secs = window_ns as f64 / 1e9;
+        let achieved = if secs > 0.0 {
+            m.ops_done() as f64 / secs
+        } else {
+            0.0
+        };
+        LoadReport {
+            offered_ops_per_sec,
+            achieved_ops_per_sec: achieved,
+            completed_ops: m.ops_done(),
+            mean_ms: all.mean() / 1e6,
+            p50_ms: all.percentile(50.0) as f64 / 1e6,
+            p99_ms: all.percentile(99.0) as f64 / 1e6,
+            p999_ms: all.percentile(99.9) as f64 / 1e6,
+            max_ms: all.max() as f64 / 1e6,
+            saturated: achieved < SATURATION_GOODPUT_FRACTION * offered_ops_per_sec,
+        }
     }
 }
 
@@ -286,5 +355,83 @@ mod tests {
         let h = Histogram::new();
         assert_eq!(h.percentile(99.0), 0);
         assert_eq!(h.min(), 0);
+    }
+
+    #[test]
+    fn corrected_recording_backfills_suppressed_samples() {
+        let mut h = Histogram::new();
+        // One 10-interval stall: the single observed sample should expand
+        // into ~10 samples stepping down by the expected interval.
+        h.record_corrected(1000, 100);
+        assert_eq!(h.count(), 10);
+        assert_eq!(h.max(), 1000);
+        // 1000, 900, ..., 100 — min is one interval.
+        assert_eq!(h.min(), 100);
+    }
+
+    #[test]
+    fn corrected_recording_without_interval_is_plain() {
+        let mut h = Histogram::new();
+        h.record_corrected(1000, 0);
+        h.record_corrected(50, 100);
+        assert_eq!(h.count(), 2);
+    }
+
+    #[test]
+    fn synthetic_stall_inflates_p999_only_under_correction() {
+        // A measurement loop targeting one sample per ms that runs for
+        // ~10k fast (0.1 ms) operations, then stalls once for 2 s. The
+        // uncorrected histogram hides the stall from p999; the corrected
+        // one must surface it.
+        let interval = 1_000_000u64; // 1 ms
+        let mut plain = Histogram::new();
+        let mut corrected = Histogram::new();
+        for _ in 0..10_000 {
+            plain.record(100_000);
+            corrected.record_corrected(100_000, interval);
+        }
+        let stall = 2_000_000_000u64; // 2 s
+        plain.record(stall);
+        corrected.record_corrected(stall, interval);
+        let p999_plain = plain.percentile(99.9);
+        let p999_corrected = corrected.percentile(99.9);
+        assert!(
+            p999_plain < 1_000_000,
+            "uncorrected p999 ({p999_plain}) coordinates with the omission"
+        );
+        assert!(
+            p999_corrected > 100_000_000,
+            "corrected p999 ({p999_corrected}) must include queueing delay"
+        );
+    }
+
+    #[test]
+    fn load_report_flags_saturation_from_goodput() {
+        let mut m = Metrics::new();
+        m.enabled = true;
+        for _ in 0..1000 {
+            m.rot_done(2_000_000);
+        }
+        // 1000 completions over 1 s against 1000 offered: keeping up.
+        let ok = LoadReport::from_metrics(&m, 1000.0, 1_000_000_000);
+        assert!(!ok.saturated);
+        assert_eq!(ok.completed_ops, 1000);
+        assert!((ok.achieved_ops_per_sec - 1000.0).abs() < 1e-9);
+        assert!(ok.p50_ms > 1.8 && ok.p50_ms < 2.2);
+        // The same completions against 4000 offered: saturated.
+        let sat = LoadReport::from_metrics(&m, 4000.0, 1_000_000_000);
+        assert!(sat.saturated);
+    }
+
+    #[test]
+    fn load_report_combines_rot_and_put_latencies() {
+        let mut m = Metrics::new();
+        m.enabled = true;
+        m.rot_done(1_000_000);
+        m.put_done(9_000_000);
+        let r = LoadReport::from_metrics(&m, 10.0, 1_000_000_000);
+        assert_eq!(r.completed_ops, 2);
+        assert!(r.max_ms > 8.0, "PUT latency must be in the fold");
+        assert!(r.mean_ms > 4.0 && r.mean_ms < 6.0);
     }
 }

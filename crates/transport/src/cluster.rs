@@ -142,6 +142,15 @@ impl<A: Actor + Send + 'static> LiveCluster<A> {
         self.shared.run.stopped.store(true, Ordering::SeqCst);
     }
 
+    /// Drains the history recorded since the last drain, releasing it
+    /// from the shared sink (see
+    /// [`contrarian_runtime::HistorySink::drain`]). Lets a
+    /// streaming consumer check long runs without the sink holding the
+    /// whole log.
+    pub fn drain_history(&self) -> Vec<HistoryEvent> {
+        self.shared.run.history.drain()
+    }
+
     /// Stops every node and returns the final actors, metrics and history.
     /// The returned metrics are the per-thread sinks merged at join.
     pub fn shutdown(self) -> (Vec<(Addr, A)>, Metrics, Vec<HistoryEvent>) {

@@ -10,15 +10,26 @@
 //! * **z** — zipfian skew of key popularity *within* a partition
 //!   (0 / 0.8 / 0.99).
 //!
-//! Clients are closed-loop: each issues its next operation as soon as the
-//! previous one completes; load is varied by the number of clients.
+//! Two load models share those knobs:
+//!
+//! * **Closed-loop** (the paper's experiments): each client issues its next
+//!   operation as soon as the previous one completes; load is varied by
+//!   the number of clients.
+//! * **Open-loop** ([`openloop`], saturation experiments): every logical
+//!   session is an independent Poisson arrival process; millions of
+//!   sessions are multiplexed onto a bounded pool of driver actors, and
+//!   latency clocks start at the *scheduled* arrival time so driver
+//!   queueing delay is measured instead of omitted (no coordinated
+//!   omission). Load is varied by the offered rate ([`OpenLoopSpec`]).
 
 pub mod driver;
+pub mod openloop;
 pub mod source;
 pub mod spec;
 pub mod zipf;
 
 pub use driver::ClientDriver;
-pub use source::OpSource;
-pub use spec::WorkloadSpec;
+pub use openloop::OpenLoopDriver;
+pub use source::{Draw, OpSource};
+pub use spec::{OpenLoopSpec, WorkloadSpec};
 pub use zipf::Zipf;

@@ -1,0 +1,251 @@
+//! Open-loop load generation: Poisson arrivals over the Zipf key
+//! population, millions of logical sessions per driver actor.
+//!
+//! ## Model
+//!
+//! A closed-loop client ([`crate::ClientDriver`] behind
+//! [`crate::OpSource::Closed`]) issues its next operation the instant the
+//! previous one completes, so offered load is capped by round-trip latency
+//! — it physically cannot saturate a fast backend. The open-loop driver
+//! inverts that: every *logical session* has its own Poisson arrival
+//! process (exponential inter-arrival times at the configured per-session
+//! rate), and arrivals fire whether or not earlier operations finished.
+//!
+//! One [`OpenLoopDriver`] multiplexes a shard of sessions onto a single
+//! driver actor. It keeps a pending-arrival calendar (a min-heap of
+//! `(due, session)` pairs, ~16 bytes per session, so a million sessions
+//! across a bounded actor pool is cheap) and answers
+//! [`draw`](OpenLoopDriver::draw) with either the next *due* operation —
+//! tagged with its scheduled arrival time — or the instant the actor
+//! should wake up next.
+//!
+//! ## Coordinated omission
+//!
+//! The scheduled arrival time (`intended`) is the latency clock's start,
+//! *not* the moment the actor got around to sending the request. When the
+//! actor (or the backend behind it) falls behind, overdue arrivals drain
+//! back-to-back and each one's measured latency includes the full time it
+//! spent queued in the driver — the saturation signal coordinated-omission
+//! -blind drivers silently discard. See
+//! `contrarian_runtime::metrics::Histogram::record_corrected` for the
+//! complementary correction applied to closed-loop histograms.
+//!
+//! ## Determinism
+//!
+//! All randomness (inter-arrival gaps and the operation mix) is drawn from
+//! the calling actor's RNG stream in calendar order. Calendar keys
+//! `(due, session)` are unique, so heap pops are a total order and a fixed
+//! seed yields the identical arrival sequence on every engine — arrivals
+//! are ordinary timer events under simulation, preserving bit-identical
+//! histories across `CONTRARIAN_SCHED=heap/calendar/sharded`.
+
+use crate::driver::ClientDriver;
+use crate::source::Draw;
+use rand::rngs::SmallRng;
+use rand::RngExt;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Poisson arrival schedule for one actor's shard of logical sessions.
+pub struct OpenLoopDriver {
+    gen: ClientDriver,
+    sessions: u32,
+    /// Mean inter-arrival gap per session, ns.
+    mean_gap_ns: f64,
+    /// Min-heap of pending arrivals: `(due time, session index)`.
+    calendar: BinaryHeap<Reverse<(u64, u32)>>,
+    /// First `draw` primes the calendar (the actor's RNG only exists once
+    /// the runtime is driving it, and `now` anchors the schedule).
+    primed: bool,
+    scheduled: u64,
+}
+
+impl OpenLoopDriver {
+    /// `sessions` logical sessions, each an independent Poisson process at
+    /// `session_rate_ops_per_sec`; operations drawn from `gen`'s mix.
+    pub fn new(gen: ClientDriver, sessions: u32, session_rate_ops_per_sec: f64) -> Self {
+        assert!(sessions > 0, "an open-loop driver needs at least 1 session");
+        assert!(
+            session_rate_ops_per_sec > 0.0 && session_rate_ops_per_sec.is_finite(),
+            "per-session rate must be positive and finite"
+        );
+        OpenLoopDriver {
+            gen,
+            sessions,
+            mean_gap_ns: 1e9 / session_rate_ops_per_sec,
+            calendar: BinaryHeap::new(),
+            primed: false,
+            scheduled: 0,
+        }
+    }
+
+    pub fn sessions(&self) -> u32 {
+        self.sessions
+    }
+
+    /// Total arrivals scheduled so far (primed initial arrivals excluded).
+    pub fn scheduled(&self) -> u64 {
+        self.scheduled
+    }
+
+    /// Inverse-CDF exponential sample, mean `mean_gap_ns`, clamped to ≥1 ns
+    /// so a session never schedules two arrivals at the same instant.
+    fn exp_gap(&self, rng: &mut SmallRng) -> u64 {
+        let u: f64 = rng.random();
+        // `u ∈ [0,1)` so `1-u ∈ (0,1]` and the log is finite and ≤ 0.
+        let gap = -(1.0 - u).ln() * self.mean_gap_ns;
+        (gap.ceil() as u64).max(1)
+    }
+
+    fn prime(&mut self, now: u64, rng: &mut SmallRng) {
+        self.calendar.reserve(self.sessions as usize);
+        for s in 0..self.sessions {
+            let due = now + self.exp_gap(rng);
+            self.calendar.push(Reverse((due, s)));
+        }
+        self.primed = true;
+    }
+
+    /// The next due arrival at time `now`, or when to wake up.
+    ///
+    /// Overdue arrivals (scheduled while the actor was busy) are returned
+    /// immediately, oldest first, each carrying its original scheduled
+    /// time as `intended`.
+    pub fn draw(&mut self, now: u64, rng: &mut SmallRng) -> Draw {
+        if !self.primed {
+            self.prime(now, rng);
+        }
+        match self.calendar.peek() {
+            Some(&Reverse((due, session))) if due <= now => {
+                self.calendar.pop();
+                // The arrival process is independent of service: the next
+                // arrival is anchored at the scheduled time, not at `now`.
+                let next = due + self.exp_gap(rng);
+                self.calendar.push(Reverse((next, session)));
+                self.scheduled += 1;
+                Draw::Op {
+                    op: self.gen.next_op(rng),
+                    intended: due,
+                }
+            }
+            Some(&Reverse((due, _))) => Draw::Wait { due },
+            None => Draw::Idle,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::WorkloadSpec;
+    use crate::zipf::Zipf;
+    use rand::SeedableRng;
+    use std::sync::Arc;
+
+    fn driver(sessions: u32, rate: f64) -> OpenLoopDriver {
+        let gen = ClientDriver::new(
+            WorkloadSpec::paper_default().with_rot_size(2),
+            Arc::new(Zipf::new(64, 0.99)),
+            4,
+        );
+        OpenLoopDriver::new(gen, sessions, rate)
+    }
+
+    /// Drains everything due by `now`, returning the intended times.
+    fn drain_due(d: &mut OpenLoopDriver, now: u64, rng: &mut SmallRng) -> Vec<u64> {
+        let mut out = Vec::new();
+        loop {
+            match d.draw(now, rng) {
+                Draw::Op { intended, .. } => out.push(intended),
+                _ => return out,
+            }
+        }
+    }
+
+    #[test]
+    fn arrivals_are_deterministic_per_seed() {
+        let run = |seed: u64| {
+            let mut d = driver(16, 1000.0);
+            let mut rng = SmallRng::seed_from_u64(seed);
+            let mut times = Vec::new();
+            for step in 1..=50u64 {
+                times.extend(drain_due(&mut d, step * 1_000_000, &mut rng));
+            }
+            times
+        };
+        assert_eq!(run(7), run(7), "same seed, same schedule");
+        assert_ne!(run(7), run(8), "different seeds diverge");
+    }
+
+    #[test]
+    fn intended_times_are_nondecreasing_and_at_most_now() {
+        let mut d = driver(32, 5000.0);
+        let mut rng = SmallRng::seed_from_u64(3);
+        let mut last = 0;
+        for step in 1..=100u64 {
+            let now = step * 500_000;
+            for t in drain_due(&mut d, now, &mut rng) {
+                assert!(t >= last, "arrivals must drain oldest first");
+                assert!(t <= now, "only due arrivals are returned");
+                last = t;
+            }
+        }
+    }
+
+    #[test]
+    fn wait_names_the_next_due_instant() {
+        let mut d = driver(4, 100.0);
+        let mut rng = SmallRng::seed_from_u64(9);
+        // Prime at t=0; nothing can be due yet.
+        match d.draw(0, &mut rng) {
+            Draw::Wait { due } => {
+                assert!(due > 0);
+                // Advancing exactly to `due` yields the op with that
+                // intended time.
+                match d.draw(due, &mut rng) {
+                    Draw::Op { intended, .. } => assert_eq!(intended, due),
+                    other => panic!("expected due op, got {other:?}"),
+                }
+            }
+            other => panic!("expected wait, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn overdue_arrivals_backfill_with_original_intended_times() {
+        let mut d = driver(8, 10_000.0);
+        let mut rng = SmallRng::seed_from_u64(4);
+        let _ = d.draw(0, &mut rng); // prime
+                                     // Simulate a long stall: everything due in 10ms drains at once,
+                                     // each with its scheduled (not current) timestamp.
+        let drained = drain_due(&mut d, 10_000_000, &mut rng);
+        assert!(drained.len() > 10, "a stalled actor has a backlog");
+        assert!(drained.iter().all(|&t| t <= 10_000_000));
+        assert!(
+            drained.windows(2).all(|w| w[0] <= w[1]),
+            "backlog drains in schedule order"
+        );
+    }
+
+    #[test]
+    fn mean_rate_is_realized() {
+        // 64 sessions × 1000 ops/s for 2 virtual seconds ≈ 128k arrivals.
+        let mut d = driver(64, 1000.0);
+        let mut rng = SmallRng::seed_from_u64(5);
+        let mut n = 0u64;
+        for step in 1..=2000u64 {
+            n += drain_due(&mut d, step * 1_000_000, &mut rng).len() as u64;
+        }
+        let expected = 128_000.0;
+        assert!(
+            (n as f64 - expected).abs() / expected < 0.05,
+            "arrivals {n} too far from {expected}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 1 session")]
+    fn zero_sessions_rejected() {
+        driver(0, 1.0);
+    }
+}

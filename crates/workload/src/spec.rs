@@ -74,6 +74,67 @@ impl WorkloadSpec {
     }
 }
 
+/// Parameters of one open-loop (saturation) load: how many logical
+/// sessions, at what aggregate offered rate, multiplexed onto how many
+/// driver actors per DC. See [`crate::openloop`] for the model.
+#[derive(Clone, Debug)]
+pub struct OpenLoopSpec {
+    /// The operation mix (Table 1 knobs) every session draws from.
+    pub workload: WorkloadSpec,
+    /// Total logical sessions across the whole cluster.
+    pub sessions: u64,
+    /// Aggregate offered rate across all sessions, operations per second.
+    pub offered_ops_per_sec: f64,
+    /// Bounded driver-actor pool size per DC; sessions are sharded evenly
+    /// across `n_dcs × actors_per_dc` actors.
+    pub actors_per_dc: u16,
+}
+
+impl OpenLoopSpec {
+    pub fn new(workload: WorkloadSpec, sessions: u64, offered_ops_per_sec: f64) -> Self {
+        assert!(sessions > 0);
+        assert!(offered_ops_per_sec > 0.0);
+        OpenLoopSpec {
+            workload,
+            sessions,
+            offered_ops_per_sec,
+            actors_per_dc: 8,
+        }
+    }
+
+    pub fn with_actors_per_dc(mut self, n: u16) -> Self {
+        assert!(n > 0);
+        self.actors_per_dc = n;
+        self
+    }
+
+    pub fn with_offered(mut self, ops_per_sec: f64) -> Self {
+        assert!(ops_per_sec > 0.0);
+        self.offered_ops_per_sec = ops_per_sec;
+        self
+    }
+
+    pub fn with_sessions(mut self, sessions: u64) -> Self {
+        assert!(sessions > 0);
+        self.sessions = sessions;
+        self
+    }
+
+    /// Per-session Poisson rate: the aggregate rate split evenly.
+    pub fn session_rate(&self) -> f64 {
+        self.offered_ops_per_sec / self.sessions as f64
+    }
+
+    /// Number of sessions owned by actor `i` of `total`: an even split
+    /// with the remainder going to the lowest-indexed actors, so the
+    /// shard sizes differ by at most one.
+    pub fn sessions_for(&self, i: usize, total: usize) -> u64 {
+        debug_assert!(i < total);
+        let (total, i) = (total as u64, i as u64);
+        self.sessions / total + u64::from(i < self.sessions % total)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -116,5 +177,23 @@ mod tests {
             .with_zipf(0.8);
         assert_eq!(s.value_size, 2048);
         assert_eq!(s.zipf_theta, 0.8);
+    }
+
+    #[test]
+    fn open_loop_session_sharding_is_even_and_exhaustive() {
+        let spec = OpenLoopSpec::new(WorkloadSpec::paper_default(), 1_000_003, 50_000.0);
+        let total = 24;
+        let shards: Vec<u64> = (0..total).map(|i| spec.sessions_for(i, total)).collect();
+        assert_eq!(shards.iter().sum::<u64>(), 1_000_003);
+        let (min, max) = (shards.iter().min().unwrap(), shards.iter().max().unwrap());
+        assert!(max - min <= 1, "shards differ by at most one session");
+    }
+
+    #[test]
+    fn open_loop_session_rate_splits_offered_rate() {
+        let spec = OpenLoopSpec::new(WorkloadSpec::paper_default(), 1_000_000, 250_000.0)
+            .with_actors_per_dc(16);
+        assert!((spec.session_rate() - 0.25).abs() < 1e-12);
+        assert_eq!(spec.actors_per_dc, 16);
     }
 }
