@@ -19,13 +19,21 @@
 //!   recording on and the streaming causal checker + periodic gc
 //!   attached; the delta over `point/contrarian` is the price of
 //!   verifying a history at rate.
+//! * `telemetry_{off,traced}/contrarian` — the load point through the
+//!   telemetry runner (windowed snapshots) with tracing disabled and
+//!   enabled. `telemetry_off` vs `point` bounds the cost of the
+//!   always-present `ctx.tracing()` flag checks plus windowing (must
+//!   stay within noise, <2%); `telemetry_traced` adds the per-event
+//!   ring pushes and drains.
 //!
 //! Offered rates are virtual-time rates; one iteration's wall time is
 //! dominated by simulator event count, so mean ns/iter tracks events
 //! processed, not latency quality.
 
 use contrarian_harness::experiment::Protocol;
-use contrarian_harness::load::{run_load_sim, run_load_sim_checked, LoadConfig};
+use contrarian_harness::load::{
+    run_load_sim, run_load_sim_checked, run_load_sim_telemetry, LoadConfig,
+};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 fn cfg(protocol: Protocol, offered: f64) -> LoadConfig {
@@ -73,6 +81,17 @@ fn bench_points(c: &mut Criterion) {
             r.events
         });
     });
+    for (name, tracing) in [("telemetry_off", false), ("telemetry_traced", true)] {
+        g.bench_function(format!("{name}/contrarian").as_str(), |b| {
+            let conf = cfg(Protocol::Contrarian, 6_000.0);
+            b.iter(|| {
+                let t = run_load_sim_telemetry(&conf, tracing);
+                assert!(t.report.completed_ops > 0);
+                assert_eq!(t.trace.is_empty(), !tracing);
+                t.report.completed_ops
+            });
+        });
+    }
     g.finish();
 }
 

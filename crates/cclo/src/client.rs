@@ -4,8 +4,10 @@ use crate::msg::{Dep, Msg};
 use contrarian_protocol::timers::{self, stagger_client_start};
 use contrarian_protocol::ProtocolClient;
 use contrarian_runtime::actor::{ActorCtx, TimerKind};
+use contrarian_runtime::trace::op_class;
 use contrarian_types::{
-    Addr, ClientId, ClusterConfig, HistoryEvent, Key, Op, PartitionId, TxId, Value, VersionId,
+    Addr, ClientId, ClusterConfig, HistoryEvent, Key, Op, PartitionId, TraceKind, TxId, Value,
+    VersionId,
 };
 use contrarian_workload::{Draw, OpSource};
 use std::collections::{BTreeMap, HashMap, VecDeque};
@@ -99,6 +101,9 @@ impl Client {
     /// One round: a read request straight to every involved partition.
     fn issue_rot(&mut self, ctx: &mut dyn ActorCtx<Msg>, keys: Vec<Key>, t0: u64) {
         let tx = TxId::new(self.id, self.next_tx);
+        if ctx.tracing() {
+            ctx.trace(TraceKind::OpBegin, op_class::ROT, self.next_tx as u64);
+        }
         self.next_tx += 1;
         let n = self.cfg.n_partitions;
         let mut groups: BTreeMap<u16, Vec<Key>> = BTreeMap::new();
@@ -127,6 +132,9 @@ impl Client {
     fn issue_put(&mut self, ctx: &mut dyn ActorCtx<Msg>, key: Key, value: Value, t0: u64) {
         let seq = self.next_put;
         self.next_put += 1;
+        if ctx.tracing() {
+            ctx.trace(TraceKind::OpBegin, op_class::PUT, seq as u64);
+        }
         let target = Addr::server(self.addr.dc, key.partition(self.cfg.n_partitions));
         // Explicit dependencies: everything read since the last PUT (sorted
         // for deterministic bytes).
@@ -194,6 +202,9 @@ impl Client {
         }
         let latency = ctx.now() - t0;
         ctx.metrics().rot_done(latency);
+        if ctx.tracing() {
+            ctx.trace(TraceKind::OpEnd, op_class::ROT, t0);
+        }
         if ctx.recording() {
             let values = pairs
                 .iter()
@@ -225,6 +236,9 @@ impl Client {
         self.deps.insert(key, vid);
         let latency = ctx.now() - t0;
         ctx.metrics().put_done(latency);
+        if ctx.tracing() {
+            ctx.trace(TraceKind::OpEnd, op_class::PUT, t0);
+        }
         if ctx.recording() {
             ctx.record(HistoryEvent::PutDone {
                 client: self.id,

@@ -60,6 +60,9 @@ pub enum Msg {
         vid: VersionId,
         deps: Vec<Dep>,
         lamport: u64,
+        /// Runtime timestamp of the origin install, so the replica can
+        /// measure visibility staleness (zero when unknown).
+        birth: u64,
     },
     /// Combined dependency check + readers check (remote DC): answered only
     /// once every dependency in `deps` is installed at the queried partition.
@@ -112,7 +115,7 @@ impl SimMessage for Msg {
                 Msg::OldReadersQuery { deps, .. } => 8 + deps_bytes(deps) + wire::TS,
                 Msg::OldReadersReply { entries, .. } => 8 + entries_bytes(entries) + wire::TS,
                 Msg::Replicate { value, deps, .. } => {
-                    wire::KEY + value.len() + wire::VERSION_ID + deps_bytes(deps) + wire::TS
+                    wire::KEY + value.len() + wire::VERSION_ID + deps_bytes(deps) + 2 * wire::TS
                 }
                 Msg::DepCheckQuery { deps, .. } => 8 + deps_bytes(deps) + wire::TS,
                 Msg::DepCheckReply { entries, .. } => 8 + entries_bytes(entries) + wire::TS,
@@ -218,6 +221,7 @@ impl Wire for Msg {
                 vid,
                 deps,
                 lamport,
+                birth,
             } => {
                 out.push(6);
                 key.encode(out);
@@ -225,6 +229,7 @@ impl Wire for Msg {
                 vid.encode(out);
                 deps.encode(out);
                 lamport.encode(out);
+                birth.encode(out);
             }
             Msg::DepCheckQuery {
                 token,
@@ -292,6 +297,7 @@ impl Wire for Msg {
                 vid: VersionId::decode(r)?,
                 deps: Vec::decode(r)?,
                 lamport: u64::decode(r)?,
+                birth: u64::decode(r)?,
             },
             7 => Msg::DepCheckQuery {
                 token: u64::decode(r)?,

@@ -7,7 +7,7 @@ use contrarian_clock::LogicalClock;
 use contrarian_protocol::{timers, Parked, ProtocolServer, Timers};
 use contrarian_runtime::actor::{ActorCtx, TimerKind};
 use contrarian_storage::{MvStore, Version};
-use contrarian_types::{Addr, ClusterConfig, Key, PartitionId, TxId, Value, VersionId};
+use contrarian_types::{Addr, ClusterConfig, Key, PartitionId, TraceKind, TxId, Value, VersionId};
 use std::collections::{BTreeMap, HashMap, HashSet};
 
 /// A PUT waiting for its readers check to complete.
@@ -39,6 +39,8 @@ struct PendingRepl {
     vid: VersionId,
     block: BlockRecord,
     awaiting: usize,
+    /// Origin-install runtime timestamp carried by the Replicate message.
+    birth: u64,
 }
 
 /// A dependency-check query that cannot be answered yet because some
@@ -167,9 +169,10 @@ impl Server {
                 vid,
                 deps,
                 lamport,
+                birth,
             } => {
                 self.lamport.observe(lamport.max(vid.ts));
-                self.handle_replicate(ctx, key, value, vid, deps)
+                self.handle_replicate(ctx, key, value, vid, deps, birth)
             }
             Msg::DepCheckQuery {
                 token,
@@ -209,6 +212,16 @@ impl Server {
         for &key in &keys {
             let (mut ver, blocked, walked) = self.version_for(key, tx);
             scanned += walked;
+            if blocked {
+                // Data staleness: an old reader is served a version older
+                // than the newest installed one.
+                if let Some(head) = self.store.latest(key) {
+                    if head.birth > 0 {
+                        let stale = now.saturating_sub(head.birth);
+                        ctx.metrics().data_stale(stale);
+                    }
+                }
+            }
             if ver.is_none() && self.cfg.prepopulated {
                 // Prepopulated platform: the preloaded genesis version
                 // stands in for ⊥ (it is older than any read-time bound).
@@ -354,11 +367,17 @@ impl Server {
         dep_check: bool,
     ) {
         if dep_check && !self.deps_installed(&deps) {
-            self.dep_waiters.park_until_ready(DepWaiter {
-                reply_to: from,
-                token,
-                deps,
-            });
+            if ctx.tracing() {
+                ctx.trace(TraceKind::Park, 1, self.dep_waiters.len() as u64);
+            }
+            self.dep_waiters.park_until_ready_at(
+                ctx.now(),
+                DepWaiter {
+                    reply_to: from,
+                    token,
+                    deps,
+                },
+            );
             return;
         }
         let entries = self.collect_old_readers(ctx, &deps);
@@ -460,7 +479,11 @@ impl Server {
 
         self.supersede_head(key);
         let vid = VersionId::new(ts, self.addr.dc);
-        self.store.put(key, Version::new(vid, value.clone(), block));
+        let birth = ctx.now();
+        self.store.put(
+            key,
+            Version::new(vid, value.clone(), block).with_birth(birth),
+        );
         ctx.send(
             client,
             Msg::PutResp {
@@ -494,6 +517,7 @@ impl Server {
                             vid,
                             deps: deps.clone(),
                             lamport: self.lamport.peek(),
+                            birth,
                         },
                     );
                 }
@@ -523,6 +547,7 @@ impl Server {
         value: Value,
         vid: VersionId,
         deps: Vec<Dep>,
+        birth: u64,
     ) {
         let token = self.next_token;
         self.next_token += 1;
@@ -532,6 +557,7 @@ impl Server {
             vid,
             block: BlockRecord::new(),
             awaiting: 0,
+            birth,
         };
 
         let groups = self.group_deps(&deps);
@@ -553,11 +579,17 @@ impl Server {
                     // Wait for our own install path to catch up: park a
                     // self-addressed waiter resolved by `flush_dep_waiters`.
                     pending.awaiting += 1;
-                    self.dep_waiters.park_until_ready(DepWaiter {
-                        reply_to: self.addr,
-                        token,
-                        deps: part_deps,
-                    });
+                    if ctx.tracing() {
+                        ctx.trace(TraceKind::Park, 1, self.dep_waiters.len() as u64);
+                    }
+                    self.dep_waiters.park_until_ready_at(
+                        now,
+                        DepWaiter {
+                            reply_to: self.addr,
+                            token,
+                            deps: part_deps,
+                        },
+                    );
                 }
             } else {
                 pending.awaiting += 1;
@@ -599,11 +631,19 @@ impl Server {
             value,
             vid,
             block,
+            birth,
             ..
         } = pending;
         self.lamport.merge(vid.ts);
         self.supersede_head(key);
-        self.store.put(key, Version::new(vid, value, block));
+        if birth > 0 {
+            // Visibility staleness: how long after the origin install this
+            // replica's dependency + readers check let the write in.
+            let stale = ctx.now().saturating_sub(birth);
+            ctx.metrics().vis_stale(stale);
+        }
+        self.store
+            .put(key, Version::new(vid, value, block).with_birth(birth));
         ctx.metrics().add(stats::REPL_CHECKS, 1);
         self.flush_dep_waiters(ctx);
     }
@@ -614,9 +654,13 @@ impl Server {
         // handlers below may park new waiters (and recurse through
         // `finalize_repl`), which land in the restored queue.
         let mut q = std::mem::take(&mut self.dep_waiters);
-        let ready = q.take_ready(|w| self.deps_installed(&w.deps));
+        let ready = q.take_ready_timed(ctx.now(), |w| self.deps_installed(&w.deps));
         self.dep_waiters = q;
-        for w in ready {
+        for (waited, w) in ready {
+            ctx.metrics().blocked(waited);
+            if ctx.tracing() {
+                ctx.trace(TraceKind::Unpark, 1, waited);
+            }
             let entries = self.collect_old_readers(ctx, &w.deps);
             if w.reply_to == self.addr {
                 // Self-waiter of a pending replication on this server.
@@ -877,6 +921,7 @@ mod tests {
                 vid: y1,
                 deps: vec![(Key(1), x1)],
                 lamport: 11,
+                birth: 0,
             },
         );
         // Y1 must not be visible yet.
@@ -900,6 +945,7 @@ mod tests {
                 vid: x1,
                 deps: vec![],
                 lamport: 10,
+                birth: 0,
             },
         );
         let replies = ctx.drain_to(y_part);

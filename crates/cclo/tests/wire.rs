@@ -79,6 +79,7 @@ fn build_msg(
             vid: VersionId::new(ts, DcId(dc)),
             deps,
             lamport: ts,
+            birth: ts,
         },
         7 => Msg::DepCheckQuery {
             token: ts,

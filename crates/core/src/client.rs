@@ -4,9 +4,10 @@ use crate::msg::Msg;
 use contrarian_protocol::timers::{self, stagger_client_start};
 use contrarian_protocol::ProtocolClient;
 use contrarian_runtime::actor::{ActorCtx, TimerKind};
+use contrarian_runtime::trace::op_class;
 use contrarian_types::{
-    Addr, ClientId, ClusterConfig, DepVector, HistoryEvent, Key, Op, PartitionId, RotMode, TxId,
-    Value, VersionId,
+    Addr, ClientId, ClusterConfig, DepVector, HistoryEvent, Key, Op, PartitionId, RotMode,
+    TraceKind, TxId, Value, VersionId,
 };
 use contrarian_workload::{Draw, OpSource};
 use rand::RngExt;
@@ -96,6 +97,9 @@ impl Client {
     fn issue_put(&mut self, ctx: &mut dyn ActorCtx<Msg>, key: Key, value: Value, t0: u64) {
         let seq = self.next_put;
         self.next_put += 1;
+        if ctx.tracing() {
+            ctx.trace(TraceKind::OpBegin, op_class::PUT, seq as u64);
+        }
         let target = Addr::server(self.addr.dc, key.partition(self.cfg.n_partitions));
         self.pending = Some(Pending::Put { seq, t0 });
         ctx.send(
@@ -113,6 +117,9 @@ impl Client {
 
     fn issue_rot(&mut self, ctx: &mut dyn ActorCtx<Msg>, keys: Vec<Key>, t0: u64) {
         let tx = TxId::new(self.id, self.next_tx);
+        if ctx.tracing() {
+            ctx.trace(TraceKind::OpBegin, op_class::ROT, self.next_tx as u64);
+        }
         self.next_tx += 1;
         let parts = self.partitions_of(&keys);
         // Any involved partition can coordinate; pick one at random.
@@ -219,6 +226,9 @@ impl Client {
         self.gss.join(&slice_sv);
         let latency = ctx.now() - t0;
         ctx.metrics().rot_done(latency);
+        if ctx.tracing() {
+            ctx.trace(TraceKind::OpEnd, op_class::ROT, t0);
+        }
         if ctx.recording() {
             let values = pairs
                 .iter()
@@ -248,6 +258,9 @@ impl Client {
         self.gss.join(&gss);
         let latency = ctx.now() - t0;
         ctx.metrics().put_done(latency);
+        if ctx.tracing() {
+            ctx.trace(TraceKind::OpEnd, op_class::PUT, t0);
+        }
         if ctx.recording() {
             ctx.record(HistoryEvent::PutDone {
                 client: self.id,

@@ -59,6 +59,9 @@ pub enum Msg {
         value: Value,
         dv: DepVector,
         origin: DcId,
+        /// Runtime timestamp of the origin install, so the replica can
+        /// measure visibility staleness (zero when unknown).
+        birth: u64,
     },
     /// Idle replication heartbeat: advances the replica's version vector.
     Heartbeat { origin: DcId, ts: u64 },
@@ -110,7 +113,9 @@ impl SimMessage for Msg {
                     wire::KEY + value.len() + wire::TS + vec_bytes(gss)
                 }
                 Msg::PutResp { gss, .. } => wire::KEY + wire::VERSION_ID + vec_bytes(gss),
-                Msg::Replicate { value, dv, .. } => wire::KEY + value.len() + vec_bytes(dv) + 1,
+                Msg::Replicate { value, dv, .. } => {
+                    wire::KEY + value.len() + vec_bytes(dv) + 1 + wire::TS
+                }
                 Msg::Heartbeat { .. } => 1 + wire::TS,
                 Msg::VvReport { vv, .. } => 2 + vec_bytes(vv),
                 Msg::GssBcast { gss } => vec_bytes(gss),
@@ -221,12 +226,14 @@ impl Wire for Msg {
                 value,
                 dv,
                 origin,
+                birth,
             } => {
                 out.push(8);
                 key.encode(out);
                 value.encode(out);
                 dv.encode(out);
                 origin.encode(out);
+                birth.encode(out);
             }
             Msg::Heartbeat { origin, ts } => {
                 out.push(9);
@@ -298,6 +305,7 @@ impl Wire for Msg {
                 value: Value::decode(r)?,
                 dv: DepVector::decode(r)?,
                 origin: DcId::decode(r)?,
+                birth: u64::decode(r)?,
             },
             9 => Msg::Heartbeat {
                 origin: DcId::decode(r)?,

@@ -82,6 +82,7 @@ fn build_msg(
             value,
             dv: vecs,
             origin: DcId(dc),
+            birth: ts,
         },
         9 => Msg::Heartbeat {
             origin: DcId(dc),

@@ -5,7 +5,7 @@ use contrarian_core::msg::Msg;
 use contrarian_protocol::{peer_replicas, timers, Parked, ProtocolServer, Stabilizer, Timers};
 use contrarian_runtime::actor::{ActorCtx, TimerKind};
 use contrarian_storage::{MvStore, Version};
-use contrarian_types::{Addr, ClusterConfig, DepVector, Key, TxId, Value, VersionId};
+use contrarian_types::{Addr, ClusterConfig, DepVector, Key, TraceKind, TxId, Value, VersionId};
 
 /// An operation parked until the local physical clock catches up.
 enum Deferred {
@@ -89,6 +89,9 @@ impl Server {
     fn park(&mut self, ctx: &mut dyn ActorCtx<Msg>, wait: u64, d: Deferred) {
         self.blocked_ops += 1;
         self.blocked_ns_total += wait;
+        if ctx.tracing() {
+            ctx.trace(TraceKind::Park, 0, self.parked.len() as u64);
+        }
         self.parked.park(ctx, wait, d);
     }
 
@@ -139,8 +142,11 @@ impl Server {
         dv.set(self.my_dc, ts);
         self.stab.record_local(ts);
         let vid = VersionId::new(ts, self.addr.dc);
-        self.store
-            .put(key, Version::new(vid, value.clone(), dv.clone()));
+        let birth = ctx.now();
+        self.store.put(
+            key,
+            Version::new(vid, value.clone(), dv.clone()).with_birth(birth),
+        );
         ctx.send(
             client,
             Msg::PutResp {
@@ -159,6 +165,7 @@ impl Server {
                         value: value.clone(),
                         dv: dv.clone(),
                         origin: self.addr.dc,
+                        birth,
                     },
                 );
             }
@@ -238,6 +245,14 @@ impl Server {
         for &k in &keys {
             let (v, walked) = self.store.read_visible(k, |ver| ver.meta.leq(&sv));
             scanned += walked;
+            // Data staleness: the snapshot hides a newer stored version, so
+            // this read returns data older than what the node already holds.
+            if let Some(head) = self.store.latest(k) {
+                if head.birth > 0 && v.map(|ver| ver.vid) != Some(head.vid) {
+                    let stale = ctx.now().saturating_sub(head.birth);
+                    ctx.metrics().data_stale(stale);
+                }
+            }
             let pair = match v {
                 Some(ver) => Some((ver.vid, ver.value.clone())),
                 None if self.cfg.prepopulated => {
@@ -252,7 +267,11 @@ impl Server {
     }
 
     fn drain_parked(&mut self, ctx: &mut dyn ActorCtx<Msg>) {
-        for d in self.parked.take_due(ctx.now()) {
+        for (waited, d) in self.parked.take_due_timed(ctx.now()) {
+            ctx.metrics().blocked(waited);
+            if ctx.tracing() {
+                ctx.trace(TraceKind::Unpark, 0, waited);
+            }
             match d {
                 Deferred::Snap {
                     client,
@@ -325,11 +344,20 @@ impl ProtocolServer for Server {
                 value,
                 dv,
                 origin,
+                birth,
             } => {
                 let ts = dv[origin.index()];
                 self.stab.record_remote(origin, ts);
-                self.store
-                    .put(key, Version::new(VersionId::new(ts, origin), value, dv));
+                if birth > 0 {
+                    // Visibility staleness: how long after the origin install
+                    // this replica learned of the write.
+                    let stale = ctx.now().saturating_sub(birth);
+                    ctx.metrics().vis_stale(stale);
+                }
+                self.store.put(
+                    key,
+                    Version::new(VersionId::new(ts, origin), value, dv).with_birth(birth),
+                );
             }
             Msg::Heartbeat { origin, ts } => self.stab.record_remote(origin, ts),
             Msg::VvReport { partition, vv } => self.stab.on_vv_report(partition, vv),

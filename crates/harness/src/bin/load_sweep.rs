@@ -31,13 +31,15 @@
 
 use contrarian_harness::experiment::Protocol;
 use contrarian_harness::load::{
-    run_load_net, run_load_sim, run_load_sim_checked, sweep_to_saturation, LoadConfig,
-    SaturationSweep,
+    run_load_net, run_load_sim, run_load_sim_checked, run_load_sim_telemetry, sweep_to_saturation,
+    LoadConfig, SaturationSweep,
 };
 use contrarian_harness::table;
 use contrarian_net::NetKind;
 use contrarian_runtime::cost::CostModel;
 use contrarian_runtime::metrics::LoadReport;
+use contrarian_runtime::trace::{chrome_trace_json, summarize};
+use contrarian_runtime::window::MetricsWindow;
 use contrarian_sim::SchedKind;
 use contrarian_types::ClusterConfig;
 use contrarian_workload::{OpenLoopSpec, WorkloadSpec};
@@ -92,6 +94,9 @@ fn point_row(runtime: &str, protocol: Protocol, r: &LoadReport) -> Vec<String> {
         table::f3(r.p99_ms),
         table::f3(r.p999_ms),
         table::f3(r.max_ms),
+        format!("{:.3}", r.utilization),
+        table::f3(r.vis_p50_ms),
+        table::f3(r.vis_p99_ms),
         if r.saturated { "yes" } else { "no" }.to_string(),
     ]
 }
@@ -99,13 +104,14 @@ fn point_row(runtime: &str, protocol: Protocol, r: &LoadReport) -> Vec<String> {
 fn print_sweep(runtime: &str, sweep: &SaturationSweep, rows: &mut Vec<Vec<String>>) {
     for r in &sweep.points {
         eprintln!(
-            "  [{runtime}] {:<13} offered={:>9.0}/s achieved={:>9.0}/s p50={:>8.3}ms p99={:>9.3}ms p999={:>9.3}ms{}",
+            "  [{runtime}] {:<13} offered={:>9.0}/s achieved={:>9.0}/s p50={:>8.3}ms p99={:>9.3}ms p999={:>9.3}ms util={:.2}{}",
             sweep.protocol.label(),
             r.offered_ops_per_sec,
             r.achieved_ops_per_sec,
             r.p50_ms,
             r.p99_ms,
             r.p999_ms,
+            r.utilization,
             if r.saturated { "  SATURATED" } else { "" }
         );
         rows.push(point_row(runtime, sweep.protocol, r));
@@ -137,6 +143,9 @@ fn main() {
         "p99_ms",
         "p999_ms",
         "max_ms",
+        "utilization",
+        "vis_p50_ms",
+        "vis_p99_ms",
         "saturated",
     ];
 
@@ -214,6 +223,51 @@ fn main() {
             eprintln!("  violation: {v}");
         }
         std::process::exit(1);
+    }
+
+    // ---- Telemetry: windowed curves, staleness gauges, trace sample. ----
+    // A 2-DC cluster so remote installs exist: visibility staleness (remote
+    // install time − origin write time) is the paper's cost of the CC-LO
+    // latency optimum made visible, measured per backend at the ramp's
+    // starting rate.
+    let telem_cluster = sim_cluster.clone().with_dcs(2);
+    let mut win_headers: Vec<&str> = vec!["protocol"];
+    win_headers.extend(MetricsWindow::CSV_HEADERS);
+    let mut win_rows: Vec<Vec<String>> = Vec::new();
+    eprintln!("== telemetry: 2-DC sim, per-window curves + visibility staleness ==");
+    for protocol in BACKENDS {
+        let cfg = base_config(protocol, telem_cluster.clone(), sim_warmup, sim_measure)
+            .with_offered(sim_ramp.start_rate);
+        // Trace one backend's run: enough for a Chrome-trace artifact
+        // without quadrupling the JSON size.
+        let trace_this = matches!(protocol, Protocol::Contrarian);
+        let t = run_load_sim_telemetry(&cfg, trace_this);
+        eprintln!(
+            "  [telemetry] {:<13} op p50={:>8.3}ms p99={:>9.3}ms | vis p50={:>8.3}ms p99={:>9.3}ms | util={:.2}",
+            protocol.label(),
+            t.report.p50_ms,
+            t.report.p99_ms,
+            t.report.vis_p50_ms,
+            t.report.vis_p99_ms,
+            t.report.utilization,
+        );
+        for row in t.windows.csv_rows() {
+            let mut r = Vec::with_capacity(row.len() + 1);
+            r.push(protocol.label().to_string());
+            r.extend(row);
+            win_rows.push(r);
+        }
+        if trace_this {
+            eprint!("{}", summarize(&t.trace));
+            match table::write_text("trace_contrarian.json", &chrome_trace_json(&t.trace)) {
+                Ok(path) => eprintln!("  wrote {path} (load in chrome://tracing or Perfetto)"),
+                Err(e) => eprintln!("  trace write failed: {e}"),
+            }
+        }
+    }
+    match table::write_csv("telemetry_windows.csv", &win_headers, &win_rows) {
+        Ok(path) => eprintln!("  wrote {path}"),
+        Err(e) => eprintln!("  csv write failed: {e}"),
     }
 
     // ---- TCP sweep (wall clock, loopback sockets). ----------------------

@@ -33,14 +33,23 @@ struct NetPoint {
     put_avg_ms: f64,
 }
 
-/// Runs one backend on loopback TCP for a wall-clock window.
+/// Sub-windows the measure interval is sampled in for the io-rate series.
+const IO_SLICES: u32 = 4;
+
+/// Runs one backend on loopback TCP for a wall-clock window, sampling the
+/// socket-level [`WireStats`](contrarian_net) counters at sub-window
+/// boundaries into `io_rows` (backend, clients, t_ms, frames/s, bytes/s,
+/// sockets) — the reactor's io activity *over time*, not just a total.
+#[allow(clippy::too_many_arguments)]
 fn run_net<P: ProtocolSpec>(
+    backend: &str,
     cfg: &ClusterConfig,
     wl: &WorkloadSpec,
     clients: u16,
     warmup: Duration,
     measure: Duration,
     seed: u64,
+    io_rows: &mut Vec<Vec<String>>,
 ) -> NetPoint {
     // recording=false: the history sink's cluster-wide lock would sit on
     // the measured latency path (the sim prediction runs with record:false
@@ -48,7 +57,24 @@ fn run_net<P: ProtocolSpec>(
     let cluster = build_net_cluster::<P>(cfg, wl, clients, seed, false);
     std::thread::sleep(warmup);
     cluster.set_measuring(true);
-    std::thread::sleep(measure);
+    let t0 = std::time::Instant::now();
+    let (mut prev_frames, mut prev_bytes) = cluster.wire_stats();
+    let mut prev_t = t0;
+    for _ in 0..IO_SLICES {
+        std::thread::sleep(measure / IO_SLICES);
+        let now = std::time::Instant::now();
+        let (frames, bytes) = cluster.wire_stats();
+        let dt = now.duration_since(prev_t).as_secs_f64();
+        io_rows.push(vec![
+            backend.to_string(),
+            clients.to_string(),
+            format!("{:.0}", t0.elapsed().as_secs_f64() * 1e3),
+            format!("{:.0}", (frames - prev_frames) as f64 / dt),
+            format!("{:.0}", (bytes - prev_bytes) as f64 / dt),
+            cluster.io_stats().sockets.to_string(),
+        ]);
+        (prev_frames, prev_bytes, prev_t) = (frames, bytes, now);
+    }
     cluster.set_measuring(false);
     cluster.stop_issuing();
     std::thread::sleep(Duration::from_millis(150));
@@ -118,22 +144,34 @@ fn main() {
         "sim PUT avg ms",
     ];
     let mut rows: Vec<Vec<String>> = Vec::new();
+    let mut io_rows: Vec<Vec<String>> = Vec::new();
 
     for &clients in &load_points {
         let contrarian_cfg = cfg.clone().with_rot_mode(RotMode::OneHalfRound);
         let net = run_net::<contrarian_core::Contrarian>(
+            "Contrarian",
             &contrarian_cfg,
             &wl,
             clients,
             warmup,
             measure,
             42,
+            &mut io_rows,
         );
         let (sim_rot, sim_p99, sim_put) =
             predict_sim(Protocol::Contrarian, &contrarian_cfg, &wl, clients, 42);
         rows.push(point_row("Contrarian", &net, sim_rot, sim_p99, sim_put));
 
-        let net = run_net::<contrarian_cclo::CcLo>(&cfg, &wl, clients, warmup, measure, 43);
+        let net = run_net::<contrarian_cclo::CcLo>(
+            "CC-LO",
+            &cfg,
+            &wl,
+            clients,
+            warmup,
+            measure,
+            43,
+            &mut io_rows,
+        );
         let (sim_rot, sim_p99, sim_put) = predict_sim(Protocol::CcLo, &cfg, &wl, clients, 43);
         rows.push(point_row("CC-LO", &net, sim_rot, sim_p99, sim_put));
     }
@@ -147,6 +185,13 @@ fn main() {
     println!("{}", table::render(&headers, &rows));
     match table::write_csv("net_sweep.csv", &headers, &rows) {
         Ok(path) => println!("wrote {path}"),
+        Err(e) => eprintln!("could not write CSV: {e}"),
+    }
+    let io_headers = [
+        "backend", "clients", "t_ms", "frames_s", "bytes_s", "sockets",
+    ];
+    match table::write_csv("net_io_windows.csv", &io_headers, &io_rows) {
+        Ok(path) => println!("wrote {path} (socket io rates over time)"),
         Err(e) => eprintln!("could not write CSV: {e}"),
     }
     println!(

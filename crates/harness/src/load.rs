@@ -33,8 +33,9 @@ use crate::experiment::Protocol;
 use contrarian_net::NetKind;
 use contrarian_runtime::cost::CostModel;
 use contrarian_runtime::metrics::LoadReport;
+use contrarian_runtime::window::WindowSeries;
 use contrarian_sim::SchedKind;
-use contrarian_types::{ClusterConfig, HistoryEvent, RotMode};
+use contrarian_types::{ClusterConfig, HistoryEvent, RotMode, TraceEvent};
 use contrarian_workload::OpenLoopSpec;
 use std::time::Duration;
 
@@ -100,6 +101,11 @@ impl LoadConfig {
             seed: self.seed,
         }
     }
+
+    /// Server nodes in the cluster (per-node utilization divisor).
+    pub fn n_servers(&self) -> usize {
+        self.cluster.n_servers()
+    }
 }
 
 /// How many slices the measured window is drained in when streaming (same
@@ -144,6 +150,7 @@ pub fn run_load_sim_streamed(
                 sink(ev);
             }
             LoadReport::from_metrics(sim.metrics(), cfg.spec.offered_ops_per_sec, cfg.measure_ns)
+                .normalize_utilization(cfg.n_servers())
         }};
     }
 
@@ -169,6 +176,89 @@ pub fn run_load_sim_streamed(
 /// Runs one simulated open-loop load point without recording.
 pub fn run_load_sim(cfg: &LoadConfig) -> LoadReport {
     run_load_sim_streamed(cfg, false, &mut |_| {})
+}
+
+/// One load point with its per-window time series and (optionally) the
+/// merged deterministic trace attached.
+#[derive(Debug)]
+pub struct LoadTelemetry {
+    pub report: LoadReport,
+    /// One [`contrarian_runtime::window::MetricsWindow`] per stream slice
+    /// of the measured interval.
+    pub windows: WindowSeries,
+    /// Canonical `(t, node, seq)`-ordered trace of the measured interval
+    /// (empty unless `tracing` was requested). Identical across engines.
+    pub trace: Vec<TraceEvent>,
+}
+
+/// Runs one simulated open-loop load point with the time-series snapshotter
+/// armed at every stream-slice boundary, and — when `tracing` — the
+/// deterministic tracer enabled for the measured interval.
+pub fn run_load_sim_telemetry(cfg: &LoadConfig, tracing: bool) -> LoadTelemetry {
+    macro_rules! drive {
+        ($sim:expr) => {{
+            let mut sim = $sim;
+            sim.set_tracing(tracing);
+            sim.start();
+            sim.run_until(cfg.warmup_ns);
+            if tracing {
+                // Warmup events are not part of the telemetry.
+                sim.drain_trace();
+            }
+            sim.metrics_mut().enabled = true;
+            let mut windows = WindowSeries::new();
+            windows.origin(sim.metrics(), cfg.warmup_ns);
+            let mut trace: Vec<TraceEvent> = Vec::new();
+            let end = cfg.warmup_ns + cfg.measure_ns;
+            let slice = (cfg.measure_ns / STREAM_SLICES).max(1);
+            let mut t = cfg.warmup_ns;
+            while t < end {
+                t = (t + slice).min(end);
+                sim.run_until(t);
+                windows.snap(sim.metrics(), t);
+                if tracing {
+                    // Per-slice drains keep ring drops low; drains at fixed
+                    // virtual times concatenate canonically (like history).
+                    trace.extend(sim.drain_trace());
+                }
+            }
+            sim.metrics_mut().enabled = false;
+            sim.set_stopped(true);
+            sim.run_to_quiescence(end + 5_000_000_000);
+            if tracing {
+                trace.extend(sim.drain_trace());
+            }
+            let report = LoadReport::from_metrics(
+                sim.metrics(),
+                cfg.spec.offered_ops_per_sec,
+                cfg.measure_ns,
+            )
+            .normalize_utilization(cfg.n_servers());
+            LoadTelemetry {
+                report,
+                windows,
+                trace,
+            }
+        }};
+    }
+
+    let p = cfg.params();
+    match cfg.protocol {
+        Protocol::Contrarian | Protocol::ContrarianTwoRound => {
+            drive!(contrarian_protocol::build_openloop_cluster_with::<
+                contrarian_core::Contrarian,
+            >(&p, cfg.sched))
+        }
+        Protocol::CcLo => drive!(contrarian_protocol::build_openloop_cluster_with::<
+            contrarian_cclo::CcLo,
+        >(&p, cfg.sched)),
+        Protocol::Cure => drive!(contrarian_protocol::build_openloop_cluster_with::<
+            contrarian_cure::Cure,
+        >(&p, cfg.sched)),
+        Protocol::Okapi => drive!(contrarian_protocol::build_openloop_cluster_with::<
+            contrarian_okapi::Okapi,
+        >(&p, cfg.sched)),
+    }
 }
 
 /// A recorded load point that was checked as it streamed.
@@ -372,6 +462,42 @@ mod tests {
     }
 
     #[test]
+    fn telemetry_point_produces_windows_and_trace() {
+        let cfg = LoadConfig::functional(Protocol::Contrarian, 5_000.0);
+        let t = run_load_sim_telemetry(&cfg, true);
+        assert_eq!(t.windows.windows().len(), STREAM_SLICES as usize);
+        assert!(t.report.completed_ops > 0);
+        let windowed_ops: u64 = t
+            .windows
+            .windows()
+            .iter()
+            .map(|w| w.rots_done + w.puts_done)
+            .sum();
+        assert_eq!(
+            windowed_ops, t.report.completed_ops,
+            "window deltas partition the measured completions"
+        );
+        assert!(!t.trace.is_empty());
+        assert!(
+            t.trace.windows(2).all(|w| w[0].key() < w[1].key()),
+            "canonical trace order"
+        );
+        assert!(
+            t.report.utilization > 0.0 && t.report.utilization < 1.0,
+            "per-server utilization at 5 Kops/s: {}",
+            t.report.utilization
+        );
+    }
+
+    #[test]
+    fn telemetry_without_tracing_keeps_trace_empty() {
+        let cfg = LoadConfig::functional(Protocol::Cure, 3_000.0);
+        let t = run_load_sim_telemetry(&cfg, false);
+        assert!(t.trace.is_empty());
+        assert_eq!(t.windows.windows().len(), STREAM_SLICES as usize);
+    }
+
+    #[test]
     fn sweep_stops_at_first_saturated_point() {
         // Base rate is a placeholder: the sweep sets each point's rate.
         let base = LoadConfig::functional(Protocol::Contrarian, 1.0);
@@ -389,6 +515,9 @@ mod tests {
                 p99_ms: 2.0,
                 p999_ms: 3.0,
                 max_ms: 4.0,
+                utilization: 0.0,
+                vis_p50_ms: 0.0,
+                vis_p99_ms: 0.0,
                 saturated: achieved
                     < contrarian_runtime::metrics::SATURATION_GOODPUT_FRACTION
                         * cfg.spec.offered_ops_per_sec,

@@ -51,6 +51,16 @@ pub fn write_csv(name: &str, headers: &[&str], rows: &[Vec<String>]) -> std::io:
     Ok(path.display().to_string())
 }
 
+/// Writes a text artifact (JSON trace, report) under `results/`, creating
+/// the directory if needed. Returns the path written.
+pub fn write_text(name: &str, content: &str) -> std::io::Result<String> {
+    let dir = Path::new("results");
+    fs::create_dir_all(dir)?;
+    let path = dir.join(name);
+    fs::write(&path, content)?;
+    Ok(path.display().to_string())
+}
+
 /// Formats a float with 3 decimals.
 pub fn f3(v: f64) -> String {
     format!("{v:.3}")

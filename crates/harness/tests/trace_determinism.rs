@@ -1,0 +1,54 @@
+//! Traces merge like histories: the per-node trace rings carry `(t, node,
+//! seq)` identities whose `seq` counters advance only while that node's
+//! events execute, so the merged event stream must be bit-identical under
+//! the heap, calendar, and sharded engines — the exported Chrome trace is
+//! a deterministic artifact of (backend, rate, seed), not of the engine
+//! that happened to produce it.
+
+use contrarian_harness::experiment::Protocol;
+use contrarian_harness::load::{run_load_sim_telemetry, LoadConfig};
+use contrarian_runtime::cost::CostModel;
+use contrarian_sim::SchedKind;
+use contrarian_types::ClusterConfig;
+use contrarian_workload::{OpenLoopSpec, WorkloadSpec};
+
+/// One test drives all engines sequentially: the shard-thread override is
+/// a process-wide environment variable, so it must not race with
+/// concurrent tests (this is the only test in this binary).
+#[test]
+fn traced_load_runs_merge_identically_across_engines() {
+    // Two shards → two window threads, even on 1-CPU CI runners.
+    std::env::set_var("CONTRARIAN_SHARD_THREADS", "2");
+    for protocol in [Protocol::Contrarian, Protocol::CcLo] {
+        let mut cfg = LoadConfig {
+            protocol,
+            // 2 DCs: replication crosses the shard boundary, so sharded
+            // conservative windows genuinely reorder execution batches.
+            cluster: ClusterConfig::small().with_dcs(2),
+            spec: OpenLoopSpec::new(WorkloadSpec::paper_default(), 10_000, 3_000.0),
+            warmup_ns: 20_000_000,
+            measure_ns: 60_000_000,
+            seed: 42,
+            cost: CostModel::calibrated(),
+            sched: SchedKind::Calendar,
+        };
+        let reference = run_load_sim_telemetry(&cfg, true);
+        assert!(
+            !reference.trace.is_empty(),
+            "{protocol:?}: traced run produced no events"
+        );
+        for sched in [SchedKind::Heap, SchedKind::Sharded { shards: 0 }] {
+            cfg.sched = sched;
+            let run = run_load_sim_telemetry(&cfg, true);
+            assert_eq!(
+                run.trace, reference.trace,
+                "{protocol:?}: {sched:?} trace diverged from the calendar engine"
+            );
+            assert_eq!(
+                run.report.completed_ops, reference.report.completed_ops,
+                "{protocol:?}: {sched:?} completed-op count diverged"
+            );
+        }
+    }
+    std::env::remove_var("CONTRARIAN_SHARD_THREADS");
+}

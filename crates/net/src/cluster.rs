@@ -437,6 +437,57 @@ pub(crate) mod tests {
         ping_pong_on(NetKind::Reactor);
     }
 
+    /// The ping-pong exchange has a known wire footprint: pings 0..=99,
+    /// one frame each — 4-byte length prefix, 4-byte sender `Addr`,
+    /// 4-byte `u32` payload. Both engines must report exactly that, and
+    /// the totals must survive the shutdown drain (folded into
+    /// `net.frames_sent`/`net.bytes_sent`).
+    fn exact_wire_counters_on(kind: NetKind) {
+        let server = Addr::server(DcId(0), PartitionId(0));
+        let client = Addr::client(DcId(0), 0);
+        let nodes = vec![
+            (
+                server,
+                Echo {
+                    pongs: 0,
+                    peer: None,
+                },
+            ),
+            (
+                client,
+                Echo {
+                    pongs: 0,
+                    peer: Some(server),
+                },
+            ),
+        ];
+        let cluster = NetCluster::start_with(nodes, false, 7, kind);
+        let deadline = Instant::now() + Duration::from_secs(10);
+        while cluster.wire_stats().0 < 100 && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        // The exchange is self-limiting: after frame 100 nothing else may
+        // hit the wire.
+        std::thread::sleep(Duration::from_millis(50));
+        let (frames, bytes) = cluster.wire_stats();
+        assert_eq!(frames, 100, "one frame per ping 0..=99");
+        assert_eq!(bytes, 100 * 12, "prefix(4) + Addr(4) + payload(4)");
+        assert!(cluster.io_stats().sockets >= 1);
+        let (_, metrics, _) = cluster.shutdown();
+        assert_eq!(metrics.counter("net.frames_sent"), 100);
+        assert_eq!(metrics.counter("net.bytes_sent"), 1200);
+    }
+
+    #[test]
+    fn exact_wire_counters_threads() {
+        exact_wire_counters_on(NetKind::Threads);
+    }
+
+    #[test]
+    fn exact_wire_counters_reactor() {
+        exact_wire_counters_on(NetKind::Reactor);
+    }
+
     /// Client bursts 200 pings at start; server records receive order.
     struct Burst {
         got: Vec<u32>,

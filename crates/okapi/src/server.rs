@@ -83,8 +83,11 @@ impl Server {
         dv.set(self.my_dc, ts);
         self.stab.record_local(ts);
         let vid = VersionId::new(ts, self.addr.dc);
-        self.store
-            .put(key, Version::new(vid, value.clone(), dv.clone()));
+        let birth = ctx.now();
+        self.store.put(
+            key,
+            Version::new(vid, value.clone(), dv.clone()).with_birth(birth),
+        );
 
         ctx.send(
             client,
@@ -105,6 +108,7 @@ impl Server {
                         value: value.clone(),
                         dv: dv.clone(),
                         origin: self.addr.dc,
+                        birth,
                     },
                 );
             }
@@ -212,6 +216,14 @@ impl Server {
         for &k in keys {
             let (v, scanned) = self.store.read_visible(k, |ver| ver.meta.leq(sv));
             scanned_total += scanned;
+            // Data staleness: the snapshot hides a newer stored version, so
+            // this read returns data older than what the node already holds.
+            if let Some(head) = self.store.latest(k) {
+                if head.birth > 0 && v.map(|ver| ver.vid) != Some(head.vid) {
+                    let stale = ctx.now().saturating_sub(head.birth);
+                    ctx.metrics().data_stale(stale);
+                }
+            }
             let pair = match v {
                 Some(ver) => Some((ver.vid, ver.value.clone())),
                 None if self.cfg.prepopulated => {
@@ -287,11 +299,20 @@ impl ProtocolServer for Server {
                 value,
                 dv,
                 origin,
+                birth,
             } => {
                 let ts = dv[origin.index()];
                 self.stab.record_remote(origin, ts);
-                self.store
-                    .put(key, Version::new(VersionId::new(ts, origin), value, dv));
+                if birth > 0 {
+                    // Visibility staleness: how long after the origin install
+                    // this replica learned of the write.
+                    let stale = ctx.now().saturating_sub(birth);
+                    ctx.metrics().vis_stale(stale);
+                }
+                self.store.put(
+                    key,
+                    Version::new(VersionId::new(ts, origin), value, dv).with_birth(birth),
+                );
             }
             Msg::Heartbeat { origin, ts } => self.stab.record_remote(origin, ts),
             Msg::VvReport { partition, vv } => self.stab.on_vv_report(partition, vv),
@@ -417,6 +438,7 @@ mod tests {
                 value: Value::from_static(b"r"),
                 dv,
                 origin: DcId(1),
+                birth: 0,
             },
         );
         // Stable time below the version: the Okapi snapshot hides it.

@@ -15,7 +15,9 @@
 //! types share the logic.
 
 use contrarian_runtime::actor::ActorCtx;
-use contrarian_types::{Addr, ClusterConfig, DcId, DepVector, PartitionId, StabilizationTopology};
+use contrarian_types::{
+    Addr, ClusterConfig, DcId, DepVector, PartitionId, StabilizationTopology, TraceKind,
+};
 
 /// Per-server stabilization state: version vector, GSS, and (on the
 /// aggregator) the table of reported partition vectors.
@@ -114,6 +116,7 @@ impl Stabilizer {
                     self.vv_table[0] = self.vv.clone();
                     let min = self.compute_min();
                     self.gss.join(&min);
+                    self.note_gss_advance(ctx, fresh_local_ts);
                     for p in 1..cfg.n_partitions {
                         let peer = Addr::server(self.addr.dc, PartitionId(p));
                         ctx.send(peer, mk_bcast(self.gss.clone()));
@@ -135,7 +138,21 @@ impl Stabilizer {
                 }
                 let min = self.compute_min();
                 self.gss.join(&min);
+                self.note_gss_advance(ctx, fresh_local_ts);
             }
+        }
+    }
+
+    /// Records how far the freshly joined GSS trails the local clock
+    /// reading — the *stabilization lag*, in protocol timestamp units
+    /// (comparable within a backend, not across them) — and emits a
+    /// [`TraceKind::GssAdvance`] event when tracing.
+    fn note_gss_advance<M>(&mut self, ctx: &mut dyn ActorCtx<M>, fresh_local_ts: u64) {
+        let gss_min = self.gss.as_slice().iter().copied().min().unwrap_or(0);
+        let lag = fresh_local_ts.saturating_sub(gss_min);
+        ctx.metrics().gss_lagged(lag);
+        if ctx.tracing() {
+            ctx.trace(TraceKind::GssAdvance, gss_min, lag);
         }
     }
 

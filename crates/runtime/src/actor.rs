@@ -9,7 +9,7 @@
 
 use crate::cost::SimMessage;
 use crate::metrics::Metrics;
-use contrarian_types::{Addr, HistoryEvent, Op};
+use contrarian_types::{Addr, HistoryEvent, Op, TraceKind};
 use rand::rngs::SmallRng;
 
 /// A timer tag: `kind` identifies the purpose (protocol-defined constants),
@@ -63,6 +63,20 @@ pub trait ActorCtx<M> {
 
     /// True once the harness asked closed-loop clients to stop issuing.
     fn stopped(&self) -> bool;
+
+    /// Whether deterministic tracing is on. Nodes must check this before
+    /// doing any work to *prepare* a trace event — when it is false (the
+    /// default on every runtime that doesn't override it) tracing costs
+    /// one branch.
+    fn tracing(&self) -> bool {
+        false
+    }
+
+    /// Emits a trace event stamped with the current time and this node's
+    /// identity (see `contrarian_types::trace`). A no-op unless the
+    /// runtime collects traces and [`ActorCtx::tracing`] is set; callers
+    /// should gate on `tracing()` first.
+    fn trace(&mut self, _kind: TraceKind, _a: u64, _b: u64) {}
 }
 
 /// A protocol node.

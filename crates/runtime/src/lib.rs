@@ -55,6 +55,8 @@ pub mod metrics;
 pub mod node_loop;
 pub mod runtime;
 pub mod testkit;
+pub mod trace;
+pub mod window;
 
 pub use actor::{Actor, ActorCtx, TimerKind};
 pub use cost::{CostModel, MsgClass, SimMessage};
@@ -64,3 +66,5 @@ pub use metrics::{Histogram, LoadReport, Metrics};
 pub use node_loop::{node_seed, run_node, Input, Outbound, RunShared};
 pub use runtime::Runtime;
 pub use testkit::ScriptCtx;
+pub use trace::{chrome_trace_json, merge_traces, summarize, trace_cap_from_env, TraceRing};
+pub use window::{MetricsWindow, WindowSeries};

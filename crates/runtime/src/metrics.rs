@@ -89,16 +89,32 @@ impl Histogram {
         }
     }
 
-    /// Approximate `p`-th percentile (`0 < p ≤ 100`).
+    /// Approximate `p`-th percentile.
+    ///
+    /// `p` is clamped into `(0, 100]`: a non-positive (or NaN) `p` means
+    /// the smallest meaningful quantile — the lowest occupied bucket's
+    /// bound — and anything ≥ 100 behaves like exactly 100, which returns
+    /// the *exact* recorded maximum rather than a bucket bound (bucket
+    /// lows understate the tail by up to ~3%). Everything strictly
+    /// between resolves to the lower bound of the bucket holding the
+    /// `ceil(p% · count)`-th sample.
     pub fn percentile(&self, p: f64) -> u64 {
         if self.count == 0 {
             return 0;
         }
-        let target = ((p / 100.0) * self.count as f64).ceil() as u64;
+        let p = if p.is_nan() {
+            100.0
+        } else {
+            p.clamp(0.0, 100.0)
+        };
+        if p >= 100.0 {
+            return self.max;
+        }
+        let target = (((p / 100.0) * self.count as f64).ceil() as u64).max(1);
         let mut acc = 0;
         for (i, n) in self.buckets.iter().enumerate() {
             acc += n;
-            if acc >= target.max(1) {
+            if acc >= target {
                 return Self::bucket_low(i);
             }
         }
@@ -141,6 +157,39 @@ impl Histogram {
         self.max = self.max.max(other.max);
         self.min = self.min.min(other.min);
     }
+
+    /// The interval histogram between a `prev` snapshot of this histogram
+    /// and its current state: bucketwise `self − prev`. `prev` must be an
+    /// earlier clone of the same histogram (counts only grow), which the
+    /// time-series snapshotter ([`crate::window::MetricsWindow`])
+    /// guarantees. The interval's min/max are recovered from occupied
+    /// bucket bounds (~3% resolution) — except when the run max moved
+    /// during the interval, which pins the exact max.
+    pub fn diff(&self, prev: &Histogram) -> Histogram {
+        let mut out = Histogram::new();
+        let mut first = None;
+        let mut last = None;
+        for (i, (a, b)) in self.buckets.iter().zip(prev.buckets.iter()).enumerate() {
+            debug_assert!(a >= b, "histogram buckets only grow");
+            let d = a.saturating_sub(*b);
+            out.buckets[i] = d;
+            if d > 0 {
+                first.get_or_insert(i);
+                last = Some(i);
+            }
+        }
+        out.count = self.count.saturating_sub(prev.count);
+        out.sum = self.sum.saturating_sub(prev.sum);
+        if let (Some(lo), Some(hi)) = (first, last) {
+            out.min = Self::bucket_low(lo);
+            out.max = if self.max > prev.max {
+                self.max
+            } else {
+                Self::bucket_low(hi)
+            };
+        }
+        out
+    }
 }
 
 /// Goodput below this fraction of the offered rate marks a run saturated.
@@ -164,12 +213,26 @@ pub struct LoadReport {
     /// Goodput fell below [`SATURATION_GOODPUT_FRACTION`] of offered: the
     /// backend can't keep up and the arrival backlog grows without bound.
     pub saturated: bool,
+    /// Aggregate server busy time per second of window — "busy cores".
+    /// Divide by the server count for per-node utilization (the load
+    /// drivers do, via [`LoadReport::normalize_utilization`]).
+    pub utilization: f64,
+    /// Visibility staleness of remote installs (now − origin-write time),
+    /// median / 99th, ms. Zero when the run recorded none (single DC).
+    pub vis_p50_ms: f64,
+    pub vis_p99_ms: f64,
 }
 
 impl LoadReport {
     /// Summarizes a measurement window of `window_ns` against the offered
     /// rate. ROT and PUT latencies are folded into one distribution: under
     /// an open-loop driver both queue behind the same arrival calendar.
+    ///
+    /// Degenerate inputs are explicit, not accidental: a zero `window_ns`
+    /// yields `achieved = 0` **and** `saturated = false` (there was no
+    /// window to fall behind in), and a non-positive
+    /// `offered_ops_per_sec` never flags saturation (0 achieved of 0
+    /// offered is keeping up, not collapse).
     pub fn from_metrics(m: &Metrics, offered_ops_per_sec: f64, window_ns: u64) -> Self {
         let mut all = m.rot_latency.clone();
         all.merge(&m.put_latency);
@@ -179,6 +242,9 @@ impl LoadReport {
         } else {
             0.0
         };
+        let saturated = window_ns > 0
+            && offered_ops_per_sec > 0.0
+            && achieved < SATURATION_GOODPUT_FRACTION * offered_ops_per_sec;
         LoadReport {
             offered_ops_per_sec,
             achieved_ops_per_sec: achieved,
@@ -188,8 +254,24 @@ impl LoadReport {
             p99_ms: all.percentile(99.0) as f64 / 1e6,
             p999_ms: all.percentile(99.9) as f64 / 1e6,
             max_ms: all.max() as f64 / 1e6,
-            saturated: achieved < SATURATION_GOODPUT_FRACTION * offered_ops_per_sec,
+            saturated,
+            utilization: if secs > 0.0 {
+                m.busy_ns as f64 / window_ns as f64
+            } else {
+                0.0
+            },
+            vis_p50_ms: m.vis_staleness.percentile(50.0) as f64 / 1e6,
+            vis_p99_ms: m.vis_staleness.percentile(99.0) as f64 / 1e6,
         }
+    }
+
+    /// Converts the aggregate busy-cores reading into mean per-node
+    /// utilization given the number of server nodes that contributed.
+    pub fn normalize_utilization(mut self, n_servers: usize) -> Self {
+        if n_servers > 0 {
+            self.utilization /= n_servers as f64;
+        }
+        self
     }
 }
 
@@ -208,6 +290,19 @@ pub struct Metrics {
     pub bytes: u64,
     /// Aggregate server busy time, ns (utilization diagnostics).
     pub busy_ns: u64,
+    /// Visibility staleness: at every remote install, now − the write's
+    /// origin birth time (runtime ns — comparable across backends).
+    pub vis_staleness: Histogram,
+    /// Data staleness: at a read that could not see a key's newest
+    /// version, now − that newest-invisible version's birth time (ns).
+    pub data_staleness: Histogram,
+    /// Stabilization lag: fresh local timestamp − GSS minimum after each
+    /// stabilization round, in the backend's *protocol timestamp units*
+    /// (HLC-encoded µs for the physical-clock backends, Lamport-scaled
+    /// for the logical ones) — comparable within a backend, not across.
+    pub gss_lag: Histogram,
+    /// Time operations spent parked (clock waits, dependency waits), ns.
+    pub block_ns: Histogram,
     /// Free-form protocol counters (e.g. readers-check statistics).
     pub counters: BTreeMap<&'static str, u64>,
 }
@@ -243,6 +338,38 @@ impl Metrics {
         }
     }
 
+    /// Records the visibility staleness of one remote install.
+    #[inline]
+    pub fn vis_stale(&mut self, staleness_ns: u64) {
+        if self.enabled {
+            self.vis_staleness.record(staleness_ns);
+        }
+    }
+
+    /// Records the data staleness of one read that missed a newer version.
+    #[inline]
+    pub fn data_stale(&mut self, staleness_ns: u64) {
+        if self.enabled {
+            self.data_staleness.record(staleness_ns);
+        }
+    }
+
+    /// Records the GSS lag after one stabilization round.
+    #[inline]
+    pub fn gss_lagged(&mut self, lag: u64) {
+        if self.enabled {
+            self.gss_lag.record(lag);
+        }
+    }
+
+    /// Records how long one parked operation waited before release.
+    #[inline]
+    pub fn blocked(&mut self, waited_ns: u64) {
+        if self.enabled {
+            self.block_ns.record(waited_ns);
+        }
+    }
+
     pub fn counter(&self, name: &str) -> u64 {
         self.counters.get(name).copied().unwrap_or(0)
     }
@@ -262,6 +389,10 @@ impl Metrics {
         self.msgs += other.msgs;
         self.bytes += other.bytes;
         self.busy_ns += other.busy_ns;
+        self.vis_staleness.merge(&other.vis_staleness);
+        self.data_staleness.merge(&other.data_staleness);
+        self.gss_lag.merge(&other.gss_lag);
+        self.block_ns.merge(&other.block_ns);
         for (k, v) in &other.counters {
             *self.counters.entry(k).or_insert(0) += v;
         }
@@ -421,6 +552,93 @@ mod tests {
         // The same completions against 4000 offered: saturated.
         let sat = LoadReport::from_metrics(&m, 4000.0, 1_000_000_000);
         assert!(sat.saturated);
+    }
+
+    #[test]
+    fn percentile_edges_clamp_and_pin_max() {
+        let mut h = Histogram::new();
+        for v in [10u64, 100, 1_000_003] {
+            h.record(v);
+        }
+        // p == 100 returns the exact recorded max, not a bucket low
+        // (1_000_003 is not a bucket boundary).
+        assert_eq!(h.percentile(100.0), 1_000_003);
+        assert_eq!(h.percentile(250.0), 1_000_003, "overshoot clamps to 100");
+        // Non-positive p behaves like the smallest quantile: the lowest
+        // occupied bucket (10 is exactly representable below SUB).
+        assert_eq!(h.percentile(0.0), 10);
+        assert_eq!(h.percentile(-7.5), 10);
+        assert_eq!(h.percentile(f64::NAN), 1_000_003, "NaN acts like 100");
+    }
+
+    #[test]
+    fn diff_isolates_the_interval() {
+        let mut h = Histogram::new();
+        h.record(100);
+        h.record(200);
+        let snap = h.clone();
+        h.record(1_000);
+        h.record(4_000_000);
+        let d = h.diff(&snap);
+        assert_eq!(d.count(), 2);
+        assert_eq!(d.max(), 4_000_000, "new run max is exact in the diff");
+        // The interval min is a bucket bound near 1_000.
+        assert!(d.min() <= 1_000 && d.min() as f64 >= 1_000.0 * 0.96);
+        // Empty interval: all-zero histogram.
+        let e = h.diff(&h.clone());
+        assert_eq!(e.count(), 0);
+        assert_eq!(e.percentile(99.0), 0);
+    }
+
+    #[test]
+    fn load_report_zero_window_is_explicitly_unsaturated() {
+        let mut m = Metrics::new();
+        m.enabled = true;
+        m.rot_done(1_000_000);
+        let r = LoadReport::from_metrics(&m, 1000.0, 0);
+        assert_eq!(r.achieved_ops_per_sec, 0.0);
+        assert!(!r.saturated, "no window means nothing fell behind");
+        assert_eq!(r.utilization, 0.0);
+        // Zero offered rate can't saturate either.
+        let r2 = LoadReport::from_metrics(&m, 0.0, 1_000_000_000);
+        assert!(!r2.saturated);
+    }
+
+    #[test]
+    fn load_report_surfaces_utilization_and_staleness() {
+        let mut m = Metrics::new();
+        m.enabled = true;
+        m.rot_done(1_000_000);
+        m.busy_ns = 500_000_000;
+        m.vis_stale(2_000_000);
+        m.vis_stale(2_000_000);
+        let r = LoadReport::from_metrics(&m, 10.0, 1_000_000_000);
+        assert!((r.utilization - 0.5).abs() < 1e-9, "busy half the window");
+        assert!(r.vis_p50_ms > 1.8 && r.vis_p50_ms < 2.1);
+        let per_node = r.normalize_utilization(5);
+        assert!((per_node.utilization - 0.1).abs() < 1e-9);
+    }
+
+    #[test]
+    fn gauges_respect_enabled_and_absorb() {
+        let mut m = Metrics::new();
+        m.vis_stale(10);
+        m.data_stale(10);
+        m.gss_lagged(10);
+        m.blocked(10);
+        assert_eq!(m.vis_staleness.count(), 0, "disabled records nothing");
+        m.enabled = true;
+        m.vis_stale(10);
+        m.data_stale(20);
+        m.gss_lagged(30);
+        m.blocked(40);
+        let mut total = Metrics::new();
+        total.absorb(&m);
+        assert_eq!(total.vis_staleness.count(), 1);
+        assert_eq!(total.data_staleness.count(), 1);
+        assert_eq!(total.gss_lag.count(), 1);
+        assert_eq!(total.block_ns.count(), 1);
+        assert_eq!(total.block_ns.max(), 40);
     }
 
     #[test]

@@ -8,7 +8,7 @@
 
 use crate::actor::{ActorCtx, TimerKind};
 use crate::metrics::Metrics;
-use contrarian_types::{Addr, HistoryEvent};
+use contrarian_types::{Addr, HistoryEvent, TraceEvent, TraceKind};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 
@@ -26,6 +26,10 @@ pub struct ScriptCtx<M> {
     pub history: Vec<HistoryEvent>,
     pub recording: bool,
     pub stopped: bool,
+    /// Trace events the handler emitted (captured when `tracing` is on;
+    /// `node` is always 0 and `seq` counts captures in order).
+    pub traces: Vec<TraceEvent>,
+    pub tracing: bool,
 }
 
 impl<M> ScriptCtx<M> {
@@ -41,6 +45,8 @@ impl<M> ScriptCtx<M> {
             history: Vec::new(),
             recording: true,
             stopped: false,
+            traces: Vec::new(),
+            tracing: false,
         }
     }
 
@@ -114,6 +120,24 @@ impl<M> ActorCtx<M> for ScriptCtx<M> {
 
     fn stopped(&self) -> bool {
         self.stopped
+    }
+
+    fn tracing(&self) -> bool {
+        self.tracing
+    }
+
+    fn trace(&mut self, kind: TraceKind, a: u64, b: u64) {
+        if self.tracing {
+            let seq = self.traces.len() as u64;
+            self.traces.push(TraceEvent {
+                t: self.now,
+                node: 0,
+                seq,
+                kind,
+                a,
+                b,
+            });
+        }
     }
 }
 

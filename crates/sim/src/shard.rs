@@ -52,8 +52,9 @@ use contrarian_runtime::actor::{Actor, ActorCtx, TimerKind};
 use contrarian_runtime::cost::CostModel;
 use contrarian_runtime::history::TaggedEvent;
 use contrarian_runtime::metrics::Metrics;
+use contrarian_runtime::trace::{trace_cap_from_env, TraceRing};
 use contrarian_runtime::SimMessage;
-use contrarian_types::{Addr, HistoryEvent, NodeKind};
+use contrarian_types::{Addr, HistoryEvent, NodeKind, TraceEvent, TraceKind};
 use rand::rngs::SmallRng;
 use std::collections::VecDeque;
 
@@ -213,6 +214,9 @@ pub(crate) struct NodeSlot<A> {
     push_seq: u64,
     /// History records created so far by this node (canonical-order tag).
     record_seq: u64,
+    /// This node's trace ring (engine- and shard-count-independent: its
+    /// `seq` counter advances only while this node's events execute).
+    pub(crate) trace: TraceRing,
 }
 
 impl<A> NodeSlot<A> {
@@ -227,6 +231,7 @@ impl<A> NodeSlot<A> {
             rng,
             push_seq: 0,
             record_seq: 0,
+            trace: TraceRing::new(trace_cap_from_env()),
         }
     }
 }
@@ -268,6 +273,7 @@ pub(crate) struct Shard<A: Actor> {
     pub(crate) history: Vec<TaggedEvent>,
     pub(crate) events_processed: u64,
     pub(crate) recording: bool,
+    pub(crate) tracing: bool,
     pub(crate) stopped: bool,
 }
 
@@ -289,8 +295,15 @@ impl<A: Actor> Shard<A> {
             history: Vec::new(),
             events_processed: 0,
             recording: false,
+            tracing: false,
             stopped: false,
         }
+    }
+
+    /// Takes every node's buffered trace events (one batch per node;
+    /// identity counters keep running).
+    pub(crate) fn drain_trace(&mut self) -> Vec<Vec<TraceEvent>> {
+        self.nodes.iter_mut().map(|n| n.trace.drain()).collect()
     }
 
     /// Allocates the next event key for a local node.
@@ -331,7 +344,7 @@ impl<A: Actor> Shard<A> {
         self.now = t;
         self.events_processed += 1;
         match kind {
-            EvKind::Arrive { to, from, msg } => self.on_arrive(to, from, msg),
+            EvKind::Arrive { to, from, msg } => self.on_arrive(routing, to, from, msg),
             EvKind::ServiceDone { node, from, msg } => {
                 self.on_service_done(routing, node, from, msg)
             }
@@ -357,10 +370,22 @@ impl<A: Actor> Shard<A> {
         msg
     }
 
-    fn on_arrive(&mut self, to: usize, from: Addr, msg: A::Msg) {
+    fn on_arrive(&mut self, routing: &Routing, to: usize, from: Addr, msg: A::Msg) {
         if self.metrics.enabled {
             self.metrics.msgs += 1;
             self.metrics.bytes += msg.wire_size() as u64;
+        }
+        if self.tracing {
+            let src = routing.global(from) as u64;
+            let slot = &mut self.nodes[to];
+            let gid = slot.global_id;
+            slot.trace.push(
+                self.now,
+                gid,
+                TraceKind::MsgDeliver,
+                src,
+                msg.wire_size() as u64,
+            );
         }
         let slot = &self.nodes[to];
         if slot.workers == 0 {
@@ -442,7 +467,7 @@ impl<A: Actor> Shard<A> {
         let mut out = std::mem::take(&mut self.scratch_out);
         let mut timers = std::mem::take(&mut self.scratch_timers);
         debug_assert!(out.is_empty() && timers.is_empty());
-        let (addr, is_server, charge) = {
+        let (addr, gid, is_server, charge) = {
             // Disjoint field borrows: the actor and its rng live in the
             // node slot, the ctx additionally borrows the shard's metrics
             // and history.
@@ -459,10 +484,12 @@ impl<A: Actor> Shard<A> {
                 metrics: &mut self.metrics,
                 history: &mut self.history,
                 recording: self.recording,
+                tracing: self.tracing,
+                trace_ring: &mut slot.trace,
                 stopped: self.stopped,
             };
             f(&mut slot.actor, &mut ctx);
-            (slot.addr, slot.workers > 0, ctx.charge)
+            (slot.addr, slot.global_id, slot.workers > 0, ctx.charge)
         };
 
         // Send phase: messages depart back-to-back after the handler, each
@@ -497,6 +524,15 @@ impl<A: Actor> Shard<A> {
                 arrive = *link + 1;
             }
             *link = arrive;
+            if self.tracing {
+                self.nodes[node].trace.push(
+                    self.now,
+                    gid,
+                    TraceKind::MsgSend,
+                    to_global as u64,
+                    msg.wire_size() as u64,
+                );
+            }
             let key = self.alloc_key(node);
             let (to_shard, to_local) = routing.locate(to_global);
             if to_shard == self.id {
@@ -559,6 +595,8 @@ struct SimCtx<'a, M> {
     metrics: &'a mut Metrics,
     history: &'a mut Vec<TaggedEvent>,
     recording: bool,
+    tracing: bool,
+    trace_ring: &'a mut TraceRing,
     stopped: bool,
 }
 
@@ -605,6 +643,16 @@ impl<'a, M> ActorCtx<M> for SimCtx<'a, M> {
 
     fn recording(&self) -> bool {
         self.recording
+    }
+
+    fn tracing(&self) -> bool {
+        self.tracing
+    }
+
+    fn trace(&mut self, kind: TraceKind, a: u64, b: u64) {
+        if self.tracing {
+            self.trace_ring.push(self.now, self.node_id, kind, a, b);
+        }
     }
 
     fn stopped(&self) -> bool {

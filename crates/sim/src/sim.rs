@@ -21,8 +21,9 @@ use contrarian_runtime::cost::CostModel;
 use contrarian_runtime::history::merge_shard_histories;
 use contrarian_runtime::metrics::Metrics;
 use contrarian_runtime::node_loop::node_seed;
+use contrarian_runtime::trace::merge_traces;
 use contrarian_runtime::Runtime;
-use contrarian_types::{Addr, HistoryEvent, NodeKind, Op};
+use contrarian_types::{Addr, HistoryEvent, NodeKind, Op, TraceEvent};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 use std::collections::HashMap;
@@ -51,6 +52,7 @@ pub struct Sim<A: Actor> {
     master: Metrics,
     metrics_dirty: bool,
     recording: bool,
+    tracing: bool,
     stopped: bool,
     started: bool,
 }
@@ -79,6 +81,7 @@ impl<A: Actor> Sim<A> {
             master: Metrics::new(),
             metrics_dirty: false,
             recording: false,
+            tracing: false,
             stopped: false,
             started: false,
         }
@@ -162,6 +165,7 @@ impl<A: Actor> Sim<A> {
             .map(|i| {
                 let mut s = Shard::new(i, self.sched.queue_kind(), self.cost.clone());
                 s.recording = self.recording;
+                s.tracing = self.tracing;
                 s.stopped = self.stopped;
                 s.metrics.enabled = self.master.enabled;
                 s
@@ -227,6 +231,7 @@ impl<A: Actor> Sim<A> {
         for s in &mut self.shards {
             s.metrics.enabled = enabled;
             s.recording = self.recording;
+            s.tracing = self.tracing;
             s.stopped = self.stopped;
         }
     }
@@ -262,6 +267,27 @@ impl<A: Actor> Sim<A> {
         for s in &mut self.shards {
             s.recording = on;
         }
+    }
+
+    /// Enables the deterministic tracer (see `contrarian_runtime::trace`).
+    /// Off by default: disabled runs pay one branch per potential event.
+    pub fn set_tracing(&mut self, on: bool) {
+        self.tracing = on;
+        for s in &mut self.shards {
+            s.tracing = on;
+        }
+    }
+
+    /// Drains the trace events buffered since the last drain, merged into
+    /// the canonical `(t, node, seq)` order — identical across engines and
+    /// shard counts, the same property the history merge has.
+    pub fn drain_trace(&mut self) -> Vec<TraceEvent> {
+        merge_traces(
+            self.shards
+                .iter_mut()
+                .flat_map(|s| s.drain_trace())
+                .collect(),
+        )
     }
 
     /// Tells closed-loop clients to stop issuing new operations.
@@ -661,6 +687,37 @@ mod tests {
         for sched in ALL_ENGINES {
             assert_eq!(run(42, SchedKind::Calendar), run(42, sched), "{sched:?}");
         }
+    }
+
+    #[test]
+    fn traces_merge_identically_across_engines() {
+        // The engine-level MsgSend/MsgDeliver events alone must form the
+        // same canonical stream under every scheduler — same `(t, node,
+        // seq)` keys, same payloads.
+        let run = |sched| {
+            let mut sim = mk_with(sched);
+            sim.set_tracing(true);
+            sim.start();
+            sim.run_to_quiescence(u64::MAX);
+            sim.drain_trace()
+        };
+        let want = run(SchedKind::Calendar);
+        assert!(!want.is_empty(), "ping-pong produces send/deliver events");
+        assert!(
+            want.windows(2).all(|w| w[0].key() < w[1].key()),
+            "canonical order"
+        );
+        for sched in [SchedKind::Heap, SchedKind::Sharded { shards: 0 }] {
+            assert_eq!(run(sched), want, "{sched:?}");
+        }
+    }
+
+    #[test]
+    fn tracing_off_buffers_nothing() {
+        let mut sim = mk();
+        sim.start();
+        sim.run_to_quiescence(u64::MAX);
+        assert!(sim.drain_trace().is_empty());
     }
 
     #[test]

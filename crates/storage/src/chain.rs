@@ -9,11 +9,29 @@ pub struct Version<M> {
     pub value: Value,
     /// Protocol-specific metadata (dependency vector, old-reader record, …).
     pub meta: M,
+    /// Runtime timestamp (virtual/wall ns) at which the *origin* DC
+    /// installed this write. Propagated in replication so remote reads
+    /// and installs can measure visibility/data staleness against a
+    /// clock comparable across backends. Zero when unknown (tests,
+    /// prepopulated genesis data).
+    pub birth: u64,
 }
 
 impl<M> Version<M> {
     pub fn new(vid: VersionId, value: Value, meta: M) -> Self {
-        Version { vid, value, meta }
+        Version {
+            vid,
+            value,
+            meta,
+            birth: 0,
+        }
+    }
+
+    /// Stamps the origin-install time (builder style so existing
+    /// `Version::new` call sites stay untouched).
+    pub fn with_birth(mut self, birth: u64) -> Self {
+        self.birth = birth;
+        self
     }
 }
 

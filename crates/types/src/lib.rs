@@ -19,6 +19,7 @@ pub mod ids;
 pub mod intern;
 pub mod key;
 pub mod op;
+pub mod trace;
 pub mod vector;
 pub mod version;
 pub mod wire;
@@ -31,6 +32,7 @@ pub use ids::{Addr, ClientId, DcId, NodeKind, PartitionId, TxId};
 pub use intern::Interner;
 pub use key::Key;
 pub use op::Op;
+pub use trace::{TraceEvent, TraceKind};
 pub use vector::DepVector;
 pub use version::VersionId;
 pub use wire::WireSize;
