@@ -10,7 +10,7 @@ use contrarian_types::{
     VersionId,
 };
 use contrarian_workload::{Draw, OpSource};
-use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::collections::{BTreeMap, VecDeque};
 
 /// Per-client session state.
 ///
@@ -27,7 +27,9 @@ pub struct Client {
     source: OpSource,
     backlog: VecDeque<Op>,
     lamport: u64,
-    deps: HashMap<Key, VersionId>,
+    // BTreeMap so the dependency list serializes in key order without a
+    // sort — message bytes must be engine-independent.
+    deps: BTreeMap<Key, VersionId>,
     next_tx: u32,
     next_put: u32,
     pending: Option<Pending>,
@@ -56,7 +58,7 @@ impl Client {
             source,
             backlog: VecDeque::new(),
             lamport: 0,
-            deps: HashMap::new(),
+            deps: BTreeMap::new(),
             next_tx: 0,
             next_put: 0,
             pending: None,
@@ -136,10 +138,9 @@ impl Client {
             ctx.trace(TraceKind::OpBegin, op_class::PUT, seq as u64);
         }
         let target = Addr::server(self.addr.dc, key.partition(self.cfg.n_partitions));
-        // Explicit dependencies: everything read since the last PUT (sorted
-        // for deterministic bytes).
-        let mut deps: Vec<Dep> = self.deps.iter().map(|(k, v)| (*k, *v)).collect();
-        deps.sort_unstable_by_key(|(k, _)| *k);
+        // Explicit dependencies: everything read since the last PUT, in key
+        // order (BTreeMap iteration) for deterministic bytes.
+        let deps: Vec<Dep> = self.deps.iter().map(|(k, v)| (*k, *v)).collect();
         self.pending = Some(Pending::Put { seq, t0 });
         self.last_put_key = key;
         ctx.send(

@@ -46,6 +46,7 @@ impl ReaderSet {
     /// Moves every entry of `other` into `self` (current readers become old
     /// readers when the head version is superseded).
     pub fn absorb(&mut self, other: &mut ReaderSet) {
+        // lint:allow(determinism): map-to-map move keyed by unique tx ids; insertion order cannot change the resulting map
         for (tx, e) in other.entries.drain() {
             self.entries.insert(tx, e);
         }
@@ -58,6 +59,7 @@ impl ReaderSet {
     /// reads). Returns `(tx, read_time)` pairs.
     pub fn query(&self, dep_ts: u64, now: u64, gc_ns: u64) -> Vec<(TxId, u64)> {
         let mut per_client: HashMap<contrarian_types::ClientId, (TxId, u64)> = HashMap::new();
+        // lint:allow(determinism): order-free max-by-seq fold per client; the result is sorted before it reaches message bytes
         for e in self.entries.values() {
             if e.read_version_ts >= dep_ts {
                 continue; // read the dependency or newer: not old for it
@@ -76,6 +78,7 @@ impl ReaderSet {
                 }
             }
         }
+        // lint:allow(determinism): sorted immediately below, before the pairs reach message bytes
         let mut out: Vec<(TxId, u64)> = per_client.into_values().collect();
         out.sort_unstable(); // deterministic message contents
         out
@@ -141,6 +144,7 @@ impl BlockRecord {
 
     /// All `(tx, read_time)` pairs, sorted (deterministic message bytes).
     pub fn pairs(&self) -> Vec<(TxId, u64)> {
+        // lint:allow(determinism): sorted immediately below, before the pairs reach message bytes
         let mut out: Vec<(TxId, u64)> = self.entries.iter().map(|(t, rt)| (*t, *rt)).collect();
         out.sort_unstable();
         out

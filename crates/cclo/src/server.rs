@@ -96,7 +96,9 @@ impl Server {
     /// Reader-record sizes (diagnostics).
     pub fn record_sizes(&self) -> (usize, usize) {
         (
+            // lint:allow(determinism): commutative size sums for diagnostics
             self.readers.values().map(|r| r.len()).sum(),
+            // lint:allow(determinism): commutative size sums for diagnostics
             self.old_readers.values().map(|r| r.len()).sum(),
         )
     }
@@ -121,15 +123,19 @@ impl Server {
         let now = ctx.now();
         let window = self.gc_window_ns();
         let mut touched = 0usize;
+        // lint:allow(determinism): per-entry GC; kept/dropped fold commutatively
         for set in self.readers.values_mut() {
             let (kept, dropped) = set.gc(now, window);
             touched += kept + dropped;
         }
+        // lint:allow(determinism): per-entry emptiness predicate, order-free
         self.readers.retain(|_, s| !s.is_empty());
+        // lint:allow(determinism): per-entry GC; kept/dropped fold commutatively
         for set in self.old_readers.values_mut() {
             let (kept, dropped) = set.gc(now, window);
             touched += kept + dropped;
         }
+        // lint:allow(determinism): per-entry emptiness predicate, order-free
         self.old_readers.retain(|_, s| !s.is_empty());
         // Version GC: anything past double the reader window can no longer
         // be returned to a blocked ROT.

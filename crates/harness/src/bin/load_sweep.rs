@@ -131,7 +131,10 @@ fn print_sweep(runtime: &str, sweep: &SaturationSweep, rows: &mut Vec<Vec<String
 }
 
 fn main() {
-    let smoke = matches!(std::env::var("CONTRARIAN_SCALE").as_deref(), Ok("smoke"));
+    let smoke = matches!(
+        contrarian_runtime::env::var(contrarian_runtime::env::SCALE).as_deref(),
+        Some("smoke")
+    );
     let headers = [
         "runtime",
         "protocol",

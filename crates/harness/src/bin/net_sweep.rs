@@ -112,7 +112,10 @@ fn predict_sim(
 }
 
 fn main() {
-    let smoke = matches!(std::env::var("CONTRARIAN_SCALE").as_deref(), Ok("smoke"));
+    let smoke = matches!(
+        contrarian_runtime::env::var(contrarian_runtime::env::SCALE).as_deref(),
+        Some("smoke")
+    );
     let (warmup, measure, load_points): (Duration, Duration, Vec<u16>) = if smoke {
         (
             Duration::from_millis(150),

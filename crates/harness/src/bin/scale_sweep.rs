@@ -24,9 +24,9 @@ use std::time::Instant;
 fn main() {
     // This sweep is itself the Scale::Large demonstration; CONTRARIAN_SCALE
     // still overrides (e.g. `smoke` for a fast functional pass).
-    let scale = match std::env::var("CONTRARIAN_SCALE") {
-        Ok(_) => Scale::from_env(),
-        Err(_) => Scale::large(),
+    let scale = match contrarian_runtime::env::var(contrarian_runtime::env::SCALE) {
+        Some(_) => Scale::from_env(),
+        None => Scale::large(),
     };
     let wl = WorkloadSpec::paper_default();
 

@@ -100,11 +100,11 @@ impl Scale {
     }
 
     pub fn from_env() -> Self {
-        match std::env::var("CONTRARIAN_SCALE").as_deref() {
-            Ok("smoke") => Scale::smoke(),
-            Ok("paper") => Scale::paper(),
-            Ok("large") => Scale::large(),
-            Ok("xlarge") => Scale::xlarge(),
+        match contrarian_runtime::env::var(contrarian_runtime::env::SCALE).as_deref() {
+            Some("smoke") => Scale::smoke(),
+            Some("paper") => Scale::paper(),
+            Some("large") => Scale::large(),
+            Some("xlarge") => Scale::xlarge(),
             _ => Scale::quick(),
         }
     }

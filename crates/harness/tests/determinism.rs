@@ -39,7 +39,7 @@ const OTHER_ENGINES: [SchedKind; 2] = [SchedKind::Heap, SchedKind::Sharded { sha
 #[test]
 fn engines_replay_identical_histories_matching_golden() {
     // Three shards → three window threads, even on 1-CPU CI runners.
-    std::env::set_var("CONTRARIAN_SHARD_THREADS", "3");
+    std::env::set_var(contrarian_runtime::env::SHARD_THREADS, "3");
     // (events, FNV-1a of the Debug-formatted history) of three-DC
     // functional runs, recorded from the calendar engine.
     let golden = [
@@ -75,7 +75,7 @@ fn engines_replay_identical_histories_matching_golden() {
         }
         got.push((protocol, fingerprint(&calendar)));
     }
-    std::env::remove_var("CONTRARIAN_SHARD_THREADS");
+    std::env::remove_var(contrarian_runtime::env::SHARD_THREADS);
     // On mismatch (an *intentional* engine-semantics change), replace the
     // golden table with this printout:
     for (p, (n, h)) in &got {

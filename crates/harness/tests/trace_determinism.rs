@@ -18,7 +18,7 @@ use contrarian_workload::{OpenLoopSpec, WorkloadSpec};
 #[test]
 fn traced_load_runs_merge_identically_across_engines() {
     // Two shards → two window threads, even on 1-CPU CI runners.
-    std::env::set_var("CONTRARIAN_SHARD_THREADS", "2");
+    std::env::set_var(contrarian_runtime::env::SHARD_THREADS, "2");
     for protocol in [Protocol::Contrarian, Protocol::CcLo] {
         let mut cfg = LoadConfig {
             protocol,
@@ -50,5 +50,5 @@ fn traced_load_runs_merge_identically_across_engines() {
             );
         }
     }
-    std::env::remove_var("CONTRARIAN_SHARD_THREADS");
+    std::env::remove_var(contrarian_runtime::env::SHARD_THREADS);
 }

@@ -1,0 +1,257 @@
+//! Rule `determinism`: deterministic crates must be pure functions of
+//! `(config, seed)`.
+//!
+//! Two checks. First, a forbidden-construct list: wall clocks, OS
+//! entropy, machine-shape probes, and sleeps have no business in code
+//! whose histories must be bit-identical across engines and runs.
+//! Second, hash-order iteration: `HashMap`/`HashSet` iterate in a
+//! per-process random order (std's `RandomState` seeds from the OS), so
+//! any iteration that can leak into message bytes, histories, or traces
+//! is a determinism leak waiting for an input to expose it. Lookup-only
+//! use of hash tables is fine and common — the rule tracks names
+//! *declared* with hash types in the file and flags only iteration
+//! constructs over them.
+//!
+//! Order-independent folds (sums, per-entry GC) are legitimate; annotate
+//! them with `// lint:allow(determinism): <why order cannot leak>`.
+
+use crate::policy::{FileClass, Policy};
+use crate::scan::{find_word, has_word};
+use crate::{Diagnostic, SourceFile};
+use std::collections::BTreeSet;
+
+const RULE: &str = "determinism";
+
+/// Identifier → message for flat forbidden constructs.
+const FORBIDDEN: &[(&str, &str)] = &[
+    ("Instant", "wall-clock time (`Instant`) in a deterministic crate — take timestamps from the runtime context (`ctx.now()`)"),
+    ("SystemTime", "wall-clock time (`SystemTime`) in a deterministic crate — take timestamps from the runtime context (`ctx.now()`)"),
+    ("thread_rng", "OS-seeded RNG (`thread_rng`) in a deterministic crate — use the per-node seeded RNG streams"),
+    ("available_parallelism", "machine-shape probe (`available_parallelism`) in a deterministic crate — results must not depend on core count"),
+];
+
+/// Methods whose call on a hash collection observes hash order.
+const ITER_METHODS: &[&str] = &[
+    "iter",
+    "iter_mut",
+    "keys",
+    "values",
+    "values_mut",
+    "into_iter",
+    "into_keys",
+    "into_values",
+    "drain",
+    "retain",
+];
+
+pub fn check(file: &SourceFile, policy: &Policy, out: &mut Vec<Diagnostic>) {
+    if policy.classify(&file.rel) != FileClass::Deterministic {
+        return;
+    }
+    let hash_names = collect_hash_names(file);
+    for (idx, line) in file.lines.iter().enumerate() {
+        if file.in_test[idx] {
+            // Unit tests may race wall-clock deadlines etc.; the invariant
+            // is about protocol/simulator execution paths.
+            continue;
+        }
+        let code = &line.code;
+        for (ident, msg) in FORBIDDEN {
+            if has_word(code, ident) {
+                out.push(diag(file, idx, msg));
+            }
+        }
+        if code.contains("thread::sleep") || code.contains("thread :: sleep") {
+            out.push(diag(
+                file,
+                idx,
+                "`thread::sleep` in a deterministic crate — schedule a timer on the runtime instead",
+            ));
+        }
+        for name in iterated_hash_names(code, &hash_names) {
+            out.push(diag(
+                file,
+                idx,
+                &format!(
+                    "hash-order iteration over `{name}` (declared as HashMap/HashSet here) — \
+                     iterate a sorted copy, switch to BTreeMap/BTreeSet, or justify with \
+                     lint:allow if order provably cannot leak"
+                ),
+            ));
+        }
+    }
+}
+
+fn diag(file: &SourceFile, idx: usize, msg: &str) -> Diagnostic {
+    Diagnostic {
+        file: file.rel.clone(),
+        line: idx + 1,
+        rule: RULE,
+        msg: msg.to_string(),
+    }
+}
+
+/// Names declared with a hash-table type anywhere in the file: fields
+/// (`name: HashMap<..>`), lets (`let mut name = HashMap::new()`,
+/// `let name: HashMap<..> = ..`), and struct-literal inits
+/// (`name: HashMap::new(),`).
+fn collect_hash_names(file: &SourceFile) -> BTreeSet<String> {
+    let mut names = BTreeSet::new();
+    for line in &file.lines {
+        let code = &line.code;
+        for ty in ["HashMap", "HashSet"] {
+            let mut from = 0;
+            while let Some(pos) = code[from..].find(ty) {
+                let at = from + pos;
+                from = at + ty.len();
+                // Word boundary on the left (HashMap vs FxHashMap).
+                if code[..at]
+                    .chars()
+                    .next_back()
+                    .is_some_and(|c| c.is_alphanumeric() || c == '_')
+                {
+                    continue;
+                }
+                if let Some(name) = declared_name(&code[..at]) {
+                    names.insert(name);
+                }
+            }
+        }
+    }
+    names
+}
+
+/// Given the text before a `HashMap`/`HashSet` occurrence, extracts the
+/// declared name, if this is a declaration site.
+fn declared_name(prefix: &str) -> Option<String> {
+    let trimmed = prefix.trim_end();
+    // `name: HashMap<..>` / `name: &HashMap<..>` / `name: &mut HashMap<..>`
+    let before_refs = trimmed
+        .trim_end_matches("&mut")
+        .trim_end()
+        .trim_end_matches('&')
+        .trim_end();
+    if let Some(before_colon) = before_refs.strip_suffix(':') {
+        // Exclude `::` paths and struct field *accesses* in type position.
+        if !before_colon.ends_with(':') {
+            return trailing_ident(before_colon);
+        }
+    }
+    // `let [mut] name = HashMap::new()` (no type annotation).
+    if trimmed.ends_with('=') {
+        let lhs = trimmed.trim_end_matches('=').trim();
+        if let Some(after_let) = lhs.strip_prefix("let ") {
+            let name_part = after_let.trim_start().trim_start_matches("mut ").trim();
+            if is_ident(name_part) {
+                return Some(name_part.to_string());
+            }
+        }
+    }
+    None
+}
+
+fn trailing_ident(s: &str) -> Option<String> {
+    let s = s.trim_end();
+    let end = s.len();
+    let start = s
+        .rfind(|c: char| !(c.is_alphanumeric() || c == '_'))
+        .map(|p| p + 1)
+        .unwrap_or(0);
+    let ident = &s[start..end];
+    (is_ident(ident) && !ident.chars().next().is_some_and(|c| c.is_numeric()))
+        .then(|| ident.to_string())
+}
+
+fn is_ident(s: &str) -> bool {
+    !s.is_empty() && s.chars().all(|c| c.is_alphanumeric() || c == '_')
+}
+
+/// Hash-declared names iterated on this line, via method calls
+/// (`name.iter()`, `self.name.drain()`) or `for .. in [&[mut]] name`.
+fn iterated_hash_names(code: &str, hash_names: &BTreeSet<String>) -> Vec<String> {
+    let mut found = Vec::new();
+    for method in ITER_METHODS {
+        let pat = format!(".{method}(");
+        let mut from = 0;
+        while let Some(pos) = code[from..].find(&pat) {
+            let at = from + pos;
+            from = at + pat.len();
+            if let Some(recv) = receiver_ident(&code[..at]) {
+                if hash_names.contains(&recv) && !found.contains(&recv) {
+                    found.push(recv);
+                }
+            }
+        }
+    }
+    if let Some(pos) = find_word(code, "for") {
+        if let Some(in_pos) = code[pos..].find(" in ") {
+            let expr = code[pos + in_pos + 4..].trim();
+            let expr = expr
+                .trim_start_matches('&')
+                .trim_start_matches("mut ")
+                .trim_end_matches('{')
+                .trim();
+            // Only pure paths (`name`, `self.name`): calls and ranges are
+            // handled by the method scan or are not hash iteration.
+            if !expr.is_empty()
+                && expr
+                    .chars()
+                    .all(|c| c.is_alphanumeric() || c == '_' || c == '.')
+                && !expr.contains("..")
+            {
+                if let Some(last) = expr.rsplit('.').next() {
+                    if hash_names.contains(last) && !found.contains(&last.to_string()) {
+                        found.push(last.to_string());
+                    }
+                }
+            }
+        }
+    }
+    found
+}
+
+/// The last path segment of the receiver ending at `end` (e.g. `map` in
+/// `self.map` for `self.map.iter()`).
+fn receiver_ident(before: &str) -> Option<String> {
+    trailing_ident(before)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn names(src: &str) -> BTreeSet<String> {
+        collect_hash_names(&SourceFile::new("crates/sim/src/x.rs".into(), src))
+    }
+
+    #[test]
+    fn declaration_sites() {
+        let n = names(
+            "struct S { map: HashMap<K, V>, set: HashSet<K> }\n\
+             fn f(arg: &HashMap<K, V>) {\n    let mut local = HashMap::new();\n\
+             let typed: HashMap<K, V> = HashMap::new();\n}\n\
+             S { map: HashMap::new() };\n",
+        );
+        for expect in ["map", "set", "arg", "local", "typed"] {
+            assert!(n.contains(expect), "missing {expect} in {n:?}");
+        }
+    }
+
+    #[test]
+    fn iteration_detection() {
+        let mut set = BTreeSet::new();
+        set.insert("map".to_string());
+        assert_eq!(
+            iterated_hash_names("self.map.values_mut()", &set),
+            vec!["map"]
+        );
+        assert_eq!(
+            iterated_hash_names("for (k, v) in &self.map {", &set),
+            vec!["map"]
+        );
+        assert_eq!(iterated_hash_names("for x in map {", &set), vec!["map"]);
+        assert!(iterated_hash_names("self.map.get(&k)", &set).is_empty());
+        assert!(iterated_hash_names("other.iter()", &set).is_empty());
+        assert!(iterated_hash_names("for i in 0..map.len() {", &set).is_empty());
+    }
+}

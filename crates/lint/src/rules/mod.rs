@@ -1,0 +1,10 @@
+//! The rule families. Each module exposes a `check` that appends
+//! [`Diagnostic`](crate::Diagnostic)s for one file; cross-file context
+//! (enum definitions, the env registry) is collected up front by the
+//! engine and passed in.
+
+pub mod determinism;
+pub mod envreg;
+pub mod queues;
+pub mod unsafe_hygiene;
+pub mod wire;

@@ -1,0 +1,102 @@
+//! Rule `unsafe-hygiene`: every `unsafe` block, function, or impl must
+//! carry a `// SAFETY:` comment stating the invariant that makes it
+//! sound.
+//!
+//! Applies everywhere — OS-facing crates too (the epoll bindings in
+//! `crates/net/src/sys.rs` are the big cluster). The comment counts when
+//! it is on the same line, or on a directly preceding comment/attribute
+//! run (blank lines and `#[...]` attributes don't break the run).
+
+use crate::scan::find_word;
+use crate::{Diagnostic, SourceFile};
+
+const RULE: &str = "unsafe-hygiene";
+
+pub fn check(file: &SourceFile, out: &mut Vec<Diagnostic>) {
+    for (idx, line) in file.lines.iter().enumerate() {
+        let code = &line.code;
+        let Some(pos) = find_word(code, "unsafe") else {
+            continue;
+        };
+        // Keyword position only: `unsafe {`, `unsafe fn`, `unsafe impl`,
+        // `unsafe extern`, `unsafe trait` (possibly wrapping to the next
+        // line).
+        let after = code[pos + 6..].trim_start();
+        let keyword_use = if after.is_empty() {
+            true // `unsafe` at end of line, block opens on the next
+        } else {
+            after.starts_with('{')
+                || after.starts_with("fn ")
+                || after.starts_with("impl")
+                || after.starts_with("extern")
+                || after.starts_with("trait")
+        };
+        if !keyword_use {
+            continue;
+        }
+        if !documented(file, idx) {
+            out.push(Diagnostic {
+                file: file.rel.clone(),
+                line: idx + 1,
+                rule: RULE,
+                msg: "`unsafe` without a `// SAFETY:` comment — state the invariant that \
+                      makes this sound on the line above"
+                    .to_string(),
+            });
+        }
+    }
+}
+
+/// A `SAFETY:` comment on the line itself, or on the comment/attribute
+/// run directly above it.
+fn documented(file: &SourceFile, idx: usize) -> bool {
+    if file.lines[idx].comment.contains("SAFETY:") {
+        return true;
+    }
+    let mut i = idx;
+    while i > 0 {
+        i -= 1;
+        let line = &file.lines[i];
+        let code = line.code.trim();
+        if code.is_empty() || code.starts_with("#[") {
+            if line.comment.contains("SAFETY:") {
+                return true;
+            }
+            continue;
+        }
+        return false;
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diags(src: &str) -> Vec<Diagnostic> {
+        let f = SourceFile::new("crates/net/src/x.rs".to_string(), src);
+        let mut out = Vec::new();
+        check(&f, &mut out);
+        out
+    }
+
+    #[test]
+    fn undocumented_unsafe_is_flagged() {
+        assert_eq!(diags("let x = unsafe { f() };\n").len(), 1);
+        assert_eq!(diags("unsafe fn f() {}\n").len(), 1);
+        assert_eq!(diags("unsafe impl Send for X {}\n").len(), 1);
+    }
+
+    #[test]
+    fn safety_comment_suppresses() {
+        assert!(diags("// SAFETY: fd is owned\nlet x = unsafe { f() };\n").is_empty());
+        assert!(diags("let x = unsafe { f() }; // SAFETY: fd is owned\n").is_empty());
+        assert!(diags("// SAFETY: sound because X\n#[inline]\nunsafe fn f() {}\n").is_empty());
+    }
+
+    #[test]
+    fn non_keyword_mentions_are_ignored() {
+        assert!(diags("let unsafe_count = 1; // unsafe { not code }\n").is_empty());
+        assert!(diags("let s = \"unsafe { }\";\n").is_empty());
+    }
+}

@@ -1,0 +1,468 @@
+//! Rule `wire-codec`: enum `Wire` impls must be complete and drift-free.
+//!
+//! The TCP runtime's wire format is one hand-written tag byte per enum
+//! variant. Nothing ties the `encode` match, the `decode` match, and the
+//! enum declaration together — adding a variant and forgetting one side,
+//! or reusing a tag, compiles fine and corrupts frames at runtime; today
+//! only proptest luck catches it. This rule parses every `impl Wire for
+//! <Enum>` and checks:
+//!
+//! * every declared variant appears in the `encode` match and in the
+//!   `decode` match,
+//! * encode tags (`out.push(<literal>)`) are unique and dense (`0..n`),
+//! * decode tags (`<literal> => ..`) are exactly the encode tags,
+//! * each tag maps to the same variant on both sides (no drift).
+//!
+//! `Wire` impls for structs (no enum definition in the same file/crate)
+//! are skipped — they have no tags to drift.
+
+use crate::policy::crate_key;
+use crate::scan::{find_word, Line};
+use crate::{Diagnostic, SourceFile};
+use std::collections::BTreeMap;
+
+const RULE: &str = "wire-codec";
+
+/// An enum declaration: where it lives and its variant names.
+pub struct EnumDef {
+    pub rel: String,
+    pub variants: Vec<String>,
+}
+
+/// Collects every enum declaration, keyed by `(crate key, name)`.
+pub fn collect_enums(files: &[SourceFile]) -> BTreeMap<(String, String), EnumDef> {
+    let mut out = BTreeMap::new();
+    for file in files {
+        let key = crate_key(&file.rel);
+        let mut i = 0;
+        while i < file.lines.len() {
+            if let Some((name, variants, end)) = parse_enum(&file.lines, i) {
+                out.insert(
+                    (key.clone(), name),
+                    EnumDef {
+                        rel: file.rel.clone(),
+                        variants,
+                    },
+                );
+                i = end;
+            } else {
+                i += 1;
+            }
+        }
+    }
+    out
+}
+
+/// Parses an enum declaration starting at line `i`, returning
+/// `(name, variants, next line index)`.
+fn parse_enum(lines: &[Line], i: usize) -> Option<(String, Vec<String>, usize)> {
+    let code = &lines[i].code;
+    let pos = find_word(code, "enum")?;
+    let after = code[pos + 4..].trim_start();
+    let name: String = after
+        .chars()
+        .take_while(|c| c.is_alphanumeric() || *c == '_')
+        .collect();
+    if name.is_empty() || !name.chars().next().is_some_and(|c| c.is_alphabetic()) {
+        return None;
+    }
+    let rest = after[name.len()..].trim_start();
+    // Generic enums are declaration-order enums all the same, but none of
+    // the wire enums are generic; require `{` on the declaration line.
+    let brace = rest.find('{')?;
+    let mut variants = Vec::new();
+    // Single-line declaration: `enum Foo { A, B }`.
+    if let Some(close) = rest[brace..].find('}') {
+        for part in rest[brace + 1..brace + close].split(',') {
+            if let Some(v) = leading_variant(part.trim()) {
+                variants.push(v);
+            }
+        }
+        return Some((name, variants, i + 1));
+    }
+    let base = lines[i].depth;
+    let mut j = i + 1;
+    while j < lines.len() && lines[j].depth > base {
+        if lines[j].depth == base + 1 {
+            let t = lines[j].code.trim();
+            if !t.is_empty() && !t.starts_with("#[") && !t.starts_with('}') {
+                if let Some(v) = leading_variant(t) {
+                    variants.push(v);
+                }
+            }
+        }
+        j += 1;
+    }
+    Some((name, variants, j))
+}
+
+/// The leading identifier of a variant line, if it looks like a variant
+/// (uppercase start, followed by `,`/`(`/`{`/`=`/end).
+fn leading_variant(t: &str) -> Option<String> {
+    let ident: String = t
+        .chars()
+        .take_while(|c| c.is_alphanumeric() || *c == '_')
+        .collect();
+    if ident.is_empty() || !ident.chars().next().is_some_and(|c| c.is_uppercase()) {
+        return None;
+    }
+    match t[ident.len()..].trim_start().chars().next() {
+        None | Some(',') | Some('(') | Some('{') | Some('=') => Some(ident),
+        _ => None,
+    }
+}
+
+/// One parsed `impl Wire for <Target>` block.
+struct WireImpl {
+    target: String,
+    line: usize, // 0-based impl header line
+    /// `(variant, tag)` pairs from the encode match (tag is `None` when a
+    /// variant's arm pushes no literal tag).
+    encode: Vec<(String, Option<u64>)>,
+    /// `(tag, variant)` pairs from the decode match.
+    decode: Vec<(u64, String)>,
+}
+
+pub fn check(
+    file: &SourceFile,
+    enums: &BTreeMap<(String, String), EnumDef>,
+    out: &mut Vec<Diagnostic>,
+) {
+    let key = crate_key(&file.rel);
+    for imp in parse_impls(file) {
+        // Resolve the enum: same crate, then the facade/root namespace.
+        let def = enums
+            .get(&(key.clone(), imp.target.clone()))
+            .or_else(|| enums.get(&(String::new(), imp.target.clone())));
+        let Some(def) = def else {
+            continue; // struct target (or external): no tags to drift
+        };
+        // Only check *same-file or same-crate* enums: a coincidental name
+        // match across crates must not cross-wire the checks.
+        check_impl(file, &imp, def, out);
+    }
+}
+
+fn check_impl(file: &SourceFile, imp: &WireImpl, def: &EnumDef, out: &mut Vec<Diagnostic>) {
+    let mut push = |msg: String| {
+        out.push(Diagnostic {
+            file: file.rel.clone(),
+            line: imp.line + 1,
+            rule: RULE,
+            msg,
+        })
+    };
+    let t = &imp.target;
+    for v in &def.variants {
+        if !imp.encode.iter().any(|(ev, _)| ev == v) {
+            push(format!(
+                "variant `{t}::{v}` is missing from the `encode` match (declared in {})",
+                def.rel
+            ));
+        }
+        if !imp.decode.iter().any(|(_, dv)| dv == v) {
+            push(format!(
+                "variant `{t}::{v}` is missing from the `decode` match (declared in {})",
+                def.rel
+            ));
+        }
+    }
+    for (v, _) in &imp.encode {
+        if !def.variants.contains(v) {
+            push(format!(
+                "`encode` matches unknown variant `{t}::{v}` (not declared in {})",
+                def.rel
+            ));
+        }
+    }
+    let mut etags: Vec<(u64, &String)> = imp
+        .encode
+        .iter()
+        .filter_map(|(v, tag)| tag.map(|n| (n, v)))
+        .collect();
+    etags.sort();
+    for w in etags.windows(2) {
+        if w[0].0 == w[1].0 {
+            push(format!(
+                "duplicate encode tag {} (`{t}::{}` and `{t}::{}`)",
+                w[0].0, w[0].1, w[1].1
+            ));
+        }
+    }
+    let unique: Vec<u64> = {
+        let mut v: Vec<u64> = etags.iter().map(|(n, _)| *n).collect();
+        v.dedup();
+        v
+    };
+    if !unique.is_empty() {
+        let expect: Vec<u64> = (0..unique.len() as u64).collect();
+        if unique != expect {
+            push(format!(
+                "encode tags are not dense from 0: found {unique:?} — gaps invite silent \
+                 reuse and cross-backend tag drift"
+            ));
+        }
+    }
+    let mut dtags: Vec<u64> = imp.decode.iter().map(|(n, _)| *n).collect();
+    dtags.sort();
+    let mut ddedup = dtags.clone();
+    ddedup.dedup();
+    if ddedup.len() != dtags.len() {
+        push(format!("duplicate decode tags in `{t}`: {dtags:?}"));
+    }
+    if !unique.is_empty() && ddedup != unique {
+        push(format!(
+            "encode/decode tag sets differ for `{t}`: encode {unique:?} vs decode {ddedup:?}"
+        ));
+    }
+    for (n, ev) in &etags {
+        if let Some((_, dv)) = imp.decode.iter().find(|(dn, _)| dn == n) {
+            if *ev != dv {
+                push(format!(
+                    "tag {n} drift: `encode` writes it for `{t}::{ev}` but `decode` reads \
+                     `{t}::{dv}`"
+                ));
+            }
+        }
+    }
+}
+
+/// Parses every `impl Wire for <Ident>` block in the file.
+fn parse_impls(file: &SourceFile) -> Vec<WireImpl> {
+    let lines = &file.lines;
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < lines.len() {
+        let code = &lines[i].code;
+        let header = find_word(code, "impl").is_some() && code.contains(" Wire for ");
+        if !header {
+            i += 1;
+            continue;
+        }
+        let after = code
+            .split(" Wire for ")
+            .nth(1)
+            .expect("checked contains")
+            .trim_start();
+        let target: String = after
+            .chars()
+            .take_while(|c| c.is_alphanumeric() || *c == '_')
+            .collect();
+        let rest = after[target.len()..].trim_start();
+        let plain = !target.is_empty()
+            && target.chars().next().is_some_and(|c| c.is_alphabetic())
+            && (rest.is_empty() || rest.starts_with('{'));
+        if !plain {
+            i += 1;
+            continue; // tuple/generic/macro target: not a tagged enum impl
+        }
+        let base = lines[i].depth;
+        let mut imp = WireImpl {
+            target: target.clone(),
+            line: i,
+            encode: Vec::new(),
+            decode: Vec::new(),
+        };
+        let mut j = i + 1;
+        while j < lines.len() && lines[j].depth > base {
+            let c = &lines[j].code;
+            if lines[j].depth == base + 1 && find_word(c, "fn").is_some() {
+                if find_word(c, "encode").is_some() {
+                    j = parse_encode(lines, j, &target, &mut imp.encode);
+                    continue;
+                }
+                if find_word(c, "decode").is_some() {
+                    j = parse_decode(lines, j, &target, &mut imp.decode);
+                    continue;
+                }
+            }
+            j += 1;
+        }
+        out.push(imp);
+        i = j;
+    }
+    out
+}
+
+/// Scans an `fn encode` body: pairs each `out.push(<int>)` with the most
+/// recent `Target::Variant` (or `Self::Variant`) mention. Returns the
+/// index after the body.
+fn parse_encode(
+    lines: &[Line],
+    fn_line: usize,
+    target: &str,
+    out: &mut Vec<(String, Option<u64>)>,
+) -> usize {
+    let base = lines[fn_line].depth;
+    let mut j = fn_line + 1;
+    let mut current: Option<usize> = None; // index into `out`
+    while j < lines.len() && lines[j].depth > base {
+        for v in variant_mentions(&lines[j].code, target) {
+            out.push((v, None));
+            current = Some(out.len() - 1);
+        }
+        if let Some(tag) = push_literal(&lines[j].code) {
+            if let Some(k) = current {
+                if out[k].1.is_none() {
+                    out[k].1 = Some(tag);
+                }
+            }
+        }
+        j += 1;
+    }
+    j
+}
+
+/// Scans an `fn decode` body: pairs each `<int> =>` arm with the next
+/// `Target::Variant` mention. Returns the index after the body.
+fn parse_decode(
+    lines: &[Line],
+    fn_line: usize,
+    target: &str,
+    out: &mut Vec<(u64, String)>,
+) -> usize {
+    let base = lines[fn_line].depth;
+    let mut j = fn_line + 1;
+    let mut pending: Option<u64> = None;
+    while j < lines.len() && lines[j].depth > base {
+        if let Some(tag) = arm_literal(&lines[j].code) {
+            pending = Some(tag);
+        }
+        if let Some(tag) = pending {
+            if let Some(v) = variant_mentions(&lines[j].code, target).into_iter().next() {
+                out.push((tag, v));
+                pending = None;
+            }
+        }
+        j += 1;
+    }
+    j
+}
+
+/// `Target::Variant` and `Self::Variant` mentions on a line.
+fn variant_mentions(code: &str, target: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    for prefix in [format!("{target}::"), "Self::".to_string()] {
+        let mut from = 0;
+        while let Some(pos) = code[from..].find(&prefix) {
+            let at = from + pos;
+            from = at + prefix.len();
+            // Word boundary on the left.
+            if code[..at]
+                .chars()
+                .next_back()
+                .is_some_and(|c| c.is_alphanumeric() || c == '_' || c == ':')
+            {
+                continue;
+            }
+            let v: String = code[at + prefix.len()..]
+                .chars()
+                .take_while(|c| c.is_alphanumeric() || *c == '_')
+                .collect();
+            if v.chars().next().is_some_and(|c| c.is_uppercase()) && !out.contains(&v) {
+                out.push(v);
+            }
+        }
+    }
+    out
+}
+
+/// The integer in `.push(<int>)`, if present.
+fn push_literal(code: &str) -> Option<u64> {
+    let pos = code.find(".push(")?;
+    let arg = &code[pos + 6..];
+    parse_int(arg.trim_start())
+}
+
+/// The integer in a leading `<int> =>` match arm.
+fn arm_literal(code: &str) -> Option<u64> {
+    let t = code.trim_start();
+    let n = parse_int(t)?;
+    let digits = t
+        .chars()
+        .take_while(|c| c.is_ascii_digit() || *c == '_')
+        .count();
+    t[digits..].trim_start().starts_with("=>").then_some(n)
+}
+
+/// Parses a leading decimal integer literal (underscores allowed); the
+/// literal must be followed by a non-identifier character.
+fn parse_int(s: &str) -> Option<u64> {
+    let digits: String = s
+        .chars()
+        .take_while(|c| c.is_ascii_digit() || *c == '_')
+        .collect();
+    if digits.is_empty() || !digits.chars().next().is_some_and(|c| c.is_ascii_digit()) {
+        return None;
+    }
+    if s[digits.len()..]
+        .chars()
+        .next()
+        .is_some_and(|c| c.is_alphabetic() || c == '_')
+    {
+        return None; // identifier starting with a digit cannot occur; suffix like 0u8 — accept? no
+    }
+    digits.replace('_', "").parse().ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn files(src: &str) -> Vec<SourceFile> {
+        vec![SourceFile::new("crates/core/src/msg.rs".to_string(), src)]
+    }
+
+    const GOOD: &str = "pub enum Msg {\n    A { x: u8 },\n    B(u32),\n    C,\n}\n\
+        impl Wire for Msg {\n\
+            fn encode(&self, out: &mut Vec<u8>) {\n\
+                match self {\n\
+                    Msg::A { x } => {\n                        out.push(0);\n                        x.encode(out);\n                    }\n\
+                    Msg::B(v) => {\n                        out.push(1);\n                        v.encode(out);\n                    }\n\
+                    Msg::C => {\n                        out.push(2);\n                    }\n\
+                }\n\
+            }\n\
+            fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {\n\
+                Ok(match r.take(1)?[0] {\n\
+                    0 => Msg::A { x: u8::decode(r)? },\n\
+                    1 => Msg::B(u32::decode(r)?),\n\
+                    2 => Msg::C,\n\
+                    tag => return Err(CodecError::BadTag { what: \"Msg\", tag }),\n\
+                })\n\
+            }\n\
+        }\n";
+
+    #[test]
+    fn clean_impl_passes() {
+        let fs = files(GOOD);
+        let enums = collect_enums(&fs);
+        assert_eq!(
+            enums[&("crates/core".to_string(), "Msg".to_string())].variants,
+            vec!["A", "B", "C"]
+        );
+        let mut out = Vec::new();
+        check(&fs[0], &enums, &mut out);
+        assert!(out.is_empty(), "{out:?}");
+    }
+
+    #[test]
+    fn tag_gap_and_missing_variant_are_caught() {
+        let bad = GOOD.replace("out.push(1);", "out.push(3);");
+        let fs = files(&bad);
+        let enums = collect_enums(&fs);
+        let mut out = Vec::new();
+        check(&fs[0], &enums, &mut out);
+        assert!(out.iter().any(|d| d.msg.contains("not dense")), "{out:?}");
+
+        let bad = GOOD.replace("2 => Msg::C,", "");
+        let fs = files(&bad);
+        let enums = collect_enums(&fs);
+        let mut out = Vec::new();
+        check(&fs[0], &enums, &mut out);
+        assert!(
+            out.iter()
+                .any(|d| d.msg.contains("missing from the `decode`")),
+            "{out:?}"
+        );
+    }
+}

@@ -1,0 +1,326 @@
+//! A hand-rolled Rust line scanner.
+//!
+//! The offline policy rules out `syn`/`proc-macro2`, and the rules in this
+//! crate don't need full parse trees — they need to know, per line, *what
+//! is code*, *what is comment*, and *what string literals say*. This
+//! scanner walks the source once, character by character, tracking just
+//! enough lexical state to separate those three channels:
+//!
+//! * line (`//`, `///`, `//!`) and nested block (`/* */`) comments,
+//! * string literals (plain, byte, raw with any `#` count, multi-line),
+//! * char literals vs. lifetimes (`'a'` vs. `&'a str`),
+//! * code-only brace depth, recorded at the start of every line.
+//!
+//! The output deliberately loses everything the rules don't consume:
+//! string contents are blanked out of the code channel (so `"Instant"`
+//! never trips the determinism rule) and comments never reach it (so a
+//! commented-out `unsafe {` is invisible). Macro bodies are scanned as
+//! ordinary code — a rule violation inside `macro_rules!` is still a
+//! violation at every expansion site.
+
+/// One scanned source line, split into channels.
+#[derive(Debug, Clone)]
+pub struct Line {
+    /// The line's code with comments removed and string/char literal
+    /// contents blanked (the delimiting quotes remain).
+    pub code: String,
+    /// String literals that *start* on this line (full contents, even if
+    /// the literal spans further lines).
+    pub strings: Vec<String>,
+    /// Concatenated comment text on this line (line + block comments).
+    pub comment: String,
+    /// Brace depth (code braces only) at the start of the line.
+    pub depth: usize,
+}
+
+#[derive(Debug)]
+enum State {
+    Normal,
+    /// Inside `/* */`, with nesting count.
+    Block(u32),
+    /// Inside a string literal: `raw_hashes` is `Some(n)` for `r###"`.
+    Str {
+        raw_hashes: Option<u32>,
+    },
+}
+
+/// Scans a whole source file into per-line channels.
+pub fn scan(source: &str) -> Vec<Line> {
+    let mut out: Vec<Line> = Vec::new();
+    let mut state = State::Normal;
+    let mut depth: usize = 0;
+    // (start line index, accumulated contents) of an open string literal.
+    let mut pending_str: Option<(usize, String)> = None;
+
+    for (lineno, raw) in source.lines().enumerate() {
+        let chars: Vec<char> = raw.chars().collect();
+        let mut code = String::new();
+        let mut comment = String::new();
+        let start_depth = depth;
+        let mut strings: Vec<String> = Vec::new();
+        let mut i = 0usize;
+
+        while i < chars.len() {
+            let c = chars[i];
+            match state {
+                State::Block(ref mut n) => {
+                    if c == '/' && chars.get(i + 1) == Some(&'*') {
+                        *n += 1;
+                        i += 2;
+                    } else if c == '*' && chars.get(i + 1) == Some(&'/') {
+                        *n -= 1;
+                        let done = *n == 0;
+                        i += 2;
+                        if done {
+                            state = State::Normal;
+                        }
+                    } else {
+                        comment.push(c);
+                        i += 1;
+                    }
+                }
+                State::Str { raw_hashes } => {
+                    let buf = &mut pending_str.as_mut().expect("open string").1;
+                    match raw_hashes {
+                        None => {
+                            if c == '\\' {
+                                if let Some(&esc) = chars.get(i + 1) {
+                                    buf.push('\\');
+                                    buf.push(esc);
+                                    i += 2;
+                                } else {
+                                    // Trailing backslash: line continuation.
+                                    i += 1;
+                                }
+                            } else if c == '"' {
+                                code.push('"');
+                                let (start, text) = pending_str.take().expect("open string");
+                                finish_string(&mut out, &mut strings, lineno, start, text);
+                                state = State::Normal;
+                                i += 1;
+                            } else {
+                                buf.push(c);
+                                i += 1;
+                            }
+                        }
+                        Some(h) => {
+                            if c == '"' && closes_raw(&chars, i, h) {
+                                code.push('"');
+                                let (start, text) = pending_str.take().expect("open string");
+                                finish_string(&mut out, &mut strings, lineno, start, text);
+                                state = State::Normal;
+                                i += 1 + h as usize;
+                            } else {
+                                buf.push(c);
+                                i += 1;
+                            }
+                        }
+                    }
+                }
+                State::Normal => {
+                    if c == '/' && chars.get(i + 1) == Some(&'/') {
+                        // Line comment (incl. doc comments) to EOL.
+                        let text: String = chars[i + 2..].iter().collect();
+                        comment.push_str(text.trim_start_matches(['/', '!']));
+                        break;
+                    } else if c == '/' && chars.get(i + 1) == Some(&'*') {
+                        state = State::Block(1);
+                        i += 2;
+                    } else if c == '"' {
+                        code.push('"');
+                        pending_str = Some((lineno, String::new()));
+                        state = State::Str { raw_hashes: None };
+                        i += 1;
+                    } else if c == 'r'
+                        && !prev_is_ident(&chars, i)
+                        && raw_str_hashes(&chars, i + 1).is_some()
+                    {
+                        let h = raw_str_hashes(&chars, i + 1).expect("checked");
+                        code.push('"');
+                        pending_str = Some((lineno, String::new()));
+                        state = State::Str {
+                            raw_hashes: Some(h),
+                        };
+                        i += 2 + h as usize; // r + hashes + opening quote
+                    } else if c == '\'' {
+                        // Char literal or lifetime.
+                        if chars.get(i + 1) == Some(&'\\') {
+                            // Escaped char literal: skip to the closing quote.
+                            code.push('\'');
+                            let mut j = i + 2;
+                            if j < chars.len() {
+                                j += 1; // the escaped char itself
+                            }
+                            while j < chars.len() && chars[j] != '\'' {
+                                j += 1;
+                            }
+                            code.push('\'');
+                            i = j + 1;
+                        } else if chars.get(i + 2) == Some(&'\'') {
+                            code.push_str("''");
+                            i += 3;
+                        } else {
+                            // Lifetime: keep the tick out of the code text.
+                            i += 1;
+                        }
+                    } else {
+                        if c == '{' {
+                            depth += 1;
+                        } else if c == '}' {
+                            depth = depth.saturating_sub(1);
+                        }
+                        code.push(c);
+                        i += 1;
+                    }
+                }
+            }
+        }
+
+        // A string still open at EOL spans lines: keep the newline.
+        if matches!(state, State::Str { .. }) {
+            if let Some((_, buf)) = pending_str.as_mut() {
+                buf.push('\n');
+            }
+        }
+        out.push(Line {
+            code,
+            strings,
+            comment,
+            depth: start_depth,
+        });
+    }
+    // An unterminated literal at EOF still surfaces for the rules.
+    if let Some((start, text)) = pending_str.take() {
+        finish_string(&mut out, &mut Vec::new(), usize::MAX, start, text);
+    }
+    out
+}
+
+/// Attaches a completed string literal to the line it started on.
+fn finish_string(
+    out: &mut [Line],
+    current: &mut Vec<String>,
+    lineno: usize,
+    start: usize,
+    text: String,
+) {
+    if start == lineno {
+        current.push(text);
+    } else if let Some(line) = out.get_mut(start) {
+        line.strings.push(text);
+    }
+}
+
+fn prev_is_ident(chars: &[char], i: usize) -> bool {
+    i > 0 && (chars[i - 1].is_alphanumeric() || chars[i - 1] == '_')
+}
+
+/// At `chars[from..]`, matches `#*"` and returns the hash count.
+fn raw_str_hashes(chars: &[char], from: usize) -> Option<u32> {
+    let mut h = 0u32;
+    let mut j = from;
+    while chars.get(j) == Some(&'#') {
+        h += 1;
+        j += 1;
+    }
+    (chars.get(j) == Some(&'"')).then_some(h)
+}
+
+/// Whether the `"` at `chars[i]` is followed by `h` hashes (closing a raw
+/// string opened with `h` hashes).
+fn closes_raw(chars: &[char], i: usize, h: u32) -> bool {
+    (1..=h as usize).all(|k| chars.get(i + k) == Some(&'#'))
+}
+
+/// Returns true if `ident` appears in `code` as a standalone word (not as
+/// a substring of a longer identifier).
+pub fn has_word(code: &str, ident: &str) -> bool {
+    find_word(code, ident).is_some()
+}
+
+/// Byte offset of the first standalone occurrence of `ident` in `code`.
+pub fn find_word(code: &str, ident: &str) -> Option<usize> {
+    let mut from = 0;
+    while let Some(pos) = code[from..].find(ident) {
+        let at = from + pos;
+        let before_ok = at == 0
+            || !code[..at]
+                .chars()
+                .next_back()
+                .is_some_and(|c| c.is_alphanumeric() || c == '_');
+        let after = at + ident.len();
+        let after_ok = !code[after..]
+            .chars()
+            .next()
+            .is_some_and(|c| c.is_alphanumeric() || c == '_');
+        if before_ok && after_ok {
+            return Some(at);
+        }
+        from = at + ident.len();
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn separates_code_comments_and_strings() {
+        let lines = scan("let x = \"Instant::now\"; // Instant::now\nInstant::now();\n");
+        assert!(!lines[0].code.contains("Instant"));
+        assert_eq!(lines[0].strings, vec!["Instant::now".to_string()]);
+        assert!(lines[0].comment.contains("Instant::now"));
+        assert!(lines[1].code.contains("Instant::now"));
+    }
+
+    #[test]
+    fn raw_strings_and_hashes() {
+        let src = "let s = r#\"a \" b\"#; let t = r\"plain\";\n";
+        let lines = scan(src);
+        assert_eq!(
+            lines[0].strings,
+            vec!["a \" b".to_string(), "plain".to_string()]
+        );
+        assert!(!lines[0].code.contains('a'));
+    }
+
+    #[test]
+    fn multiline_string_attaches_to_start_line() {
+        let lines = scan("let s = \"one\ntwo\";\nlet x = 1;\n");
+        assert_eq!(lines[0].strings, vec!["one\ntwo".to_string()]);
+        assert!(lines[1].strings.is_empty());
+        assert!(lines[2].code.contains("let x"));
+    }
+
+    #[test]
+    fn nested_block_comments_and_depth() {
+        let src = "fn f() {\n  /* outer /* inner */ still */ let y = 1;\n}\n";
+        let lines = scan(src);
+        assert_eq!(lines[0].depth, 0);
+        assert_eq!(lines[1].depth, 1);
+        assert!(lines[1].code.contains("let y"));
+        assert!(lines[1].comment.contains("inner"));
+        assert_eq!(lines[2].depth, 1);
+    }
+
+    #[test]
+    fn char_literals_and_lifetimes() {
+        // Braces inside char literals must not count toward depth.
+        let lines = scan("fn f() {\n    let c = '{';\n    let d = '}';\n}\n");
+        assert_eq!(lines[2].depth, 1);
+        assert_eq!(lines[3].depth, 1);
+        // Lifetimes don't open char literals; escaped quotes close.
+        let lines = scan("fn f<'a>(x: &'a str) -> char { '\\'' }\nlet y = 1;\n");
+        assert_eq!(lines[1].depth, 0);
+        assert!(lines[1].code.contains("let y"));
+    }
+
+    #[test]
+    fn word_boundaries() {
+        assert!(has_word("Instant::now()", "Instant"));
+        assert!(!has_word("MyInstant::now()", "Instant"));
+        assert!(!has_word("Instantaneous", "Instant"));
+        assert_eq!(find_word("a Instant b", "Instant"), Some(2));
+    }
+}

@@ -59,7 +59,7 @@ impl NetKind {
     }
 
     pub fn from_env() -> Self {
-        let value = std::env::var("CONTRARIAN_NET").ok();
+        let value = contrarian_runtime::env::var(contrarian_runtime::env::NET);
         Self::parse(value.as_deref()).unwrap_or_else(|e| panic!("{e}"))
     }
 }

@@ -100,7 +100,7 @@ fn parse_pool(value: Option<&str>) -> Result<usize, String> {
 }
 
 pub(crate) fn pool_size() -> usize {
-    let value = std::env::var("CONTRARIAN_NET_THREADS").ok();
+    let value = contrarian_runtime::env::var(contrarian_runtime::env::NET_THREADS);
     parse_pool(value.as_deref()).unwrap_or_else(|e| panic!("{e}"))
 }
 

@@ -114,10 +114,14 @@ pub fn connect_nonblocking(peer: SocketAddr) -> io::Result<(TcpStream, bool)> {
             "reactor transport supports IPv4 peers only",
         ));
     };
+    // SAFETY: socket(2) takes no pointers; a negative return is mapped to
+    // an error by `cvt` before the fd is used.
     let fd = cvt(unsafe { socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0) })?;
-    // From here the fd is owned by a TcpStream, so every error path closes.
+    // SAFETY: `fd` is a freshly created, valid socket fd owned by nothing
+    // else; from here the TcpStream owns it, so every error path closes it.
     let stream = unsafe { TcpStream::from_raw_fd(fd) };
     let nodelay: c_int = 1;
+    // SAFETY: `nodelay` outlives the call and the length matches c_int.
     cvt(unsafe { setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &nodelay, 4) })?;
     let sa = SockaddrIn {
         sin_family: AF_INET as u16,
@@ -125,6 +129,8 @@ pub fn connect_nonblocking(peer: SocketAddr) -> io::Result<(TcpStream, bool)> {
         sin_addr: u32::from_ne_bytes(v4.ip().octets()),
         sin_zero: [0; 8],
     };
+    // SAFETY: `sa` is a properly initialized sockaddr_in that outlives the
+    // call, and the passed length is exactly its size.
     match cvt(unsafe { connect(fd, &sa, std::mem::size_of::<SockaddrIn>() as u32) }) {
         Ok(_) => Ok((stream, true)),
         Err(e) if e.raw_os_error() == Some(EINPROGRESS) => Ok((stream, false)),
@@ -138,6 +144,8 @@ pub fn connect_nonblocking(peer: SocketAddr) -> io::Result<(TcpStream, bool)> {
 pub fn take_socket_error(fd: RawFd) -> io::Result<()> {
     let mut err: c_int = 0;
     let mut len: u32 = 4;
+    // SAFETY: `err` and `len` outlive the call; `len` starts at the exact
+    // size of `err`, so the kernel cannot write past it.
     cvt(unsafe { getsockopt(fd, SOL_SOCKET, SO_ERROR, &mut err, &mut len) })?;
     if err == 0 {
         Ok(())
@@ -179,7 +187,7 @@ impl PollerKind {
     }
 
     pub fn from_env() -> Self {
-        let value = std::env::var("CONTRARIAN_NET_POLLER").ok();
+        let value = contrarian_runtime::env::var(contrarian_runtime::env::NET_POLLER);
         Self::parse(value.as_deref()).unwrap_or_else(|e| panic!("{e}"))
     }
 }
@@ -207,6 +215,8 @@ impl Poller {
     pub fn new(kind: PollerKind) -> io::Result<Poller> {
         match kind {
             PollerKind::Epoll => {
+                // SAFETY: epoll_create1(2) takes no pointers; `cvt` maps a
+                // negative return to an error before the fd is used.
                 let epfd = cvt(unsafe { epoll_create1(EPOLL_CLOEXEC) })?;
                 Ok(Poller(Inner::Epoll {
                     epfd,
@@ -229,6 +239,8 @@ impl Poller {
                     events: EPOLLIN | EPOLLOUT | EPOLLET | EPOLLRDHUP,
                     data: token,
                 };
+                // SAFETY: `ev` outlives the call; the kernel copies the
+                // event struct and keeps no pointer to it.
                 cvt(unsafe { epoll_ctl(*epfd, EPOLL_CTL_ADD, fd, &mut ev) })?;
                 Ok(())
             }
@@ -244,8 +256,10 @@ impl Poller {
         match &mut self.0 {
             Inner::Epoll { epfd, .. } => {
                 let mut ev = EpollEvent { events: 0, data: 0 };
-                // Failure here is unrecoverable in-kind; closing the fd
-                // drops the registration anyway.
+                // SAFETY: `ev` outlives the call (pre-2.6.9 kernels insist
+                // on a non-null pointer even for DEL). Failure is
+                // unrecoverable in-kind and ignored; closing the fd drops
+                // the registration anyway.
                 let _ = unsafe { epoll_ctl(*epfd, EPOLL_CTL_DEL, fd, &mut ev) };
             }
             Inner::Poll { fds, .. } => fds.retain(|(f, ..)| *f != fd),
@@ -282,6 +296,8 @@ impl Poller {
         match &mut self.0 {
             Inner::Epoll { epfd, buf } => {
                 let n = loop {
+                    // SAFETY: `buf` is a live Vec and the passed capacity
+                    // is its exact length, so the kernel writes in bounds.
                     let r = unsafe {
                         epoll_wait(*epfd, buf.as_mut_ptr(), buf.len() as c_int, timeout_ms)
                     };
@@ -315,6 +331,8 @@ impl Poller {
                     revents: 0,
                 }));
                 let n = loop {
+                    // SAFETY: `buf` is a live Vec and `nfds` is its exact
+                    // length, so the kernel writes revents in bounds.
                     let r = unsafe { poll(buf.as_mut_ptr(), buf.len() as u64, timeout_ms) };
                     match cvt(r) {
                         Ok(n) => break n as usize,
@@ -344,6 +362,8 @@ impl Poller {
 impl Drop for Poller {
     fn drop(&mut self) {
         if let Inner::Epoll { epfd, .. } = &self.0 {
+            // SAFETY: the Poller exclusively owns `epfd` (never exposed),
+            // so this close is the only one and the fd is still valid.
             unsafe { close(*epfd) };
         }
     }

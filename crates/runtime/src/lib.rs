@@ -49,6 +49,7 @@
 
 pub mod actor;
 pub mod cost;
+pub mod env;
 pub mod frame;
 pub mod history;
 pub mod metrics;

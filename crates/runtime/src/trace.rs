@@ -24,12 +24,11 @@ pub use contrarian_types::trace::op_class;
 /// `CONTRARIAN_TRACE_CAP`.
 pub const DEFAULT_TRACE_CAP: usize = 1 << 16;
 
-/// Reads `CONTRARIAN_TRACE_CAP`, falling back to [`DEFAULT_TRACE_CAP`].
+/// Reads [`crate::env::TRACE_CAP`], falling back to [`DEFAULT_TRACE_CAP`].
 /// Zero is clamped to 1 (a zero-capacity ring would make every trace
 /// empty while still paying the bookkeeping).
 pub fn trace_cap_from_env() -> usize {
-    std::env::var("CONTRARIAN_TRACE_CAP")
-        .ok()
+    crate::env::var(crate::env::TRACE_CAP)
         .and_then(|v| v.parse::<usize>().ok())
         .unwrap_or(DEFAULT_TRACE_CAP)
         .max(1)

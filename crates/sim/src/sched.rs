@@ -85,10 +85,10 @@ impl SchedKind {
         }
     }
 
-    /// Reads `CONTRARIAN_SCHED` from the environment; an unrecognized
-    /// value is a hard error (see [`SchedKind::parse`]).
+    /// Reads [`contrarian_runtime::env::SCHED`] from the environment; an
+    /// unrecognized value is a hard error (see [`SchedKind::parse`]).
     pub fn from_env() -> Self {
-        let value = std::env::var("CONTRARIAN_SCHED").ok();
+        let value = contrarian_runtime::env::var(contrarian_runtime::env::SCHED);
         Self::parse(value.as_deref()).unwrap_or_else(|e| panic!("{e}"))
     }
 

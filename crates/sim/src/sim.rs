@@ -150,14 +150,16 @@ impl<A: Actor> Sim<A> {
         }
         .max(1);
         if self.threads == 0 {
-            self.threads = match std::env::var("CONTRARIAN_SHARD_THREADS") {
-                Ok(v) => v.parse().ok().filter(|&n| n > 0).unwrap_or_else(|| {
-                    panic!("CONTRARIAN_SHARD_THREADS must be a positive integer, got `{v}`")
-                }),
-                Err(_) => std::thread::available_parallelism()
-                    .map(|n| n.get())
-                    .unwrap_or(1),
-            };
+            self.threads =
+                match contrarian_runtime::env::var(contrarian_runtime::env::SHARD_THREADS) {
+                    Some(v) => v.parse().ok().filter(|&n| n > 0).unwrap_or_else(|| {
+                        panic!("CONTRARIAN_SHARD_THREADS must be a positive integer, got `{v}`")
+                    }),
+                    // lint:allow(determinism): worker-count default only; thread count changes wall-clock speed, never the produced history
+                    None => std::thread::available_parallelism()
+                        .map(|n| n.get())
+                        .unwrap_or(1),
+                };
         }
         self.threads = self.threads.min(n_shards);
 
