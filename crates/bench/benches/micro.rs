@@ -147,28 +147,33 @@ fn bench_reader_records(c: &mut Criterion) {
     g.finish();
 }
 
-/// Engine throughput at 8/32/128 partitions: the heap baseline, the
-/// calendar queue, and the sharded parallel engine. One iteration = a
-/// fixed span of virtual time over a synthetic geo-replicated echo flood:
-/// trivial handlers, calibrated network latencies, four DCs, so thousands
-/// of in-flight messages spread over a ~10 ms inter-DC span — the event
-/// population shape of a real 128-partition protocol run, and four real
-/// shard groups for `sharded` (one per DC, windows ≈ the 10 ms inter-DC
-/// latency). All engines process the *same* events — asserted before the
-/// bench — so ns/iter ratios are engine speedups; events ÷ ns/iter is
-/// engine events/sec. Note the parallel win needs cores: on a single-CPU
+/// Engine throughput over a synthetic geo-replicated echo flood: trivial
+/// handlers, calibrated network latencies, thousands of in-flight
+/// messages spread over a ~10 ms inter-DC span — the event population
+/// shape of a real protocol run. Two tiers:
+///
+/// * 8/32/128 partitions × 4 DCs — heap baseline vs calendar vs sharded
+///   (one DC-granular shard group each, windows ≈ the inter-DC latency);
+/// * 256 partitions × 2 DCs — the saturated tier the sub-DC groups exist
+///   for: `calendar` vs `sharded_scalar` (2 DC-granular shards) vs
+///   `sharded_matrix` (4 partition-range groups per DC, 8 schedulable
+///   shards under the per-link lookahead matrix).
+///
+/// All engines process the *same* events — asserted before the bench —
+/// so ns/iter ratios are engine speedups; events ÷ ns/iter is engine
+/// events/sec. Note the parallel win needs cores: on a single-CPU
 /// machine the sharded engine degrades to serially executed windows and
-/// measures only its bookkeeping overhead.
+/// measures only its bookkeeping overhead (the `meta` entry in the JSON
+/// report records the logical-core count of the box that produced it).
 fn bench_sim_scale(c: &mut Criterion) {
     use contrarian_runtime::actor::{Actor, ActorCtx, TimerKind};
     use contrarian_runtime::cost::{CostModel, MsgClass, SimMessage};
     use contrarian_sim::sched::SchedKind;
-    use contrarian_sim::sim::Sim;
+    use contrarian_sim::sim::{Lookahead, Sim};
     use contrarian_types::{Addr, DcId, Op, PartitionId};
 
     const HORIZON_NS: u64 = 25_000_000; // 25 virtual ms ≈ 2½ inter-DC RTTs
     const WINDOW: u32 = 48;
-    const DCS: u8 = 4;
 
     #[derive(Clone)]
     struct Ball;
@@ -186,13 +191,14 @@ fn bench_sim_scale(c: &mut Criterion) {
     /// spend ~10 ms on the inter-DC wire); servers bounce them straight
     /// back.
     struct Flood {
+        dcs: u8,
         servers: u16,
         next: u32,
     }
     impl Flood {
         fn target(&mut self) -> Addr {
             let t = self.next;
-            self.next = (self.next + 1) % (DCS as u32 * self.servers as u32);
+            self.next = (self.next + 1) % (self.dcs as u32 * self.servers as u32);
             Addr::server(
                 DcId((t / self.servers as u32) as u8),
                 PartitionId((t % self.servers as u32) as u16),
@@ -223,13 +229,22 @@ fn bench_sim_scale(c: &mut Criterion) {
         }
     }
 
-    let run = |partitions: u16, sched: SchedKind| -> (u64, u64) {
-        let mut sim: Sim<Flood> = Sim::with_scheduler(CostModel::calibrated(), 7, sched);
-        for dc in 0..DCS {
+    #[derive(Clone)]
+    struct Engine {
+        label: &'static str,
+        sched: SchedKind,
+        groups: Option<u16>,
+        lookahead: Lookahead,
+    }
+
+    let run = |dcs: u8, partitions: u16, e: Engine| -> (u64, u64) {
+        let mut sim: Sim<Flood> = Sim::with_scheduler(CostModel::calibrated(), 7, e.sched);
+        for dc in 0..dcs {
             for p in 0..partitions {
                 sim.add_server(
                     Addr::server(DcId(dc), PartitionId(p)),
                     Flood {
+                        dcs,
                         servers: partitions,
                         next: 0,
                     },
@@ -237,42 +252,86 @@ fn bench_sim_scale(c: &mut Criterion) {
                 );
             }
         }
-        for dc in 0..DCS {
+        for dc in 0..dcs {
             for i in 0..partitions {
                 sim.add_client(
                     Addr::client(DcId(dc), i),
                     Flood {
+                        dcs,
                         servers: partitions,
-                        next: i as u32 % (DCS as u32 * partitions as u32),
+                        next: i as u32 % (dcs as u32 * partitions as u32),
                     },
                 );
             }
         }
+        if let Some(g) = e.groups {
+            sim.set_shard_groups(g);
+        }
+        sim.set_lookahead(e.lookahead);
         sim.start();
         sim.run_until(HORIZON_NS);
         (sim.events_processed(), sim.now())
     };
 
-    let engines = [
-        ("heap", SchedKind::Heap),
-        ("calendar", SchedKind::Calendar),
-        ("sharded", SchedKind::Sharded { shards: 0 }),
+    const CALENDAR: Engine = Engine {
+        label: "calendar",
+        sched: SchedKind::Calendar,
+        groups: None,
+        lookahead: Lookahead::Matrix,
+    };
+    // Tier 1: engine comparison at 4 DCs, DC-granular shards.
+    let wide = [
+        Engine {
+            label: "heap",
+            sched: SchedKind::Heap,
+            groups: None,
+            lookahead: Lookahead::Matrix,
+        },
+        CALENDAR,
+        Engine {
+            label: "sharded",
+            sched: SchedKind::Sharded { shards: 0 },
+            groups: None,
+            lookahead: Lookahead::Matrix,
+        },
     ];
+    // Tier 2: the saturated 256-partition, 2-DC tier — scalar (uniform
+    // window, 2 shards) vs matrix with 4 sub-DC groups (8 shards).
+    let deep = [
+        CALENDAR,
+        Engine {
+            label: "sharded_scalar",
+            sched: SchedKind::Sharded { shards: 0 },
+            groups: None,
+            lookahead: Lookahead::Scalar,
+        },
+        Engine {
+            label: "sharded_matrix",
+            sched: SchedKind::Sharded { shards: 0 },
+            groups: Some(4),
+            lookahead: Lookahead::Matrix,
+        },
+    ];
+
     // The comparison is only meaningful if every engine does identical
     // work: assert the processed-event counts match before timing. The
-    // calendar run *is* the reference, so only the other two re-run.
-    for partitions in [8u16, 32, 128] {
-        let want = run(partitions, SchedKind::Calendar);
-        assert!(want.0 > 0, "flood made no progress");
-        for (label, sched) in engines {
-            if sched == SchedKind::Calendar {
-                continue;
+    // calendar run *is* the reference, so only the others re-run.
+    let tiers: [(u8, &[u16], &[Engine]); 2] = [(4, &[8, 32, 128], &wide), (2, &[256], &deep)];
+    for (dcs, sizes, engines) in tiers {
+        for &partitions in sizes {
+            let want = run(dcs, partitions, CALENDAR);
+            assert!(want.0 > 0, "flood made no progress");
+            for e in engines {
+                if e.sched == SchedKind::Calendar {
+                    continue;
+                }
+                assert_eq!(
+                    run(dcs, partitions, e.clone()),
+                    want,
+                    "{} diverged at N={partitions}",
+                    e.label
+                );
             }
-            assert_eq!(
-                run(partitions, sched),
-                want,
-                "{label} diverged at N={partitions}"
-            );
         }
     }
 
@@ -280,11 +339,20 @@ fn bench_sim_scale(c: &mut Criterion) {
     g.sample_size(10);
     g.warm_up_time(std::time::Duration::from_millis(300));
     g.measurement_time(std::time::Duration::from_secs(2));
-    for partitions in [8u16, 32, 128] {
-        for (label, sched) in engines {
-            g.bench_with_input(BenchmarkId::new(label, partitions), &partitions, |b, &p| {
-                b.iter(|| black_box(run(p, sched)))
-            });
+    for (dcs, sizes, engines) in tiers {
+        for &partitions in sizes {
+            for e in engines {
+                // The 4-DC tier keeps its historical row names; re-keying
+                // the 2-DC calendar row avoids a duplicate BenchmarkId.
+                let label = if dcs == 4 {
+                    e.label.to_string()
+                } else {
+                    format!("{}_2dc", e.label)
+                };
+                g.bench_with_input(BenchmarkId::new(label, partitions), &partitions, |b, &p| {
+                    b.iter(|| black_box(run(dcs, p, e.clone())))
+                });
+            }
         }
     }
     g.finish();

@@ -43,6 +43,8 @@ fn main() {
             cost: CostModel::calibrated(),
             record: false,
             sched: SchedKind::from_env(),
+            shard_groups: None,
+            lookahead: Default::default(),
         };
         let r = run_experiment(&cfg);
         let checks = r.counter(contrarian_cclo::stats::CHECKS).max(1);

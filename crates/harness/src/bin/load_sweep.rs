@@ -79,6 +79,8 @@ fn base_config(
         seed: 42,
         cost: CostModel::calibrated(),
         sched: SchedKind::from_env(),
+        shard_groups: None,
+        lookahead: Default::default(),
     }
 }
 

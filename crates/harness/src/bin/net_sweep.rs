@@ -107,6 +107,8 @@ fn predict_sim(
         cost: CostModel::calibrated(),
         record: false,
         sched: contrarian_sim::SchedKind::from_env(),
+        shard_groups: None,
+        lookahead: Default::default(),
     });
     (r.avg_rot_ms, r.p99_rot_ms, r.avg_put_ms)
 }

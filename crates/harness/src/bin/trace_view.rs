@@ -64,6 +64,8 @@ fn main() {
         seed: 42,
         cost: CostModel::calibrated(),
         sched: SchedKind::from_env(),
+        shard_groups: None,
+        lookahead: Default::default(),
     };
     eprintln!(
         "== trace_view: {} at {rate:.0} ops/s, engine={:?} ==",

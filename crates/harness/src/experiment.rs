@@ -2,7 +2,7 @@
 
 use contrarian_runtime::cost::CostModel;
 use contrarian_runtime::metrics::Metrics;
-use contrarian_sim::SchedKind;
+use contrarian_sim::{Lookahead, SchedKind};
 use contrarian_types::{ClusterConfig, HistoryEvent, RotMode};
 use contrarian_workload::WorkloadSpec;
 use std::collections::BTreeMap;
@@ -129,6 +129,12 @@ pub struct ExperimentConfig {
     /// `CONTRARIAN_SCHED`; the cross-engine determinism tests pin it per
     /// run instead of racing on the process environment.
     pub sched: SchedKind,
+    /// Sub-DC shard groups per DC for the sharded engine; `None` follows
+    /// `CONTRARIAN_SHARD_GROUPS` (default 1). Never changes results.
+    pub shard_groups: Option<u16>,
+    /// How the sharded engine derives its conservative bounds (default:
+    /// the per-link matrix).
+    pub lookahead: Lookahead,
 }
 
 impl ExperimentConfig {
@@ -145,6 +151,8 @@ impl ExperimentConfig {
             cost: CostModel::calibrated(),
             record: false,
             sched: SchedKind::from_env(),
+            shard_groups: None,
+            lookahead: Lookahead::default(),
         }
     }
 
@@ -161,6 +169,8 @@ impl ExperimentConfig {
             cost: CostModel::functional(),
             record: true,
             sched: SchedKind::from_env(),
+            shard_groups: None,
+            lookahead: Lookahead::default(),
         }
     }
 }
@@ -238,6 +248,10 @@ pub fn run_experiment_streamed(
         ($sim:expr) => {{
             let mut sim = $sim;
             sim.set_recording(cfg.record);
+            if let Some(g) = cfg.shard_groups {
+                sim.set_shard_groups(g);
+            }
+            sim.set_lookahead(cfg.lookahead.clone());
             sim.start();
             sim.run_until(cfg.warmup_ns);
             for ev in sim.drain_history() {
@@ -346,6 +360,8 @@ pub fn sweep_series(
             cost: CostModel::calibrated(),
             record: false,
             sched: SchedKind::from_env(),
+            shard_groups: None,
+            lookahead: Lookahead::default(),
         };
         let r = run_experiment(&cfg);
         eprintln!(

@@ -34,7 +34,7 @@ use contrarian_net::NetKind;
 use contrarian_runtime::cost::CostModel;
 use contrarian_runtime::metrics::LoadReport;
 use contrarian_runtime::window::WindowSeries;
-use contrarian_sim::SchedKind;
+use contrarian_sim::{Lookahead, SchedKind};
 use contrarian_types::{ClusterConfig, HistoryEvent, RotMode, TraceEvent};
 use contrarian_workload::OpenLoopSpec;
 use std::time::Duration;
@@ -52,6 +52,12 @@ pub struct LoadConfig {
     pub cost: CostModel,
     /// Engine mode for [`run_load_sim`]; wall-clock runners ignore it.
     pub sched: SchedKind,
+    /// Sub-DC shard groups per DC for the sharded engine; `None` follows
+    /// `CONTRARIAN_SHARD_GROUPS` (default 1). Never changes results.
+    pub shard_groups: Option<u16>,
+    /// How the sharded engine derives its conservative bounds (default:
+    /// the per-link matrix).
+    pub lookahead: Lookahead,
 }
 
 impl LoadConfig {
@@ -70,6 +76,8 @@ impl LoadConfig {
             seed: 42,
             cost: CostModel::calibrated(),
             sched: SchedKind::from_env(),
+            shard_groups: None,
+            lookahead: Lookahead::default(),
         }
     }
 
@@ -125,6 +133,10 @@ pub fn run_load_sim_streamed(
         ($sim:expr) => {{
             let mut sim = $sim;
             sim.set_recording(record);
+            if let Some(g) = cfg.shard_groups {
+                sim.set_shard_groups(g);
+            }
+            sim.set_lookahead(cfg.lookahead.clone());
             sim.start();
             sim.run_until(cfg.warmup_ns);
             for ev in sim.drain_history() {
@@ -199,6 +211,10 @@ pub fn run_load_sim_telemetry(cfg: &LoadConfig, tracing: bool) -> LoadTelemetry 
         ($sim:expr) => {{
             let mut sim = $sim;
             sim.set_tracing(tracing);
+            if let Some(g) = cfg.shard_groups {
+                sim.set_shard_groups(g);
+            }
+            sim.set_lookahead(cfg.lookahead.clone());
             sim.start();
             sim.run_until(cfg.warmup_ns);
             if tracing {

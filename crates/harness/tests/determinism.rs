@@ -1,17 +1,21 @@
-//! Cross-engine determinism, three ways: the binary-heap baseline, the
-//! calendar-queue engine, and the sharded parallel engine must replay the
-//! exact same run. Same seed ⇒ byte-identical history and metrics under
-//! any engine, and all must match golden fingerprints recorded from the
-//! calendar engine.
+//! Cross-engine determinism, four ways: the binary-heap baseline, the
+//! calendar-queue engine, the sharded engine under the scalar (uniform)
+//! lookahead, and the sharded engine under the per-link matrix with
+//! sub-DC shard groups must replay the exact same run. Same seed ⇒
+//! byte-identical history and metrics under any engine, and all must
+//! match golden fingerprints recorded from the calendar engine.
 //!
 //! The clusters here span three DCs, so the sharded engine genuinely runs
-//! three event loops exchanging cross-DC messages at window barriers —
-//! and `CONTRARIAN_SHARD_THREADS` forces the parallel window path even on
-//! machines that report a single CPU (where the engine would otherwise
-//! fall back to serially executed windows).
+//! multiple event loops exchanging cross-shard messages at window
+//! barriers — `CONTRARIAN_SHARD_THREADS` forces the parallel window path
+//! even on machines that report a single CPU (where the engine would
+//! otherwise fall back to serially executed windows), and
+//! `CONTRARIAN_SHARD_GROUPS` splits each DC into partition-range groups
+//! on the matrix leg (exercising the env-resolution path the CI matrix
+//! leg uses).
 
 use contrarian_harness::experiment::{run_experiment, ExperimentConfig, Protocol, RunResult};
-use contrarian_sim::SchedKind;
+use contrarian_sim::{Lookahead, SchedKind};
 
 fn fnv1a(bytes: &[u8]) -> u64 {
     let mut h: u64 = 0xcbf2_9ce4_8422_2325;
@@ -29,17 +33,28 @@ fn fingerprint(r: &RunResult) -> (usize, u64) {
     )
 }
 
-/// The engines diffed against the calendar reference run (which is run
-/// once per protocol and doubles as the golden-fingerprint source).
-const OTHER_ENGINES: [SchedKind; 2] = [SchedKind::Heap, SchedKind::Sharded { shards: 0 }];
-
-/// One test drives all engines sequentially: the shard-thread override is
-/// a process-wide environment variable, so it must not race with
-/// concurrent tests (this is the only test in this binary).
+/// One test drives all engines sequentially: the shard-thread and
+/// shard-group overrides are process-wide environment variables, so they
+/// must not race with concurrent tests (this is the only test in this
+/// binary).
 #[test]
 fn engines_replay_identical_histories_matching_golden() {
-    // Three shards → three window threads, even on 1-CPU CI runners.
+    // Up to 6 shards (3 DCs × 2 groups) → parallel window threads, even
+    // on 1-CPU CI runners.
     std::env::set_var(contrarian_runtime::env::SHARD_THREADS, "3");
+    // The matrix legs resolve their group count from the environment —
+    // the same path the CI `CONTRARIAN_SHARD_GROUPS=4` leg exercises.
+    // Group counts never change results; idx ranges just split further.
+    std::env::set_var(contrarian_runtime::env::SHARD_GROUPS, "2");
+    // The engines diffed against the calendar reference run (which is run
+    // once per protocol and doubles as the golden-fingerprint source):
+    // heap, sharded-scalar (DC-granular uniform window), and
+    // sharded-matrix (per-link bounds, sub-DC groups via the env knob).
+    let others = [
+        (SchedKind::Heap, Lookahead::Matrix),
+        (SchedKind::Sharded { shards: 0 }, Lookahead::Scalar),
+        (SchedKind::Sharded { shards: 0 }, Lookahead::Matrix),
+    ];
     // (events, FNV-1a of the Debug-formatted history) of three-DC
     // functional runs, recorded from the calendar engine.
     let golden = [
@@ -58,16 +73,20 @@ fn engines_replay_identical_histories_matching_golden() {
 
         cfg.sched = SchedKind::Calendar;
         let calendar = run_experiment(&cfg);
-        for sched in OTHER_ENGINES {
+        for (sched, lookahead) in others.clone() {
             cfg.sched = sched;
+            cfg.lookahead = lookahead.clone();
             let run = run_experiment(&cfg);
             assert_eq!(
                 fingerprint(&run),
                 fingerprint(&calendar),
-                "{protocol:?}: {sched:?} diverged from the calendar engine"
+                "{protocol:?}: {sched:?}/{lookahead:?} diverged from the calendar engine"
             );
             // Metrics are derived from the same events; spot-check scalars.
-            assert_eq!(run.throughput_kops, calendar.throughput_kops, "{sched:?}");
+            assert_eq!(
+                run.throughput_kops, calendar.throughput_kops,
+                "{sched:?}/{lookahead:?}"
+            );
             assert_eq!(run.avg_rot_ms, calendar.avg_rot_ms, "{sched:?}");
             assert_eq!(run.p99_rot_ms, calendar.p99_rot_ms, "{sched:?}");
             assert_eq!(run.avg_put_ms, calendar.avg_put_ms, "{sched:?}");
@@ -76,6 +95,7 @@ fn engines_replay_identical_histories_matching_golden() {
         got.push((protocol, fingerprint(&calendar)));
     }
     std::env::remove_var(contrarian_runtime::env::SHARD_THREADS);
+    std::env::remove_var(contrarian_runtime::env::SHARD_GROUPS);
     // On mismatch (an *intentional* engine-semantics change), replace the
     // golden table with this printout:
     for (p, (n, h)) in &got {

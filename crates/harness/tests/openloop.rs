@@ -7,7 +7,7 @@ use contrarian_harness::experiment::Protocol;
 use contrarian_harness::load::{
     run_load_sim, run_load_sim_checked, run_load_sim_streamed, LoadConfig,
 };
-use contrarian_sim::SchedKind;
+use contrarian_sim::{Lookahead, SchedKind};
 use contrarian_workload::{ClientDriver, Draw, OpenLoopDriver, WorkloadSpec, Zipf};
 use proptest::prelude::*;
 use rand::rngs::SmallRng;
@@ -39,12 +39,16 @@ fn cross_dc_config(offered: f64) -> LoadConfig {
 fn open_loop_engines_replay_identical_histories() {
     let mut cfg = cross_dc_config(6_000.0);
     let mut reference = None;
-    for sched in [
-        SchedKind::Calendar,
-        SchedKind::Heap,
-        SchedKind::Sharded { shards: 3 },
+    for (sched, groups, lookahead) in [
+        (SchedKind::Calendar, None, Lookahead::Matrix),
+        (SchedKind::Heap, None, Lookahead::Matrix),
+        (SchedKind::Sharded { shards: 3 }, None, Lookahead::Scalar),
+        // Sub-DC groups under the per-link matrix: 3 DCs × 2 groups.
+        (SchedKind::Sharded { shards: 0 }, Some(2), Lookahead::Matrix),
     ] {
         cfg.sched = sched;
+        cfg.shard_groups = groups;
+        cfg.lookahead = lookahead.clone();
         let mut history = Vec::new();
         let report = run_load_sim_streamed(&cfg, true, &mut |ev| history.push(ev));
         let fp = (
@@ -56,7 +60,10 @@ fn open_loop_engines_replay_identical_histories() {
         );
         match &reference {
             None => reference = Some(fp),
-            Some(r) => assert_eq!(&fp, r, "{sched:?} diverged from the calendar engine"),
+            Some(r) => assert_eq!(
+                &fp, r,
+                "{sched:?}/groups={groups:?}/{lookahead:?} diverged from the calendar engine"
+            ),
         }
     }
     let (events, _, completed, _, _) = reference.unwrap();

@@ -31,6 +31,8 @@ fn traced_load_runs_merge_identically_across_engines() {
             seed: 42,
             cost: CostModel::calibrated(),
             sched: SchedKind::Calendar,
+            shard_groups: None,
+            lookahead: Default::default(),
         };
         let reference = run_load_sim_telemetry(&cfg, true);
         assert!(

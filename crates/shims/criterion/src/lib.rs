@@ -213,20 +213,23 @@ impl Bencher {
 /// per target. The report therefore merges with an existing file instead of
 /// truncating it: entries whose `(group, bench)` this process re-measured
 /// are replaced, everything else (results from the other bench targets) is
-/// preserved.
+/// preserved. A single `"meta"` entry recording the machine (logical cores
+/// — parallel-engine numbers are meaningless without it) and the engine
+/// environment knobs is refreshed on every write.
 pub fn write_report() {
     let results = RESULTS.lock().unwrap();
     let Ok(path) = std::env::var("CRITERION_JSON") else {
         return;
     };
     // Entries from a previous bench target's process, minus those this
-    // process re-measured. The file is our own line-per-entry format; on
+    // process re-measured and minus any stale machine-metadata entry (it
+    // is re-emitted below). The file is our own line-per-entry format; on
     // anything unrecognized, start fresh.
     let mut kept: Vec<String> = Vec::new();
     if let Ok(existing) = std::fs::read_to_string(&path) {
         for line in existing.lines() {
             let entry = line.trim().trim_end_matches(',');
-            if !entry.starts_with('{') {
+            if !entry.starts_with('{') || entry.contains("\"group\": \"meta\"") {
                 continue;
             }
             let remeasured = results.iter().any(|r| {
@@ -238,8 +241,18 @@ pub fn write_report() {
             }
         }
     }
-    let entries: Vec<String> = kept
-        .into_iter()
+    let cores = std::thread::available_parallelism().map_or(0, |n| n.get());
+    let knob = |name: &str| std::env::var(name).unwrap_or_else(|_| "unset".into());
+    let meta = format!(
+        "{{\"group\": \"meta\", \"bench\": \"machine\", \"logical_cores\": {}, \
+         \"sched\": \"{}\", \"shard_threads\": \"{}\", \"shard_groups\": \"{}\"}}",
+        cores,
+        knob("CONTRARIAN_SCHED"),
+        knob("CONTRARIAN_SHARD_THREADS"),
+        knob("CONTRARIAN_SHARD_GROUPS"),
+    );
+    let entries: Vec<String> = std::iter::once(meta)
+        .chain(kept)
         .chain(results.iter().map(|r| {
             format!(
                 "{{\"group\": \"{}\", \"bench\": \"{}\", \"mean_ns_per_iter\": {:.1}, \"samples\": {}}}",
@@ -306,5 +319,28 @@ mod tests {
     fn benchmark_ids_format() {
         assert_eq!(BenchmarkId::new("join", 4).0, "join/4");
         assert_eq!(BenchmarkId::from_parameter("Cure").0, "Cure");
+    }
+
+    #[test]
+    fn report_refreshes_the_machine_meta_entry() {
+        let path = std::env::temp_dir().join("criterion_shim_meta_test.json");
+        // A stale meta entry (from another machine) must be replaced, not
+        // accumulated; foreign bench entries must survive the merge.
+        std::fs::write(
+            &path,
+            "[\n  {\"group\": \"meta\", \"bench\": \"machine\", \"logical_cores\": 999},\n  \
+             {\"group\": \"other\", \"bench\": \"kept\", \"mean_ns_per_iter\": 1.0, \"samples\": 1}\n]\n",
+        )
+        .unwrap();
+        std::env::set_var("CRITERION_JSON", &path);
+        write_report();
+        std::env::remove_var("CRITERION_JSON");
+        let out = std::fs::read_to_string(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        assert_eq!(out.matches("\"group\": \"meta\"").count(), 1);
+        assert!(!out.contains("999"), "stale meta survived: {out}");
+        assert!(out.contains("\"logical_cores\""));
+        assert!(out.contains("\"shard_groups\""));
+        assert!(out.contains("\"bench\": \"kept\""));
     }
 }

@@ -43,22 +43,48 @@
 //! * `heap` — one shard on the original global binary heap, kept as a
 //!   differential baseline;
 //! * `sharded` / `sharded:<n>` — one shard per DC (or `n` shards, DCs
-//!   assigned round-robin), run in parallel under conservative cross-DC
-//!   windows.
+//!   assigned round-robin), optionally split further into
+//!   `CONTRARIAN_SHARD_GROUPS` partition-range groups per DC, run in
+//!   parallel under conservative per-link windows.
 //!
 //! ### Windows and the lookahead invariant
 //!
-//! Shard groups are DC-granular, so **intra-DC traffic never crosses a
-//! thread boundary** and every cross-shard message is cross-DC. Its
-//! arrival trails its send by at least
-//! [`CostModel::cross_dc_lookahead`] — the one-way inter-DC latency;
-//! sender CPU, per-byte wire time and FIFO clamping only add. Events
-//! inside a window `[w, w + lookahead)` on different shards therefore
-//! cannot influence each other and run concurrently; shards synchronize
-//! only at window barriers, where parked cross-DC messages are exchanged
-//! (the engine asserts none lands inside the window it was sent in). A
-//! zero lookahead degenerates to lockstep execution — sequential, still
-//! exact.
+//! Every shard owns a *group* of nodes — a whole DC by default, or a
+//! contiguous partition/client range of one DC under
+//! `CONTRARIAN_SHARD_GROUPS`. A [`cost::LookaheadMatrix`] entry `L(i, j)`
+//! lower-bounds the arrival delta of any message shard `i` can send
+//! shard `j`: the minimum link latency between their DC sets (sender
+//! CPU, per-byte wire time and FIFO clamping only push arrivals later),
+//! metric-closed (Floyd–Warshall, min-plus) so a relay through a cheap
+//! intermediate link never undercuts a direct entry. Each round the
+//! driver computes shard `j`'s *horizon*
+//!
+//! ```text
+//! min over i≠j of   next_t[i] + L(i, j)            (incoming chains)
+//!                   next_t[j] + L(j, i) + L(i, j)  (bounce-backs)
+//! ```
+//!
+//! — the earliest instant *any* pending event anywhere, including `j`'s
+//! own (whose sends can provoke replies), could still get a message to
+//! `j`. Events strictly before the horizon run concurrently; shards
+//! synchronize at the barrier, where parked cross-shard messages are
+//! exchanged (the engine asserts none lands inside its destination's
+//! just-run window). Pairwise bounds mean two groups of the same DC
+//! window against the intra-DC hop while racing a transcontinental peer
+//! by up to the inter-DC latency — a single scalar lookahead would gate
+//! every pair on the smallest edge in the whole topology.
+//!
+//! Set `CONTRARIAN_SHARD_GROUPS` above 1 when a run has few DCs but many
+//! partitions per DC (the saturated 256-partition tiers): it multiplies
+//! the schedulable shard count so the window rounds can occupy more
+//! cores. The scalar mode ([`sim::Lookahead::Scalar`], the uniform-matrix
+//! special case over [`CostModel::cross_dc_lookahead`]) keeps shards
+//! DC-granular — a same-DC cross-group message arrives after only a hop,
+//! inside any window sized by the inter-DC latency — so group counts are
+//! forced to 1 there. A zero minimum off-diagonal entry (free links)
+//! means no usable window exists at all, and the engine degenerates to
+//! lockstep execution — one globally minimal event at a time, sequential,
+//! still exact.
 //!
 //! ### Why determinism holds
 //!
@@ -76,8 +102,9 @@
 //!   (`contrarian_runtime::history`).
 //!
 //! The cross-engine determinism tests fingerprint full histories across
-//! all three modes against golden values, and `sim_scale` measures the
-//! engine speedups at fixed, identical workloads.
+//! all engine modes (and shard-group counts) against golden values, and
+//! `sim_scale` measures the engine speedups at fixed, identical
+//! workloads.
 
 pub mod sched;
 pub mod shard;
@@ -88,8 +115,9 @@ pub mod sim;
 // keep working for downstream users.
 pub use contrarian_runtime::{actor, cost, metrics, testkit};
 
+pub use contrarian_runtime::cost::LookaheadMatrix;
 pub use contrarian_runtime::{
     Actor, ActorCtx, CostModel, Histogram, Metrics, SimMessage, TimerKind,
 };
 pub use sched::SchedKind;
-pub use sim::Sim;
+pub use sim::{Lookahead, Sim};

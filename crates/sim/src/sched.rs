@@ -256,22 +256,27 @@ impl<T> CalendarQueue<T> {
         self.len == 0
     }
 
-    #[inline]
-    fn horizon(&self) -> u64 {
-        self.bucket_start + ((Self::N_BUCKETS as u64) << Self::W_SHIFT)
-    }
+    /// Wheel span in nanoseconds; `bucket_start + SPAN` is the horizon, but
+    /// all range tests are phrased as `t - bucket_start < SPAN` (saturating)
+    /// so times near `u64::MAX` — far-future timers — never overflow the
+    /// addition.
+    const SPAN_NS: u64 = (Self::N_BUCKETS as u64) << Self::W_SHIFT;
 
     #[inline]
     pub fn push(&mut self, t: u64, seq: u64, item: T) {
         debug_assert!(t >= self.last_pop_t, "scheduling into the past");
         self.len += 1;
         let e = Entry { t, seq, item };
+        // `t` can sit below `bucket_start` right after a horizon jump (the
+        // pop cursor lags the jump); saturating_sub folds that case into
+        // the current-bucket heap, which tolerates early times.
+        let off_ns = t.saturating_sub(self.bucket_start);
         if t == self.last_pop_t {
             self.due.push(e);
-        } else if t < self.bucket_start + Self::W_NS {
+        } else if off_ns < Self::W_NS {
             self.cur.push(e);
-        } else if t < self.horizon() {
-            let off = ((t - self.bucket_start) >> Self::W_SHIFT) as usize;
+        } else if off_ns < Self::SPAN_NS {
+            let off = (off_ns >> Self::W_SHIFT) as usize;
             let idx = (self.cur_idx + off) & (Self::N_BUCKETS - 1);
             self.wheel[idx].push(e);
             self.wheel_len += 1;
@@ -359,15 +364,17 @@ impl<T> CalendarQueue<T> {
     }
 
     /// Drains overflow events that now fall inside the horizon into their
-    /// wheel buckets.
+    /// wheel buckets. The range test is subtraction-based for the same
+    /// `u64::MAX`-safety reason as [`Self::push`]: with `bucket_start` in
+    /// the top wheel-span of the u64 range, `bucket_start + SPAN_NS` would
+    /// wrap and strand far-future events in the overflow heap forever.
     fn migrate_overflow(&mut self) {
-        let horizon = self.horizon();
         while let Some(e) = self.overflow.peek() {
-            if e.t >= horizon {
+            if e.t.saturating_sub(self.bucket_start) >= Self::SPAN_NS {
                 break;
             }
             let e = self.overflow.pop().expect("peeked");
-            let off = ((e.t - self.bucket_start) >> Self::W_SHIFT) as usize;
+            let off = (e.t.saturating_sub(self.bucket_start) >> Self::W_SHIFT) as usize;
             let idx = (self.cur_idx + off) & (Self::N_BUCKETS - 1);
             self.wheel[idx].push(e);
             self.wheel_len += 1;

@@ -33,19 +33,30 @@
 //!
 //! ## Conservative windows
 //!
-//! Shards synchronize with classic conservative parallel-DES lookahead:
-//! shard groups are DC-granular and every cross-shard message is therefore
-//! cross-DC, so its arrival lies at least
-//! [`CostModel::cross_dc_lookahead`] (the one-way inter-DC latency; CPU,
-//! wire and FIFO terms only add) after its send. Events inside a window
-//! `[w, w + lookahead)` on different shards consequently cannot affect
-//! each other, and each shard may run its window without communication.
-//! At the window barrier the outboxes are exchanged — the engine asserts
-//! that no exchanged message lands inside the window it was sent in — and
-//! the next window starts at the new global minimum. A zero lookahead
-//! (degenerate cost models with free cross-DC links) falls back to
-//! lockstep: one globally minimal event at a time, exchanging after every
-//! step, which is plain sequential simulation with extra steps.
+//! Shards synchronize with classic conservative parallel-DES lookahead,
+//! generalized to per-link bounds. Each shard owns a *group*: a DC (the
+//! default), or a partition/client range of one DC when
+//! `CONTRARIAN_SHARD_GROUPS` splits DCs further. A
+//! [`contrarian_runtime::cost::LookaheadMatrix`] entry `(i, j)` lower-bounds
+//! the arrival delta of any message shard `i` sends shard `j` — the
+//! minimum link latency between their DC sets (CPU, wire and FIFO terms
+//! only push arrivals later), metric-closed so relayed influence is
+//! covered too. Each round, shard `j` runs every event strictly before its
+//! *horizon* — the minimum over peers `i` of the incoming chain
+//! `next_t_i + L(i, j)` *and* the bounce-back
+//! `next_t_j + L(j, i) + L(i, j)` (replies provoked by `j`'s own pending
+//! sends) — without communication: no message can reach `j` inside that
+//! range, whichever shard's pending work it originates from. At the
+//! barrier the
+//! outboxes are exchanged — the engine asserts that nothing lands inside
+//! its destination's just-run window — and the next round recomputes
+//! horizons from the new per-shard clocks. The scalar engine is the
+//! uniform-matrix special case (one global window at the global minimum);
+//! a zero minimum off-diagonal entry (degenerate cost models with free
+//! links between co-located groups) means some pair has no usable window,
+//! and the engine falls back to lockstep: one globally minimal event at a
+//! time, exchanging after every step — plain sequential simulation with
+//! extra steps.
 
 use crate::sched::{EventQueue, SchedKind};
 use contrarian_runtime::actor::{Actor, ActorCtx, TimerKind};
@@ -144,13 +155,18 @@ impl RouteTable {
 }
 
 /// Shared, read-only cluster geometry every shard routes through: the
-/// address table plus the global-id → (shard, local-slot) map.
+/// address table, the global-id → (shard, local-slot) map, and the flat
+/// DC-pair latency table the hot send path reads instead of re-resolving
+/// `CostModel::link_latency` (overrides are a linear scan) per message.
 pub(crate) struct Routing {
     table: RouteTable,
     /// `global id → (shard, local index)`.
     locate: Vec<(u32, u32)>,
     /// `global id → address`, registration order.
     pub(crate) addrs: Vec<Addr>,
+    /// `dc_lat[from * n_dcs + to]` = one-way latency, hop on the diagonal.
+    dc_lat: Vec<u64>,
+    n_dcs: usize,
 }
 
 impl Routing {
@@ -164,16 +180,37 @@ impl Routing {
             },
             locate: Vec::new(),
             addrs: Vec::new(),
+            dc_lat: Vec::new(),
+            n_dcs: 0,
         }
     }
 
-    pub(crate) fn build(addrs: Vec<Addr>, locate: Vec<(u32, u32)>) -> Self {
+    pub(crate) fn build(addrs: Vec<Addr>, locate: Vec<(u32, u32)>, cost: &CostModel) -> Self {
         let table = RouteTable::build(addrs.iter().copied());
+        let n_dcs = addrs.iter().map(|a| a.dc.index() + 1).max().unwrap_or(0);
+        let mut dc_lat = vec![0u64; n_dcs * n_dcs];
+        for from in 0..n_dcs {
+            for to in 0..n_dcs {
+                dc_lat[from * n_dcs + to] = cost.link_latency(from as u8, to as u8);
+            }
+        }
         Routing {
             table,
             locate,
             addrs,
+            dc_lat,
+            n_dcs,
         }
+    }
+
+    /// One-way network latency between two (registered) DCs.
+    #[inline]
+    pub(crate) fn link_latency(
+        &self,
+        from: contrarian_types::DcId,
+        to: contrarian_types::DcId,
+    ) -> u64 {
+        self.dc_lat[from.index() * self.n_dcs + to.index()]
     }
 
     pub(crate) fn n_nodes(&self) -> usize {
@@ -495,24 +532,25 @@ impl<A: Actor> Shard<A> {
         // Send phase: messages depart back-to-back after the handler, each
         // paying its tx cost on the sender's CPU.
         let n = routing.n_nodes();
-        let mut depart = self.now + charge;
+        // Saturating throughout the send phase: handlers can legitimately
+        // run at times near `u64::MAX` (far-future timers), where a wrap
+        // would schedule into the past and corrupt the queue invariant.
+        let mut depart = self.now.saturating_add(charge);
         for (to, msg) in out.drain(..) {
             let tx = if is_server {
                 msg.tx_cost(&self.cost)
             } else {
                 self.cost.client_tx_ns + self.cost.cpu_bytes(msg.wire_size())
             };
-            depart += tx;
+            depart = depart.saturating_add(tx);
             if is_server && self.metrics.enabled {
                 self.metrics.busy_ns += tx;
             }
             let to_global = routing.global(to);
-            let latency = if to.dc == addr.dc {
-                self.cost.hop_latency_ns
-            } else {
-                self.cost.interdc_latency_ns
-            };
-            let mut arrive = depart + latency + self.cost.wire_bytes(msg.wire_size());
+            let latency = routing.link_latency(addr.dc, to.dc);
+            let mut arrive = depart
+                .saturating_add(latency)
+                .saturating_add(self.cost.wire_bytes(msg.wire_size()));
             // FIFO per link; the row is allocated on this sender's first
             // send ever, so idle senders cost nothing.
             let row = &mut self.links[node];
@@ -521,7 +559,7 @@ impl<A: Actor> Shard<A> {
             }
             let link = &mut row[to_global];
             if arrive <= *link {
-                arrive = *link + 1;
+                arrive = link.saturating_add(1);
             }
             *link = arrive;
             if self.tracing {
@@ -546,8 +584,9 @@ impl<A: Actor> Shard<A> {
                     },
                 );
             } else {
-                // Cross-shard ⇒ cross-DC: lands at least one lookahead
-                // after `now`, i.e. outside the current window.
+                // Cross-shard: the link latency is at least the lookahead
+                // matrix's `(self, to_shard)` entry, so the arrival lies at
+                // or beyond the destination's window end.
                 self.outbox.push(CrossShardMsg {
                     t: arrive,
                     key,
@@ -559,7 +598,9 @@ impl<A: Actor> Shard<A> {
             }
         }
         for (delay, kind) in timers.drain(..) {
-            let t = self.now + delay;
+            // Saturating: a `u64::MAX` delay means "effectively never" and
+            // must park at the end of time, not wrap into the past.
+            let t = self.now.saturating_add(delay);
             self.push_from(node, t, EvKind::Timer { node, kind });
         }
         self.scratch_out = out;

@@ -17,7 +17,7 @@
 use crate::sched::SchedKind;
 use crate::shard::{EvKind, NodeSlot, Routing, Shard};
 use contrarian_runtime::actor::Actor;
-use contrarian_runtime::cost::CostModel;
+use contrarian_runtime::cost::{CostModel, LookaheadMatrix};
 use contrarian_runtime::history::merge_shard_histories;
 use contrarian_runtime::metrics::Metrics;
 use contrarian_runtime::node_loop::node_seed;
@@ -27,6 +27,28 @@ use contrarian_types::{Addr, HistoryEvent, NodeKind, Op, TraceEvent};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 use std::collections::HashMap;
+
+/// How the sharded engine derives its conservative per-link lower bounds.
+#[derive(Clone, Debug, PartialEq, Default)]
+pub enum Lookahead {
+    /// One global window of width [`CostModel::cross_dc_lookahead`] — the
+    /// uniform-matrix special case. Sound only at DC granularity (a
+    /// same-DC cross-shard message can arrive after just a hop), so shard
+    /// groups are forced to 1.
+    Scalar,
+    /// Per-link minimum-latency matrix derived from the cost model at
+    /// start ([`CostModel::lookahead_matrix`]). The default: pairwise
+    /// bounds let fast intra-DC links between sub-DC groups coexist with
+    /// slow transcontinental edges instead of collapsing every window to
+    /// the global minimum latency.
+    #[default]
+    Matrix,
+    /// An explicit matrix (tests, what-if topologies). Its dimension must
+    /// equal the shard count at [`Sim::start`]; it is metric-closed there.
+    /// Entries must genuinely lower-bound the cost model's link latencies,
+    /// or the window-invariant assertion fires at the first violation.
+    Fixed(LookaheadMatrix),
+}
 
 /// The deterministic cluster simulator. Generic over the protocol's
 /// [`Actor`] type; one `Sim` runs one protocol on one cluster.
@@ -38,8 +60,18 @@ pub struct Sim<A: Actor> {
     /// Worker threads for parallel windows; 0 = resolve at start
     /// (`CONTRARIAN_SHARD_THREADS`, else available parallelism).
     threads: usize,
-    /// Conservative window width (min cross-DC arrival delta).
-    lookahead: u64,
+    /// Sub-DC shard groups per DC; 0 = resolve at start
+    /// (`CONTRARIAN_SHARD_GROUPS`, default 1).
+    groups: u16,
+    /// Lookahead mode; resolved into `la` at start.
+    lookahead: Lookahead,
+    /// Per-link conservative bounds, metric-closed; built at start.
+    la: LookaheadMatrix,
+    /// Cached `la.min_off_diagonal()`: 0 ⇒ no usable window, lockstep.
+    min_la: u64,
+    /// Conservative window rounds driven so far (scheduling telemetry;
+    /// engine-comparison tests pin schedules with it).
+    rounds: u64,
     /// Pre-start registrations, in order; drained into shards at start.
     staging: Vec<(Addr, A, u32)>,
     /// Registration-time index (`Addr → global id`); hot-path routing uses
@@ -66,14 +98,17 @@ impl<A: Actor> Sim<A> {
 
     /// A simulator with an explicit engine choice.
     pub fn with_scheduler(cost: CostModel, seed: u64, sched: SchedKind) -> Self {
-        let lookahead = cost.cross_dc_lookahead();
         Sim {
             now: 0,
             cost,
             seed,
             sched,
             threads: 0,
-            lookahead,
+            groups: 0,
+            lookahead: Lookahead::default(),
+            la: LookaheadMatrix::uniform(0, 0),
+            min_la: 0,
+            rounds: 0,
             staging: Vec::new(),
             index: HashMap::new(),
             routing: Routing::empty(),
@@ -117,6 +152,37 @@ impl<A: Actor> Sim<A> {
         }
     }
 
+    /// Overrides the sub-DC shard-group count (normally
+    /// `CONTRARIAN_SHARD_GROUPS`, default 1). Only meaningful for
+    /// [`SchedKind::Sharded`]; forced to 1 under [`Lookahead::Scalar`].
+    /// Group count never changes results, only available parallelism.
+    pub fn set_shard_groups(&mut self, groups: u16) {
+        assert!(!self.started, "shard groups are fixed at start");
+        assert!(groups > 0, "shard groups must be positive");
+        self.groups = groups;
+    }
+
+    /// Selects how the conservative per-link bounds are derived (default:
+    /// [`Lookahead::Matrix`]).
+    pub fn set_lookahead(&mut self, lookahead: Lookahead) {
+        assert!(!self.started, "lookahead mode is fixed at start");
+        self.lookahead = lookahead;
+    }
+
+    /// The resolved (metric-closed) lookahead matrix driving the windows.
+    pub fn lookahead_matrix(&self) -> &LookaheadMatrix {
+        assert!(self.started, "the matrix is resolved at start");
+        &self.la
+    }
+
+    /// Conservative window rounds driven so far (0 on the single-shard and
+    /// lockstep paths). Identical matrices and event streams produce
+    /// identical round counts — the window schedule is a pure function of
+    /// both — which is what lets tests pin "uniform matrix ≡ scalar".
+    pub fn window_rounds(&self) -> u64 {
+        self.rounds
+    }
+
     /// Number of shards (1 unless running [`SchedKind::Sharded`]).
     pub fn n_shards(&self) -> usize {
         if self.started {
@@ -143,12 +209,14 @@ impl<A: Actor> Sim<A> {
             .map(|(a, _, _)| a.dc.index() + 1)
             .max()
             .unwrap_or(1);
-        let n_shards = match self.sched {
+        let dc_shards = match self.sched {
             SchedKind::Sharded { shards: 0 } => n_dcs,
             SchedKind::Sharded { shards } => shards as usize,
             _ => 1,
         }
         .max(1);
+        let groups = self.resolve_groups();
+        let n_shards = dc_shards * groups;
         if self.threads == 0 {
             self.threads =
                 match contrarian_runtime::env::var(contrarian_runtime::env::SHARD_THREADS) {
@@ -173,10 +241,26 @@ impl<A: Actor> Sim<A> {
                 s
             })
             .collect();
+        // Per-(DC, kind) index spans, so partition-range groups split each
+        // DC's servers and clients into `groups` contiguous idx ranges.
+        let mut server_span = vec![0u32; n_dcs];
+        let mut client_span = vec![0u32; n_dcs];
+        for (a, _, _) in &self.staging {
+            let span = match a.kind {
+                NodeKind::Server => &mut server_span[a.dc.index()],
+                NodeKind::Client => &mut client_span[a.dc.index()],
+            };
+            *span = (*span).max(a.idx as u32 + 1);
+        }
         let mut addrs = Vec::with_capacity(self.staging.len());
         let mut locate = Vec::with_capacity(self.staging.len());
+        let mut shard_dcs: Vec<Vec<u8>> = vec![Vec::new(); n_shards];
         for (gid, (addr, actor, workers)) in self.staging.drain(..).enumerate() {
-            let shard = addr.dc.index() % n_shards;
+            let shard = shard_of(addr, dc_shards, groups, &server_span, &client_span);
+            let dc = addr.dc.index() as u8;
+            if !shard_dcs[shard].contains(&dc) {
+                shard_dcs[shard].push(dc);
+            }
             let local = self.shards[shard].nodes.len();
             addrs.push(addr);
             locate.push((shard as u32, local as u32));
@@ -186,7 +270,22 @@ impl<A: Actor> Sim<A> {
                 .push(NodeSlot::new(addr, gid as u32, actor, workers, rng));
             self.shards[shard].links.push(Vec::new());
         }
-        self.routing = Routing::build(addrs, locate);
+        self.la = match &self.lookahead {
+            Lookahead::Scalar => LookaheadMatrix::uniform(n_shards, self.cost.cross_dc_lookahead()),
+            Lookahead::Matrix => self.cost.lookahead_matrix(&shard_dcs),
+            Lookahead::Fixed(m) => {
+                assert_eq!(
+                    m.n(),
+                    n_shards,
+                    "fixed lookahead matrix dimension must equal the shard count"
+                );
+                let mut m = m.clone();
+                m.close();
+                m
+            }
+        };
+        self.min_la = self.la.min_off_diagonal();
+        self.routing = Routing::build(addrs, locate, &self.cost);
         for gid in 0..self.routing.n_nodes() {
             let (s, l) = self.routing.locate(gid);
             self.shards[s].start_node(&self.routing, l);
@@ -194,7 +293,27 @@ impl<A: Actor> Sim<A> {
         // Bring-up happens before any pop, so cross-shard `on_start` sends
         // merge into the target queues ahead of execution regardless of
         // their arrival time — no window invariant applies yet.
-        self.exchange(0, false);
+        self.exchange(None);
+    }
+
+    /// Resolves the shard-group count: 1 for non-sharded engines and the
+    /// scalar lookahead (whose global window is only sound DC-granular),
+    /// else the explicit override, else `CONTRARIAN_SHARD_GROUPS`.
+    fn resolve_groups(&self) -> usize {
+        if !matches!(self.sched, SchedKind::Sharded { .. })
+            || matches!(self.lookahead, Lookahead::Scalar)
+        {
+            return 1;
+        }
+        if self.groups > 0 {
+            return self.groups as usize;
+        }
+        match contrarian_runtime::env::var(contrarian_runtime::env::SHARD_GROUPS) {
+            Some(v) => v.parse().ok().filter(|&n| n > 0).unwrap_or_else(|| {
+                panic!("CONTRARIAN_SHARD_GROUPS must be a positive integer, got `{v}`")
+            }),
+            None => 1,
+        }
     }
 
     pub fn now(&self) -> u64 {
@@ -392,7 +511,7 @@ impl<A: Actor> Sim<A> {
         let routing = &self.routing;
         self.shards[i].step_one(routing);
         if !self.shards[i].outbox.is_empty() {
-            self.exchange(0, false);
+            self.exchange(None);
         }
         self.now = self.now.max(t);
         self.metrics_dirty = true;
@@ -408,9 +527,10 @@ impl<A: Actor> Sim<A> {
     }
 
     /// Delivers every parked cross-shard message into its target queue.
-    /// With `conservative`, asserts the window invariant: nothing sent
-    /// during a window may land inside it.
-    fn exchange(&mut self, window_end: u64, conservative: bool) {
+    /// With `ends` (the per-shard window bounds of a conservative round),
+    /// asserts the window invariant: nothing sent during a round may land
+    /// inside its *destination's* just-run window.
+    fn exchange(&mut self, ends: Option<&[u64]>) {
         for i in 0..self.shards.len() {
             if self.shards[i].outbox.is_empty() {
                 continue;
@@ -418,10 +538,12 @@ impl<A: Actor> Sim<A> {
             let mut outbox = std::mem::take(&mut self.shards[i].outbox);
             for m in outbox.drain(..) {
                 assert!(
-                    !conservative || m.t >= window_end,
+                    ends.is_none_or(|e| m.t >= e[m.shard]),
                     "conservative window violated: cross-shard message for t={} \
-                     inside the window ending at {window_end}",
-                    m.t
+                     inside destination shard {}'s window ending at {}",
+                    m.t,
+                    m.shard,
+                    ends.map_or(0, |e| e[m.shard])
                 );
                 self.shards[m.shard].queue.push(
                     m.t,
@@ -456,9 +578,10 @@ impl<A: Actor> Sim<A> {
                 s.step_one(routing);
             }
             self.now = self.now.max(s.now);
-        } else if self.lookahead == 0 {
-            // Free cross-DC links: no conservative window exists; run the
-            // shards in lockstep (sequential, still bit-identical).
+        } else if self.min_la == 0 {
+            // Some pair of populated shards has a zero bound (free links
+            // between them): no conservative window exists; run the shards
+            // in lockstep (sequential, still bit-identical).
             while let Some(m) = self.min_next_t() {
                 if m > bound {
                     break;
@@ -471,45 +594,77 @@ impl<A: Actor> Sim<A> {
         self.metrics_dirty = true;
     }
 
-    /// The conservative-window driver: repeatedly form the window
-    /// `[m, m + lookahead)` at the global minimum `m`, run every shard's
-    /// slice of it (in parallel when more than one shard has work and more
-    /// than one thread is available), and exchange cross-shard messages at
-    /// the barrier.
+    /// The conservative-window driver. Each round computes every shard's
+    /// *horizon* — the earliest instant any pending work could still get a
+    /// message to it: `min over i≠j` of the incoming chain `next_t[i] +
+    /// L(i, j)` and the bounce-back `next_t[j] + L(j, i) + L(i, j)` (see
+    /// [`LookaheadMatrix::horizon`]) — and runs each shard up to its own
+    /// (bound-clamped) horizon, in parallel when more than one shard has
+    /// work and more than one thread is available. Cross-shard messages are exchanged at
+    /// the barrier; the next round recomputes horizons from the advanced
+    /// clocks. Pairwise bounds mean two sub-DC groups of the same DC
+    /// window against the intra-DC hop while racing a transcontinental
+    /// peer by up to the inter-DC latency — a scalar lookahead would gate
+    /// every pair on the single smallest edge in the whole topology.
+    ///
+    /// Progress: the shard holding the global minimum `m` has horizon
+    /// ≥ `m + min_off_diagonal` > `m`, so it always clears at least its
+    /// minimal event — except when horizons saturate near `u64::MAX`,
+    /// where one lockstep event is driven instead so the loop can never
+    /// spin without progress (the degenerate-window regression).
     fn run_windows(&mut self, bound: u64)
     where
         A: Send,
     {
-        let lookahead = self.lookahead;
         let threads = self.threads;
-        while let Some(m) = self.min_next_t() {
-            if m > bound {
+        let n = self.shards.len();
+        let mut next_t = vec![u64::MAX; n];
+        let mut ends = vec![0u64; n];
+        loop {
+            let mut m = u64::MAX;
+            let mut any = false;
+            for (i, s) in self.shards.iter_mut().enumerate() {
+                next_t[i] = match s.queue.peek_t() {
+                    Some(t) => {
+                        any = true;
+                        m = m.min(t);
+                        t
+                    }
+                    None => u64::MAX,
+                };
+            }
+            if !any || m > bound {
                 break;
             }
-            let end = if bound == u64::MAX {
-                m.saturating_add(lookahead)
-            } else {
-                (bound + 1).min(m.saturating_add(lookahead))
-            };
-            let routing = &self.routing;
             let mut active = 0usize;
-            for s in self.shards.iter_mut() {
-                if s.queue.peek_t().is_some_and(|t| t < end) {
+            for (i, end) in ends.iter_mut().enumerate() {
+                *end = window_end(self.la.horizon(i, &next_t), bound);
+                if next_t[i] < *end {
                     active += 1;
                 }
             }
+            if active == 0 {
+                // Every window clamped empty: only possible with horizons
+                // and events saturated at u64::MAX. Lockstep one event so
+                // the driver still terminates.
+                self.lockstep_step();
+                continue;
+            }
+            self.rounds += 1;
+            let routing = &self.routing;
             if threads <= 1 || active <= 1 {
-                for s in &mut self.shards {
+                for (s, &end) in self.shards.iter_mut().zip(&ends) {
                     s.run_window(routing, end);
                 }
             } else {
+                let ends = &ends;
                 std::thread::scope(|scope| {
-                    for s in self.shards.iter_mut() {
-                        scope.spawn(move || s.run_window(routing, end));
+                    for (i, s) in self.shards.iter_mut().enumerate() {
+                        scope.spawn(move || s.run_window(routing, ends[i]));
                     }
                 });
             }
-            self.exchange(end, true);
+            self.exchange(Some(&ends));
         }
         self.now = self
             .now
@@ -541,6 +696,50 @@ impl<A: Actor> Sim<A> {
             self.lockstep_step();
         }
     }
+}
+
+/// Shard assignment: DC → shard column (round-robin over `dc_shards`, as
+/// before), then the node's index splits into `groups` contiguous ranges
+/// of its DC's server/client span — partition-range groups, so co-accessed
+/// neighbouring partitions tend to share a shard. Pure arithmetic on
+/// registration-time data: shard placement is a function of the address
+/// alone, never of machine parallelism, so it cannot perturb determinism.
+fn shard_of(
+    addr: contrarian_types::Addr,
+    dc_shards: usize,
+    groups: usize,
+    server_span: &[u32],
+    client_span: &[u32],
+) -> usize {
+    let dc = addr.dc.index();
+    let col = dc % dc_shards;
+    if groups == 1 {
+        return col;
+    }
+    let span = match addr.kind {
+        NodeKind::Server => server_span[dc],
+        NodeKind::Client => client_span[dc],
+    }
+    .max(1) as u64;
+    // idx < span by construction, so g < groups; min() guards hypothetical
+    // sparse registrations anyway.
+    let g = (addr.idx as u64 * groups as u64 / span) as usize;
+    col * groups + g.min(groups - 1)
+}
+
+/// Clamps a shard's conservative horizon to the run bound — the one
+/// audited place window ends are formed. The window is half-open
+/// `[next_t, end)` while the bound is *inclusive* (`run_bounded` must
+/// process events at exactly `bound`), hence the `+ 1` — saturating,
+/// because `bound == u64::MAX` means "unbounded" and must not wrap into a
+/// permanently empty window (the old `(bound + 1).min(..)` /
+/// `saturating_add` pairing could spin a degenerate `[u64::MAX, u64::MAX)`
+/// window forever once the clamp engaged). The residual saturated case —
+/// horizon *and* bound both at `u64::MAX` with every pending event there
+/// too — is handled by the driver's lockstep fallback, not here.
+#[inline]
+fn window_end(horizon: u64, bound: u64) -> u64 {
+    horizon.min(bound.saturating_add(1))
 }
 
 impl<A: Actor> Runtime<A> for Sim<A> {
@@ -901,6 +1100,7 @@ mod tests {
     }
 
     struct Mesh {
+        dcs: u8,
         servers: u16,
         next: u32,
         echoes: u64,
@@ -909,7 +1109,11 @@ mod tests {
 
     impl Mesh {
         fn new(servers: u16) -> Self {
+            Self::spanning(2, servers)
+        }
+        fn spanning(dcs: u8, servers: u16) -> Self {
             Mesh {
+                dcs,
                 servers,
                 next: 0,
                 echoes: 0,
@@ -919,7 +1123,7 @@ mod tests {
         fn target(&mut self) -> Addr {
             let t = self.next;
             self.next += 1;
-            let all = 2 * self.servers as u32;
+            let all = self.dcs as u32 * self.servers as u32;
             Addr::server(
                 DcId((t % all / self.servers as u32) as u8),
                 contrarian_types::PartitionId((t % self.servers as u32) as u16),
@@ -1091,6 +1295,7 @@ mod tests {
             timer_ns: 0,
             hop_latency_ns: 0,
             interdc_latency_ns: L,
+            interdc_overrides: Vec::new(),
             wire_ns_per_kb: 0,
         };
         let run = |sched| {
@@ -1184,5 +1389,258 @@ mod tests {
         chunked.run_to_quiescence(u64::MAX);
         got.extend(chunked.drain_history());
         assert_eq!(format!("{want:?}"), format!("{got:?}"));
+    }
+
+    // ---- per-link matrix, sub-DC groups, window-bound arithmetic ----
+
+    #[test]
+    fn window_end_clamps_with_saturating_semantics() {
+        // The bound is inclusive, the window end exclusive: +1, saturating.
+        assert_eq!(window_end(100, 500), 100, "horizon below the bound wins");
+        assert_eq!(window_end(100, 50), 51, "bound+1 caps the window");
+        assert_eq!(window_end(100, 99), 100);
+        assert_eq!(
+            window_end(100, u64::MAX),
+            100,
+            "unbounded run, real horizon"
+        );
+        assert_eq!(window_end(u64::MAX, 10), 11);
+        // The degenerate clamp the old arithmetic got wrong: both saturated
+        // must stay [MAX, MAX) — empty — and be handled by the driver's
+        // lockstep fallback, never wrap to a tiny bogus window.
+        assert_eq!(window_end(u64::MAX, u64::MAX), u64::MAX);
+        assert_eq!(window_end(u64::MAX, u64::MAX - 1), u64::MAX);
+        assert_eq!(window_end(0, 0), 0, "empty window at the origin is fine");
+    }
+
+    #[test]
+    fn timers_at_u64_max_terminate_via_lockstep_fallback() {
+        // Regression: events pending exactly at u64::MAX saturate every
+        // horizon, so every window clamps empty ([MAX, MAX)); the driver
+        // must fall back to lockstep instead of spinning forever.
+        struct FarTimer {
+            fired: bool,
+        }
+        impl Actor for FarTimer {
+            type Msg = Ping;
+            fn on_start(&mut self, ctx: &mut dyn ActorCtx<Ping>) {
+                if !ctx.self_addr().is_server() {
+                    ctx.set_timer(u64::MAX, TimerKind::new(1));
+                }
+            }
+            fn on_message(&mut self, _ctx: &mut dyn ActorCtx<Ping>, _from: Addr, _msg: Ping) {}
+            fn on_timer(&mut self, _ctx: &mut dyn ActorCtx<Ping>, _kind: TimerKind) {
+                self.fired = true;
+            }
+            fn inject(_op: Op) -> Ping {
+                Ping(0)
+            }
+        }
+        let mut sim: Sim<FarTimer> =
+            Sim::with_scheduler(CostModel::functional(), 7, SchedKind::Sharded { shards: 0 });
+        for dc in 0..2 {
+            sim.add_server(
+                Addr::server(DcId(dc), contrarian_types::PartitionId(0)),
+                FarTimer { fired: false },
+                1,
+            );
+            sim.add_client(Addr::client(DcId(dc), 0), FarTimer { fired: false });
+        }
+        sim.start();
+        sim.run_to_quiescence(u64::MAX);
+        for dc in 0..2 {
+            assert!(
+                sim.actor(Addr::client(DcId(dc), 0)).fired,
+                "DC{dc}'s far timer must still fire"
+            );
+        }
+        assert_eq!(sim.now(), u64::MAX);
+    }
+
+    /// Digest + window-round count for a two-DC mesh under an arbitrary
+    /// configuration hook.
+    fn geo_digest_with(
+        sched: SchedKind,
+        cost: CostModel,
+        config: impl FnOnce(&mut Sim<Mesh>),
+    ) -> (u64, u64, Vec<u64>, u64) {
+        let mut sim = mk_geo(sched, cost, 3, 4);
+        config(&mut sim);
+        sim.start();
+        sim.run_until(40_000_000);
+        sim.run_to_quiescence(u64::MAX);
+        let mut sums = Vec::new();
+        for dc in 0..2 {
+            for c in 0..4 {
+                let a = sim.actor(Addr::client(DcId(dc), c));
+                sums.push(a.sum.wrapping_mul(1023).wrapping_add(a.echoes));
+            }
+        }
+        (sim.now(), sim.events_processed(), sums, sim.window_rounds())
+    }
+
+    #[test]
+    fn uniform_matrix_reproduces_scalar_window_schedule() {
+        // On a homogeneous topology the per-link matrix *is* uniform, so
+        // the matrix engine must drive the exact same window schedule as
+        // the scalar one — pinned by the round count, which is a pure
+        // function of (matrix, event stream) — not merely the same result.
+        let cost = CostModel::calibrated();
+        let scalar = geo_digest_with(SchedKind::Sharded { shards: 0 }, cost.clone(), |sim| {
+            sim.set_lookahead(Lookahead::Scalar);
+            sim.set_shard_threads(2);
+        });
+        let matrix = geo_digest_with(SchedKind::Sharded { shards: 0 }, cost.clone(), |sim| {
+            sim.set_lookahead(Lookahead::Matrix);
+            sim.set_shard_threads(2);
+        });
+        let fixed = geo_digest_with(SchedKind::Sharded { shards: 0 }, cost.clone(), |sim| {
+            sim.set_lookahead(Lookahead::Fixed(LookaheadMatrix::uniform(
+                2,
+                cost.cross_dc_lookahead(),
+            )));
+            sim.set_shard_threads(2);
+        });
+        assert!(scalar.3 > 0, "parallel windows actually ran");
+        assert_eq!(matrix, scalar, "matrix (uniform) ≠ scalar schedule");
+        assert_eq!(fixed, scalar, "explicit uniform matrix ≠ scalar schedule");
+        // And the resolved matrices really are the same object.
+        let mut sim = mk_geo(SchedKind::Sharded { shards: 0 }, cost.clone(), 3, 4);
+        sim.start();
+        assert_eq!(
+            *sim.lookahead_matrix(),
+            LookaheadMatrix::uniform(2, cost.cross_dc_lookahead())
+        );
+    }
+
+    #[test]
+    fn sub_dc_groups_match_serial_engines() {
+        // Splitting each DC into 3 partition-range groups (6 shards, forced
+        // parallel windows) must replay the calendar run bit-identically.
+        let want = geo_digest(SchedKind::Calendar, CostModel::calibrated(), None);
+        for groups in [2u16, 3] {
+            let got = geo_digest_with(
+                SchedKind::Sharded { shards: 0 },
+                CostModel::calibrated(),
+                |sim| {
+                    sim.set_shard_groups(groups);
+                    sim.set_shard_threads(4);
+                },
+            );
+            assert_eq!((got.0, got.1, got.2), want, "groups={groups} diverged");
+            assert!(got.3 > 0, "groups={groups} never formed a window");
+        }
+        // Geometry check: 2 DCs × 3 groups = 6 shards, and the sub-DC
+        // pairs window against the intra-DC hop, not the inter-DC latency.
+        let mut sim = mk_geo(
+            SchedKind::Sharded { shards: 0 },
+            CostModel::calibrated(),
+            3,
+            4,
+        );
+        sim.set_shard_groups(3);
+        sim.start();
+        assert_eq!(sim.n_shards(), 6);
+        let la = sim.lookahead_matrix();
+        let cost = CostModel::calibrated();
+        assert_eq!(la.get(0, 1), cost.hop_latency_ns, "same-DC groups: hop");
+        assert_eq!(la.get(0, 3), cost.interdc_latency_ns, "cross-DC: inter-DC");
+        assert_eq!(la.min_off_diagonal(), cost.hop_latency_ns);
+    }
+
+    #[test]
+    fn scalar_lookahead_forces_single_group_per_dc() {
+        // The scalar global window is only sound at DC granularity: a
+        // same-DC cross-group message arrives after just a hop, far inside
+        // a window of width interdc. Groups must silently clamp to 1.
+        let mut sim = mk_geo(
+            SchedKind::Sharded { shards: 0 },
+            CostModel::calibrated(),
+            3,
+            4,
+        );
+        sim.set_shard_groups(4);
+        sim.set_lookahead(Lookahead::Scalar);
+        sim.start();
+        assert_eq!(sim.n_shards(), 2, "scalar mode stays DC-granular");
+    }
+
+    #[test]
+    fn asymmetric_overrides_match_serial_engines() {
+        // Directional link overrides (A→B slow, B→A fast): the matrix is
+        // asymmetric, every engine and group count must still agree.
+        let mut cost = CostModel::calibrated();
+        cost.interdc_overrides = vec![(0, 1, 40_000_000), (1, 0, 3_000_000)];
+        let want = geo_digest(SchedKind::Calendar, cost.clone(), None);
+        let heap = geo_digest(SchedKind::Heap, cost.clone(), None);
+        assert_eq!(heap, want);
+        for groups in [1u16, 2, 3] {
+            let got = geo_digest_with(SchedKind::Sharded { shards: 0 }, cost.clone(), |sim| {
+                sim.set_shard_groups(groups);
+                sim.set_shard_threads(3);
+            });
+            assert_eq!(
+                (got.0, got.1, got.2),
+                want,
+                "asymmetric matrix, groups={groups}"
+            );
+        }
+    }
+
+    #[test]
+    fn triangle_violating_overrides_run_exactly_under_closure() {
+        // 3 DCs where the direct 0→2 link (100ms) is slower than relaying
+        // via DC1 (5ms + 7ms): the raw per-link matrix violates the
+        // triangle inequality and metric closure must cap the 0→2 bound at
+        // 12ms for the windows to stay conservative across rounds. The
+        // exchange assertion fires on any violation; the digest pins
+        // exactness.
+        let mut cost = CostModel::calibrated();
+        cost.interdc_overrides = vec![
+            (0, 2, 100_000_000),
+            (2, 0, 100_000_000),
+            (0, 1, 5_000_000),
+            (1, 0, 5_000_000),
+            (1, 2, 7_000_000),
+            (2, 1, 7_000_000),
+        ];
+        let digest = |sched, threads: Option<usize>| {
+            let mut sim: Sim<Mesh> = Sim::with_scheduler(cost.clone(), 13, sched);
+            for dc in 0..3 {
+                for p in 0..2 {
+                    sim.add_server(
+                        Addr::server(DcId(dc), contrarian_types::PartitionId(p)),
+                        Mesh::spanning(3, 2),
+                        2,
+                    );
+                }
+                for c in 0..2 {
+                    sim.add_client(Addr::client(DcId(dc), c), Mesh::spanning(3, 2));
+                }
+            }
+            if let Some(t) = threads {
+                sim.set_shard_threads(t);
+            }
+            sim.start();
+            if sim.n_shards() == 3 {
+                let la = sim.lookahead_matrix();
+                assert_eq!(la.get(0, 2), 12_000_000, "closure caps the slow link");
+                assert_eq!(la.get(0, 1), 5_000_000);
+            }
+            sim.run_until(60_000_000);
+            sim.run_to_quiescence(u64::MAX);
+            let mut sums = Vec::new();
+            for dc in 0..3 {
+                for c in 0..2 {
+                    let a = sim.actor(Addr::client(DcId(dc), c));
+                    sums.push(a.sum.wrapping_mul(1023).wrapping_add(a.echoes));
+                }
+            }
+            (sim.now(), sim.events_processed(), sums)
+        };
+        let want = digest(SchedKind::Calendar, None);
+        assert_eq!(digest(SchedKind::Heap, None), want);
+        assert_eq!(digest(SchedKind::Sharded { shards: 0 }, Some(3)), want);
+        assert_eq!(digest(SchedKind::Sharded { shards: 2 }, Some(2)), want);
     }
 }

@@ -35,6 +35,8 @@ fn main() {
                 cost: CostModel::calibrated(),
                 record: false,
                 sched: SchedKind::from_env(),
+                shard_groups: None,
+                lookahead: Default::default(),
             };
             let r = run_experiment(&cfg);
             rows.push(vec![
